@@ -1,0 +1,75 @@
+// Ablation: link-layer mobility as a charging-gap source (§3.1 cause 2).
+//
+// The §2.2 targeted-ad cameras are static, but V2X-style deployments
+// move: every cell crossing interrupts the radio (and occasionally
+// fails). Sweeping device speed shows handover loss feeding the legacy
+// gap while TLC-optimal stays flat — the same cancellation covers every
+// loss layer.
+#include "bench_common.hpp"
+
+using namespace tlc;
+using namespace tlc::testbed;
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_options(argc, argv);
+  print_banner("Ablation: charging gap vs device mobility");
+  bench::print_mode(options);
+
+  struct Profile {
+    const char* label;
+    double speed_mps;
+  };
+  const Profile profiles[] = {
+      {"static (roadside camera)", 0.0},
+      {"pedestrian (1.4 m/s)", 1.4},
+      {"urban driving (14 m/s)", 14.0},
+      {"highway (33 m/s)", 33.0},
+  };
+
+  TextTable table({"Mobility", "Handovers/hr", "Loss", "Legacy 4G/5G",
+                   "TLC-optimal"});
+  for (const Profile& profile : profiles) {
+    auto config =
+        bench::base_scenario(options, AppKind::WebcamUdpDownlink, 0.0);
+    config.cycle_length = options.full ? 120 * kSecond : 60 * kSecond;
+    config.mobility.speed_mps = profile.speed_mps;
+    config.mobility.cell_radius_m = 300.0;
+    // Inter-frequency, break-before-make handovers with RRC
+    // re-establishment on failure — the lossy end of the [10]
+    // measurements.
+    config.mobility.interruption_ms = 150.0;
+    config.mobility.failure_prob = 0.08;
+    config.mobility.failure_outage_s = 2.0;
+    config.enodeb.queue_limit_bytes = 160 * 1024;
+
+    Testbed probe(config);
+    probe.run();
+    const double hours =
+        to_seconds(static_cast<SimTime>(config.cycles) *
+                   config.cycle_length) /
+        3600.0;
+    const double handovers_per_hr =
+        static_cast<double>(probe.app_radio().handovers()) / hours;
+
+    const auto result =
+        run_experiment(config, {Scheme::Legacy, Scheme::TlcOptimal});
+    double loss = 0.0;
+    for (const CycleMeasurements& c : result.cycles) {
+      loss += 1.0 - static_cast<double>(c.true_received) /
+                        static_cast<double>(c.true_sent);
+    }
+    loss /= static_cast<double>(result.cycles.size());
+
+    table.add_row({profile.label, cell(handovers_per_hr, 0), cell_pct(loss),
+                   cell_pct(result.mean_gap_ratio(Scheme::Legacy)),
+                   cell_pct(result.mean_gap_ratio(Scheme::TlcOptimal))});
+  }
+  table.print();
+
+  std::printf(
+      "\nreading: handover interruptions add loss roughly linearly in "
+      "speed; legacy billing\ninherits it as gap while TLC's negotiated "
+      "charge remains within measurement error —\nmobility-induced loss "
+      "cancels exactly like congestion- or fading-induced loss.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Ablation for Theorem 1 (§3.3): any charging scheme that synchronizes
+// the two parties' records in-band must delay traffic, and the delay
+// diverges with loss. TLC's negotiation runs after the cycle and adds
+// zero in-cycle delay.
+#include "bench_common.hpp"
+
+#include "core/sync_baseline.hpp"
+
+using namespace tlc;
+using namespace tlc::core;
+using namespace tlc::testbed;
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_options(argc, argv);
+  print_banner("Ablation: loss-latency tradeoff of synchronized charging");
+  bench::print_mode(options);
+
+  TextTable table({"Loss", "Sync mean delay (ms)", "Sync p99 delay (ms)",
+                   "Sync throughput", "Sync retx", "TLC in-cycle delay"});
+  for (double loss : {0.0, 0.02, 0.05, 0.10, 0.20, 0.35}) {
+    SyncChargingParams params;
+    params.loss_probability = loss;
+    params.total_packets = options.full ? 200000 : 40000;
+    const auto outcome = simulate_sync_charging(params, Rng(options.seed));
+    table.add_row({cell_pct(loss, 0), cell(outcome.mean_added_delay_ms, 2),
+                   cell(outcome.p99_added_delay_ms, 1),
+                   cell_pct(outcome.throughput_ratio),
+                   std::to_string(outcome.sync_retransmissions),
+                   "0 ms (post-cycle only)"});
+  }
+  table.print();
+
+  std::printf(
+      "\nreading: closing the record gap in-band costs delay that grows "
+      "without bound as loss\nincreases (Theorem 1's CAP-style tradeoff); "
+      "TLC sidesteps it by never blocking data and\ncancelling loss "
+      "against selfishness at cycle end instead.\n");
+  return 0;
+}

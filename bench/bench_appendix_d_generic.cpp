@@ -1,0 +1,47 @@
+// Appendix D: TLC in generic mobile data charging. When the server sits
+// on the Internet rather than at the edge, downlink loss between the
+// server and the 4G/5G core inflates the edge's sent-volume report; the
+// resulting over-charge is provably bounded by c * (x̂e' − x̂e).
+#include "bench_common.hpp"
+
+#include "core/generic.hpp"
+
+using namespace tlc;
+using namespace tlc::core;
+using namespace tlc::testbed;
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_options(argc, argv);
+  print_banner("Appendix D: generic downlink over-charge bound");
+  bench::print_mode(options);
+
+  const std::uint64_t device_received = 90000000;  // x̂o
+  const std::uint64_t core_received = 100000000;   // x̂e
+
+  for (double c : {0.0, 0.5, 1.0}) {
+    std::printf("\n--- lost-data weight c = %.2f ---\n", c);
+    TextTable table({"Internet-side loss", "Charged x' (MB)", "Ideal x (MB)",
+                     "Over-charge (MB)", "Bound c*(x_e'-x_e) (MB)",
+                     "Within bound"});
+    for (double internet_loss : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+      const auto internet_sent = static_cast<std::uint64_t>(
+          static_cast<double>(core_received) / (1.0 - internet_loss));
+      const auto outcome = generic_downlink_charge(
+          internet_sent, core_received, device_received, c);
+      table.add_row({cell_pct(internet_loss, 0),
+                     cell(static_cast<double>(outcome.charged) / 1e6, 2),
+                     cell(static_cast<double>(outcome.ideal) / 1e6, 2),
+                     cell(static_cast<double>(outcome.overcharge) / 1e6, 2),
+                     cell(static_cast<double>(outcome.bound) / 1e6, 2),
+                     outcome.overcharge <= outcome.bound + 1 ? "yes" : "NO"});
+    }
+    table.print();
+  }
+
+  std::printf(
+      "\nreading: the realized over-charge equals the Appendix D bound "
+      "c*(x̂e'−x̂e) exactly;\nwith c=0 the user is immune to Internet-side "
+      "loss, and even at c=1 the exposure is capped\nby the measured loss "
+      "— unlike legacy 4G/5G's unbounded selfish charging.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Shared plumbing for the figure/table bench binaries.
+//
+// Every bench runs standalone with reduced defaults (so the whole bench
+// directory executes in minutes) and accepts:
+//   --full        paper-scale sweeps (longer cycles, more repetitions)
+//   --seed=N      experiment seed
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "testbed/experiment.hpp"
+#include "testbed/report.hpp"
+#include "testbed/scenario.hpp"
+
+namespace tlc::bench {
+
+struct BenchOptions {
+  bool full = false;
+  std::uint64_t seed = 1;
+
+  /// Charging cycle length for testbed sweeps.
+  [[nodiscard]] SimTime cycle_length() const {
+    return full ? 60 * kSecond : 20 * kSecond;
+  }
+  /// Cycles per configuration.
+  [[nodiscard]] int cycles() const { return full ? 5 : 2; }
+  /// Congestion sweep (Mbps of iperf UDP background).
+  [[nodiscard]] std::vector<double> background_levels() const {
+    if (full) return {0, 100, 120, 140, 160};
+    return {0, 120, 160};
+  }
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      options.full = true;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      options.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--full] [--seed=N]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  return options;
+}
+
+/// Base scenario for a bench sweep point.
+inline testbed::ScenarioConfig base_scenario(const BenchOptions& options,
+                                             testbed::AppKind app,
+                                             double background_mbps) {
+  testbed::ScenarioConfig config;
+  config.app = app;
+  config.background_mbps = background_mbps;
+  config.cycle_length = options.cycle_length();
+  config.cycles = options.cycles();
+  config.seed = options.seed;
+  return config;
+}
+
+/// The §7.1 application set (Table 2 / Figs 12-13 rows).
+inline std::vector<testbed::AppKind> paper_apps() {
+  return {testbed::AppKind::WebcamRtsp, testbed::AppKind::WebcamUdp,
+          testbed::AppKind::VrGvsp, testbed::AppKind::GamingQci7};
+}
+
+inline void print_mode(const BenchOptions& options) {
+  std::printf("mode: %s (cycle=%.0fs x%d, seed=%llu)%s\n",
+              options.full ? "full" : "quick",
+              to_seconds(options.cycle_length()), options.cycles(),
+              static_cast<unsigned long long>(options.seed),
+              options.full ? "" : "  [--full for paper-scale sweeps]");
+}
+
+}  // namespace tlc::bench

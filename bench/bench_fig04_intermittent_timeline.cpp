@@ -1,0 +1,70 @@
+// Figure 4: charging-gap timeline under intermittent connectivity
+// (downlink UDP WebCam, no background traffic, ~1.93 s mean outages).
+//
+// Prints the three stacked series of the paper's figure: device-side
+// rate, cumulative charging gap, and RSS, sampled every second, with
+// outage intervals marked.
+#include "bench_common.hpp"
+
+#include "testbed/testbed.hpp"
+
+using namespace tlc;
+using namespace tlc::testbed;
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_options(argc, argv);
+  print_banner("Figure 4: gap timeline under intermittent connectivity");
+  bench::print_mode(options);
+
+  ScenarioConfig config;
+  config.app = AppKind::WebcamUdpDownlink;
+  config.disconnect_ratio = 0.12;  // short, repetitive outages
+  config.mean_outage_s = 1.93;     // the paper's measured average
+  config.cycle_length = 300 * kSecond;  // the figure spans 300 s
+  config.cycles = 1;
+  config.seed = options.seed + 3;
+  config.mean_rss_dbm = -95.0;  // the figure's RSS band wanders near -95
+  // The paper's small cell buffers well under a second of this stream
+  // ("the buffer is not sufficient to eliminate the gaps", §3.2).
+  config.enodeb.queue_limit_bytes = 160 * 1024;
+
+  Testbed testbed(config);
+  testbed.enable_timeline(kSecond);
+  testbed.run();
+
+  const auto& timeline = testbed.timeline();
+  std::printf("time(s)  rate(Mbps)  gap(MB)  RSS(dBm)  service\n");
+  std::printf("--------------------------------------------------\n");
+  const std::size_t step = 5;  // print every 5 s, like the figure's grid
+  for (std::size_t i = 0; i < timeline.size(); i += step) {
+    const TimelinePoint& p = timeline[i];
+    if (to_seconds(p.at) > 300.5) break;
+    std::printf("%7.0f  %10.2f  %7.2f  %8.1f  %s\n", to_seconds(p.at),
+                p.device_rate_mbps, p.gap_mb, p.rss_dbm,
+                p.connected ? "up" : "OUTAGE");
+  }
+
+  // Aggregates matching the §3.2 discussion.
+  double outage_seconds = 0.0;
+  int outage_episodes = 0;
+  bool prev_connected = true;
+  double final_gap = 0.0;
+  for (const TimelinePoint& p : timeline) {
+    if (to_seconds(p.at) > 300.5) break;
+    if (!p.connected) outage_seconds += 1.0;
+    if (prev_connected && !p.connected) ++outage_episodes;
+    prev_connected = p.connected;
+    final_gap = p.gap_mb;
+  }
+  std::printf(
+      "\nsummary over 300 s: %d outage episodes, %.1f s disconnected "
+      "(mean %.2f s), final gap %.1f MB (~%.1f MB/hr)\n",
+      outage_episodes, outage_seconds,
+      outage_episodes > 0 ? outage_seconds / outage_episodes : 0.0,
+      final_gap, final_gap * 12.0);
+  std::printf(
+      "paper reference (Fig 4): 1.93 s mean outages accumulate ~10.6 MB of "
+      "gap in 300 s (~127 MB/hr);\nbuffered packets partially recover the "
+      "gap after reconnection.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 12: CDF of the per-cycle charging gap (MB/hr) for each
+// application under Legacy 4G/5G, TLC-random and TLC-optimal (c = 0.5).
+#include "bench_common.hpp"
+
+using namespace tlc;
+using namespace tlc::testbed;
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_options(argc, argv);
+  print_banner("Figure 12: overall charging gap CDFs (c = 0.5)");
+  bench::print_mode(options);
+
+  for (AppKind app : bench::paper_apps()) {
+    std::map<Scheme, Samples> samples;
+    // The CDF pools cycles across the congestion sweep, plus a couple
+    // of weak-signal points, mirroring the paper's mixed conditions.
+    std::vector<std::pair<double, double>> conditions;
+    for (double bg : options.background_levels()) {
+      conditions.emplace_back(bg, -92.0);
+    }
+    conditions.emplace_back(0.0, -102.0);  // weak signal, no congestion
+    int variant = 0;
+    for (const auto& [bg, rss] : conditions) {
+      auto config = bench::base_scenario(options, app, bg);
+      config.mean_rss_dbm = rss;
+      config.seed = options.seed + static_cast<std::uint64_t>(variant++);
+      const auto result = run_experiment(config);
+      for (const auto& [scheme, outcomes] : result.outcomes) {
+        for (const CycleOutcome& o : outcomes) {
+          samples[scheme].add(o.gap_mb_per_hr);
+        }
+      }
+    }
+    std::printf("\n--- %s ---\n", app_name(app));
+    for (Scheme scheme :
+         {Scheme::Legacy, Scheme::TlcRandom, Scheme::TlcOptimal}) {
+      print_cdf(std::string("  ") + scheme_name(scheme), samples[scheme], 10,
+                " MB/hr");
+    }
+  }
+
+  std::printf(
+      "\npaper reference (Fig 12): the legacy CDF extends far right "
+      "(heavy-loss cycles);\nTLC-optimal stays tightly near zero and "
+      "TLC-random sits between them for every app.\n");
+  return 0;
+}

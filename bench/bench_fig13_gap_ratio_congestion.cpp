@@ -1,0 +1,34 @@
+// Figure 13: charging-gap ratio (%) vs congestion level, per
+// application, for the three schemes (c = 0.5).
+#include "bench_common.hpp"
+
+using namespace tlc;
+using namespace tlc::testbed;
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_options(argc, argv);
+  print_banner("Figure 13: gap ratio under congestion");
+  bench::print_mode(options);
+
+  for (AppKind app : bench::paper_apps()) {
+    std::printf("\n--- %s ---\n", app_name(app));
+    TextTable table({"Background (Mbps)", "Legacy 4G/5G", "TLC-random",
+                     "TLC-optimal"});
+    for (double bg : options.background_levels()) {
+      auto config = bench::base_scenario(options, app, bg);
+      const auto result = run_experiment(config);
+      table.add_row({cell(bg, 0),
+                     cell_pct(result.mean_gap_ratio(Scheme::Legacy)),
+                     cell_pct(result.mean_gap_ratio(Scheme::TlcRandom)),
+                     cell_pct(result.mean_gap_ratio(Scheme::TlcOptimal))});
+    }
+    table.print();
+  }
+
+  std::printf(
+      "\npaper reference (Fig 13): legacy ratios climb towards 20-30%% at "
+      "160 Mbps for the\nbest-effort apps while TLC-optimal stays flat "
+      "(~2%%); QCI=7 gaming is shielded by its\ndedicated bearer, so even "
+      "legacy stays low there.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 14: charging-gap ratio vs the intermittent disconnectivity
+// ratio η (UDP WebCam streamed downlink, matching the Fig 4 setup; the
+// paper notes other apps behave alike).
+#include "bench_common.hpp"
+
+using namespace tlc;
+using namespace tlc::testbed;
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_options(argc, argv);
+  print_banner("Figure 14: gap ratio vs intermittent disconnectivity");
+  bench::print_mode(options);
+
+  const std::vector<double> etas =
+      options.full ? std::vector<double>{0.05, 0.07, 0.09, 0.11, 0.13, 0.15}
+                   : std::vector<double>{0.05, 0.10, 0.15};
+
+  TextTable table({"Target eta", "Measured eta", "Legacy 4G/5G",
+                   "TLC-random", "TLC-optimal"});
+  for (double eta : etas) {
+    auto config = bench::base_scenario(options, AppKind::WebcamUdpDownlink, 0.0);
+    config.disconnect_ratio = eta;
+    config.mean_outage_s = 1.93;
+    // Longer cycles smooth the stochastic outage process.
+    config.cycle_length = options.full ? 180 * kSecond : 60 * kSecond;
+    config.enodeb.queue_limit_bytes = 160 * 1024;  // as in the Fig 4 bench
+
+    Testbed probe(config);  // measure realized η on an identical run
+    probe.run();
+    const double measured = probe.measured_disconnect_ratio();
+
+    const auto result = run_experiment(config);
+    table.add_row({cell_pct(eta, 0), cell_pct(measured, 1),
+                   cell_pct(result.mean_gap_ratio(Scheme::Legacy)),
+                   cell_pct(result.mean_gap_ratio(Scheme::TlcRandom)),
+                   cell_pct(result.mean_gap_ratio(Scheme::TlcOptimal))});
+  }
+  table.print();
+
+  std::printf(
+      "\npaper reference (Fig 14): the legacy ratio grows with η (up to "
+      "~15-20%% at η=15%%)\nwhile TLC-optimal stays near 2%%; heavier "
+      "intermittent connectivity means bigger TLC savings.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 18: accuracy of TLC's tamper-resilient charging records.
+//
+// γo — error of the operator's RRC-COUNTER-CHECK-based downlink record
+//      against the ground truth of device-received traffic;
+// γe — error of the edge vendor's own record against the ground truth.
+// Uplink records reuse existing gateway/app mechanisms and are exact.
+#include "bench_common.hpp"
+
+#include "testbed/testbed.hpp"
+
+using namespace tlc;
+using namespace tlc::testbed;
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_options(argc, argv);
+  print_banner("Figure 18: tamper-resilient CDR accuracy");
+  bench::print_mode(options);
+
+  Samples gamma_o;
+  Samples gamma_e;
+  const int repetitions = options.full ? 8 : 3;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    for (AppKind app :
+         {AppKind::WebcamUdpDownlink, AppKind::VrGvsp, AppKind::WebcamUdp}) {
+      auto config = bench::base_scenario(options, app, 0.0);
+      config.cycle_length = options.full ? 120 * kSecond : 40 * kSecond;
+      config.seed = options.seed + static_cast<std::uint64_t>(rep) * 31 +
+                    static_cast<std::uint64_t>(app);
+      Testbed testbed(config);
+      for (const CycleMeasurements& cycle : testbed.run()) {
+        if (cycle.true_received == 0 || cycle.true_sent == 0) continue;
+        const double go =
+            std::abs(static_cast<double>(cycle.op_received) -
+                     static_cast<double>(cycle.true_received)) /
+            static_cast<double>(cycle.true_received);
+        const double ge = std::abs(static_cast<double>(cycle.edge_sent) -
+                                   static_cast<double>(cycle.true_sent)) /
+                          static_cast<double>(cycle.true_sent);
+        gamma_o.add(go * 100.0);
+        gamma_e.add(ge * 100.0);
+      }
+    }
+  }
+
+  print_cdf("operator record error (gamma_o)", gamma_o, 10, "%");
+  print_cdf("edge vendor record error (gamma_e)", gamma_e, 10, "%");
+  std::printf("  gamma_o: mean %.2f%%  p95 %.2f%%  max %.2f%%\n",
+              gamma_o.mean(), gamma_o.quantile(0.95), gamma_o.max());
+  std::printf("  gamma_e: mean %.2f%%  p95 %.2f%%  max %.2f%%\n",
+              gamma_e.mean(), gamma_e.quantile(0.95), gamma_e.max());
+  std::printf(
+      "\npaper reference (Fig 18): gamma_o averages 2.0%% (95%% of records "
+      "<= 7.7%%, max 12.7%%);\ngamma_e averages 1.2%% (95%% <= 2.9%%, max "
+      "4.3%%) — errors stem from asynchronous cycle\nboundaries and "
+      "counter-check staleness, reducible with tighter time sync.\n");
+  return 0;
+}

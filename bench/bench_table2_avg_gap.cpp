@@ -1,0 +1,66 @@
+// Table 2: average charging gap (c = 0.5) per application, for honest
+// legacy 4G/5G, TLC-optimal and TLC-random.
+//
+// Like the paper, the averages span a sweep of congestion levels (the
+// experiments "repeat ... with various congestion" §7.1), so the legacy
+// column reflects both clean and overloaded conditions.
+#include "bench_common.hpp"
+
+using namespace tlc;
+using namespace tlc::testbed;
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_options(argc, argv);
+  print_banner("Table 2: average charging gap (c = 0.5)");
+  bench::print_mode(options);
+
+  TextTable table({"Application", "Avg bitrate (Mbps)",
+                   "Legacy gap (MB/hr)", "Legacy eps",
+                   "TLC-opt gap (MB/hr)", "TLC-opt eps",
+                   "TLC-rand gap (MB/hr)", "TLC-rand eps"});
+
+  for (AppKind app : bench::paper_apps()) {
+    double bitrate_sum = 0.0;
+    int bitrate_n = 0;
+    std::map<Scheme, RunningStats> gap;
+    std::map<Scheme, RunningStats> eps;
+    for (double bg : options.background_levels()) {
+      auto config = bench::base_scenario(options, app, bg);
+      const auto result = run_experiment(config);
+      for (const CycleMeasurements& c : result.cycles) {
+        bitrate_sum += static_cast<double>(c.true_sent) * 8.0 / 1e6 /
+                       to_seconds(config.cycle_length);
+        ++bitrate_n;
+      }
+      for (const auto& [scheme, outcomes] : result.outcomes) {
+        for (const CycleOutcome& o : outcomes) {
+          gap[scheme].add(o.gap_mb_per_hr);
+          eps[scheme].add(o.gap_ratio);
+        }
+      }
+    }
+    table.add_row({app_name(app),
+                   cell(bitrate_sum / bitrate_n, 2),
+                   cell(gap[Scheme::Legacy].mean(), 2),
+                   cell_pct(eps[Scheme::Legacy].mean()),
+                   cell(gap[Scheme::TlcOptimal].mean(), 2),
+                   cell_pct(eps[Scheme::TlcOptimal].mean()),
+                   cell(gap[Scheme::TlcRandom].mean(), 2),
+                   cell_pct(eps[Scheme::TlcRandom].mean())});
+  }
+  table.print();
+
+  std::printf(
+      "\npaper reference (Table 2, averaged over its sweep):\n"
+      "  WebCam (RTSP)    0.77 Mbps  legacy 16.56 MB/hr (17.0%%)  "
+      "opt 3.27 (2.2%%)  rand 6.02 (5.1%%)\n"
+      "  WebCam (UDP)     1.73 Mbps  legacy 54.68 MB/hr (8.1%%)   "
+      "opt 15.59 (2.0%%) rand 23.72 (3.3%%)\n"
+      "  VRidge (Portal2) 9.0 Mbps   legacy 384.49 MB/hr (21.9%%) "
+      "opt 48.07 (1.8%%) rand 93.3 (4.5%%)\n"
+      "  Gaming QCI=7     0.02 Mbps  legacy 0.34 MB/hr (3.2%%)    "
+      "opt 0.18 (1.6%%)  rand 0.21 (1.9%%)\n"
+      "shape check: TLC-optimal cuts the legacy gap by ~50-90%% and stays "
+      "near ~2%% ratio;\nTLC-random lands in between.\n");
+  return 0;
+}

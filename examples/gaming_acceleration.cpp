@@ -1,0 +1,84 @@
+// §2.2 scenario 2: online mobile gaming acceleration.
+//
+// A Tencent-style game requests a dedicated high-QoS session (QCI 7,
+// 100 ms delay budget) for its player-control stream while the cell
+// carries best-effort background load. This example contrasts the
+// accelerated session with the same stream on the default bearer
+// (QCI 9), in both loss and latency, and shows TLC's charging on top.
+#include <cstdio>
+
+#include "testbed/experiment.hpp"
+#include "testbed/report.hpp"
+#include "testbed/testbed.hpp"
+
+using namespace tlc;
+using namespace tlc::testbed;
+
+namespace {
+
+struct QosOutcome {
+  double loss = 0.0;
+  double mean_rtt_ms = 0.0;
+  double legacy_gap_ratio = 0.0;
+  double tlc_gap_ratio = 0.0;
+};
+
+QosOutcome run(AppKind app, double background_mbps) {
+  ScenarioConfig config;
+  config.app = app;
+  config.background_mbps = background_mbps;
+  config.cycle_length = 30 * kSecond;
+  config.cycles = 2;
+  config.seed = 77;
+
+  Testbed probe(config);
+  probe.enable_rtt_probes(25, kSecond);
+  probe.run();
+  QosOutcome outcome;
+  double rtt_sum = 0.0;
+  for (double r : probe.rtt_ms()) rtt_sum += r;
+  outcome.mean_rtt_ms =
+      probe.rtt_ms().empty() ? 0.0 : rtt_sum / probe.rtt_ms().size();
+
+  const auto result =
+      run_experiment(config, {Scheme::Legacy, Scheme::TlcOptimal});
+  for (const CycleMeasurements& c : result.cycles) {
+    outcome.loss += 1.0 - static_cast<double>(c.true_received) /
+                              static_cast<double>(c.true_sent);
+  }
+  outcome.loss /= static_cast<double>(result.cycles.size());
+  outcome.legacy_gap_ratio = result.mean_gap_ratio(Scheme::Legacy);
+  outcome.tlc_gap_ratio = result.mean_gap_ratio(Scheme::TlcOptimal);
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Online gaming acceleration (King-of-Glory-style) ==\n\n");
+  const double background = 160.0;  // a busy cell
+  std::printf("cell load: %.0f Mbps best-effort background traffic\n\n",
+              background);
+
+  const QosOutcome accelerated = run(AppKind::GamingQci7, background);
+  const QosOutcome best_effort = run(AppKind::GamingQci9, background);
+
+  TextTable table({"Bearer", "Game-packet loss", "Ping RTT (ms)",
+                   "Legacy gap", "TLC gap"});
+  table.add_row({"QCI 7 (accelerated)", cell_pct(accelerated.loss),
+                 cell(accelerated.mean_rtt_ms, 1),
+                 cell_pct(accelerated.legacy_gap_ratio),
+                 cell_pct(accelerated.tlc_gap_ratio)});
+  table.add_row({"QCI 9 (default)", cell_pct(best_effort.loss),
+                 cell(best_effort.mean_rtt_ms, 1),
+                 cell_pct(best_effort.legacy_gap_ratio),
+                 cell_pct(best_effort.tlc_gap_ratio)});
+  table.print();
+
+  std::printf(
+      "\nreading: the dedicated QCI 7 session shields the control stream "
+      "from congestion\n(sub-100 ms control loop preserved); the game "
+      "vendor pays for that priority by request\nvolume, and TLC keeps "
+      "even that small bill verifiably honest (Fig 12d).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// §2.2 scenario 1: real-time outdoor targeted advertisement.
+//
+// Roadside cameras stream car images over LTE to an edge server that
+// classifies car models and rotates billboard ads. The system runs
+// 24x7, so data charging is "stressful": the advertiser wants proof the
+// operator charges faithfully. This example runs several charging
+// cycles across changing radio/congestion conditions and compares the
+// legacy bill with TLC's negotiated, verifiable charge.
+#include <cstdio>
+
+#include "charging/plan.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/report.hpp"
+
+using namespace tlc;
+using namespace tlc::testbed;
+
+int main() {
+  std::printf("== Outdoor targeted advertisement over the LTE edge ==\n");
+  std::printf("(roadside WebCam, RTSP uplink, 24x7 operation)\n\n");
+
+  struct Condition {
+    const char* label;
+    double background_mbps;
+    double rss_dbm;
+  };
+  const Condition conditions[] = {
+      {"quiet night, good signal", 0.0, -88.0},
+      {"rush hour (cell congested)", 140.0, -92.0},
+      {"camera at coverage edge", 0.0, -103.0},
+  };
+
+  TextTable table({"Condition", "Sent (MB)", "Delivered (MB)",
+                   "Legacy bill gap", "TLC bill gap", "Rounds"});
+  double legacy_total_gap = 0.0;
+  double tlc_total_gap = 0.0;
+  std::uint64_t seed = 1;
+  for (const Condition& condition : conditions) {
+    ScenarioConfig config;
+    config.app = AppKind::WebcamRtsp;
+    config.background_mbps = condition.background_mbps;
+    config.mean_rss_dbm = condition.rss_dbm;
+    config.cycle_length = 30 * kSecond;
+    config.cycles = 2;
+    config.seed = seed++;
+
+    const auto result = run_experiment(
+        config, {Scheme::Legacy, Scheme::TlcOptimal});
+    double sent = 0.0;
+    double received = 0.0;
+    for (const CycleMeasurements& c : result.cycles) {
+      sent += static_cast<double>(c.true_sent) / 1e6;
+      received += static_cast<double>(c.true_received) / 1e6;
+    }
+    legacy_total_gap += result.mean_gap_mb_per_hr(Scheme::Legacy);
+    tlc_total_gap += result.mean_gap_mb_per_hr(Scheme::TlcOptimal);
+    table.add_row({condition.label, cell(sent, 2), cell(received, 2),
+                   cell_pct(result.mean_gap_ratio(Scheme::Legacy)),
+                   cell_pct(result.mean_gap_ratio(Scheme::TlcOptimal)),
+                   cell(result.mean_rounds(Scheme::TlcOptimal), 0)});
+  }
+  table.print();
+
+  std::printf(
+      "\nadvertiser's takeaway: across conditions TLC cut the average "
+      "billing gap from\n%.1f to %.1f MB/hr-equivalent (%.0f%% reduction), "
+      "with a publicly verifiable PoC per cycle\nand zero added latency "
+      "on the ad-delivery path.\n",
+      legacy_total_gap / 3.0, tlc_total_gap / 3.0,
+      100.0 * (1.0 - tlc_total_gap / std::max(legacy_total_gap, 1e-9)));
+  return 0;
+}

@@ -1,0 +1,75 @@
+// §2.2 scenario 3: edge-powered VR offloading.
+//
+// A VRidge-style headset offloads rendering to the edge; graphical
+// frames stream downlink at ~9 Mbps via GVSP. Heavy volume makes VR the
+// biggest victim of charging gaps under congestion — and the biggest
+// beneficiary of TLC. This example also shows the Fig 4-style timeline
+// when the headset wanders through coverage holes.
+#include <cstdio>
+
+#include "testbed/experiment.hpp"
+#include "testbed/report.hpp"
+#include "testbed/testbed.hpp"
+
+using namespace tlc;
+using namespace tlc::testbed;
+
+int main() {
+  std::printf("== Edge VR offloading (GVSP downlink, 1080p60) ==\n\n");
+
+  // Part 1: congestion sweep.
+  TextTable table({"Background (Mbps)", "Loss", "Legacy gap (MB/hr)",
+                   "TLC-optimal gap (MB/hr)", "Reduction"});
+  for (double bg : {0.0, 120.0, 160.0}) {
+    ScenarioConfig config;
+    config.app = AppKind::VrGvsp;
+    config.background_mbps = bg;
+    config.cycle_length = 30 * kSecond;
+    config.cycles = 2;
+    config.seed = 9;
+    const auto result =
+        run_experiment(config, {Scheme::Legacy, Scheme::TlcOptimal});
+    double loss = 0.0;
+    for (const CycleMeasurements& c : result.cycles) {
+      loss += 1.0 - static_cast<double>(c.true_received) /
+                        static_cast<double>(c.true_sent);
+    }
+    loss /= static_cast<double>(result.cycles.size());
+    const double legacy = result.mean_gap_mb_per_hr(Scheme::Legacy);
+    const double tlc = result.mean_gap_mb_per_hr(Scheme::TlcOptimal);
+    table.add_row({cell(bg, 0), cell_pct(loss), cell(legacy, 1),
+                   cell(tlc, 1),
+                   cell_pct(legacy > 0 ? 1.0 - tlc / legacy : 0.0, 0)});
+  }
+  table.print();
+
+  // Part 2: a mobile headset with intermittent coverage.
+  std::printf("\n-- headset moving through coverage holes --\n");
+  ScenarioConfig mobile;
+  mobile.app = AppKind::VrGvsp;
+  mobile.disconnect_ratio = 0.06;
+  mobile.cycle_length = 60 * kSecond;
+  mobile.cycles = 1;
+  mobile.seed = 10;
+  Testbed testbed(mobile);
+  testbed.enable_timeline(kSecond);
+  testbed.run();
+  int outages = 0;
+  bool prev = true;
+  double peak_gap = 0.0;
+  for (const TimelinePoint& p : testbed.timeline()) {
+    if (prev && !p.connected) ++outages;
+    prev = p.connected;
+    peak_gap = std::max(peak_gap, p.gap_mb);
+  }
+  std::printf(
+      "60 s of VR with %d coverage holes: the gateway-vs-headset record "
+      "gap peaked at %.1f MB\n(buffering at the small cell recovers part "
+      "of it after each hole).\n",
+      outages, peak_gap);
+  std::printf(
+      "TLC settles the cycle at the negotiated x regardless — the VR "
+      "vendor never pays for\nframes the headset provably did not "
+      "receive beyond the agreed lost-data weight c.\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "charging/monitors.hpp"
+
+#include <algorithm>
+
+namespace tlc::charging {
+
+void RrcCounterMonitor::on_report(std::uint64_t ul_bytes,
+                                  std::uint64_t dl_bytes, SimTime at) {
+  // Responses can in principle arrive out of order; keep the newest.
+  if (at < last_report_at_) return;
+  last_value_ = track_ == Track::Downlink ? dl_bytes : ul_bytes;
+  last_report_at_ = at;
+  ++reports_;
+}
+
+std::uint64_t TamperedMonitor::read() const {
+  const double factor = std::clamp(factor_, 0.0, 1.0);
+  return static_cast<std::uint64_t>(static_cast<double>(inner_.read()) *
+                                    factor);
+}
+
+}  // namespace tlc::charging

@@ -1,0 +1,99 @@
+// The charging-record monitor stack (§5.4, Figure 8).
+//
+// Both parties build their per-cycle usage claims from cumulative
+// monitors. A monitor is just "read a cumulative byte counter now"; the
+// differences between the available monitors are where they sit and who
+// can tamper with them:
+//
+//   edge vendor, uplink sent     -> device app / TrafficStats
+//   edge vendor, downlink sent   -> server netstat
+//   edge vendor, received        -> its receiving endpoint's counters
+//   operator, uplink received    -> SPGW gateway counter
+//   operator, downlink received  -> RRC COUNTER CHECK reports (hardware
+//                                   modem; strawmen 1-2 are the
+//                                   tamperable/privileged alternatives)
+//
+// `RrcCounterMonitor` is event-driven: it only advances when the eNodeB
+// delivers a COUNTER CHECK response, so its reads are slightly stale —
+// that staleness (plus cycle misalignment, see sampler.hpp) is the
+// Fig 18 record error.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "util/simtime.hpp"
+
+namespace tlc::charging {
+
+/// A cumulative byte counter. Implementations capture the counting
+/// point; `read()` returns total bytes since simulation start.
+class UsageMonitor {
+ public:
+  virtual ~UsageMonitor() = default;
+  [[nodiscard]] virtual std::uint64_t read() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Adapts any callable returning a cumulative counter.
+class CallbackMonitor final : public UsageMonitor {
+ public:
+  CallbackMonitor(std::string name, std::function<std::uint64_t()> reader)
+      : name_(std::move(name)), reader_(std::move(reader)) {}
+
+  [[nodiscard]] std::uint64_t read() const override { return reader_(); }
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::function<std::uint64_t()> reader_;
+};
+
+/// Operator-side downlink monitor fed by RRC COUNTER CHECK responses
+/// (§5.4 "our solution"). Wire `on_report` as the eNodeB's counter-check
+/// handler. Reads return the modem counter as of the last response.
+class RrcCounterMonitor final : public UsageMonitor {
+ public:
+  enum class Track { Uplink, Downlink };
+
+  explicit RrcCounterMonitor(Track track) : track_(track) {}
+
+  /// Counter-check response from the base station.
+  void on_report(std::uint64_t ul_bytes, std::uint64_t dl_bytes, SimTime at);
+
+  [[nodiscard]] std::uint64_t read() const override { return last_value_; }
+  [[nodiscard]] std::string name() const override {
+    return track_ == Track::Downlink ? "rrc-counter-dl" : "rrc-counter-ul";
+  }
+  [[nodiscard]] SimTime last_report_at() const { return last_report_at_; }
+  [[nodiscard]] std::uint64_t reports() const { return reports_; }
+
+ private:
+  Track track_;
+  std::uint64_t last_value_ = 0;
+  SimTime last_report_at_ = -1;
+  std::uint64_t reports_ = 0;
+};
+
+/// Strawman 1 (§5.4): a user-space monitor reading a tamperable API.
+/// Wraps another monitor and under-reports by `factor` — what a selfish
+/// edge with a custom OS image would do to the operator's in-device
+/// monitor.
+class TamperedMonitor final : public UsageMonitor {
+ public:
+  TamperedMonitor(const UsageMonitor& inner, double factor)
+      : inner_(inner), factor_(factor) {}
+
+  [[nodiscard]] std::uint64_t read() const override;
+  [[nodiscard]] std::string name() const override {
+    return inner_.name() + "+tampered";
+  }
+
+ private:
+  const UsageMonitor& inner_;
+  double factor_;
+};
+
+}  // namespace tlc::charging

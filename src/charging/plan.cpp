@@ -1,0 +1,43 @@
+#include "charging/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tlc::charging {
+
+std::string DataPlan::describe() const {
+  std::ostringstream out;
+  out << "DataPlan{c=" << lost_data_weight_c
+      << ", cycle=" << to_seconds(cycle_length) << "s"
+      << ", quota=" << (quota_bytes >> 20) << "MB"
+      << ", throttle=" << throttle_kbps << "kbps}";
+  return out.str();
+}
+
+std::uint64_t charged_volume(std::uint64_t claim_a, std::uint64_t claim_b,
+                             double c) {
+  const double weight = std::clamp(c, 0.0, 1.0);
+  const std::uint64_t lo = std::min(claim_a, claim_b);
+  const std::uint64_t hi = std::max(claim_a, claim_b);
+  const double x = static_cast<double>(lo) +
+                   weight * static_cast<double>(hi - lo);
+  return static_cast<std::uint64_t>(std::llround(x));
+}
+
+std::uint64_t expected_charge(std::uint64_t sent, std::uint64_t received,
+                              double c) {
+  return charged_volume(sent, received, c);
+}
+
+std::uint64_t charging_gap(std::uint64_t charged, std::uint64_t expected) {
+  return charged > expected ? charged - expected : expected - charged;
+}
+
+double gap_ratio(std::uint64_t charged, std::uint64_t expected) {
+  if (expected == 0) return 0.0;
+  return static_cast<double>(charging_gap(charged, expected)) /
+         static_cast<double>(expected);
+}
+
+}  // namespace tlc::charging

@@ -1,0 +1,59 @@
+// Data plan and the paper's charging formula.
+//
+// Equation (1): x̂ = x̂o + c · (x̂e − x̂o), with the lost-data weight
+// c ∈ [0, 1] agreed in the plan. Algorithm 1 line 8 generalizes it to
+// claims in either order; `charged_volume` implements that symmetric
+// form. All volumes are bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/simtime.hpp"
+
+namespace tlc::charging {
+
+/// The charging cycle T = (T_start, T_end) from Table 1.
+struct ChargingCycle {
+  SimTime start = 0;
+  SimTime end = 0;
+
+  [[nodiscard]] SimTime length() const { return end - start; }
+  [[nodiscard]] bool operator==(const ChargingCycle& o) const = default;
+};
+
+/// Data plan agreed between the edge app vendor and the operator
+/// before the cycle (§5.3.1 setup step 1). Pricing/quota fields are
+/// carried for completeness; the protocol itself only consumes (c, T).
+struct DataPlan {
+  /// Charging weight for lost data: 0 = receiver-pays, 1 = sender-pays.
+  double lost_data_weight_c = 0.5;
+  SimTime cycle_length = kHour;
+  /// "Unlimited" plan throttle parameters (§1: e.g. 128 kbps beyond
+  /// 15 GB). Not exercised by the negotiation, provided for policy
+  /// modelling.
+  std::uint64_t quota_bytes = 15ull << 30;
+  double throttle_kbps = 128.0;
+  double price_per_mb = 0.01;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Algorithm 1 line 8: the negotiated charging volume for a pair of
+/// claims. Symmetric in the claim order.
+[[nodiscard]] std::uint64_t charged_volume(std::uint64_t claim_a,
+                                           std::uint64_t claim_b, double c);
+
+/// Equation (1) with ground truth: x̂ = x̂o + c (x̂e − x̂o); requires
+/// x̂e >= x̂o (callers pass measured sent/received volumes).
+[[nodiscard]] std::uint64_t expected_charge(std::uint64_t sent,
+                                            std::uint64_t received, double c);
+
+/// Absolute charging gap ∆ = |x − x̂| in bytes.
+[[nodiscard]] std::uint64_t charging_gap(std::uint64_t charged,
+                                         std::uint64_t expected);
+
+/// Relative gap ratio ε = ∆ / x̂ (0 when x̂ == 0).
+[[nodiscard]] double gap_ratio(std::uint64_t charged, std::uint64_t expected);
+
+}  // namespace tlc::charging

@@ -1,0 +1,31 @@
+#include "charging/sampler.hpp"
+
+#include <cassert>
+
+namespace tlc::charging {
+
+CycleSampler::CycleSampler(sim::Simulator& sim, const UsageMonitor& monitor,
+                           ClockModel clock, Rng rng)
+    : sim_(sim), monitor_(monitor), clock_(clock), rng_(rng) {}
+
+void CycleSampler::schedule_boundary(SimTime at) {
+  const SimTime offset = clock_.draw_offset(rng_);
+  const std::size_t slot = snapshots_.size();
+  snapshots_.push_back(0);
+  sim_.schedule_at(at + offset, [this, slot] {
+    snapshots_[slot] = monitor_.read();
+  });
+}
+
+std::uint64_t CycleSampler::cycle_volume(std::size_t cycle) const {
+  assert(cycle + 1 < snapshots_.size());
+  const std::uint64_t start = snapshots_[cycle];
+  const std::uint64_t end = snapshots_[cycle + 1];
+  return end >= start ? end - start : 0;
+}
+
+std::size_t CycleSampler::completed_cycles() const {
+  return snapshots_.empty() ? 0 : snapshots_.size() - 1;
+}
+
+}  // namespace tlc::charging

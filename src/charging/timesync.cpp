@@ -1,0 +1,53 @@
+#include "charging/timesync.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace tlc::charging {
+
+TimeSyncResult ntp_sync(const TimeSyncParams& params, Rng& rng) {
+  TimeSyncResult result;
+  double best_rtt = std::numeric_limits<double>::infinity();
+  double best_offset = 0.0;
+
+  for (int round = 0; round < std::max(1, params.rounds); ++round) {
+    // Request leg and response leg with independent jitter.
+    const double fwd_ms =
+        std::max(0.1, params.one_way_delay_ms +
+                          std::abs(rng.gaussian(0.0, params.delay_jitter_ms)));
+    const double back_ms =
+        std::max(0.1, params.one_way_delay_ms +
+                          std::abs(rng.gaussian(0.0, params.delay_jitter_ms)));
+    // Client timestamps (client clock = server clock + true_offset):
+    //   t0 client send, t1 server receive, t2 server send, t3 client recv.
+    // offset_est = ((t1 - t0) + (t2 - t3)) / 2
+    //            = -true_offset + (fwd - back) / 2     (server processing ~0)
+    const double offset_est_s =
+        -params.true_offset_s + (fwd_ms - back_ms) / 2.0 / 1e3;
+    const double rtt = fwd_ms + back_ms;
+    if (rtt < best_rtt) {
+      best_rtt = rtt;
+      best_offset = offset_est_s;
+    }
+  }
+
+  // The client corrects by subtracting its estimate of the server-to-
+  // client offset (-best_offset estimates true_offset).
+  result.estimated_offset_s = -best_offset;
+  result.residual_error_s =
+      std::abs(params.true_offset_s - result.estimated_offset_s);
+  result.best_rtt_ms = best_rtt;
+  return result;
+}
+
+ClockModel disciplined_clock(const TimeSyncParams& params, Rng& rng) {
+  const TimeSyncResult result = ntp_sync(params, rng);
+  ClockModel model;
+  // The residual shows up as a (sign-random) bias at each boundary, plus
+  // a small wander between re-syncs.
+  model.bias_s = (rng.chance(0.5) ? 1.0 : -1.0) * result.residual_error_s;
+  model.offset_stddev_s = result.residual_error_s / 2.0 + 1e-4;
+  return model;
+}
+
+}  // namespace tlc::charging

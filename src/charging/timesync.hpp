@@ -1,0 +1,47 @@
+// NTP-style time synchronization (§5.3.1 setup / §7.2).
+//
+// The charging cycle T must be consistent between the edge vendor and
+// the operator; the paper synchronizes via NTP and attributes the
+// residual Fig 18 record errors to the remaining misalignment. This
+// module models the classic four-timestamp exchange: each round
+// estimates offset = ((t1-t0)+(t2-t3))/2, whose error is the path
+// asymmetry; taking the round with the smallest RTT (NTP's clock
+// filter) gives the disciplined offset. The result plugs straight into
+// a ClockModel.
+#pragma once
+
+#include "charging/sampler.hpp"
+#include "util/rng.hpp"
+
+namespace tlc::charging {
+
+struct TimeSyncParams {
+  /// The party's true clock offset before synchronization.
+  double true_offset_s = 1.5;
+  /// Mean one-way network delay to the time server.
+  double one_way_delay_ms = 15.0;
+  /// Per-leg delay jitter (asymmetry source — the NTP error floor).
+  double delay_jitter_ms = 4.0;
+  /// Exchange rounds; NTP keeps the best-RTT sample.
+  int rounds = 8;
+};
+
+struct TimeSyncResult {
+  /// Offset the client computed (and will correct by).
+  double estimated_offset_s = 0.0;
+  /// |true - estimated| after discipline — the residual misalignment.
+  double residual_error_s = 0.0;
+  /// RTT of the sample that won the clock filter.
+  double best_rtt_ms = 0.0;
+};
+
+/// Runs the synchronization exchange.
+[[nodiscard]] TimeSyncResult ntp_sync(const TimeSyncParams& params, Rng& rng);
+
+/// A ClockModel for a party that disciplines its clock with `params`
+/// before every cycle boundary: the boundary offset becomes the NTP
+/// residual instead of the raw drift.
+[[nodiscard]] ClockModel disciplined_clock(const TimeSyncParams& params,
+                                           Rng& rng);
+
+}  // namespace tlc::charging

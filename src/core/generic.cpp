@@ -1,0 +1,22 @@
+#include "core/generic.hpp"
+
+#include "charging/plan.hpp"
+
+namespace tlc::core {
+
+GenericDownlinkOutcome generic_downlink_charge(std::uint64_t internet_sent,
+                                               std::uint64_t core_received,
+                                               std::uint64_t device_received,
+                                               double c) {
+  GenericDownlinkOutcome out;
+  out.charged = charging::charged_volume(internet_sent, device_received, c);
+  out.ideal = charging::charged_volume(core_received, device_received, c);
+  out.overcharge = out.charged >= out.ideal ? out.charged - out.ideal : 0;
+  // c · (x̂e′ − x̂e), computed the same way the charges are (rounded).
+  const std::uint64_t internet_loss =
+      internet_sent >= core_received ? internet_sent - core_received : 0;
+  out.bound = charging::charged_volume(internet_loss, 0, c);
+  return out;
+}
+
+}  // namespace tlc::core

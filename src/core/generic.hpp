@@ -1,0 +1,35 @@
+// Appendix D: TLC in generic (non-edge) mobile data charging.
+//
+// When the server is an arbitrary Internet host rather than an edge
+// server co-located with the core, downlink data can be lost between
+// the Internet server and the 4G/5G core. The edge's sent-volume report
+// then uses x̂e′ (Internet-sent) instead of x̂e (core-received), so the
+// user can be over-charged — but Appendix D proves the over-charge is
+// bounded by c · (x̂e′ − x̂e), still strictly better than legacy's
+// unbounded exposure.
+#pragma once
+
+#include <cstdint>
+
+namespace tlc::core {
+
+struct GenericDownlinkOutcome {
+  /// x̂′ — what TLC charges with the Internet-side report x̂e′.
+  std::uint64_t charged = 0;
+  /// x̂ — the ideal charge based on the core-received volume x̂e.
+  std::uint64_t ideal = 0;
+  /// x̂′ − x̂, the realized over-charge.
+  std::uint64_t overcharge = 0;
+  /// c · (x̂e′ − x̂e), Appendix D's bound. overcharge == bound always.
+  std::uint64_t bound = 0;
+};
+
+/// Evaluates the Appendix D scenario.
+/// Requires internet_sent >= core_received >= device_received.
+[[nodiscard]] GenericDownlinkOutcome generic_downlink_charge(
+    std::uint64_t internet_sent,    // x̂e′
+    std::uint64_t core_received,    // x̂e
+    std::uint64_t device_received,  // x̂o
+    double c);
+
+}  // namespace tlc::core

@@ -1,0 +1,16 @@
+#include "core/legacy.hpp"
+
+#include <cmath>
+
+namespace tlc::core {
+
+std::uint64_t legacy_charge(std::uint64_t gateway_cdr_volume,
+                            const LegacyChargeParams& params) {
+  const double factor =
+      params.operator_selfish_factor < 0.0 ? 0.0
+                                           : params.operator_selfish_factor;
+  return static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(gateway_cdr_volume) * factor));
+}
+
+}  // namespace tlc::core

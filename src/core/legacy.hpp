@@ -1,0 +1,26 @@
+// The legacy 4G/5G charging baseline (§2.1, §3).
+//
+// Legacy charging is one-sided: the bill is whatever the operator's
+// gateway CDR says. There is no negotiation, no bound and no proof —
+// §3.1 notes the selfish charging volume "can be unbounded". The
+// baseline here exposes exactly that: the charged volume is the
+// gateway record scaled by an arbitrary selfish factor the edge cannot
+// contest.
+#pragma once
+
+#include <cstdint>
+
+namespace tlc::core {
+
+struct LegacyChargeParams {
+  /// 1.0 = honest operator (the §7.1 "(Honest) legacy 4G/5G" baseline);
+  /// > 1 over-claims with no bound; < 1 would model an operator
+  /// under-billing (never rational).
+  double operator_selfish_factor = 1.0;
+};
+
+/// The legacy bill for a cycle, given the gateway's CDR volume.
+[[nodiscard]] std::uint64_t legacy_charge(std::uint64_t gateway_cdr_volume,
+                                          const LegacyChargeParams& params = {});
+
+}  // namespace tlc::core

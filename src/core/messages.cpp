@@ -1,0 +1,254 @@
+#include "core/messages.hpp"
+
+#include "util/serde.hpp"
+
+namespace tlc::core {
+namespace {
+
+void write_plan(ByteWriter& w, const PlanRef& plan) {
+  w.i64(plan.t_start);
+  w.i64(plan.t_end);
+  w.f64(plan.c);
+}
+
+Expected<PlanRef> read_plan(ByteReader& r) {
+  PlanRef plan;
+  auto start = r.i64();
+  if (!start) return Err(start.error());
+  auto end = r.i64();
+  if (!end) return Err(end.error());
+  auto c = r.f64();
+  if (!c) return Err(c.error());
+  plan.t_start = *start;
+  plan.t_end = *end;
+  plan.c = *c;
+  return plan;
+}
+
+Expected<PartyRole> read_role(ByteReader& r) {
+  auto raw = r.u8();
+  if (!raw) return Err(raw.error());
+  if (*raw > 1) return Err("message: invalid party role");
+  return static_cast<PartyRole>(*raw);
+}
+
+Status check_type(ByteReader& r, MessageType expected, const char* what) {
+  auto type = r.u8();
+  if (!type) return Err(type.error());
+  if (*type != static_cast<std::uint8_t>(expected)) {
+    return Err(std::string(what) + ": wrong message type byte");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Expected<MessageType> peek_type(const Bytes& wire) {
+  // Signed-message framing is blob(body) || blob(signature) [..], so the
+  // body's leading type byte sits right after the 4-byte length prefix.
+  if (wire.size() < 5) return Err("message: too short");
+  const std::uint8_t type = wire[4];
+  if (type < 1 || type > 3) return Err("message: unknown type byte");
+  return static_cast<MessageType>(type);
+}
+
+// --- CDR ----------------------------------------------------------------
+
+Bytes encode_cdr_body(const CdrMessage& body) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::Cdr));
+  write_plan(w, body.plan);
+  w.u8(static_cast<std::uint8_t>(body.sender));
+  w.u64(body.seq);
+  w.u64(body.nonce);
+  w.u64(body.volume);
+  return w.take();
+}
+
+SignedCdr sign_cdr(const CdrMessage& body, const crypto::RsaPrivateKey& key) {
+  return SignedCdr{body, crypto::rsa_sign(key, encode_cdr_body(body))};
+}
+
+Bytes encode_signed_cdr(const SignedCdr& cdr) {
+  ByteWriter w;
+  Bytes body = encode_cdr_body(cdr.body);
+  w.blob(body);
+  w.blob(cdr.signature);
+  return w.take();
+}
+
+Expected<SignedCdr> decode_signed_cdr(const Bytes& wire) {
+  ByteReader outer(wire);
+  auto body_bytes = outer.blob();
+  if (!body_bytes) return Err("cdr: " + body_bytes.error());
+  auto signature = outer.blob();
+  if (!signature) return Err("cdr: " + signature.error());
+
+  ByteReader r(*body_bytes);
+  if (auto s = check_type(r, MessageType::Cdr, "cdr"); !s) {
+    return Err(s.error());
+  }
+  SignedCdr cdr;
+  auto plan = read_plan(r);
+  if (!plan) return Err("cdr: " + plan.error());
+  cdr.body.plan = *plan;
+  auto role = read_role(r);
+  if (!role) return Err("cdr: " + role.error());
+  cdr.body.sender = *role;
+  auto seq = r.u64();
+  if (!seq) return Err("cdr: " + seq.error());
+  cdr.body.seq = *seq;
+  auto nonce = r.u64();
+  if (!nonce) return Err("cdr: " + nonce.error());
+  cdr.body.nonce = *nonce;
+  auto volume = r.u64();
+  if (!volume) return Err("cdr: " + volume.error());
+  cdr.body.volume = *volume;
+  cdr.signature = std::move(*signature);
+  return cdr;
+}
+
+Status verify_signed_cdr(const SignedCdr& cdr,
+                         const crypto::RsaPublicKey& key) {
+  return crypto::rsa_verify(key, encode_cdr_body(cdr.body), cdr.signature);
+}
+
+// --- CDA ----------------------------------------------------------------
+
+Bytes encode_cda_body(const CdaMessage& body) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::Cda));
+  write_plan(w, body.plan);
+  w.u8(static_cast<std::uint8_t>(body.sender));
+  w.u64(body.seq);
+  w.u64(body.nonce);
+  w.u64(body.volume);
+  w.blob(body.peer_cdr_wire);
+  return w.take();
+}
+
+SignedCda sign_cda(const CdaMessage& body, const crypto::RsaPrivateKey& key) {
+  return SignedCda{body, crypto::rsa_sign(key, encode_cda_body(body))};
+}
+
+Bytes encode_signed_cda(const SignedCda& cda) {
+  ByteWriter w;
+  w.blob(encode_cda_body(cda.body));
+  w.blob(cda.signature);
+  return w.take();
+}
+
+Expected<SignedCda> decode_signed_cda(const Bytes& wire) {
+  ByteReader outer(wire);
+  auto body_bytes = outer.blob();
+  if (!body_bytes) return Err("cda: " + body_bytes.error());
+  auto signature = outer.blob();
+  if (!signature) return Err("cda: " + signature.error());
+
+  ByteReader r(*body_bytes);
+  if (auto s = check_type(r, MessageType::Cda, "cda"); !s) {
+    return Err(s.error());
+  }
+  SignedCda cda;
+  auto plan = read_plan(r);
+  if (!plan) return Err("cda: " + plan.error());
+  cda.body.plan = *plan;
+  auto role = read_role(r);
+  if (!role) return Err("cda: " + role.error());
+  cda.body.sender = *role;
+  auto seq = r.u64();
+  if (!seq) return Err("cda: " + seq.error());
+  cda.body.seq = *seq;
+  auto nonce = r.u64();
+  if (!nonce) return Err("cda: " + nonce.error());
+  cda.body.nonce = *nonce;
+  auto volume = r.u64();
+  if (!volume) return Err("cda: " + volume.error());
+  cda.body.volume = *volume;
+  auto peer = r.blob();
+  if (!peer) return Err("cda: " + peer.error());
+  cda.body.peer_cdr_wire = std::move(*peer);
+  cda.signature = std::move(*signature);
+  return cda;
+}
+
+Status verify_signed_cda(const SignedCda& cda,
+                         const crypto::RsaPublicKey& key) {
+  return crypto::rsa_verify(key, encode_cda_body(cda.body), cda.signature);
+}
+
+// --- PoC ----------------------------------------------------------------
+
+Bytes encode_poc_body(const PocMessage& body) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::Poc));
+  write_plan(w, body.plan);
+  w.u8(static_cast<std::uint8_t>(body.sender));
+  w.u64(body.seq);
+  w.u64(body.charged);
+  w.blob(body.cda_wire);
+  return w.take();
+}
+
+SignedPoc sign_poc(const PocMessage& body, const crypto::RsaPrivateKey& key,
+                   std::uint64_t nonce_edge, std::uint64_t nonce_operator) {
+  SignedPoc poc;
+  poc.body = body;
+  poc.signature = crypto::rsa_sign(key, encode_poc_body(body));
+  poc.nonce_edge = nonce_edge;
+  poc.nonce_operator = nonce_operator;
+  return poc;
+}
+
+Bytes encode_signed_poc(const SignedPoc& poc) {
+  ByteWriter w;
+  w.blob(encode_poc_body(poc.body));
+  w.blob(poc.signature);
+  w.u64(poc.nonce_edge);
+  w.u64(poc.nonce_operator);
+  return w.take();
+}
+
+Expected<SignedPoc> decode_signed_poc(const Bytes& wire) {
+  ByteReader outer(wire);
+  auto body_bytes = outer.blob();
+  if (!body_bytes) return Err("poc: " + body_bytes.error());
+  auto signature = outer.blob();
+  if (!signature) return Err("poc: " + signature.error());
+  auto nonce_e = outer.u64();
+  if (!nonce_e) return Err("poc: " + nonce_e.error());
+  auto nonce_o = outer.u64();
+  if (!nonce_o) return Err("poc: " + nonce_o.error());
+
+  ByteReader r(*body_bytes);
+  if (auto s = check_type(r, MessageType::Poc, "poc"); !s) {
+    return Err(s.error());
+  }
+  SignedPoc poc;
+  auto plan = read_plan(r);
+  if (!plan) return Err("poc: " + plan.error());
+  poc.body.plan = *plan;
+  auto role = read_role(r);
+  if (!role) return Err("poc: " + role.error());
+  poc.body.sender = *role;
+  auto seq = r.u64();
+  if (!seq) return Err("poc: " + seq.error());
+  poc.body.seq = *seq;
+  auto charged = r.u64();
+  if (!charged) return Err("poc: " + charged.error());
+  poc.body.charged = *charged;
+  auto cda = r.blob();
+  if (!cda) return Err("poc: " + cda.error());
+  poc.body.cda_wire = std::move(*cda);
+  poc.signature = std::move(*signature);
+  poc.nonce_edge = *nonce_e;
+  poc.nonce_operator = *nonce_o;
+  return poc;
+}
+
+Status verify_signed_poc(const SignedPoc& poc,
+                         const crypto::RsaPublicKey& key) {
+  return crypto::rsa_verify(key, encode_poc_body(poc.body), poc.signature);
+}
+
+}  // namespace tlc::core

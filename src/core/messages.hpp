@@ -1,0 +1,111 @@
+// TLC protocol messages (§5.3.2):
+//
+//   CDRe/o = { T, c, s, n, x }K⁻          — signed charging claim
+//   CDAe/o = { T, c, s, n, x, CDR_peer }K⁻ — acceptance echoing the
+//                                            peer's full signed CDR
+//   PoC    = { T, c, x, CDA_peer }K⁻ ‖ ne ‖ no — the proof of charging,
+//            signed by the party that received the CDA; nesting means
+//            the PoC carries both parties' signatures.
+//
+// Encodings are deterministic (util/serde) because signatures cover the
+// encoded body. decode_* functions never trust lengths from the wire
+// beyond buffer bounds; verification is a separate explicit step.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+#include "crypto/rsa.hpp"
+#include "util/bytes.hpp"
+#include "util/expected.hpp"
+
+namespace tlc::core {
+
+enum class MessageType : std::uint8_t { Cdr = 1, Cda = 2, Poc = 3 };
+
+/// Reads the leading type byte without decoding the rest.
+[[nodiscard]] Expected<MessageType> peek_type(const Bytes& wire);
+
+// --- CDR ----------------------------------------------------------------
+
+struct CdrMessage {
+  PlanRef plan;
+  PartyRole sender = PartyRole::Operator;
+  std::uint64_t seq = 0;
+  std::uint64_t nonce = 0;
+  std::uint64_t volume = 0;  // the claim (bytes)
+
+  [[nodiscard]] bool operator==(const CdrMessage& o) const = default;
+};
+
+struct SignedCdr {
+  CdrMessage body;
+  Bytes signature;
+};
+
+[[nodiscard]] Bytes encode_cdr_body(const CdrMessage& body);
+[[nodiscard]] SignedCdr sign_cdr(const CdrMessage& body,
+                                 const crypto::RsaPrivateKey& key);
+[[nodiscard]] Bytes encode_signed_cdr(const SignedCdr& cdr);
+[[nodiscard]] Expected<SignedCdr> decode_signed_cdr(const Bytes& wire);
+[[nodiscard]] Status verify_signed_cdr(const SignedCdr& cdr,
+                                       const crypto::RsaPublicKey& key);
+
+// --- CDA ----------------------------------------------------------------
+
+struct CdaMessage {
+  PlanRef plan;
+  PartyRole sender = PartyRole::Operator;
+  std::uint64_t seq = 0;
+  std::uint64_t nonce = 0;
+  std::uint64_t volume = 0;  // the acceptor's own claim
+  Bytes peer_cdr_wire;       // full encoded SignedCdr being accepted
+
+  [[nodiscard]] bool operator==(const CdaMessage& o) const = default;
+};
+
+struct SignedCda {
+  CdaMessage body;
+  Bytes signature;
+};
+
+[[nodiscard]] Bytes encode_cda_body(const CdaMessage& body);
+[[nodiscard]] SignedCda sign_cda(const CdaMessage& body,
+                                 const crypto::RsaPrivateKey& key);
+[[nodiscard]] Bytes encode_signed_cda(const SignedCda& cda);
+[[nodiscard]] Expected<SignedCda> decode_signed_cda(const Bytes& wire);
+[[nodiscard]] Status verify_signed_cda(const SignedCda& cda,
+                                       const crypto::RsaPublicKey& key);
+
+// --- PoC ----------------------------------------------------------------
+
+struct PocMessage {
+  PlanRef plan;
+  PartyRole sender = PartyRole::Operator;  // the party constructing it
+  std::uint64_t seq = 0;
+  std::uint64_t charged = 0;  // the negotiated x
+  Bytes cda_wire;             // full encoded SignedCda it finalizes
+
+  [[nodiscard]] bool operator==(const PocMessage& o) const = default;
+};
+
+struct SignedPoc {
+  PocMessage body;
+  Bytes signature;
+  // The "‖ ne ‖ no" trailer: both parties' nonces, carried in clear for
+  // the verifier's replay check (Algorithm 2 line 5).
+  std::uint64_t nonce_edge = 0;
+  std::uint64_t nonce_operator = 0;
+};
+
+[[nodiscard]] Bytes encode_poc_body(const PocMessage& body);
+[[nodiscard]] SignedPoc sign_poc(const PocMessage& body,
+                                 const crypto::RsaPrivateKey& key,
+                                 std::uint64_t nonce_edge,
+                                 std::uint64_t nonce_operator);
+[[nodiscard]] Bytes encode_signed_poc(const SignedPoc& poc);
+[[nodiscard]] Expected<SignedPoc> decode_signed_poc(const Bytes& wire);
+[[nodiscard]] Status verify_signed_poc(const SignedPoc& poc,
+                                       const crypto::RsaPublicKey& key);
+
+}  // namespace tlc::core

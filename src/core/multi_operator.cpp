@@ -1,0 +1,51 @@
+#include "core/multi_operator.hpp"
+
+namespace tlc::core {
+
+Status MultiOperatorCharging::add_operator(const std::string& name,
+                                           SessionConfig config,
+                                           std::unique_ptr<Strategy> strategy,
+                                           Rng rng) {
+  if (sessions_.find(name) != sessions_.end()) {
+    return Err("multi-operator: '" + name + "' already registered");
+  }
+  sessions_[name] = std::make_unique<TlcSession>(std::move(config),
+                                                 std::move(strategy), rng);
+  return Status::Ok();
+}
+
+std::vector<std::string> MultiOperatorCharging::operator_names() const {
+  std::vector<std::string> names;
+  names.reserve(sessions_.size());
+  for (const auto& [name, session] : sessions_) names.push_back(name);
+  return names;
+}
+
+Expected<TlcSession*> MultiOperatorCharging::session(const std::string& name) {
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) {
+    return Err("multi-operator: unknown operator '" + name + "'");
+  }
+  return it->second.get();
+}
+
+std::uint64_t MultiOperatorCharging::total_charged() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, session] : sessions_) {
+    for (const PocStore::Entry& entry : session->receipts().entries()) {
+      auto poc = decode_signed_poc(entry.poc_wire);
+      if (poc) total += poc->body.charged;
+    }
+  }
+  return total;
+}
+
+int MultiOperatorCharging::total_cycles() const {
+  int total = 0;
+  for (const auto& [name, session] : sessions_) {
+    total += session->completed_cycles();
+  }
+  return total;
+}
+
+}  // namespace tlc::core

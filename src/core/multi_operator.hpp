@@ -1,0 +1,49 @@
+// §8 "Multi-access edge": charging across multiple operators.
+//
+// Some edge scenarios (V2X, coverage-critical deployments) bond several
+// operators' 4G/5G networks. TLC extends naturally: the edge vendor
+// runs one independent session per operator, classifies its traffic per
+// operator when metering (each operator's tamper-resilient monitor only
+// sees its own network), and negotiates/archives a PoC per operator per
+// cycle. This registry owns those per-operator sessions and aggregates
+// the results.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tlc_session.hpp"
+
+namespace tlc::core {
+
+class MultiOperatorCharging {
+ public:
+  /// Registers an operator relationship. `name` must be unique.
+  Status add_operator(const std::string& name, SessionConfig config,
+                      std::unique_ptr<Strategy> strategy, Rng rng);
+
+  [[nodiscard]] bool has_operator(const std::string& name) const {
+    return sessions_.find(name) != sessions_.end();
+  }
+  [[nodiscard]] std::size_t operator_count() const {
+    return sessions_.size();
+  }
+  [[nodiscard]] std::vector<std::string> operator_names() const;
+
+  /// The per-operator session (begin_cycle / transport wiring happen
+  /// against it directly).
+  [[nodiscard]] Expected<TlcSession*> session(const std::string& name);
+
+  /// Sum of negotiated charges across all operators' completed cycles.
+  [[nodiscard]] std::uint64_t total_charged() const;
+  /// Completed cycles across operators.
+  [[nodiscard]] int total_cycles() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<TlcSession>> sessions_;
+  std::map<std::string, std::uint64_t> charged_;
+};
+
+}  // namespace tlc::core

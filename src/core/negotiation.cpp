@@ -1,0 +1,81 @@
+#include "core/negotiation.hpp"
+
+#include <algorithm>
+
+namespace tlc::core {
+
+NegotiationResult negotiate(Strategy& edge_strategy,
+                            const UsageView& edge_view,
+                            Strategy& operator_strategy,
+                            const UsageView& operator_view,
+                            const NegotiationConfig& config) {
+  NegotiationResult result;
+
+  std::uint64_t lower = 0;          // xL
+  std::uint64_t upper = kUnbounded; // xU
+
+  for (int round = 0; round < config.max_rounds; ++round) {
+    RoundContext edge_ctx{PartyRole::EdgeVendor, edge_view, lower, upper,
+                          round, config.c};
+    RoundContext op_ctx{PartyRole::Operator, operator_view, lower, upper,
+                        round, config.c};
+
+    // Line 4: exchange claims (order does not matter).
+    const std::uint64_t edge_claim = edge_strategy.claim(edge_ctx);
+    const std::uint64_t op_claim = operator_strategy.claim(op_ctx);
+    ++result.rounds;
+
+    // Line-12 constraint check: the previous round's bounds are public,
+    // so either party detects an out-of-window claim and rejects it.
+    const bool edge_violates = edge_claim < lower || edge_claim > upper;
+    const bool op_violates = op_claim < lower || op_claim > upper;
+    if (edge_violates) ++result.bound_violations;
+    if (op_violates) ++result.bound_violations;
+
+    // Line 6: exchange decisions.
+    const bool edge_accepts =
+        !op_violates && edge_strategy.accept(edge_ctx, edge_claim, op_claim);
+    const bool op_accepts =
+        !edge_violates &&
+        operator_strategy.accept(op_ctx, op_claim, edge_claim);
+
+    result.history.push_back(
+        RoundRecord{edge_claim, op_claim, edge_accepts, op_accepts});
+    result.final_edge_claim = edge_claim;
+    result.final_operator_claim = op_claim;
+
+    if (edge_accepts && op_accepts) {
+      // Lines 7-9: settle.
+      result.completed = true;
+      result.charged = charging::charged_volume(edge_claim, op_claim,
+                                                config.c);
+      return result;
+    }
+
+    // Line 12: contract the bounds — but only from claims that honored
+    // the constraint, so a violator cannot widen the window.
+    const std::uint64_t lo_claim =
+        std::min(edge_violates ? op_claim : edge_claim,
+                 op_violates ? edge_claim : op_claim);
+    const std::uint64_t hi_claim =
+        std::max(edge_violates ? op_claim : edge_claim,
+                 op_violates ? edge_claim : op_claim);
+    lower = std::max(lower, lo_claim);
+    upper = std::min(upper, hi_claim);
+
+    // A fully pinned window means claims can no longer move; settle —
+    // but never on the strength of a round with a constraint violation
+    // (the violator must not be able to force convergence).
+    if (!edge_violates && !op_violates &&
+        upper - lower <= config.convergence_epsilon) {
+      // Claims can no longer move: settle at the pinned window.
+      result.completed = true;
+      result.charged = charging::charged_volume(lower, upper, config.c);
+      ++result.rounds;
+      return result;
+    }
+  }
+  return result;  // round cap hit; negotiation failed
+}
+
+}  // namespace tlc::core

@@ -1,0 +1,56 @@
+// Algorithm 1: loss-selfishness cancellation.
+//
+// This is the abstract negotiation engine — the pure game of §5.1,
+// independent of message signing and transport (protocol.hpp layers
+// those on top, and the public verifier replays this logic). Both
+// parties exchange claims, decide accept/reject, and on mutual accept
+// the charge is x = charged_volume(xe, xo, c) (line 8). On reject, the
+// bounds contract to [min, max] of the round's claims (line 12).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "charging/plan.hpp"
+#include "core/strategy.hpp"
+#include "core/types.hpp"
+
+namespace tlc::core {
+
+struct RoundRecord {
+  std::uint64_t edge_claim = 0;
+  std::uint64_t operator_claim = 0;
+  bool edge_accepted = false;
+  bool operator_accepted = false;
+};
+
+struct NegotiationResult {
+  /// True when both parties accepted within the round cap.
+  bool completed = false;
+  /// The negotiated charging volume x (valid when completed).
+  std::uint64_t charged = 0;
+  /// CDR-exchange rounds executed (TLC-optimal: 1).
+  int rounds = 0;
+  /// Claims that violated the (xL, xU) constraint (misbehaving peers).
+  int bound_violations = 0;
+  std::uint64_t final_edge_claim = 0;
+  std::uint64_t final_operator_claim = 0;
+  std::vector<RoundRecord> history;
+};
+
+struct NegotiationConfig {
+  double c = 0.5;
+  int max_rounds = 64;
+  /// When the bounds collapse below this many bytes apart, the engine
+  /// settles at the midpoint charge — claims can no longer move.
+  std::uint64_t convergence_epsilon = 0;
+};
+
+/// Runs Algorithm 1 between the edge vendor and the operator.
+[[nodiscard]] NegotiationResult negotiate(Strategy& edge_strategy,
+                                          const UsageView& edge_view,
+                                          Strategy& operator_strategy,
+                                          const UsageView& operator_view,
+                                          const NegotiationConfig& config);
+
+}  // namespace tlc::core

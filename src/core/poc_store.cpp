@@ -1,0 +1,104 @@
+#include "core/poc_store.hpp"
+
+#include <fstream>
+
+#include "crypto/hmac.hpp"
+#include "util/serde.hpp"
+
+namespace tlc::core {
+namespace {
+
+constexpr std::uint32_t kStoreMagic = 0x544c4350;  // "TLCP"
+
+Bytes integrity_key() { return bytes_of("tlc-poc-store-integrity-v1"); }
+
+}  // namespace
+
+void PocStore::add(const PlanRef& plan, Bytes poc_wire) {
+  entries_.push_back(Entry{plan, std::move(poc_wire)});
+}
+
+std::optional<PocStore::Entry> PocStore::find_cycle(SimTime t_start) const {
+  for (const Entry& entry : entries_) {
+    if (entry.plan.t_start == t_start) return entry;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t PocStore::stored_bytes() const {
+  std::uint64_t total = 0;
+  for (const Entry& entry : entries_) total += entry.poc_wire.size();
+  return total;
+}
+
+Bytes PocStore::serialize() const {
+  ByteWriter w;
+  w.u32(kStoreMagic);
+  w.u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const Entry& entry : entries_) {
+    w.i64(entry.plan.t_start);
+    w.i64(entry.plan.t_end);
+    w.f64(entry.plan.c);
+    w.blob(entry.poc_wire);
+  }
+  Bytes body = w.take();
+  const Bytes tag = crypto::hmac_sha256(integrity_key(), body);
+  append(body, tag);
+  return body;
+}
+
+Expected<PocStore> PocStore::deserialize(const Bytes& data) {
+  if (data.size() < 32) return Err("poc store: too short");
+  const Bytes body(data.begin(), data.end() - 32);
+  const Bytes tag(data.end() - 32, data.end());
+  if (!constant_time_equal(tag, crypto::hmac_sha256(integrity_key(), body))) {
+    return Err("poc store: integrity tag mismatch");
+  }
+  ByteReader r(body);
+  auto magic = r.u32();
+  if (!magic || *magic != kStoreMagic) return Err("poc store: bad magic");
+  auto count = r.u32();
+  if (!count) return Err("poc store: " + count.error());
+  PocStore store;
+  store.entries_.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    Entry entry;
+    auto start = r.i64();
+    if (!start) return Err("poc store: " + start.error());
+    entry.plan.t_start = *start;
+    auto end = r.i64();
+    if (!end) return Err("poc store: " + end.error());
+    entry.plan.t_end = *end;
+    auto c = r.f64();
+    if (!c) return Err("poc store: " + c.error());
+    entry.plan.c = *c;
+    auto wire = r.blob();
+    if (!wire) return Err("poc store: " + wire.error());
+    entry.poc_wire = std::move(*wire);
+    store.entries_.push_back(std::move(entry));
+  }
+  return store;
+}
+
+Status PocStore::save(const std::string& path) const {
+  const Bytes data = serialize();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Err("poc store: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) return Err("poc store: write failed");
+  return Status::Ok();
+}
+
+Expected<PocStore> PocStore::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Err("poc store: cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  Bytes data(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(data.data()), size);
+  if (!in) return Err("poc store: read failed");
+  return deserialize(data);
+}
+
+}  // namespace tlc::core

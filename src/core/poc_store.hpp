@@ -1,0 +1,53 @@
+// Persistent Proof-of-Charging archive.
+//
+// §5.3.2: both parties "locally store" each cycle's PoC as the charging
+// receipt; disputes are settled later by handing entries to a public
+// verifier (§5.3.3). The store keeps (plan, PoC) pairs indexed by the
+// cycle start, and serializes to an HMAC-tagged binary file so on-disk
+// corruption is detected.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/bytes.hpp"
+#include "util/expected.hpp"
+
+namespace tlc::core {
+
+class PocStore {
+ public:
+  struct Entry {
+    PlanRef plan;
+    Bytes poc_wire;
+
+    [[nodiscard]] bool operator==(const Entry& o) const = default;
+  };
+
+  /// Appends a cycle's receipt (cycles are expected in order; lookups
+  /// are by exact cycle start).
+  void add(const PlanRef& plan, Bytes poc_wire);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+  /// The receipt for the cycle starting at `t_start`, if archived.
+  [[nodiscard]] std::optional<Entry> find_cycle(SimTime t_start) const;
+
+  /// Total archived bytes (the paper: 796 B/PoC, "marginal").
+  [[nodiscard]] std::uint64_t stored_bytes() const;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static Expected<PocStore> deserialize(const Bytes& data);
+
+  [[nodiscard]] Status save(const std::string& path) const;
+  [[nodiscard]] static Expected<PocStore> load(const std::string& path);
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace tlc::core

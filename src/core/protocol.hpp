@@ -1,0 +1,134 @@
+// The TLC negotiation protocol (Figure 7): message-driven state
+// machines that realize Algorithm 1 with signed CDR/CDA/PoC messages.
+//
+// Either party may initiate. A party that accepts the peer's CDR
+// answers with a CDA (echoing the signed CDR it accepts); the peer
+// accepting the CDA constructs and returns the PoC. Any rejection is
+// expressed implicitly by sending a fresh CDR, shrinking the claim
+// window exactly as Algorithm 1 line 12 prescribes.
+//
+// The endpoint also keeps the accounting the evaluation needs: rounds
+// (Fig 16b), bytes and message counts (Fig 17 table), and wall-clock
+// time spent in RSA operations scaled by the device profile (Fig 17
+// CDFs).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/messages.hpp"
+#include "core/strategy.hpp"
+#include "core/types.hpp"
+#include "crypto/rsa.hpp"
+#include "util/rng.hpp"
+
+namespace tlc::core {
+
+enum class EndpointState : std::uint8_t {
+  Null,     // nothing sent yet
+  SentCdr,  // awaiting the peer's CDA or counter-CDR
+  SentCda,  // accepted peer's claim, awaiting PoC or counter-CDR
+  Done,     // PoC constructed or received
+  Failed,   // protocol violation or round cap
+};
+
+[[nodiscard]] const char* endpoint_state_name(EndpointState state);
+
+struct EndpointConfig {
+  PartyRole role = PartyRole::Operator;
+  crypto::RsaPrivateKey own_private;
+  crypto::RsaPublicKey own_public;
+  crypto::RsaPublicKey peer_public;
+  PlanRef plan;
+  UsageView view;
+  int max_rounds = 64;
+  /// Multiplier applied to measured crypto time (device profiles,
+  /// Fig 17: Pixel 2 XL is ~4.8x the Z840).
+  double crypto_time_scale = 1.0;
+};
+
+class ProtocolEndpoint {
+ public:
+  using SendFn = std::function<void(const Bytes&)>;
+
+  /// `strategy` must outlive the endpoint.
+  ProtocolEndpoint(EndpointConfig config, Strategy& strategy, Rng rng);
+
+  void set_send(SendFn send) { send_ = std::move(send); }
+
+  /// Initiator entry point: claims and sends the first CDR.
+  void start();
+
+  /// Feeds one wire message from the peer. Returns an error Status on
+  /// protocol violations (the endpoint transitions to Failed for
+  /// unrecoverable ones).
+  Status receive(const Bytes& wire);
+
+  [[nodiscard]] EndpointState state() const { return state_; }
+  [[nodiscard]] bool done() const { return state_ == EndpointState::Done; }
+  [[nodiscard]] bool failed() const { return state_ == EndpointState::Failed; }
+
+  /// The agreed charge x (valid when done()).
+  [[nodiscard]] std::uint64_t negotiated() const { return negotiated_; }
+  /// The proof of charging (present when done(); both the constructor
+  /// and the receiver hold a copy — §5.3.2 "locally store it").
+  [[nodiscard]] const std::optional<SignedPoc>& poc() const { return poc_; }
+
+  /// Claims this endpoint has issued (= negotiation rounds from this
+  /// party's perspective; 1 for TLC-optimal).
+  [[nodiscard]] int rounds() const { return claims_made_; }
+  [[nodiscard]] int bound_violations() const { return bound_violations_; }
+
+  // --- Fig 17 accounting ---
+  [[nodiscard]] double crypto_seconds() const { return crypto_seconds_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] int messages_sent() const { return messages_sent_; }
+  [[nodiscard]] std::size_t last_cdr_size() const { return last_cdr_size_; }
+  [[nodiscard]] std::size_t last_cda_size() const { return last_cda_size_; }
+  [[nodiscard]] std::size_t last_poc_size() const { return last_poc_size_; }
+
+ private:
+  [[nodiscard]] RoundContext make_context() const;
+  void send_wire(const Bytes& wire);
+  void send_cdr();
+  Status handle_cdr(const Bytes& wire);
+  Status handle_cda(const Bytes& wire);
+  Status handle_poc(const Bytes& wire);
+  void fail(const std::string& reason);
+  /// Contracts [lower_, upper_] from a claim pair (line 12).
+  void update_bounds(std::uint64_t a, std::uint64_t b);
+
+  // Timed crypto wrappers.
+  [[nodiscard]] Bytes timed_sign(const Bytes& message);
+  [[nodiscard]] Status timed_verify(const Bytes& message,
+                                    const Bytes& signature);
+
+  EndpointConfig config_;
+  Strategy& strategy_;
+  Rng rng_;
+  SendFn send_;
+
+  EndpointState state_ = EndpointState::Null;
+  std::uint64_t lower_ = 0;
+  std::uint64_t upper_ = kUnbounded;
+  int current_round_ = 0;  // seq carries the round number on the wire
+  std::uint64_t own_claim_ = 0;
+  std::uint64_t own_nonce_ = 0;
+  std::uint64_t peer_nonce_ = 0;
+  Bytes last_sent_cdr_wire_;
+  Bytes last_sent_cda_wire_;
+  std::uint64_t negotiated_ = 0;
+  std::optional<SignedPoc> poc_;
+
+  int claims_made_ = 0;
+  int bound_violations_ = 0;
+  double crypto_seconds_ = 0.0;
+  std::uint64_t bytes_sent_ = 0;
+  int messages_sent_ = 0;
+  std::size_t last_cdr_size_ = 0;
+  std::size_t last_cda_size_ = 0;
+  std::size_t last_poc_size_ = 0;
+};
+
+}  // namespace tlc::core

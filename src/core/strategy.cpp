@@ -1,0 +1,139 @@
+#include "core/strategy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tlc::core {
+namespace {
+
+/// Opponent-claim plausibility (the §4 "cross-check"): the edge rejects
+/// an operator claim above its own sent volume; the operator rejects an
+/// edge claim below its own received volume. Tolerance absorbs honest
+/// measurement error.
+bool cross_check_passes(const RoundContext& ctx,
+                        std::uint64_t opponent_claim) {
+  if (ctx.role == PartyRole::EdgeVendor) {
+    const double ceiling = static_cast<double>(ctx.view.sent_estimate) *
+                           (1.0 + kCrossCheckTolerance);
+    return static_cast<double>(opponent_claim) <= ceiling;
+  }
+  const double floor = static_cast<double>(ctx.view.received_estimate) *
+                       (1.0 - kCrossCheckTolerance);
+  return static_cast<double>(opponent_claim) >= floor;
+}
+
+}  // namespace
+
+std::uint64_t clamp_claim(std::uint64_t desired, const RoundContext& ctx) {
+  return std::clamp(desired, ctx.lower_bound, ctx.upper_bound);
+}
+
+// --- Honest -----------------------------------------------------------
+
+std::uint64_t HonestStrategy::claim(const RoundContext& ctx) {
+  const std::uint64_t truthful = ctx.role == PartyRole::EdgeVendor
+                                     ? ctx.view.sent_estimate
+                                     : ctx.view.received_estimate;
+  return clamp_claim(truthful, ctx);
+}
+
+bool HonestStrategy::accept(const RoundContext& ctx,
+                            std::uint64_t /*own_claim*/,
+                            std::uint64_t opponent_claim) {
+  return cross_check_passes(ctx, opponent_claim);
+}
+
+// --- Optimal (minimax / maximin, Theorems 3-4) -------------------------
+
+std::uint64_t OptimalStrategy::claim(const RoundContext& ctx) {
+  // Edge minimax: claim xe = x̂o (its estimate of the received volume).
+  // Operator maximin: claim xo = x̂e (its estimate of the sent volume).
+  const std::uint64_t optimal = ctx.role == PartyRole::EdgeVendor
+                                    ? ctx.view.received_estimate
+                                    : ctx.view.sent_estimate;
+  return clamp_claim(optimal, ctx);
+}
+
+bool OptimalStrategy::accept(const RoundContext& ctx,
+                             std::uint64_t /*own_claim*/,
+                             std::uint64_t opponent_claim) {
+  // A rational party accepts any claim that survives the cross-check:
+  // by Theorem 2 the final charge is then bounded by [x̂o, x̂e], and by
+  // Theorem 3 no further rounds can improve its outcome.
+  return cross_check_passes(ctx, opponent_claim);
+}
+
+// --- Random selfish (TLC-random) ---------------------------------------
+
+RandomSelfishStrategy::RandomSelfishStrategy(Rng rng, double accept_tolerance)
+    : rng_(rng), accept_tolerance_(accept_tolerance) {}
+
+std::uint64_t RandomSelfishStrategy::claim(const RoundContext& ctx) {
+  // Plausible window: [x̂o, x̂e] as this party measures it, intersected
+  // with the negotiation bounds.
+  const std::uint64_t lo =
+      std::max(ctx.lower_bound, ctx.view.received_estimate);
+  const std::uint64_t hi = std::min(ctx.upper_bound, ctx.view.sent_estimate);
+  if (lo >= hi) return clamp_claim(lo, ctx);
+  const std::uint64_t span = hi - lo;
+  return lo + rng_.uniform_u64(span + 1);
+}
+
+bool RandomSelfishStrategy::accept(const RoundContext& ctx,
+                                   std::uint64_t own_claim,
+                                   std::uint64_t opponent_claim) {
+  if (!cross_check_passes(ctx, opponent_claim)) return false;
+  // Settle once the claims are close — a selfish party that does not
+  // know the optimal strategy keeps haggling while it believes the
+  // window can still move in its favour (the Fig 16b multi-round
+  // behaviour). The tolerance widens with each round: §5.1 shows
+  // neither party benefits from prolonging the negotiation (no payment
+  // / no service until it ends), so persistent measurement
+  // disagreement is eventually split rather than deadlocked.
+  const double tolerance =
+      accept_tolerance_ * (1.0 + 0.75 * static_cast<double>(ctx.round));
+  const double hi =
+      static_cast<double>(std::max<std::uint64_t>(
+          {own_claim, opponent_claim, 1}));
+  const double distance =
+      std::abs(static_cast<double>(own_claim) -
+               static_cast<double>(opponent_claim)) /
+      hi;
+  return distance <= tolerance;
+}
+
+// --- Misbehaving strategies --------------------------------------------
+
+std::uint64_t RejectAllStrategy::claim(const RoundContext& ctx) {
+  const std::uint64_t ideal = ctx.role == PartyRole::EdgeVendor
+                                  ? ctx.view.received_estimate
+                                  : ctx.view.sent_estimate;
+  return clamp_claim(ideal, ctx);
+}
+
+bool RejectAllStrategy::accept(const RoundContext& /*ctx*/,
+                               std::uint64_t /*own_claim*/,
+                               std::uint64_t /*opponent_claim*/) {
+  return false;
+}
+
+std::uint64_t GreedyOverclaimStrategy::claim(const RoundContext& ctx) {
+  const double base = ctx.role == PartyRole::Operator
+                          ? static_cast<double>(ctx.view.sent_estimate)
+                          : static_cast<double>(ctx.view.received_estimate);
+  const double scaled = ctx.role == PartyRole::Operator ? base * factor_
+                                                        : base / factor_;
+  // Deliberately NOT clamped: a greedy party ignores the line-12
+  // constraint; the engine flags the violation.
+  return static_cast<std::uint64_t>(std::llround(scaled));
+}
+
+bool GreedyOverclaimStrategy::accept(const RoundContext& ctx,
+                                     std::uint64_t own_claim,
+                                     std::uint64_t opponent_claim) {
+  // Accepts only outcomes at least as good as its inflated claim.
+  return ctx.role == PartyRole::Operator ? opponent_claim >= own_claim
+                                         : opponent_claim <= own_claim;
+}
+
+}  // namespace tlc::core

@@ -1,0 +1,69 @@
+#include "core/sync_baseline.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace tlc::core {
+
+SyncChargingOutcome simulate_sync_charging(const SyncChargingParams& params,
+                                           Rng rng) {
+  // Time-stepped model, no event queue needed: packets arrive at fixed
+  // intervals; every `window_packets` packets the sender must complete
+  // a record-sync handshake (request + ack, each subject to loss,
+  // retried on timeout) before transmitting further packets.
+  SyncChargingOutcome outcome;
+  std::vector<double> added_delays_ms;
+  added_delays_ms.reserve(params.total_packets);
+
+  SimTime sender_free_at = 0;  // earliest time the sender may transmit
+  std::uint64_t in_window = 0;
+  SimTime last_arrival = 0;
+
+  for (std::uint64_t i = 0; i < params.total_packets; ++i) {
+    const SimTime arrival = static_cast<SimTime>(i) * params.packet_interval;
+    last_arrival = arrival;
+    const SimTime departure = std::max(arrival, sender_free_at);
+    added_delays_ms.push_back(to_millis(departure - arrival));
+
+    ++in_window;
+    if (in_window == params.window_packets) {
+      in_window = 0;
+      // Synchronize: request and ack must both survive; each attempt
+      // costs one RTT, each failure one retransmission timeout.
+      SimTime sync_done = departure;
+      for (;;) {
+        const bool request_lost = rng.chance(params.loss_probability);
+        const bool ack_lost = rng.chance(params.loss_probability);
+        if (!request_lost && !ack_lost) {
+          sync_done += 2 * params.one_way_delay;
+          break;
+        }
+        ++outcome.sync_retransmissions;
+        sync_done += params.retransmit_timeout;
+      }
+      sender_free_at = sync_done;
+    }
+  }
+
+  double sum = 0.0;
+  for (double d : added_delays_ms) sum += d;
+  outcome.mean_added_delay_ms =
+      added_delays_ms.empty() ? 0.0
+                              : sum / static_cast<double>(added_delays_ms.size());
+  std::sort(added_delays_ms.begin(), added_delays_ms.end());
+  if (!added_delays_ms.empty()) {
+    const std::size_t idx = static_cast<std::size_t>(
+        0.99 * static_cast<double>(added_delays_ms.size() - 1));
+    outcome.p99_added_delay_ms = added_delays_ms[idx];
+  }
+
+  const SimTime offered_span = last_arrival + params.packet_interval;
+  const SimTime actual_span = std::max(offered_span, sender_free_at);
+  outcome.throughput_ratio = actual_span > 0
+                                 ? static_cast<double>(offered_span) /
+                                       static_cast<double>(actual_span)
+                                 : 1.0;
+  return outcome;
+}
+
+}  // namespace tlc::core

@@ -1,0 +1,108 @@
+// High-level TLC session API.
+//
+// The library surface a downstream integrator uses: one `TlcSession`
+// per (edge vendor, operator) relationship and direction of billing. It
+// owns the cycle sequence (consistent T via the agreed cycle length),
+// wraps the per-cycle signed negotiation, archives each PoC, and hands
+// you the numbers. Transport is a callback — bytes in, bytes out — so
+// it runs over anything from an in-process queue to a real socket.
+//
+// Typical flow per cycle (either party):
+//   session.begin_cycle(measured_view);      // after the cycle ends
+//   session.start();                          // initiator only
+//   ... shuttle bytes via set_send / receive ...
+//   if (session.cycle_complete()) session.finish_cycle();
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/poc_store.hpp"
+#include "core/protocol.hpp"
+#include "core/strategy.hpp"
+
+namespace tlc::core {
+
+struct SessionConfig {
+  PartyRole role = PartyRole::Operator;
+  crypto::RsaKeyPair own_keys;
+  crypto::RsaPublicKey peer_key;
+  /// Agreed plan parameters (setup step 1 of §5.3.1).
+  double c = 0.5;
+  SimTime cycle_length = kHour;
+  SimTime first_cycle_start = 0;
+  int max_rounds = 64;
+  double crypto_time_scale = 1.0;
+};
+
+/// Summary of a settled cycle.
+struct CycleReceipt {
+  PlanRef plan;
+  std::uint64_t charged = 0;
+  int rounds = 0;
+};
+
+class TlcSession {
+ public:
+  using SendFn = ProtocolEndpoint::SendFn;
+
+  /// `strategy` decides claims/acceptance for every cycle (HonestStrategy
+  /// or OptimalStrategy for well-behaved parties).
+  TlcSession(SessionConfig config, std::unique_ptr<Strategy> strategy,
+             Rng rng);
+
+  /// Outgoing-message sink; must be set before negotiating.
+  void set_send(SendFn send);
+
+  /// The plan of the cycle currently being (or about to be) settled.
+  [[nodiscard]] PlanRef current_plan() const;
+
+  /// Arms the negotiation for the current cycle with this party's
+  /// measured usage. Fails if a negotiation is already in flight.
+  Status begin_cycle(const UsageView& measured);
+
+  /// Initiator entry point: sends the first CDR (call after
+  /// begin_cycle; exactly one party initiates).
+  Status start();
+
+  /// Feeds a message from the peer.
+  Status receive(const Bytes& wire);
+
+  [[nodiscard]] bool negotiating() const { return endpoint_ != nullptr; }
+  [[nodiscard]] bool cycle_complete() const {
+    return endpoint_ && endpoint_->done();
+  }
+  [[nodiscard]] bool cycle_failed() const {
+    return endpoint_ && endpoint_->failed();
+  }
+
+  /// Archives the PoC, records the receipt, advances to the next cycle.
+  /// Fails unless cycle_complete().
+  Expected<CycleReceipt> finish_cycle();
+
+  /// Abandons a failed negotiation without advancing the cycle (the
+  /// parties retry; §5.1: neither benefits from stalling).
+  void abort_cycle();
+
+  [[nodiscard]] const PocStore& receipts() const { return store_; }
+  [[nodiscard]] int completed_cycles() const { return completed_; }
+  [[nodiscard]] const std::optional<CycleReceipt>& last_receipt() const {
+    return last_receipt_;
+  }
+  /// Accumulated crypto time across all cycles (Fig 17 accounting).
+  [[nodiscard]] double crypto_seconds() const { return crypto_seconds_; }
+
+ private:
+  SessionConfig config_;
+  std::unique_ptr<Strategy> strategy_;
+  Rng rng_;
+  SendFn send_;
+  std::unique_ptr<ProtocolEndpoint> endpoint_;
+  PocStore store_;
+  int cycle_index_ = 0;
+  int completed_ = 0;
+  double crypto_seconds_ = 0.0;
+  std::optional<CycleReceipt> last_receipt_;
+};
+
+}  // namespace tlc::core

@@ -1,0 +1,49 @@
+// Shared types of the TLC negotiation (Table 1 notation).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/simtime.hpp"
+
+namespace tlc::core {
+
+enum class PartyRole : std::uint8_t { Operator = 0, EdgeVendor = 1 };
+
+[[nodiscard]] constexpr const char* role_name(PartyRole role) {
+  return role == PartyRole::Operator ? "operator" : "edge-vendor";
+}
+
+[[nodiscard]] constexpr PartyRole other_party(PartyRole role) {
+  return role == PartyRole::Operator ? PartyRole::EdgeVendor
+                                     : PartyRole::Operator;
+}
+
+/// The public data-plan parameters every message pins: the charging
+/// cycle T = (T_start, T_end) and the lost-data weight c (§5.3.1).
+struct PlanRef {
+  SimTime t_start = 0;
+  SimTime t_end = 0;
+  double c = 0.5;
+
+  [[nodiscard]] bool operator==(const PlanRef& o) const = default;
+};
+
+/// One party's measurement of the cycle: its estimates of the
+/// ground-truth x̂e (bytes the edge endpoint sent) and x̂o (bytes the
+/// receiving endpoint got). Which monitors feed these depends on the
+/// party and the direction (§5.4):
+///   edge vendor:  sent from its own sender app; received from its own
+///                 receiving endpoint;
+///   operator:     uplink received from the gateway; downlink sent from
+///                 the gateway; the other half from RRC COUNTER CHECK.
+struct UsageView {
+  std::uint64_t sent_estimate = 0;      // estimate of x̂e
+  std::uint64_t received_estimate = 0;  // estimate of x̂o
+};
+
+/// Unbounded upper claim sentinel (the xU = ∞ of Algorithm 1 line 1).
+inline constexpr std::uint64_t kUnbounded =
+    std::numeric_limits<std::uint64_t>::max();
+
+}  // namespace tlc::core

@@ -1,0 +1,115 @@
+#include "core/verifier.hpp"
+
+#include "charging/plan.hpp"
+
+namespace tlc::core {
+
+Expected<VerifiedCharge> verify_poc(const VerificationRequest& request) {
+  // Layer 1: the PoC itself.
+  auto poc = decode_signed_poc(request.poc_wire);
+  if (!poc) return Err(poc.error());
+
+  const crypto::RsaPublicKey& constructor_key =
+      poc->body.sender == PartyRole::Operator ? request.operator_key
+                                              : request.edge_key;
+  const crypto::RsaPublicKey& acceptor_key =
+      poc->body.sender == PartyRole::Operator ? request.edge_key
+                                              : request.operator_key;
+
+  if (auto s = verify_signed_poc(*poc, constructor_key); !s) {
+    return Err("poc signature: " + s.error());
+  }
+
+  // Algorithm 2 line 2: plan consistency at the outer layer.
+  if (poc->body.plan != request.plan) {
+    return Err("inconsistent data plan (PoC layer)");
+  }
+
+  // Layer 2: the embedded CDA, signed by the other party.
+  auto cda = decode_signed_cda(poc->body.cda_wire);
+  if (!cda) return Err(cda.error());
+  if (cda->body.sender != other_party(poc->body.sender)) {
+    return Err("cda: embedded sender role incoherent");
+  }
+  if (auto s = verify_signed_cda(*cda, acceptor_key); !s) {
+    return Err("cda signature: " + s.error());
+  }
+  if (cda->body.plan != request.plan) {
+    return Err("inconsistent data plan (CDA layer)");
+  }
+
+  // Layer 3: the CDR the CDA accepted, signed by the PoC constructor.
+  auto cdr = decode_signed_cdr(cda->body.peer_cdr_wire);
+  if (!cdr) return Err(cdr.error());
+  if (cdr->body.sender != poc->body.sender) {
+    return Err("cdr: embedded sender role incoherent");
+  }
+  if (auto s = verify_signed_cdr(*cdr, constructor_key); !s) {
+    return Err("cdr signature: " + s.error());
+  }
+  if (cdr->body.plan != request.plan) {
+    return Err("inconsistent data plan (CDR layer)");
+  }
+
+  // Algorithm 2 line 5: the clear-text nonces must match the nonces
+  // inside the signed layers, and the exchange's sequence numbers must
+  // be coherent (the CDA answers exactly the CDR it embeds).
+  const std::uint64_t inner_edge_nonce =
+      cda->body.sender == PartyRole::EdgeVendor ? cda->body.nonce
+                                                : cdr->body.nonce;
+  const std::uint64_t inner_operator_nonce =
+      cda->body.sender == PartyRole::Operator ? cda->body.nonce
+                                              : cdr->body.nonce;
+  if (inner_edge_nonce != poc->nonce_edge ||
+      inner_operator_nonce != poc->nonce_operator) {
+    return Err("nonce mismatch (replay suspected)");
+  }
+  if (cda->body.seq != cdr->body.seq) {
+    return Err("sequence numbers incoherent (se != so)");
+  }
+  if (poc->body.seq != cdr->body.seq + 1) {
+    return Err("poc sequence incoherent with negotiation");
+  }
+
+  // Algorithm 2 line 8: replay the cancellation formula.
+  const std::uint64_t edge_claim = cda->body.sender == PartyRole::EdgeVendor
+                                       ? cda->body.volume
+                                       : cdr->body.volume;
+  const std::uint64_t operator_claim =
+      cda->body.sender == PartyRole::Operator ? cda->body.volume
+                                              : cdr->body.volume;
+  const std::uint64_t recomputed =
+      charging::charged_volume(edge_claim, operator_claim, request.plan.c);
+  if (recomputed != poc->body.charged) {
+    return Err("charged volume does not replay Algorithm 1");
+  }
+
+  VerifiedCharge out;
+  out.charged = poc->body.charged;
+  out.edge_claim = edge_claim;
+  out.operator_claim = operator_claim;
+  out.nonce_edge = poc->nonce_edge;
+  out.nonce_operator = poc->nonce_operator;
+  out.constructed_by = poc->body.sender;
+  return out;
+}
+
+Expected<VerifiedCharge> PublicVerifier::verify(
+    const VerificationRequest& request) {
+  auto verified = verify_poc(request);
+  if (!verified) {
+    ++rejected_;
+    return verified;
+  }
+  const ReplayKey key{verified->nonce_edge, verified->nonce_operator,
+                      request.plan.t_start};
+  if (!seen_.insert(key).second) {
+    ++rejected_;
+    ++replays_;
+    return Err("duplicate PoC (replay blocked)");
+  }
+  ++accepted_;
+  return verified;
+}
+
+}  // namespace tlc::core

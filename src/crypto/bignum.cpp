@@ -1,0 +1,448 @@
+#include "crypto/bignum.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tlc::crypto {
+namespace {
+
+constexpr std::uint64_t kLimbBase = 1ULL << 32;
+
+}  // namespace
+
+BigUInt::BigUInt(std::uint64_t value) {
+  if (value != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(value));
+    if (value >> 32 != 0) {
+      limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+    }
+  }
+}
+
+void BigUInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) {
+    limbs_.pop_back();
+  }
+}
+
+BigUInt BigUInt::from_bytes(const Bytes& big_endian) {
+  BigUInt out;
+  out.limbs_.assign((big_endian.size() + 3) / 4, 0);
+  std::size_t bit_shift = 0;
+  std::size_t limb = 0;
+  for (auto it = big_endian.rbegin(); it != big_endian.rend(); ++it) {
+    out.limbs_[limb] |= static_cast<std::uint32_t>(*it) << bit_shift;
+    bit_shift += 8;
+    if (bit_shift == 32) {
+      bit_shift = 0;
+      ++limb;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+Bytes BigUInt::to_bytes() const {
+  if (is_zero()) return {};
+  Bytes out;
+  out.reserve(limbs_.size() * 4);
+  // Emit little-endian then reverse; strip leading zeros at the end.
+  for (std::uint32_t limb : limbs_) {
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<std::uint8_t>(limb >> (8 * i)));
+    }
+  }
+  while (!out.empty() && out.back() == 0) {
+    out.pop_back();
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+Bytes BigUInt::to_bytes_padded(std::size_t size) const {
+  Bytes minimal = to_bytes();
+  assert(minimal.size() <= size);
+  Bytes out(size - minimal.size(), 0x00);
+  out.insert(out.end(), minimal.begin(), minimal.end());
+  return out;
+}
+
+BigUInt BigUInt::random_with_bits(std::size_t bits, Rng& rng) {
+  if (bits == 0) return BigUInt{};
+  BigUInt out;
+  const std::size_t limbs = (bits + 31) / 32;
+  out.limbs_.resize(limbs);
+  for (auto& limb : out.limbs_) {
+    limb = static_cast<std::uint32_t>(rng.next_u64());
+  }
+  const std::size_t top_bits = ((bits - 1) % 32) + 1;
+  std::uint32_t& top = out.limbs_.back();
+  if (top_bits < 32) {
+    top &= (1u << top_bits) - 1;
+  }
+  top |= 1u << (top_bits - 1);  // force the exact bit length
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::random_below(const BigUInt& bound, Rng& rng) {
+  assert(!bound.is_zero());
+  const std::size_t bits = bound.bit_length();
+  // Rejection sampling over [0, 2^bits).
+  for (;;) {
+    BigUInt candidate;
+    const std::size_t limbs = (bits + 31) / 32;
+    candidate.limbs_.resize(limbs);
+    for (auto& limb : candidate.limbs_) {
+      limb = static_cast<std::uint32_t>(rng.next_u64());
+    }
+    const std::size_t top_bits = ((bits - 1) % 32) + 1;
+    if (top_bits < 32) {
+      candidate.limbs_.back() &= (1u << top_bits) - 1;
+    }
+    candidate.trim();
+    if (candidate < bound) return candidate;
+  }
+}
+
+std::size_t BigUInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  std::uint32_t top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigUInt::bit(std::size_t i) const {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+int BigUInt::compare(const BigUInt& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigUInt BigUInt::operator+(const BigUInt& o) const {
+  BigUInt out;
+  const std::size_t n = std::max(limbs_.size(), o.limbs_.size());
+  out.limbs_.reserve(n + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < o.limbs_.size()) sum += o.limbs_[i];
+    out.limbs_.push_back(static_cast<std::uint32_t>(sum));
+    carry = sum >> 32;
+  }
+  if (carry != 0) {
+    out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  }
+  return out;
+}
+
+BigUInt BigUInt::operator-(const BigUInt& o) const {
+  assert(compare(o) >= 0 && "BigUInt subtraction would underflow");
+  BigUInt out;
+  out.limbs_.reserve(limbs_.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
+    if (i < o.limbs_.size()) diff -= o.limbs_[i];
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_.push_back(static_cast<std::uint32_t>(diff));
+  }
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::operator*(const BigUInt& o) const {
+  if (is_zero() || o.is_zero()) return BigUInt{};
+  BigUInt out;
+  out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t a = limbs_[i];
+    for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(out.limbs_[i + j]) + a * o.limbs_[j] +
+          carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + o.limbs_.size();
+    while (carry != 0) {
+      const std::uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::operator<<(std::size_t bits) const {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  BigUInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t shifted = static_cast<std::uint64_t>(limbs_[i])
+                                  << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(shifted);
+    out.limbs_[i + limb_shift + 1] |=
+        static_cast<std::uint32_t>(shifted >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::operator>>(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 32;
+  if (limb_shift >= limbs_.size()) return BigUInt{};
+  const std::size_t bit_shift = bits % 32;
+  BigUInt out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t value = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      value |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1])
+               << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(value);
+  }
+  out.trim();
+  return out;
+}
+
+DivMod BigUInt::divmod(const BigUInt& divisor) const {
+  assert(!divisor.is_zero() && "division by zero");
+  if (compare(divisor) < 0) {
+    return {BigUInt{}, *this};
+  }
+  if (divisor.limbs_.size() == 1) {
+    // Short division by a single limb.
+    const std::uint64_t d = divisor.limbs_[0];
+    BigUInt quotient;
+    quotient.limbs_.assign(limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | limbs_[i];
+      quotient.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    quotient.trim();
+    return {quotient, BigUInt{rem}};
+  }
+
+  // Knuth TAOCP vol.2 Algorithm D (base 2^32).
+  // D1: normalize so the divisor's top limb has its high bit set.
+  int shift = 0;
+  {
+    std::uint32_t top = divisor.limbs_.back();
+    while ((top & 0x80000000u) == 0) {
+      top <<= 1;
+      ++shift;
+    }
+  }
+  const BigUInt u_norm = *this << static_cast<std::size_t>(shift);
+  const BigUInt v_norm = divisor << static_cast<std::size_t>(shift);
+  const std::size_t n = v_norm.limbs_.size();
+  const std::size_t m = u_norm.limbs_.size() - n;
+
+  std::vector<std::uint32_t> u = u_norm.limbs_;
+  u.push_back(0);  // u has m + n + 1 limbs
+  const std::vector<std::uint32_t>& v = v_norm.limbs_;
+
+  BigUInt quotient;
+  quotient.limbs_.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // D3: estimate qhat from the top two limbs of the current remainder.
+    const std::uint64_t numerator =
+        (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t qhat = numerator / v[n - 1];
+    std::uint64_t rhat = numerator % v[n - 1];
+    while (qhat >= kLimbBase ||
+           qhat * v[n - 2] > ((rhat << 32) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= kLimbBase) break;
+    }
+
+    // D4: multiply and subtract qhat * v from u[j .. j+n].
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t product = qhat * v[i] + carry;
+      carry = product >> 32;
+      std::int64_t diff = static_cast<std::int64_t>(u[i + j]) -
+                          static_cast<std::int64_t>(product & 0xffffffffu) -
+                          borrow;
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(kLimbBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<std::uint32_t>(diff);
+    }
+    std::int64_t top_diff = static_cast<std::int64_t>(u[j + n]) -
+                            static_cast<std::int64_t>(carry) - borrow;
+
+    // D5/D6: if the subtraction underflowed, qhat was one too large —
+    // decrement and add v back.
+    if (top_diff < 0) {
+      --qhat;
+      std::uint64_t add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t sum =
+            static_cast<std::uint64_t>(u[i + j]) + v[i] + add_carry;
+        u[i + j] = static_cast<std::uint32_t>(sum);
+        add_carry = sum >> 32;
+      }
+      top_diff += static_cast<std::int64_t>(add_carry);
+    }
+    u[j + n] = static_cast<std::uint32_t>(top_diff);
+    quotient.limbs_[j] = static_cast<std::uint32_t>(qhat);
+  }
+
+  quotient.trim();
+  BigUInt remainder;
+  remainder.limbs_.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  remainder.trim();
+  remainder = remainder >> static_cast<std::size_t>(shift);
+  return {quotient, remainder};
+}
+
+BigUInt BigUInt::mod_exp(const BigUInt& exponent,
+                         const BigUInt& modulus) const {
+  assert(!modulus.is_zero());
+  if (modulus == BigUInt{1}) return BigUInt{};
+  BigUInt result{1};
+  BigUInt base = *this % modulus;
+  const std::size_t bits = exponent.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exponent.bit(i)) {
+      result = (result * base) % modulus;
+    }
+    base = (base * base) % modulus;
+  }
+  return result;
+}
+
+BigUInt BigUInt::gcd(BigUInt a, BigUInt b) {
+  while (!b.is_zero()) {
+    BigUInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+Expected<BigUInt> BigUInt::mod_inverse(const BigUInt& modulus) const {
+  // Extended Euclid, tracking coefficients as (value, negative?) pairs to
+  // stay within unsigned arithmetic.
+  if (modulus.is_zero()) return Err("mod_inverse: zero modulus");
+  BigUInt r0 = modulus;
+  BigUInt r1 = *this % modulus;
+  BigUInt t0{0}, t1{1};
+  bool t0_neg = false, t1_neg = false;
+
+  while (!r1.is_zero()) {
+    const DivMod qr = r0.divmod(r1);
+    // (t0, t1) <- (t1, t0 - q * t1) with sign tracking.
+    const BigUInt q_t1 = qr.quotient * t1;
+    BigUInt next_t;
+    bool next_neg = false;
+    if (t0_neg == t1_neg) {
+      // t0 - q*t1 where both share sign s: magnitude |t0| - |q t1| signed.
+      if (t0 >= q_t1) {
+        next_t = t0 - q_t1;
+        next_neg = t0_neg;
+      } else {
+        next_t = q_t1 - t0;
+        next_neg = !t0_neg;
+      }
+    } else {
+      // Opposite signs: magnitudes add, sign of t0.
+      next_t = t0 + q_t1;
+      next_neg = t0_neg;
+    }
+    t0 = std::move(t1);
+    t0_neg = t1_neg;
+    t1 = std::move(next_t);
+    t1_neg = next_neg;
+    r0 = std::move(r1);
+    r1 = qr.remainder;
+  }
+
+  if (r0 != BigUInt{1}) {
+    return Err("mod_inverse: arguments are not coprime");
+  }
+  if (t0_neg) {
+    return modulus - (t0 % modulus);
+  }
+  return t0 % modulus;
+}
+
+std::string BigUInt::to_string() const {
+  if (is_zero()) return "0";
+  std::string digits;
+  BigUInt value = *this;
+  const BigUInt ten{10};
+  while (!value.is_zero()) {
+    const DivMod qr = value.divmod(ten);
+    digits.push_back(static_cast<char>('0' + qr.remainder.low_u64()));
+    value = qr.quotient;
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::string BigUInt::to_hex() const {
+  if (is_zero()) return "0";
+  std::string out = tlc::to_hex(to_bytes());
+  // Strip at most one leading zero nibble (to_bytes is byte-aligned).
+  if (out.size() > 1 && out[0] == '0') {
+    out.erase(out.begin());
+  }
+  return out;
+}
+
+Expected<BigUInt> BigUInt::from_hex(std::string_view hex) {
+  std::string padded(hex);
+  if (padded.size() % 2 != 0) {
+    padded.insert(padded.begin(), '0');
+  }
+  auto raw = tlc::from_hex(padded);
+  if (!raw) return Err(raw.error());
+  return from_bytes(*raw);
+}
+
+std::uint64_t BigUInt::low_u64() const {
+  std::uint64_t out = 0;
+  if (!limbs_.empty()) out = limbs_[0];
+  if (limbs_.size() > 1) out |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return out;
+}
+
+}  // namespace tlc::crypto

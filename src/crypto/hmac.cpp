@@ -1,0 +1,34 @@
+#include "crypto/hmac.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace tlc::crypto {
+
+Bytes hmac_sha256(const Bytes& key, const Bytes& message) {
+  constexpr std::size_t kBlockSize = 64;
+
+  Bytes normalized_key = key;
+  if (normalized_key.size() > kBlockSize) {
+    normalized_key = sha256(normalized_key);
+  }
+  normalized_key.resize(kBlockSize, 0x00);
+
+  Bytes inner_pad(kBlockSize);
+  Bytes outer_pad(kBlockSize);
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    inner_pad[i] = static_cast<std::uint8_t>(normalized_key[i] ^ 0x36);
+    outer_pad[i] = static_cast<std::uint8_t>(normalized_key[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(inner_pad);
+  inner.update(message);
+  const Bytes inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(outer_pad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+}  // namespace tlc::crypto

@@ -1,0 +1,15 @@
+// HMAC-SHA256 (RFC 2104).
+//
+// Used to derive deterministic per-message nonces in tests and to
+// authenticate trace files; the TLC protocol itself uses RSA signatures.
+#pragma once
+
+#include "util/bytes.hpp"
+
+namespace tlc::crypto {
+
+/// HMAC-SHA256 of `message` under `key`. Keys longer than the block size
+/// are hashed first, as the RFC specifies.
+[[nodiscard]] Bytes hmac_sha256(const Bytes& key, const Bytes& message);
+
+}  // namespace tlc::crypto

@@ -1,0 +1,95 @@
+#include "crypto/prime.hpp"
+
+#include <array>
+
+namespace tlc::crypto {
+namespace {
+
+// Trial-division sieve: all primes below 1000.
+constexpr std::array<std::uint32_t, 168> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263,
+    269, 271, 277, 281, 283, 293, 307, 311, 313, 317, 331, 337, 347, 349,
+    353, 359, 367, 373, 379, 383, 389, 397, 401, 409, 419, 421, 431, 433,
+    439, 443, 449, 457, 461, 463, 467, 479, 487, 491, 499, 503, 509, 521,
+    523, 541, 547, 557, 563, 569, 571, 577, 587, 593, 599, 601, 607, 613,
+    617, 619, 631, 641, 643, 647, 653, 659, 661, 673, 677, 683, 691, 701,
+    709, 719, 727, 733, 739, 743, 751, 757, 761, 769, 773, 787, 797, 809,
+    811, 821, 823, 827, 829, 839, 853, 857, 859, 863, 877, 881, 883, 887,
+    907, 911, 919, 929, 937, 941, 947, 953, 967, 971, 977, 983, 991, 997};
+
+bool divisible_by_small_prime(const BigUInt& n) {
+  for (std::uint32_t p : kSmallPrimes) {
+    const BigUInt prime{p};
+    if (n == prime) return false;  // n IS a small prime, not divisible
+    if ((n % prime).is_zero()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_probable_prime(const BigUInt& n, Rng& rng, std::size_t rounds) {
+  const BigUInt one{1};
+  const BigUInt two{2};
+  if (n < two) return false;
+  if (n == two) return true;
+  if (!n.is_odd()) return false;
+  for (std::uint32_t p : kSmallPrimes) {
+    const BigUInt prime{p};
+    if (n == prime) return true;
+    if ((n % prime).is_zero()) return false;
+  }
+
+  // Write n - 1 = d * 2^r with d odd.
+  const BigUInt n_minus_1 = n - one;
+  BigUInt d = n_minus_1;
+  std::size_t r = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++r;
+  }
+
+  const BigUInt n_minus_3 = n - BigUInt{3};
+  for (std::size_t round = 0; round < rounds; ++round) {
+    // Random base a in [2, n - 2].
+    const BigUInt a = BigUInt::random_below(n_minus_3, rng) + two;
+    BigUInt x = a.mod_exp(d, n);
+    if (x == one || x == n_minus_1) continue;
+    bool composite = true;
+    for (std::size_t i = 0; i + 1 < r; ++i) {
+      x = (x * x) % n;
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigUInt generate_prime(std::size_t bits, Rng& rng,
+                       std::uint64_t require_coprime_e) {
+  const BigUInt e{require_coprime_e};
+  const BigUInt one{1};
+  for (;;) {
+    BigUInt candidate = BigUInt::random_with_bits(bits, rng);
+    // Force odd.
+    if (!candidate.is_odd()) {
+      candidate = candidate + one;
+    }
+    if (divisible_by_small_prime(candidate)) continue;
+    if (require_coprime_e != 0) {
+      const BigUInt p_minus_1 = candidate - one;
+      if (BigUInt::gcd(p_minus_1, e) != one) continue;
+    }
+    if (is_probable_prime(candidate, rng)) {
+      return candidate;
+    }
+  }
+}
+
+}  // namespace tlc::crypto

@@ -1,0 +1,26 @@
+// Probabilistic prime generation for RSA key material.
+//
+// Miller-Rabin with trial division by small primes first. Rounds follow
+// FIPS 186-4 guidance (enough for the 512-bit factors of RSA-1024).
+#pragma once
+
+#include <cstddef>
+
+#include "crypto/bignum.hpp"
+#include "util/rng.hpp"
+
+namespace tlc::crypto {
+
+/// Miller-Rabin primality test with `rounds` random bases.
+/// Deterministically correct for n < 2^64 regardless of `rounds` is NOT
+/// guaranteed; this is a probabilistic test for crypto-sized inputs.
+[[nodiscard]] bool is_probable_prime(const BigUInt& n, Rng& rng,
+                                     std::size_t rounds = 24);
+
+/// Generates a random probable prime with exactly `bits` bits.
+/// `avoid_congruent_1_mod` — when non-zero, rejects primes p with
+/// p ≡ 1 (mod that value); used to keep gcd(e, p-1) == 1 cheap.
+[[nodiscard]] BigUInt generate_prime(std::size_t bits, Rng& rng,
+                                     std::uint64_t require_coprime_e = 65537);
+
+}  // namespace tlc::crypto

@@ -1,0 +1,90 @@
+// RSA with PKCS#1 v1.5 signatures (SHA-256), from scratch.
+//
+// This is the "java.security RSA-1024" of the paper's prototype (§6):
+// CDR/CDA/PoC messages are signed by the edge app vendor and the cellular
+// operator, and the public verifier recovers and checks the digests
+// (Algorithm 2). Keys support CRT for ~4x faster signing.
+//
+// The paper uses RSA-1024 for parity with its prototype; the library
+// supports any modulus size >= 512 bits (tests use smaller keys for
+// speed, benches use 1024).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "crypto/bignum.hpp"
+#include "util/bytes.hpp"
+#include "util/expected.hpp"
+#include "util/rng.hpp"
+
+namespace tlc::crypto {
+
+/// Public half: (n, e). Comparable and serializable so parties can pin
+/// each other's keys and verifiers can identify signers.
+struct RsaPublicKey {
+  BigUInt n;
+  BigUInt e;
+
+  /// Modulus size in bytes == signature size.
+  [[nodiscard]] std::size_t modulus_bytes() const {
+    return (n.bit_length() + 7) / 8;
+  }
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static Expected<RsaPublicKey> deserialize(const Bytes& data);
+
+  /// SHA-256 over the serialized key; hex-truncated id for logs.
+  [[nodiscard]] Bytes fingerprint() const;
+  [[nodiscard]] std::string fingerprint_hex() const;
+
+  [[nodiscard]] bool operator==(const RsaPublicKey& o) const {
+    return n == o.n && e == o.e;
+  }
+};
+
+/// Private half, with CRT parameters.
+struct RsaPrivateKey {
+  BigUInt n;
+  BigUInt d;
+  // CRT acceleration.
+  BigUInt p;
+  BigUInt q;
+  BigUInt d_p;    // d mod (p-1)
+  BigUInt d_q;    // d mod (q-1)
+  BigUInt q_inv;  // q^-1 mod p
+
+  /// Raw RSA private operation m^d mod n via CRT.
+  [[nodiscard]] BigUInt private_op(const BigUInt& m) const;
+};
+
+struct RsaKeyPair {
+  RsaPublicKey public_key;
+  RsaPrivateKey private_key;
+};
+
+/// Generates a fresh key pair with a modulus of `bits` bits (e = 65537).
+/// Deterministic given the RNG state — tests fix the seed.
+[[nodiscard]] RsaKeyPair rsa_generate(std::size_t bits, Rng& rng);
+
+/// EMSA-PKCS1-v1_5 signature over SHA-256(message).
+/// Returns modulus_bytes() bytes.
+[[nodiscard]] Bytes rsa_sign(const RsaPrivateKey& key, const Bytes& message);
+
+/// Verifies an EMSA-PKCS1-v1_5 / SHA-256 signature. Status with a
+/// diagnostic error on failure (bad length, bad padding, digest
+/// mismatch).
+[[nodiscard]] Status rsa_verify(const RsaPublicKey& key, const Bytes& message,
+                                const Bytes& signature);
+
+/// Raw PKCS#1 v1.5 type-2 encryption of a short payload to the public
+/// key (used by the optional confidential PoC store, not the signature
+/// path). Payload must be <= modulus_bytes() - 11.
+[[nodiscard]] Expected<Bytes> rsa_encrypt(const RsaPublicKey& key,
+                                          const Bytes& payload, Rng& rng);
+
+/// Inverse of rsa_encrypt.
+[[nodiscard]] Expected<Bytes> rsa_decrypt(const RsaPrivateKey& key,
+                                          const Bytes& ciphertext);
+
+}  // namespace tlc::crypto

@@ -1,0 +1,44 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for message digests inside RSA PKCS#1 v1.5 signatures on CDR, CDA
+// and PoC messages, and for key fingerprints. Streaming interface plus a
+// one-shot helper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace tlc::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorbs more input. May be called repeatedly.
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const Bytes& data);
+
+  /// Finalizes and returns the 32-byte digest. The object must not be
+  /// updated afterwards (reset() to reuse).
+  [[nodiscard]] Bytes finish();
+
+  /// Restores the initial state.
+  void reset();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// One-shot digest.
+[[nodiscard]] Bytes sha256(const Bytes& data);
+
+}  // namespace tlc::crypto

@@ -1,0 +1,50 @@
+// Charging Data Records, as produced by the 4G gateway (Trace 1 of the
+// paper).
+//
+// Two encodings are provided:
+//  * XML, matching OpenEPC's <chargingRecord> element byte-for-byte in
+//    structure (Trace 1); and
+//  * a 34-byte compact binary form — the "LTE CDR" row of the paper's
+//    Fig 17 message-size table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "epc/ids.hpp"
+#include "util/bytes.hpp"
+#include "util/expected.hpp"
+#include "util/simtime.hpp"
+
+namespace tlc::epc {
+
+struct ChargingDataRecord {
+  Imsi served_imsi;
+  std::uint32_t gateway_address = 0;  // IPv4, host byte order
+  std::uint16_t charging_id = 0;
+  std::uint32_t sequence_number = 0;
+  SimTime time_of_first_usage = 0;
+  SimTime time_of_last_usage = 0;
+  std::uint64_t datavolume_uplink = 0;
+  std::uint64_t datavolume_downlink = 0;
+
+  [[nodiscard]] SimTime time_usage() const {
+    return time_of_last_usage - time_of_first_usage;
+  }
+
+  /// Trace-1 style XML rendering.
+  [[nodiscard]] std::string to_xml() const;
+
+  /// Compact binary encoding: exactly 34 bytes (the legacy LTE CDR size
+  /// reported in Fig 17).
+  [[nodiscard]] Bytes encode_compact() const;
+  [[nodiscard]] static Expected<ChargingDataRecord> decode_compact(
+      const Bytes& data);
+
+  [[nodiscard]] bool operator==(const ChargingDataRecord& o) const = default;
+};
+
+/// Renders "a.b.c.d" from a host-order IPv4 address.
+[[nodiscard]] std::string format_ipv4(std::uint32_t address);
+
+}  // namespace tlc::epc

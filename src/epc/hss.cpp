@@ -1,0 +1,29 @@
+#include "epc/hss.hpp"
+
+namespace tlc::epc {
+
+void Hss::provision(SubscriberProfile profile) {
+  subscribers_[profile.imsi] = Entry{std::move(profile), false};
+}
+
+void Hss::deprovision(Imsi imsi) { subscribers_.erase(imsi); }
+
+std::optional<SubscriberProfile> Hss::lookup(Imsi imsi) const {
+  auto it = subscribers_.find(imsi);
+  if (it == subscribers_.end()) return std::nullopt;
+  return it->second.profile;
+}
+
+bool Hss::authorize_attach(Imsi imsi) const {
+  auto it = subscribers_.find(imsi);
+  return it != subscribers_.end() && !it->second.barred;
+}
+
+void Hss::set_barred(Imsi imsi, bool barred) {
+  auto it = subscribers_.find(imsi);
+  if (it != subscribers_.end()) {
+    it->second.barred = barred;
+  }
+}
+
+}  // namespace tlc::epc

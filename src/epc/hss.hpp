@@ -1,0 +1,46 @@
+// Home Subscriber Server: the operator's subscriber database.
+//
+// Stores provisioned subscribers and authorizes attach requests from the
+// MME. Deliberately small — the charging experiments only need identity
+// and admission — but kept as a separate function node to mirror the
+// paper's OpenEPC deployment (Fig 11a).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "epc/ids.hpp"
+#include "epc/profiles.hpp"
+
+namespace tlc::epc {
+
+class Hss {
+ public:
+  /// Adds or replaces a subscriber record.
+  void provision(SubscriberProfile profile);
+
+  /// Removes a subscriber; pending sessions are the MME's problem.
+  void deprovision(Imsi imsi);
+
+  [[nodiscard]] std::optional<SubscriberProfile> lookup(Imsi imsi) const;
+
+  /// Attach admission: known and not barred.
+  [[nodiscard]] bool authorize_attach(Imsi imsi) const;
+
+  /// Administrative barring (e.g. operator suspends a delinquent edge
+  /// vendor after a failed negotiation).
+  void set_barred(Imsi imsi, bool barred);
+
+  [[nodiscard]] std::size_t subscriber_count() const {
+    return subscribers_.size();
+  }
+
+ private:
+  struct Entry {
+    SubscriberProfile profile;
+    bool barred = false;
+  };
+  std::unordered_map<Imsi, Entry> subscribers_;
+};
+
+}  // namespace tlc::epc

@@ -1,0 +1,39 @@
+// Identifiers used across the emulated EPC.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace tlc::epc {
+
+/// International Mobile Subscriber Identity. Stored numerically;
+/// formatted as the 15-digit decimal string operators print in CDRs.
+struct Imsi {
+  std::uint64_t value = 0;
+
+  [[nodiscard]] std::string to_string() const {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%015llu",
+                  static_cast<unsigned long long>(value));
+    return buf;
+  }
+
+  [[nodiscard]] bool operator==(const Imsi& o) const { return value == o.value; }
+  [[nodiscard]] bool operator<(const Imsi& o) const { return value < o.value; }
+};
+
+/// GTP tunnel endpoint id assigned by the SPGW per bearer.
+using Teid = std::uint32_t;
+
+/// Application flow id (one workload stream on one device).
+using FlowId = std::uint32_t;
+
+}  // namespace tlc::epc
+
+template <>
+struct std::hash<tlc::epc::Imsi> {
+  std::size_t operator()(const tlc::epc::Imsi& imsi) const noexcept {
+    return std::hash<std::uint64_t>{}(imsi.value);
+  }
+};

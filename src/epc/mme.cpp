@@ -1,0 +1,76 @@
+#include "epc/mme.hpp"
+
+#include "util/logging.hpp"
+
+namespace tlc::epc {
+
+Mme::Mme(sim::Simulator& sim, Hss& hss, MmeParams params)
+    : sim_(sim), hss_(hss), params_(params) {}
+
+bool Mme::register_ue(Imsi imsi, sim::RadioChannel* radio) {
+  if (!hss_.authorize_attach(imsi)) {
+    TLC_WARN("mme") << "attach rejected for IMSI " << imsi.to_string();
+    return false;
+  }
+  UeState& state = ues_[imsi];
+  state.radio = radio;
+  set_attached(imsi, state, true);
+  return true;
+}
+
+void Mme::set_attached(Imsi imsi, UeState& state, bool attached) {
+  if (state.attached == attached) return;
+  state.attached = attached;
+  if (attached) {
+    ++attaches_;
+  } else {
+    ++detaches_;
+  }
+  TLC_INFO("mme") << "IMSI " << imsi.to_string() << " "
+                  << (attached ? "attached" : "detached") << " at "
+                  << format_time(sim_.now());
+  if (on_state_change_) on_state_change_(imsi, attached);
+}
+
+void Mme::start() {
+  if (started_) return;
+  started_ = true;
+  sim_.schedule_after(params_.poll_interval, [this] { poll(); });
+}
+
+void Mme::poll() {
+  const SimTime now = sim_.now();
+  for (auto& [imsi, state] : ues_) {
+    if (state.radio == nullptr) continue;
+    const bool connected = state.radio->connected(now);
+    if (state.attached) {
+      if (!connected) {
+        const SimTime since = state.radio->disconnected_since();
+        if (since >= 0 && now - since >= params_.detach_after) {
+          // Radio link failure: network-initiated detach.
+          set_attached(imsi, state, false);
+        }
+      }
+    } else if (connected && !state.reattach_pending &&
+               hss_.authorize_attach(imsi)) {
+      // Coverage restored: run the attach procedure.
+      state.reattach_pending = true;
+      sim_.schedule_after(params_.attach_delay, [this, imsi] {
+        auto it = ues_.find(imsi);
+        if (it == ues_.end()) return;
+        it->second.reattach_pending = false;
+        if (it->second.radio->connected(sim_.now())) {
+          set_attached(imsi, it->second, true);
+        }
+      });
+    }
+  }
+  sim_.schedule_after(params_.poll_interval, [this] { poll(); });
+}
+
+bool Mme::attached(Imsi imsi) const {
+  auto it = ues_.find(imsi);
+  return it != ues_.end() && it->second.attached;
+}
+
+}  // namespace tlc::epc

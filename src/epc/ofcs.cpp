@@ -1,0 +1,51 @@
+#include "epc/ofcs.hpp"
+
+namespace tlc::epc {
+
+Ofcs::Ofcs(charging::DataPlan plan) : plan_(plan) {}
+
+void Ofcs::ingest(const ChargingDataRecord& cdr) {
+  State& state = subscribers_[cdr.served_imsi];
+  state.archive.push_back(cdr);
+  state.pending_ul += cdr.datavolume_uplink;
+  state.pending_dl += cdr.datavolume_downlink;
+  ++ingested_;
+}
+
+BillLine Ofcs::close_cycle(Imsi imsi) {
+  State& state = subscribers_[imsi];
+  BillLine line;
+  line.cycle_index = state.next_cycle++;
+  line.gateway_volume = state.pending_ul + state.pending_dl;
+  state.pending_ul = 0;
+  state.pending_dl = 0;
+
+  line.billed_volume =
+      hook_ ? hook_(imsi, line.cycle_index, line.gateway_volume)
+            : line.gateway_volume;
+  line.amount = static_cast<double>(line.billed_volume) / 1e6 *
+                plan_.price_per_mb;
+
+  state.billing.total_billed_bytes += line.billed_volume;
+  state.billing.total_amount += line.amount;
+  // Quota check for "unlimited" plans: beyond the quota the subscriber
+  // keeps service but is throttled (§2.1: e.g. 128 kbps after 15 GB).
+  state.billing.throttled =
+      state.billing.total_billed_bytes > plan_.quota_bytes;
+  line.throttled = state.billing.throttled;
+
+  state.billing.lines.push_back(line);
+  return line;
+}
+
+const SubscriberBilling* Ofcs::billing(Imsi imsi) const {
+  auto it = subscribers_.find(imsi);
+  return it == subscribers_.end() ? nullptr : &it->second.billing;
+}
+
+const std::vector<ChargingDataRecord>* Ofcs::archive(Imsi imsi) const {
+  auto it = subscribers_.find(imsi);
+  return it == subscribers_.end() ? nullptr : &it->second.archive;
+}
+
+}  // namespace tlc::epc

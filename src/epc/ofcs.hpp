@@ -1,0 +1,88 @@
+// Offline Charging System (OFCS).
+//
+// The function node the paper extends with TLC (§6: "an extended policy
+// of LTE offline charging functions"). The SPGW pushes CDRs here; the
+// OFCS archives them per subscriber, rates them into bills under the
+// data plan (including the "unlimited" plan's quota-then-throttle
+// behaviour of §2.1), and exposes the post-processing hook where TLC's
+// loss-selfishness cancellation replaces the raw gateway volume with
+// the negotiated x.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "charging/plan.hpp"
+#include "epc/cdr.hpp"
+#include "epc/ids.hpp"
+
+namespace tlc::epc {
+
+/// One rated charging cycle for a subscriber.
+struct BillLine {
+  std::uint32_t cycle_index = 0;
+  /// Raw gateway volume aggregated from the cycle's CDRs.
+  std::uint64_t gateway_volume = 0;
+  /// Volume actually billed (equals gateway_volume in legacy mode; the
+  /// TLC hook substitutes the negotiated x).
+  std::uint64_t billed_volume = 0;
+  double amount = 0.0;  // currency units
+  bool throttled = false;
+};
+
+struct SubscriberBilling {
+  std::vector<BillLine> lines;
+  std::uint64_t total_billed_bytes = 0;
+  double total_amount = 0.0;
+  /// Whether the subscriber is currently speed-limited (quota hit).
+  bool throttled = false;
+};
+
+class Ofcs {
+ public:
+  /// TLC post-processing hook: given the cycle's aggregated gateway
+  /// volume, returns the billed volume (the negotiated x). Absent hook
+  /// = legacy billing.
+  using ChargeHook = std::function<std::uint64_t(
+      Imsi, std::uint32_t cycle_index, std::uint64_t gateway_volume)>;
+
+  explicit Ofcs(charging::DataPlan plan);
+
+  /// Ingests a CDR from the gateway (any number per cycle).
+  void ingest(const ChargingDataRecord& cdr);
+
+  /// Installs the TLC policy (§6). Replaces any previous hook.
+  void set_charge_hook(ChargeHook hook) { hook_ = std::move(hook); }
+
+  /// Closes the current cycle for `imsi`: aggregates its pending CDRs,
+  /// applies the hook, rates the bill, updates quota/throttle state.
+  /// Returns the new bill line (zero-volume cycles still produce one).
+  BillLine close_cycle(Imsi imsi);
+
+  [[nodiscard]] const SubscriberBilling* billing(Imsi imsi) const;
+  /// CDRs archived for a subscriber (the audit trail; unauthenticated
+  /// in legacy 4G/5G, which is what TLC's PoC fixes).
+  [[nodiscard]] const std::vector<ChargingDataRecord>* archive(
+      Imsi imsi) const;
+
+  [[nodiscard]] const charging::DataPlan& plan() const { return plan_; }
+  [[nodiscard]] std::uint64_t cdrs_ingested() const { return ingested_; }
+
+ private:
+  struct State {
+    std::vector<ChargingDataRecord> archive;
+    std::uint64_t pending_ul = 0;
+    std::uint64_t pending_dl = 0;
+    std::uint32_t next_cycle = 0;
+    SubscriberBilling billing;
+  };
+
+  charging::DataPlan plan_;
+  ChargeHook hook_;
+  std::unordered_map<Imsi, State> subscribers_;
+  std::uint64_t ingested_ = 0;
+};
+
+}  // namespace tlc::epc

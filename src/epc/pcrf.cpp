@@ -1,0 +1,18 @@
+#include "epc/pcrf.hpp"
+
+namespace tlc::epc {
+
+void Pcrf::install_rule(FlowId flow, sim::Qci qci) { rules_[flow] = qci; }
+
+void Pcrf::remove_rule(FlowId flow) { rules_.erase(flow); }
+
+sim::Qci Pcrf::qci_for(FlowId flow) const {
+  auto it = rules_.find(flow);
+  return it == rules_.end() ? sim::Qci::kQci9 : it->second;
+}
+
+SimTime Pcrf::delay_budget(FlowId flow) const {
+  return sim::qci_delay_budget(qci_for(flow));
+}
+
+}  // namespace tlc::epc

@@ -1,0 +1,36 @@
+// Policy and Charging Rules Function.
+//
+// Maps application flows to QoS classes — this is how the Tencent-style
+// gaming acceleration of §2.2 works: the game requests a dedicated
+// high-QoS session (QCI 3/7) while background traffic rides QCI 9.
+// The eNodeB scheduler consumes these rules for strict-priority service.
+#pragma once
+
+#include <unordered_map>
+
+#include "epc/ids.hpp"
+#include "sim/packet.hpp"
+
+namespace tlc::epc {
+
+class Pcrf {
+ public:
+  /// Installs (or replaces) the QoS rule for a flow.
+  void install_rule(FlowId flow, sim::Qci qci);
+
+  /// Removes a rule; the flow falls back to default bearer QCI 9.
+  void remove_rule(FlowId flow);
+
+  /// QCI for a flow; QCI 9 (default bearer) when no dedicated rule.
+  [[nodiscard]] sim::Qci qci_for(FlowId flow) const;
+
+  /// Packet delay budget implied by the flow's QCI (TS 23.203).
+  [[nodiscard]] SimTime delay_budget(FlowId flow) const;
+
+  [[nodiscard]] std::size_t rule_count() const { return rules_.size(); }
+
+ private:
+  std::unordered_map<FlowId, sim::Qci> rules_;
+};
+
+}  // namespace tlc::epc

@@ -1,0 +1,28 @@
+#include "epc/profiles.hpp"
+
+namespace tlc::epc {
+
+// crypto_scale values are the paper's Fig 17 PoC verification times
+// normalized to the Z840 (15.7 ms): EL20 23.2 ms, Pixel 2 XL 75.6 ms,
+// S7 Edge 58.3 ms.
+DeviceProfile device_el20() {
+  return DeviceProfile{"EL20", 23.2 / 15.7, 36 * kMillisecond, 5.0};
+}
+
+DeviceProfile device_pixel2xl() {
+  return DeviceProfile{"Pixel 2XL", 75.6 / 15.7, 52 * kMillisecond, 8.0};
+}
+
+DeviceProfile device_s7edge() {
+  return DeviceProfile{"S7 Edge", 58.3 / 15.7, 46 * kMillisecond, 7.0};
+}
+
+DeviceProfile device_z840() {
+  return DeviceProfile{"Z840", 1.0, 2 * kMillisecond, 0.3};
+}
+
+std::vector<DeviceProfile> all_devices() {
+  return {device_el20(), device_pixel2xl(), device_s7edge(), device_z840()};
+}
+
+}  // namespace tlc::epc

@@ -1,0 +1,40 @@
+// Device and subscriber profiles mirroring the paper's testbed (§7,
+// Figure 11): an HPE EL20 IoT gateway, a Samsung S7 Edge, a Google
+// Pixel 2 XL, and the HP Z840 workstation hosting the LTE core + edge
+// server.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "epc/ids.hpp"
+#include "util/simtime.hpp"
+
+namespace tlc::epc {
+
+/// Hardware profile for latency/crypto cost modelling (Figs 16a, 17).
+/// `crypto_scale` multiplies crypto time measured on the host so the
+/// relative device costs match the paper's measurements (normalized to
+/// the Z840 workstation).
+struct DeviceProfile {
+  std::string name;
+  double crypto_scale = 1.0;
+  SimTime base_rtt = 40 * kMillisecond;  // device <-> edge server via LTE
+  double rtt_jitter_ms = 6.0;
+};
+
+/// The paper's four hardware platforms.
+[[nodiscard]] DeviceProfile device_el20();
+[[nodiscard]] DeviceProfile device_pixel2xl();
+[[nodiscard]] DeviceProfile device_s7edge();
+[[nodiscard]] DeviceProfile device_z840();
+[[nodiscard]] std::vector<DeviceProfile> all_devices();
+
+/// Subscriber record provisioned in the HSS.
+struct SubscriberProfile {
+  Imsi imsi;
+  std::string name;
+  DeviceProfile device;
+};
+
+}  // namespace tlc::epc

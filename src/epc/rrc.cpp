@@ -1,0 +1,59 @@
+#include "epc/rrc.hpp"
+
+#include "util/serde.hpp"
+
+namespace tlc::epc {
+
+Bytes RrcCounterCheck::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(RrcMessageType::CounterCheck));
+  w.u32(transaction_id);
+  return w.take();
+}
+
+Expected<RrcCounterCheck> RrcCounterCheck::decode(const Bytes& wire) {
+  ByteReader r(wire);
+  auto type = r.u8();
+  if (!type) return Err("rrc: " + type.error());
+  if (*type != static_cast<std::uint8_t>(RrcMessageType::CounterCheck)) {
+    return Err("rrc: not a CounterCheck");
+  }
+  auto id = r.u32();
+  if (!id) return Err("rrc: " + id.error());
+  if (!r.exhausted()) return Err("rrc: trailing bytes");
+  return RrcCounterCheck{*id};
+}
+
+Bytes RrcCounterCheckResponse::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(RrcMessageType::CounterCheckResponse));
+  w.u32(transaction_id);
+  w.u64(uplink_bytes);
+  w.u64(downlink_bytes);
+  return w.take();
+}
+
+Expected<RrcCounterCheckResponse> RrcCounterCheckResponse::decode(
+    const Bytes& wire) {
+  ByteReader r(wire);
+  auto type = r.u8();
+  if (!type) return Err("rrc: " + type.error());
+  if (*type !=
+      static_cast<std::uint8_t>(RrcMessageType::CounterCheckResponse)) {
+    return Err("rrc: not a CounterCheckResponse");
+  }
+  RrcCounterCheckResponse response;
+  auto id = r.u32();
+  if (!id) return Err("rrc: " + id.error());
+  response.transaction_id = *id;
+  auto ul = r.u64();
+  if (!ul) return Err("rrc: " + ul.error());
+  response.uplink_bytes = *ul;
+  auto dl = r.u64();
+  if (!dl) return Err("rrc: " + dl.error());
+  response.downlink_bytes = *dl;
+  if (!r.exhausted()) return Err("rrc: trailing bytes");
+  return response;
+}
+
+}  // namespace tlc::epc

@@ -1,0 +1,46 @@
+// RRC COUNTER CHECK messages (TS 36.331 §5.3.6, simplified).
+//
+// §5.4's tamper-resilient monitor rides this procedure: the base
+// station sends a COUNTER CHECK over the radio connection, the hardware
+// modem answers with its cumulative PDCP counts. The messages here are
+// concrete wire structs (not just function calls) so the procedure's
+// encoding is testable and the transaction-id matching is explicit.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+#include "util/expected.hpp"
+
+namespace tlc::epc {
+
+enum class RrcMessageType : std::uint8_t {
+  CounterCheck = 1,
+  CounterCheckResponse = 2,
+};
+
+/// Network -> UE: report your PDCP COUNT values.
+struct RrcCounterCheck {
+  std::uint32_t transaction_id = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static Expected<RrcCounterCheck> decode(const Bytes& wire);
+  [[nodiscard]] bool operator==(const RrcCounterCheck& o) const = default;
+};
+
+/// UE -> network: the modem's cumulative counters. In real RRC these
+/// are per-DRB COUNT values; the charging monitor needs the byte
+/// aggregates.
+struct RrcCounterCheckResponse {
+  std::uint32_t transaction_id = 0;
+  std::uint64_t uplink_bytes = 0;
+  std::uint64_t downlink_bytes = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static Expected<RrcCounterCheckResponse> decode(
+      const Bytes& wire);
+  [[nodiscard]] bool operator==(const RrcCounterCheckResponse& o) const =
+      default;
+};
+
+}  // namespace tlc::epc

@@ -1,0 +1,82 @@
+#include "epc/spgw.hpp"
+
+namespace tlc::epc {
+
+Spgw::Spgw(sim::Simulator& sim, EnodeB& enodeb, SpgwParams params)
+    : sim_(sim), enodeb_(enodeb), params_(params), s1_link_(sim, params.s1_link) {
+  enodeb_.set_uplink_sink([this](Imsi imsi, const sim::Packet& packet) {
+    uplink_from_enodeb(imsi, packet);
+  });
+}
+
+void Spgw::create_session(Imsi imsi) { sessions_[imsi].active = true; }
+
+void Spgw::close_session(Imsi imsi) {
+  auto it = sessions_.find(imsi);
+  if (it != sessions_.end()) it->second.active = false;
+}
+
+bool Spgw::has_session(Imsi imsi) const {
+  auto it = sessions_.find(imsi);
+  return it != sessions_.end() && it->second.active;
+}
+
+void Spgw::downlink_submit(Imsi imsi, const sim::Packet& packet) {
+  auto it = sessions_.find(imsi);
+  if (it == sessions_.end() || !it->second.active) {
+    ++discarded_detached_;
+    return;
+  }
+  Session& session = it->second;
+  // Charge first — this ordering is the root of the downlink gap.
+  session.dl_bytes += packet.size_bytes;
+  if (session.first_usage < 0) session.first_usage = sim_.now();
+  session.last_usage = sim_.now();
+
+  s1_link_.send(packet, [this, imsi](const sim::Packet& delivered) {
+    enodeb_.downlink_submit(imsi, delivered);
+  });
+}
+
+void Spgw::uplink_from_enodeb(Imsi imsi, const sim::Packet& packet) {
+  auto it = sessions_.find(imsi);
+  if (it == sessions_.end() || !it->second.active) {
+    ++discarded_detached_;
+    return;
+  }
+  Session& session = it->second;
+  session.ul_bytes += packet.size_bytes;
+  if (session.first_usage < 0) session.first_usage = sim_.now();
+  session.last_usage = sim_.now();
+
+  if (server_sink_) server_sink_(imsi, packet);
+}
+
+std::uint64_t Spgw::uplink_bytes(Imsi imsi) const {
+  auto it = sessions_.find(imsi);
+  return it == sessions_.end() ? 0 : it->second.ul_bytes;
+}
+
+std::uint64_t Spgw::downlink_bytes(Imsi imsi) const {
+  auto it = sessions_.find(imsi);
+  return it == sessions_.end() ? 0 : it->second.dl_bytes;
+}
+
+ChargingDataRecord Spgw::generate_cdr(Imsi imsi) {
+  Session& session = sessions_[imsi];
+  ChargingDataRecord cdr;
+  cdr.served_imsi = imsi;
+  cdr.gateway_address = params_.gateway_address;
+  cdr.charging_id = params_.charging_id;
+  cdr.sequence_number = session.next_sequence++;
+  cdr.time_of_first_usage = session.first_usage < 0 ? 0 : session.first_usage;
+  cdr.time_of_last_usage = session.last_usage;
+  cdr.datavolume_uplink = session.ul_bytes - session.ul_reported;
+  cdr.datavolume_downlink = session.dl_bytes - session.dl_reported;
+  session.ul_reported = session.ul_bytes;
+  session.dl_reported = session.dl_bytes;
+  session.first_usage = -1;
+  return cdr;
+}
+
+}  // namespace tlc::epc

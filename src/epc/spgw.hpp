@@ -1,0 +1,97 @@
+// Serving/PDN gateway (S-GW/P-GW collapsed, as in OpenEPC's SPGW node).
+//
+// This is where legacy 4G/5G charging happens (§2.1): the gateway
+// forwards edge traffic and counts usage per subscriber, per direction.
+// Crucially for the charging gap:
+//  * downlink packets are counted *before* they cross the S1 link, the
+//    eNodeB queue and the air — losses beyond this point have already
+//    been charged;
+//  * uplink packets are counted on arrival from the eNodeB — losses over
+//    the air were never charged;
+//  * traffic for a detached UE is discarded uncharged (the MME's
+//    radio-link-failure detach caps outage-induced over-charging, §3.2).
+//
+// The gateway emits Trace-1-style CDRs per charging cycle. A
+// "selfish operator" in the paper can rewrite these records at will —
+// reproduced in tests by editing the returned CDR, since nothing in
+// legacy 4G/5G authenticates it.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "epc/cdr.hpp"
+#include "epc/enodeb.hpp"
+#include "epc/ids.hpp"
+#include "sim/link.hpp"
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace tlc::epc {
+
+struct SpgwParams {
+  std::uint32_t gateway_address = (192u << 24) | (168u << 16) | (2u << 8) | 11u;
+  std::uint16_t charging_id = 0;
+  /// S1-U link to the eNodeB (1 Gbps Ethernet in the paper's testbed).
+  sim::LinkParams s1_link{1e9, 500 * kMicrosecond, 4u << 20};
+};
+
+class Spgw {
+ public:
+  /// Uplink traffic leaving the core toward the edge server.
+  using ServerSinkFn = std::function<void(Imsi, const sim::Packet&)>;
+
+  Spgw(sim::Simulator& sim, EnodeB& enodeb, SpgwParams params = {});
+
+  void set_server_sink(ServerSinkFn sink) { server_sink_ = std::move(sink); }
+
+  /// Creates the charging session for a subscriber (on attach).
+  void create_session(Imsi imsi);
+  /// Tears the session down (on detach). Usage survives for CDR export.
+  void close_session(Imsi imsi);
+  [[nodiscard]] bool has_session(Imsi imsi) const;
+
+  /// Downlink entry point: edge server -> core. Counted here, then
+  /// forwarded over S1 to the eNodeB.
+  void downlink_submit(Imsi imsi, const sim::Packet& packet);
+
+  /// Uplink exit point, wired as the eNodeB's uplink sink. Counted here,
+  /// then handed to the edge server.
+  void uplink_from_enodeb(Imsi imsi, const sim::Packet& packet);
+
+  /// Cumulative charged volume for a subscriber.
+  [[nodiscard]] std::uint64_t uplink_bytes(Imsi imsi) const;
+  [[nodiscard]] std::uint64_t downlink_bytes(Imsi imsi) const;
+
+  /// Generates the next CDR for `imsi`, covering usage since the last
+  /// generate_cdr call (sequence numbers increase monotonically).
+  [[nodiscard]] ChargingDataRecord generate_cdr(Imsi imsi);
+
+  /// Packets discarded because the subscriber had no session.
+  [[nodiscard]] std::uint64_t discarded_detached() const {
+    return discarded_detached_;
+  }
+
+ private:
+  struct Session {
+    bool active = false;
+    std::uint64_t ul_bytes = 0;
+    std::uint64_t dl_bytes = 0;
+    // Cycle bookkeeping for CDR generation.
+    std::uint64_t ul_reported = 0;
+    std::uint64_t dl_reported = 0;
+    std::uint32_t next_sequence = 1000;  // OpenEPC starts near 1000
+    SimTime first_usage = -1;
+    SimTime last_usage = 0;
+  };
+
+  sim::Simulator& sim_;
+  EnodeB& enodeb_;
+  SpgwParams params_;
+  sim::Link s1_link_;
+  ServerSinkFn server_sink_;
+  std::unordered_map<Imsi, Session> sessions_;
+  std::uint64_t discarded_detached_ = 0;
+};
+
+}  // namespace tlc::epc

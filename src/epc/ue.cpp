@@ -1,0 +1,53 @@
+#include "epc/ue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tlc::epc {
+
+UeDevice::UeDevice(sim::Simulator& sim, Imsi imsi, DeviceProfile profile,
+                   sim::RadioChannel* radio, EnodeB* enodeb, Rng rng)
+    : sim_(sim),
+      imsi_(imsi),
+      profile_(std::move(profile)),
+      radio_(radio),
+      enodeb_(enodeb),
+      rng_(rng) {}
+
+SimTime UeDevice::processing_delay() {
+  const double jitter_ms =
+      std::abs(rng_.gaussian(0.0, profile_.rtt_jitter_ms / 2.0));
+  return profile_.base_rtt / 2 + from_millis(jitter_ms);
+}
+
+void UeDevice::app_send(const sim::Packet& packet) {
+  app_tx_bytes_ += packet.size_bytes;
+  sim_.schedule_after(processing_delay(), [this, packet] {
+    if (!attached_ || !radio_->connected(sim_.now())) {
+      ++modem_dropped_;
+      return;
+    }
+    modem_tx_bytes_ += packet.size_bytes;
+    enodeb_->uplink_submit(imsi_, packet);
+  });
+}
+
+void UeDevice::modem_deliver(const sim::Packet& packet) {
+  modem_rx_bytes_ += packet.size_bytes;
+  sim_.schedule_after(processing_delay(), [this, packet] {
+    app_rx_bytes_ += packet.size_bytes;
+    if (on_app_receive_) on_app_receive_(packet);
+  });
+}
+
+std::uint64_t UeDevice::traffic_stats_tx() const {
+  return static_cast<std::uint64_t>(
+      static_cast<double>(app_tx_bytes_) * std::clamp(tamper_factor_, 0.0, 1.0));
+}
+
+std::uint64_t UeDevice::traffic_stats_rx() const {
+  return static_cast<std::uint64_t>(
+      static_cast<double>(app_rx_bytes_) * std::clamp(tamper_factor_, 0.0, 1.0));
+}
+
+}  // namespace tlc::epc

@@ -1,0 +1,94 @@
+// User equipment (edge device).
+//
+// Owns the three counting points §5.4 distinguishes:
+//  * the application's own counters (ground truth for what the edge app
+//    sent/received — the edge vendor's x̂e on the uplink);
+//  * the user-space TrafficStats API (what a monitor app can query —
+//    tamperable by a selfish edge, modelled with an under-report
+//    factor);
+//  * the hardware modem counters (tamper-resilient; queried by the
+//    eNodeB's RRC COUNTER CHECK — the operator's downlink x̂o).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "epc/enodeb.hpp"
+#include "epc/ids.hpp"
+#include "epc/profiles.hpp"
+#include "sim/packet.hpp"
+#include "sim/radio.hpp"
+#include "sim/simulator.hpp"
+
+namespace tlc::epc {
+
+class UeDevice final : public RrcEndpoint {
+ public:
+  using AppReceiveFn = std::function<void(const sim::Packet&)>;
+
+  UeDevice(sim::Simulator& sim, Imsi imsi, DeviceProfile profile,
+           sim::RadioChannel* radio, EnodeB* enodeb, Rng rng);
+
+  [[nodiscard]] Imsi imsi() const { return imsi_; }
+  [[nodiscard]] const DeviceProfile& profile() const { return profile_; }
+
+  /// EMM attach state, driven by the MME.
+  void set_attached(bool attached) { attached_ = attached; }
+  [[nodiscard]] bool attached() const { return attached_; }
+
+  /// Application-layer uplink send. Always counted as app-sent (the
+  /// data was produced and handed to the stack); dropped at the modem
+  /// when the device is detached or out of coverage.
+  void app_send(const sim::Packet& packet);
+
+  /// Delivery callback for downlink packets that reach the app.
+  void set_app_receive_handler(AppReceiveFn handler) {
+    on_app_receive_ = std::move(handler);
+  }
+
+  // --- RrcEndpoint (hardware modem) ---
+  [[nodiscard]] std::uint64_t modem_tx_bytes() const override {
+    return modem_tx_bytes_;
+  }
+  [[nodiscard]] std::uint64_t modem_rx_bytes() const override {
+    return modem_rx_bytes_;
+  }
+  void modem_deliver(const sim::Packet& packet) override;
+
+  // --- Ground-truth application counters ---
+  [[nodiscard]] std::uint64_t app_tx_bytes() const { return app_tx_bytes_; }
+  [[nodiscard]] std::uint64_t app_rx_bytes() const { return app_rx_bytes_; }
+
+  // --- User-space TrafficStats API (strawman 1 of §5.4) ---
+  /// A selfish edge with a custom OS image can scale these reads down;
+  /// factor 1.0 = honest, 0.8 = under-report by 20%.
+  void set_traffic_stats_tamper(double factor) { tamper_factor_ = factor; }
+  [[nodiscard]] std::uint64_t traffic_stats_tx() const;
+  [[nodiscard]] std::uint64_t traffic_stats_rx() const;
+
+  /// Uplink packets dropped at the modem (detached / out of coverage).
+  [[nodiscard]] std::uint64_t modem_dropped() const { return modem_dropped_; }
+
+ private:
+  /// Device-side processing latency (profile base RTT split per leg,
+  /// with jitter) — gives Fig 16a its per-device RTT differences.
+  [[nodiscard]] SimTime processing_delay();
+
+  sim::Simulator& sim_;
+  Imsi imsi_;
+  DeviceProfile profile_;
+  sim::RadioChannel* radio_;
+  EnodeB* enodeb_;
+  Rng rng_;
+  bool attached_ = false;
+  AppReceiveFn on_app_receive_;
+
+  std::uint64_t app_tx_bytes_ = 0;
+  std::uint64_t app_rx_bytes_ = 0;
+  std::uint64_t modem_tx_bytes_ = 0;
+  std::uint64_t modem_rx_bytes_ = 0;
+  std::uint64_t modem_dropped_ = 0;
+  double tamper_factor_ = 1.0;
+};
+
+}  // namespace tlc::epc

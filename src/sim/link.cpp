@@ -1,0 +1,44 @@
+#include "sim/link.hpp"
+
+#include <algorithm>
+
+namespace tlc::sim {
+
+Link::Link(Simulator& sim, LinkParams params) : sim_(sim), params_(params) {}
+
+SimTime Link::serialization_time(std::uint32_t bytes) const {
+  const double seconds = static_cast<double>(bytes) * 8.0 / params_.rate_bps;
+  return from_seconds(seconds);
+}
+
+SimTime Link::current_delay(std::uint32_t bytes) const {
+  const SimTime queue_wait = std::max<SimTime>(busy_until_ - sim_.now(), 0);
+  return queue_wait + serialization_time(bytes) + params_.propagation_delay;
+}
+
+bool Link::send(const Packet& packet, DeliverFn on_deliver) {
+  if (queued_bytes_ + packet.size_bytes > params_.queue_limit_bytes) {
+    ++dropped_;
+    if (on_drop_) on_drop_(packet);
+    return false;
+  }
+  queued_bytes_ += packet.size_bytes;
+
+  const SimTime start = std::max(busy_until_, sim_.now());
+  const SimTime tx_done = start + serialization_time(packet.size_bytes);
+  busy_until_ = tx_done;
+
+  // Dequeue accounting when serialization completes ...
+  sim_.schedule_at(tx_done, [this, size = packet.size_bytes] {
+    queued_bytes_ -= std::min(queued_bytes_, size);
+  });
+  // ... delivery after propagation.
+  sim_.schedule_at(tx_done + params_.propagation_delay,
+                   [this, packet, deliver = std::move(on_deliver)] {
+                     ++delivered_;
+                     if (deliver) deliver(packet);
+                   });
+  return true;
+}
+
+}  // namespace tlc::sim

@@ -1,0 +1,60 @@
+// Point-to-point link with finite rate, propagation delay and a
+// drop-tail queue.
+//
+// Links model the wired segments of the testbed (eNodeB <-> SPGW S1-U,
+// SPGW <-> edge server Ethernet) and serve as the serialization stage of
+// the air interface behind the eNodeB scheduler. IP-layer congestion
+// loss (§3.1 cause 3) happens here: packets arriving to a full queue are
+// dropped *after* the upstream charging point saw them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/simtime.hpp"
+
+namespace tlc::sim {
+
+struct LinkParams {
+  double rate_bps = 1e9;                     // serialization rate
+  SimTime propagation_delay = kMillisecond;  // one-way latency
+  std::uint32_t queue_limit_bytes = 256 * 1024;
+};
+
+class Link {
+ public:
+  using DeliverFn = std::function<void(const Packet&)>;
+  using DropFn = std::function<void(const Packet&)>;
+
+  Link(Simulator& sim, LinkParams params);
+
+  /// Enqueues `packet`; `on_deliver` fires after queueing +
+  /// serialization + propagation. Returns false (and invokes the drop
+  /// handler) when the queue is full.
+  bool send(const Packet& packet, DeliverFn on_deliver);
+
+  /// Observer for drop-tail losses (charging-gap accounting).
+  void set_drop_handler(DropFn handler) { on_drop_ = std::move(handler); }
+
+  [[nodiscard]] std::uint32_t queued_bytes() const { return queued_bytes_; }
+  [[nodiscard]] std::uint64_t delivered_packets() const { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped_packets() const { return dropped_; }
+
+  /// Queueing + serialization delay a packet of `bytes` would see now.
+  [[nodiscard]] SimTime current_delay(std::uint32_t bytes) const;
+
+ private:
+  [[nodiscard]] SimTime serialization_time(std::uint32_t bytes) const;
+
+  Simulator& sim_;
+  LinkParams params_;
+  SimTime busy_until_ = 0;
+  std::uint32_t queued_bytes_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  DropFn on_drop_;
+};
+
+}  // namespace tlc::sim

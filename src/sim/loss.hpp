@@ -1,0 +1,68 @@
+// Packet loss models.
+//
+// §3.1 of the paper taxonomizes loss across layers; in the emulation all
+// of them reduce to stochastic per-packet drop processes at the right
+// place in the path: Bernoulli (steady-state residual loss),
+// Gilbert-Elliott (bursty air-interface loss), and an RSS-to-BLER curve
+// for signal-strength-driven loss (Figs 3, 4, 13, 14 sweep these).
+#pragma once
+
+#include <memory>
+
+#include "sim/packet.hpp"
+#include "util/rng.hpp"
+#include "util/simtime.hpp"
+
+namespace tlc::sim {
+
+/// Decides whether one packet is lost. Implementations may keep state
+/// (burst models); each call represents one transmission attempt in time
+/// order.
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  [[nodiscard]] virtual bool should_drop(const Packet& packet,
+                                         SimTime now) = 0;
+};
+
+/// Independent drops with fixed probability.
+class BernoulliLoss final : public LossModel {
+ public:
+  BernoulliLoss(double probability, Rng rng);
+  [[nodiscard]] bool should_drop(const Packet& packet, SimTime now) override;
+
+ private:
+  double probability_;
+  Rng rng_;
+};
+
+/// Two-state Markov burst loss (Gilbert-Elliott). The chain transitions
+/// per packet; the bad state models deep fades / HARQ exhaustion.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  struct Params {
+    double p_good_to_bad = 0.005;
+    double p_bad_to_good = 0.20;
+    double loss_in_good = 0.001;
+    double loss_in_bad = 0.50;
+  };
+
+  GilbertElliottLoss(Params params, Rng rng);
+  [[nodiscard]] bool should_drop(const Packet& packet, SimTime now) override;
+
+  [[nodiscard]] bool in_bad_state() const { return bad_; }
+
+ private:
+  Params params_;
+  Rng rng_;
+  bool bad_ = false;
+};
+
+/// Residual block-error probability as a function of received signal
+/// strength (dBm). Calibrated so that the "good radio" regime of the
+/// paper (RSS >= -95 dBm) yields the small single-digit-percent gap of
+/// Fig 3, ramping steeply below -105 dBm as link adaptation runs out of
+/// MCS headroom.
+[[nodiscard]] double bler_from_rss(double rss_dbm);
+
+}  // namespace tlc::sim

@@ -1,0 +1,45 @@
+#include "sim/mobility.hpp"
+
+#include <algorithm>
+
+namespace tlc::sim {
+
+double handover_interval_s(const MobilityParams& params) {
+  if (params.speed_mps <= 0.0) return 0.0;
+  // Mean chord across a cell of radius R is ~(pi/2) R; the crossing
+  // time sets the handover cadence.
+  return (3.14159265 / 2.0) * params.cell_radius_m / params.speed_mps;
+}
+
+MobilityModel::MobilityModel(MobilityParams params, Rng rng)
+    : params_(params), rng_(rng) {
+  const double interval = handover_interval_s(params_);
+  if (interval > 0.0) {
+    next_handover_ = from_seconds(rng_.exponential(interval));
+  }
+}
+
+void MobilityModel::advance_to(SimTime t) {
+  if (next_handover_ < 0) return;
+  while (next_handover_ <= t) {
+    ++handovers_;
+    const bool failed = rng_.chance(params_.failure_prob);
+    if (failed) ++failures_;
+    const SimTime duration =
+        failed ? from_seconds(params_.failure_outage_s)
+               : from_millis(params_.interruption_ms);
+    interruption_until_ = std::max(interruption_until_,
+                                   next_handover_ + duration);
+    total_ += duration;
+    const double interval = handover_interval_s(params_);
+    next_handover_ += from_seconds(std::max(
+        0.5, rng_.exponential(interval)));
+  }
+}
+
+bool MobilityModel::in_interruption(SimTime t) {
+  advance_to(t);
+  return t < interruption_until_;
+}
+
+}  // namespace tlc::sim

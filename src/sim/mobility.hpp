@@ -1,0 +1,60 @@
+// Device mobility and handovers (§3.1 loss cause 2).
+//
+// A moving device periodically crosses cell borders; each handover
+// interrupts the radio for tens of milliseconds (break-before-make),
+// and occasionally fails outright, costing a re-establishment outage.
+// The model converts speed and cell geometry into a handover process
+// that the radio channel superimposes on its fading/outage state.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/simtime.hpp"
+
+namespace tlc::sim {
+
+struct MobilityParams {
+  /// Device speed. 0 disables handovers (static camera); ~1.4 walks,
+  /// ~16.7 is highway driving (the §2.2 targeted-ad cars).
+  double speed_mps = 0.0;
+  /// Typical distance between handover points (small-cell deployments
+  /// are dense).
+  double cell_radius_m = 300.0;
+  /// Interruption per successful handover.
+  double interruption_ms = 55.0;
+  /// Probability a handover fails and needs RRC re-establishment.
+  double failure_prob = 0.03;
+  /// Outage on a failed handover.
+  double failure_outage_s = 1.0;
+};
+
+/// Expected time between handovers for this mobility pattern.
+[[nodiscard]] double handover_interval_s(const MobilityParams& params);
+
+/// Generates the handover interruption process.
+class MobilityModel {
+ public:
+  MobilityModel(MobilityParams params, Rng rng);
+
+  /// Whether the device is inside a handover interruption at `t`
+  /// (advances internal state; queries must be monotone).
+  [[nodiscard]] bool in_interruption(SimTime t);
+
+  [[nodiscard]] std::uint64_t handovers() const { return handovers_; }
+  [[nodiscard]] std::uint64_t failed_handovers() const { return failures_; }
+  [[nodiscard]] SimTime total_interruption() const { return total_; }
+
+ private:
+  void advance_to(SimTime t);
+
+  MobilityParams params_;
+  Rng rng_;
+  SimTime next_handover_ = -1;  // -1: disabled
+  SimTime interruption_until_ = -1;
+  std::uint64_t handovers_ = 0;
+  std::uint64_t failures_ = 0;
+  SimTime total_ = 0;
+};
+
+}  // namespace tlc::sim

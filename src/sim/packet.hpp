@@ -1,0 +1,57 @@
+// Packet model.
+//
+// The charging problem only depends on packet identity, size, direction
+// and QoS class — payload contents never matter — so packets are a small
+// value type and the simulator moves them by copy.
+#pragma once
+
+#include <cstdint>
+
+#include "util/simtime.hpp"
+
+namespace tlc::sim {
+
+/// Direction relative to the device: uplink = device -> server.
+enum class Direction : std::uint8_t { Uplink, Downlink };
+
+[[nodiscard]] constexpr const char* direction_name(Direction d) {
+  return d == Direction::Uplink ? "UL" : "DL";
+}
+
+/// LTE QoS Class Identifier. The paper's experiments use QCI 3/7
+/// (gaming, 50/100 ms delay budget) and QCI 9 (best-effort background).
+enum class Qci : std::uint8_t {
+  kQci3 = 3,  // real-time gaming, GBR, 50 ms budget
+  kQci7 = 7,  // voice / interactive gaming, non-GBR, 100 ms budget
+  kQci9 = 9,  // default best-effort
+};
+
+/// Strict-priority rank: lower value served first. 3GPP TS 23.203 gives
+/// QCI 3 priority 3, QCI 7 priority 7, QCI 9 priority 9.
+[[nodiscard]] constexpr int qci_priority(Qci qci) {
+  return static_cast<int>(qci);
+}
+
+/// Per-QCI packet delay budget from TS 23.203 Table 6.1.7.
+[[nodiscard]] constexpr SimTime qci_delay_budget(Qci qci) {
+  switch (qci) {
+    case Qci::kQci3:
+      return 50 * kMillisecond;
+    case Qci::kQci7:
+      return 100 * kMillisecond;
+    case Qci::kQci9:
+      return 300 * kMillisecond;
+  }
+  return 300 * kMillisecond;
+}
+
+struct Packet {
+  std::uint64_t id = 0;       // unique per simulation
+  std::uint32_t flow_id = 0;  // workload/bearer flow
+  std::uint32_t size_bytes = 0;
+  Direction direction = Direction::Uplink;
+  Qci qci = Qci::kQci9;
+  SimTime created_at = 0;
+};
+
+}  // namespace tlc::sim

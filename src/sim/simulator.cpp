@@ -1,0 +1,57 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tlc::sim {
+
+std::uint64_t Simulator::schedule_at(SimTime at, Action action) {
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{std::max(at, now_), next_seq_++, id});
+  actions_.emplace(id, std::move(action));
+  return id;
+}
+
+std::uint64_t Simulator::schedule_after(SimTime delay, Action action) {
+  return schedule_at(now_ + std::max<SimTime>(delay, 0), std::move(action));
+}
+
+void Simulator::cancel(std::uint64_t id) { actions_.erase(id); }
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Event event = queue_.top();
+    queue_.pop();
+    auto it = actions_.find(event.id);
+    if (it == actions_.end()) {
+      continue;  // cancelled
+    }
+    Action action = std::move(it->second);
+    actions_.erase(it);
+    now_ = event.at;
+    ++executed_;
+    action();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(SimTime horizon) {
+  for (;;) {
+    // Discard cancelled events at the head so the horizon check below
+    // always looks at a live event.
+    while (!queue_.empty() && actions_.find(queue_.top().id) == actions_.end()) {
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().at > horizon) break;
+    step();
+  }
+  now_ = std::max(now_, horizon);
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace tlc::sim

@@ -1,0 +1,72 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded, deterministic: events at the same timestamp fire in
+// scheduling order. Everything in the emulated testbed — workload packet
+// arrivals, link serialization, RRC timers, charging-cycle boundaries —
+// is an event on this queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+
+#include "util/simtime.hpp"
+
+namespace tlc::sim {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `action` at absolute time `at` (clamped to now()).
+  /// Returns an id usable with cancel().
+  std::uint64_t schedule_at(SimTime at, Action action);
+
+  /// Schedules `action` after a relative delay.
+  std::uint64_t schedule_after(SimTime delay, Action action);
+
+  /// Cancels a pending event; no-op if it already fired or was cancelled.
+  void cancel(std::uint64_t id);
+
+  /// Runs events until the queue is empty or the horizon is passed.
+  /// now() advances to the horizon even if later events remain pending.
+  void run_until(SimTime horizon);
+
+  /// Runs until the queue drains completely.
+  void run();
+
+  /// Pending (non-cancelled) event count.
+  [[nodiscard]] std::size_t pending() const { return actions_.size(); }
+
+  /// Total events executed so far (for harness diagnostics).
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime at = 0;
+    std::uint64_t seq = 0;  // tie-break: FIFO at equal time
+    std::uint64_t id = 0;
+    // Reversed comparison for min-heap via std::priority_queue.
+    bool operator<(const Event& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  bool step();  // executes one event; false if queue empty
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event> queue_;
+  // Actions keyed by event id; cancel() erases the entry so the popped
+  // event becomes a no-op.
+  std::unordered_map<std::uint64_t, Action> actions_;
+};
+
+}  // namespace tlc::sim

@@ -1,0 +1,40 @@
+#include "testbed/edge_server.hpp"
+
+namespace tlc::testbed {
+
+EdgeServer::EdgeServer(sim::Simulator& sim, epc::Spgw& spgw)
+    : sim_(sim), spgw_(spgw) {}
+
+std::uint64_t EdgeServer::sent_bytes(epc::Imsi imsi) const {
+  auto it = counters_.find(imsi);
+  return it == counters_.end() ? 0 : it->second.sent;
+}
+
+std::uint64_t EdgeServer::received_bytes(epc::Imsi imsi) const {
+  auto it = counters_.find(imsi);
+  return it == counters_.end() ? 0 : it->second.received;
+}
+
+void EdgeServer::app_send(epc::Imsi imsi, const sim::Packet& packet) {
+  counters_[imsi].sent += packet.size_bytes;
+  spgw_.downlink_submit(imsi, packet);
+}
+
+void EdgeServer::deliver_uplink(epc::Imsi imsi, const sim::Packet& packet) {
+  if (packet.flow_id == kPingFlow) {
+    // Echo the probe downlink with negligible server turnaround. Probes
+    // stay out of the app's netstat counters, as a real deployment
+    // would use a separate diagnostic socket.
+    sim::Packet echo = packet;
+    echo.direction = sim::Direction::Downlink;
+    echo.created_at = packet.created_at;  // carry the departure stamp
+    sim_.schedule_after(200 * kMicrosecond, [this, imsi, echo] {
+      spgw_.downlink_submit(imsi, echo);
+    });
+    return;
+  }
+  counters_[imsi].received += packet.size_bytes;
+  if (on_receive_) on_receive_(imsi, packet);
+}
+
+}  // namespace tlc::testbed

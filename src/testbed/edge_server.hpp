@@ -1,0 +1,57 @@
+// Edge application server.
+//
+// Co-located with the LTE core (§7: the HP Z840 hosts both), so the
+// SPGW <-> server hop is lossless. Keeps the edge vendor's server-side
+// netstat counters (§5.4: /proc/<pid>/net/netstat in the prototype) and
+// echoes ping probes for the Fig 16a RTT measurement.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "epc/ids.hpp"
+#include "epc/spgw.hpp"
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace tlc::testbed {
+
+class EdgeServer {
+ public:
+  /// Flow id reserved for RTT probes; echoed back downlink.
+  static constexpr std::uint32_t kPingFlow = 0xfffffffe;
+
+  EdgeServer(sim::Simulator& sim, epc::Spgw& spgw);
+
+  /// Application downlink send toward `imsi` (server -> device).
+  void app_send(epc::Imsi imsi, const sim::Packet& packet);
+
+  /// Uplink delivery from the SPGW; wire as the gateway's server sink.
+  void deliver_uplink(epc::Imsi imsi, const sim::Packet& packet);
+
+  /// Server-side netstat counters (edge vendor's monitors), per device —
+  /// the edge app keeps one socket pair per device, so its counters
+  /// never mix in other subscribers' traffic.
+  [[nodiscard]] std::uint64_t sent_bytes(epc::Imsi imsi) const;
+  [[nodiscard]] std::uint64_t received_bytes(epc::Imsi imsi) const;
+
+  /// Optional observer for received uplink packets.
+  void set_receive_handler(
+      std::function<void(epc::Imsi, const sim::Packet&)> handler) {
+    on_receive_ = std::move(handler);
+  }
+
+ private:
+  struct Counters {
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+  };
+
+  sim::Simulator& sim_;
+  epc::Spgw& spgw_;
+  std::unordered_map<epc::Imsi, Counters> counters_;
+  std::function<void(epc::Imsi, const sim::Packet&)> on_receive_;
+};
+
+}  // namespace tlc::testbed

@@ -1,0 +1,67 @@
+#include "testbed/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tlc::testbed {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << (i == 0 ? "" : "  ");
+      out << row[i];
+      out << std::string(widths[i] - row[i].size(), ' ');
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TextTable::print() const { std::fputs(render().c_str(), stdout); }
+
+void print_cdf(const std::string& title, const Samples& samples,
+               std::size_t points, const char* unit) {
+  std::printf("%s  (n=%zu, mean=%.2f%s)\n", title.c_str(), samples.count(),
+              samples.mean(), unit);
+  for (const auto& [value, fraction] : samples.cdf(points)) {
+    std::printf("  %8.2f%s : %5.1f%%\n", value, unit, fraction * 100.0);
+  }
+}
+
+void print_banner(const std::string& title) {
+  std::printf("\n==== %s ====\n\n", title.c_str());
+}
+
+std::string cell(double v, int precision) {
+  return format_double(v, precision);
+}
+
+std::string cell_pct(double ratio, int precision) {
+  return format_double(ratio * 100.0, precision) + "%";
+}
+
+}  // namespace tlc::testbed

@@ -1,0 +1,42 @@
+// Plain-text table / series printers shared by the bench binaries.
+//
+// Every bench regenerates a paper table or figure as text: tables print
+// aligned columns; figures print their data series (x, y per scheme) so
+// the curves can be compared against the paper directly or re-plotted.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace tlc::testbed {
+
+/// Aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders with column alignment and a header rule.
+  [[nodiscard]] std::string render() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a CDF as "value fraction" pairs under a series title.
+void print_cdf(const std::string& title, const Samples& samples,
+               std::size_t points = 10, const char* unit = "");
+
+/// Banner for bench output sections.
+void print_banner(const std::string& title);
+
+/// "12.34" helpers for table cells.
+[[nodiscard]] std::string cell(double v, int precision = 2);
+[[nodiscard]] std::string cell_pct(double ratio, int precision = 1);
+
+}  // namespace tlc::testbed

@@ -1,0 +1,69 @@
+#include "testbed/scenario.hpp"
+
+#include <sstream>
+
+namespace tlc::testbed {
+
+const char* app_name(AppKind app) {
+  switch (app) {
+    case AppKind::WebcamRtsp:
+      return "WebCam (RTSP, UL)";
+    case AppKind::WebcamUdp:
+      return "WebCam (UDP, UL)";
+    case AppKind::WebcamUdpDownlink:
+      return "WebCam (UDP, DL)";
+    case AppKind::VrGvsp:
+      return "VRidge (GVSP, DL)";
+    case AppKind::GamingQci7:
+      return "Gaming w/ QCI=7 (UDP, DL)";
+    case AppKind::GamingQci9:
+      return "Gaming w/ QCI=9 (UDP, DL)";
+  }
+  return "?";
+}
+
+sim::Direction app_direction(AppKind app) {
+  switch (app) {
+    case AppKind::WebcamRtsp:
+    case AppKind::WebcamUdp:
+      return sim::Direction::Uplink;
+    case AppKind::WebcamUdpDownlink:
+    case AppKind::VrGvsp:
+    case AppKind::GamingQci7:
+    case AppKind::GamingQci9:
+      return sim::Direction::Downlink;
+  }
+  return sim::Direction::Uplink;
+}
+
+sim::Qci app_qci(AppKind app) {
+  return app == AppKind::GamingQci7 ? sim::Qci::kQci7 : sim::Qci::kQci9;
+}
+
+double app_nominal_mbps(AppKind app) {
+  switch (app) {
+    case AppKind::WebcamRtsp:
+      return 0.77;
+    case AppKind::WebcamUdp:
+    case AppKind::WebcamUdpDownlink:
+      return 1.73;
+    case AppKind::VrGvsp:
+      return 9.0;
+    case AppKind::GamingQci7:
+    case AppKind::GamingQci9:
+      return 0.02;
+  }
+  return 0.0;
+}
+
+std::string ScenarioConfig::describe() const {
+  std::ostringstream out;
+  out << app_name(app) << " bg=" << background_mbps << "Mbps"
+      << " rss=" << mean_rss_dbm << "dBm"
+      << " eta=" << disconnect_ratio << " c=" << plan_c
+      << " cycle=" << to_seconds(cycle_length) << "s x" << cycles
+      << " seed=" << seed;
+  return out.str();
+}
+
+}  // namespace tlc::testbed

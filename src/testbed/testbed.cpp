@@ -1,0 +1,399 @@
+#include "testbed/testbed.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "workloads/background.hpp"
+#include "workloads/gaming.hpp"
+#include "workloads/vr_gvsp.hpp"
+#include "workloads/webcam.hpp"
+
+namespace tlc::testbed {
+namespace {
+
+constexpr SimTime kBoundaryGrace = 50 * kSecond;
+constexpr SimTime kCounterCheckLead = 120 * kMillisecond;
+
+/// Clock offsets are clamped so a boundary sample cannot drift into a
+/// neighbouring cycle's territory entirely.
+SimTime draw_clamped_offset(const charging::ClockModel& model, Rng& rng,
+                            SimTime max_abs) {
+  const SimTime offset = model.draw_offset(rng);
+  return std::clamp<SimTime>(offset, -max_abs, max_abs);
+}
+
+}  // namespace
+
+Testbed::Testbed(ScenarioConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  // Radio channels: the app device per the scenario, the background
+  // phone in strong signal with no outages (it only exists to congest
+  // the cell).
+  sim::RadioParams app_radio_params;
+  app_radio_params.mean_rss_dbm = config_.mean_rss_dbm;
+  app_radio_params.disconnect_ratio = config_.disconnect_ratio;
+  app_radio_params.mean_outage_s = config_.mean_outage_s;
+  app_radio_params.mobility = config_.mobility;
+  app_radio_ = std::make_unique<sim::RadioChannel>(app_radio_params,
+                                                   rng_.fork());
+  sim::RadioParams bg_radio_params;
+  bg_radio_params.mean_rss_dbm = -70.0;
+  bg_radio_ = std::make_unique<sim::RadioChannel>(bg_radio_params, rng_.fork());
+
+  enodeb_ = std::make_unique<epc::EnodeB>(sim_, config_.enodeb,
+                                          rng_.fork());
+  mme_ = std::make_unique<epc::Mme>(sim_, hss_);
+  spgw_ = std::make_unique<epc::Spgw>(sim_, *enodeb_);
+  server_ = std::make_unique<EdgeServer>(sim_, *spgw_);
+  spgw_->set_server_sink([this](epc::Imsi imsi, const sim::Packet& packet) {
+    server_->deliver_uplink(imsi, packet);
+  });
+
+  app_ue_ = std::make_unique<epc::UeDevice>(sim_, kAppImsi, config_.device,
+                                            app_radio_.get(), enodeb_.get(),
+                                            rng_.fork());
+  app_ue_->set_traffic_stats_tamper(config_.edge_trafficstats_tamper);
+  bg_ue_ = std::make_unique<epc::UeDevice>(sim_, kBackgroundImsi,
+                                           epc::device_s7edge(),
+                                           bg_radio_.get(), enodeb_.get(),
+                                           rng_.fork());
+  app_ue_->set_app_receive_handler(
+      [this](const sim::Packet& packet) { on_app_receive(packet); });
+
+  // Subscriber provisioning + QoS rules.
+  hss_.provision(epc::SubscriberProfile{kAppImsi, "edge-app-device",
+                                        config_.device});
+  hss_.provision(epc::SubscriberProfile{kBackgroundImsi, "background-phone",
+                                        epc::device_s7edge()});
+  pcrf_.install_rule(kAppFlow, app_qci(config_.app));
+  pcrf_.install_rule(kBackgroundFlow, sim::Qci::kQci9);
+
+  // Operator's tamper-resilient monitor feed (§5.4).
+  if (config_.enable_counter_check) {
+    enodeb_->set_counter_check_handler(
+        [this](epc::Imsi imsi, std::uint64_t ul, std::uint64_t dl,
+               SimTime at) {
+          if (imsi == kAppImsi) {
+            rrc_ul_.on_report(ul, dl, at);
+            rrc_dl_.on_report(ul, dl, at);
+          }
+        });
+  }
+
+  wire_attach_handling();
+  build_sources();
+  build_samplers();
+}
+
+void Testbed::wire_attach_handling() {
+  mme_->set_state_change_handler([this](epc::Imsi imsi, bool attached) {
+    epc::UeDevice* ue = imsi == kAppImsi ? app_ue_.get() : bg_ue_.get();
+    sim::RadioChannel* radio =
+        imsi == kAppImsi ? app_radio_.get() : bg_radio_.get();
+    if (attached) {
+      spgw_->create_session(imsi);
+      enodeb_->add_ue(imsi, ue, radio);
+      ue->set_attached(true);
+    } else {
+      spgw_->close_session(imsi);
+      enodeb_->remove_ue(imsi);
+      ue->set_attached(false);
+    }
+  });
+  const bool app_ok = mme_->register_ue(kAppImsi, app_radio_.get());
+  const bool bg_ok = mme_->register_ue(kBackgroundImsi, bg_radio_.get());
+  assert(app_ok && bg_ok);
+  (void)app_ok;
+  (void)bg_ok;
+}
+
+void Testbed::build_sources() {
+  const sim::Direction direction = app_direction(config_.app);
+  const sim::Qci qci = pcrf_.qci_for(kAppFlow);
+
+  workloads::TrafficSource::EmitFn app_sink;
+  if (direction == sim::Direction::Uplink) {
+    app_sink = [this](const sim::Packet& p) { app_ue_->app_send(p); };
+  } else {
+    app_sink = [this](const sim::Packet& p) {
+      server_->app_send(kAppImsi, p);
+    };
+  }
+
+  if (config_.replay_trace) {
+    // The paper's methodology: loop a captured trace (tcprelay) through
+    // the testbed instead of running a generative model.
+    app_source_ = std::make_unique<workloads::TraceReplaySource>(
+        sim_, app_sink, kAppFlow, *config_.replay_trace, /*loop=*/true);
+    return build_background_source(direction);
+  }
+  switch (config_.app) {
+    case AppKind::WebcamRtsp:
+      app_source_ = std::make_unique<workloads::WebcamSource>(
+          sim_, app_sink, kAppFlow, direction, qci,
+          workloads::webcam_rtsp_params(), rng_.fork(), "WebCam (RTSP)");
+      break;
+    case AppKind::WebcamUdp:
+    case AppKind::WebcamUdpDownlink:
+      app_source_ = std::make_unique<workloads::WebcamSource>(
+          sim_, app_sink, kAppFlow, direction, qci,
+          workloads::webcam_udp_params(), rng_.fork(), "WebCam (UDP)");
+      break;
+    case AppKind::VrGvsp:
+      app_source_ = std::make_unique<workloads::VrGvspSource>(
+          sim_, app_sink, kAppFlow, direction, qci, workloads::VrGvspParams{},
+          rng_.fork());
+      break;
+    case AppKind::GamingQci7:
+    case AppKind::GamingQci9:
+      app_source_ = std::make_unique<workloads::GamingSource>(
+          sim_, app_sink, kAppFlow, direction, qci, workloads::GamingParams{},
+          rng_.fork());
+      break;
+  }
+  build_background_source(direction);
+}
+
+void Testbed::build_background_source(sim::Direction direction) {
+
+  if (config_.background_mbps > 0.0) {
+    workloads::TrafficSource::EmitFn bg_sink;
+    if (direction == sim::Direction::Uplink) {
+      bg_sink = [this](const sim::Packet& p) { bg_ue_->app_send(p); };
+    } else {
+      // Background downlink arrives from the Internet side of the
+      // gateway, not from the edge server (it must not touch the edge
+      // vendor's netstat counters).
+      bg_sink = [this](const sim::Packet& p) {
+        spgw_->downlink_submit(kBackgroundImsi, p);
+      };
+    }
+    workloads::BackgroundParams bg_params;
+    bg_params.rate_mbps = config_.background_mbps;
+    bg_source_ = std::make_unique<workloads::BackgroundUdpSource>(
+        sim_, bg_sink, kBackgroundFlow, direction, bg_params, rng_.fork());
+  }
+}
+
+void Testbed::build_samplers() {
+  const sim::Direction direction = app_direction(config_.app);
+  const charging::ClockModel exact{0.0, 0.0};
+  auto make_monitor = [this](std::string name,
+                             std::function<std::uint64_t()> reader)
+      -> const charging::UsageMonitor& {
+    monitors_.push_back(std::make_unique<charging::CallbackMonitor>(
+        std::move(name), std::move(reader)));
+    return *monitors_.back();
+  };
+
+  // Ground-truth counting points.
+  const charging::UsageMonitor& true_sent =
+      direction == sim::Direction::Uplink
+          ? make_monitor("true-sent", [this] { return app_ue_->app_tx_bytes(); })
+          : make_monitor("true-sent", [this] { return server_->sent_bytes(kAppImsi); });
+  const charging::UsageMonitor& true_received =
+      direction == sim::Direction::Uplink
+          ? make_monitor("true-received",
+                         [this] { return server_->received_bytes(kAppImsi); })
+          : make_monitor("true-received",
+                         [this] { return app_ue_->app_rx_bytes(); });
+
+  // Operator's gateway counter for the app's direction (the legacy
+  // billing basis).
+  const charging::UsageMonitor& gateway =
+      direction == sim::Direction::Uplink
+          ? make_monitor("gateway-ul",
+                         [this] { return spgw_->uplink_bytes(kAppImsi); })
+          : make_monitor("gateway-dl",
+                         [this] { return spgw_->downlink_bytes(kAppImsi); });
+
+  // Operator's view of the other endpoint: RRC COUNTER CHECK when
+  // activated (§5.4 "our solution"), else the tamperable user-space
+  // TrafficStats API (strawman 1).
+  const charging::UsageMonitor* op_far_side = nullptr;
+  if (config_.enable_counter_check) {
+    op_far_side = direction == sim::Direction::Uplink
+                      ? static_cast<const charging::UsageMonitor*>(&rrc_ul_)
+                      : static_cast<const charging::UsageMonitor*>(&rrc_dl_);
+  } else {
+    op_far_side =
+        direction == sim::Direction::Uplink
+            ? &make_monitor("trafficstats-tx",
+                            [this] { return app_ue_->traffic_stats_tx(); })
+            : &make_monitor("trafficstats-rx",
+                            [this] { return app_ue_->traffic_stats_rx(); });
+  }
+
+  // Per-party assembled (sent, received) views.
+  const charging::UsageMonitor& edge_sent = true_sent;
+  const charging::UsageMonitor& edge_received = true_received;
+  const charging::UsageMonitor& op_sent =
+      direction == sim::Direction::Uplink ? *op_far_side : gateway;
+  const charging::UsageMonitor& op_received =
+      direction == sim::Direction::Uplink ? gateway : *op_far_side;
+
+  true_sent_sampler_ =
+      std::make_unique<charging::CycleSampler>(sim_, true_sent, exact,
+                                               rng_.fork());
+  true_received_sampler_ = std::make_unique<charging::CycleSampler>(
+      sim_, true_received, exact, rng_.fork());
+  edge_sent_sampler_ = std::make_unique<charging::CycleSampler>(
+      sim_, edge_sent, exact, rng_.fork());
+  edge_received_sampler_ = std::make_unique<charging::CycleSampler>(
+      sim_, edge_received, exact, rng_.fork());
+  op_sent_sampler_ = std::make_unique<charging::CycleSampler>(
+      sim_, op_sent, exact, rng_.fork());
+  op_received_sampler_ = std::make_unique<charging::CycleSampler>(
+      sim_, op_received, exact, rng_.fork());
+  gateway_sampler_ = std::make_unique<charging::CycleSampler>(
+      sim_, gateway, exact, rng_.fork());
+}
+
+void Testbed::schedule_cycle_boundaries() {
+  const SimTime max_offset = std::min<SimTime>(
+      kBoundaryGrace - 5 * kSecond, config_.cycle_length / 2);
+  const double cycle_s = to_seconds(config_.cycle_length);
+  const charging::ClockModel edge_clock{
+      config_.edge_clock_rel_std * cycle_s, 0.0};
+  const charging::ClockModel op_clock{
+      config_.operator_clock_rel_std * cycle_s, 0.0};
+  Rng edge_clock_rng = rng_.fork();
+  Rng op_clock_rng = rng_.fork();
+
+  for (int i = 0; i <= config_.cycles; ++i) {
+    const SimTime nominal = static_cast<SimTime>(i) * config_.cycle_length;
+    const SimTime edge_at =
+        nominal + draw_clamped_offset(edge_clock, edge_clock_rng, max_offset);
+    const SimTime op_at =
+        nominal + draw_clamped_offset(op_clock, op_clock_rng, max_offset);
+
+    true_sent_sampler_->schedule_boundary(nominal);
+    true_received_sampler_->schedule_boundary(nominal);
+    edge_sent_sampler_->schedule_boundary(edge_at);
+    edge_received_sampler_->schedule_boundary(edge_at);
+    op_sent_sampler_->schedule_boundary(op_at);
+    op_received_sampler_->schedule_boundary(op_at);
+    gateway_sampler_->schedule_boundary(op_at);
+
+    // The operator refreshes its RRC-based record just before it
+    // snapshots (bounded overhead: one COUNTER CHECK per boundary plus
+    // those piggybacked on RRC releases).
+    if (config_.enable_counter_check) {
+      sim_.schedule_at(std::max<SimTime>(op_at - kCounterCheckLead, 0),
+                       [this] { enodeb_->request_counter_check(kAppImsi); });
+    }
+  }
+}
+
+void Testbed::on_app_receive(const sim::Packet& packet) {
+  if (packet.flow_id == EdgeServer::kPingFlow) {
+    rtt_ms_.push_back(to_millis(sim_.now() - packet.created_at));
+  }
+}
+
+void Testbed::record_timeline_point() {
+  const sim::Direction direction = app_direction(config_.app);
+  const std::uint64_t device_bytes = direction == sim::Direction::Uplink
+                                         ? app_ue_->app_tx_bytes()
+                                         : app_ue_->app_rx_bytes();
+  const std::uint64_t charged_bytes =
+      direction == sim::Direction::Uplink
+          ? spgw_->uplink_bytes(kAppImsi)
+          : spgw_->downlink_bytes(kAppImsi);
+  // The "edge side" cumulative for the gap: what the edge metered.
+  const std::uint64_t edge_bytes = direction == sim::Direction::Uplink
+                                       ? app_ue_->app_tx_bytes()
+                                       : app_ue_->app_rx_bytes();
+
+  TimelinePoint point;
+  point.at = sim_.now();
+  const double delta_bytes =
+      static_cast<double>(device_bytes - timeline_prev_device_bytes_);
+  point.device_rate_mbps =
+      delta_bytes * 8.0 / 1e6 / to_seconds(timeline_interval_);
+  timeline_prev_device_bytes_ = device_bytes;
+  point.charged_cum_mb = static_cast<double>(charged_bytes) / 1e6;
+  point.device_cum_mb = static_cast<double>(edge_bytes) / 1e6;
+  point.gap_mb = point.charged_cum_mb >= point.device_cum_mb
+                     ? point.charged_cum_mb - point.device_cum_mb
+                     : point.device_cum_mb - point.charged_cum_mb;
+  point.rss_dbm = app_radio_->rss(sim_.now());
+  point.connected = app_radio_->connected(sim_.now());
+  timeline_.push_back(point);
+
+  sim_.schedule_after(timeline_interval_, [this] { record_timeline_point(); });
+}
+
+void Testbed::send_ping() {
+  if (pings_remaining_ <= 0) return;
+  --pings_remaining_;
+  static std::uint64_t ping_id = 1ull << 40;
+  sim::Packet probe;
+  probe.id = ping_id++;
+  probe.flow_id = EdgeServer::kPingFlow;
+  probe.size_bytes = 64;
+  probe.direction = sim::Direction::Uplink;
+  // Probes ride the application's bearer, so the measured RTT reflects
+  // the QoS class the app actually experiences (QCI 7 gaming pings are
+  // not stuck behind best-effort backlog).
+  probe.qci = app_qci(config_.app);
+  probe.created_at = sim_.now();
+  app_ue_->app_send(probe);
+  sim_.schedule_after(ping_interval_, [this] { send_ping(); });
+}
+
+void Testbed::enable_timeline(SimTime interval) {
+  timeline_enabled_ = true;
+  timeline_interval_ = interval;
+}
+
+void Testbed::enable_rtt_probes(int count, SimTime interval) {
+  pings_remaining_ = count;
+  ping_interval_ = interval;
+}
+
+double Testbed::measured_disconnect_ratio() {
+  return app_radio_->measured_disconnect_ratio(sim_.now());
+}
+
+const std::vector<CycleMeasurements>& Testbed::run() {
+  if (ran_) return cycles_;
+  ran_ = true;
+
+  schedule_cycle_boundaries();
+  mme_->start();
+  app_source_->start(0);
+  if (bg_source_) bg_source_->start(0);
+  if (timeline_enabled_) {
+    sim_.schedule_after(timeline_interval_,
+                        [this] { record_timeline_point(); });
+  }
+  if (pings_remaining_ > 0) {
+    sim_.schedule_after(2 * kSecond, [this] { send_ping(); });
+  }
+
+  const SimTime horizon =
+      static_cast<SimTime>(config_.cycles) * config_.cycle_length +
+      kBoundaryGrace;
+  sim_.run_until(horizon);
+
+  // Stop sources so the simulator can quiesce if the caller keeps going.
+  app_source_->stop();
+  if (bg_source_) bg_source_->stop();
+
+  cycles_.resize(static_cast<std::size_t>(config_.cycles));
+  for (int i = 0; i < config_.cycles; ++i) {
+    auto& cycle = cycles_[static_cast<std::size_t>(i)];
+    const auto idx = static_cast<std::size_t>(i);
+    cycle.true_sent = true_sent_sampler_->cycle_volume(idx);
+    cycle.true_received = true_received_sampler_->cycle_volume(idx);
+    cycle.edge_sent = edge_sent_sampler_->cycle_volume(idx);
+    cycle.edge_received = edge_received_sampler_->cycle_volume(idx);
+    cycle.op_sent = op_sent_sampler_->cycle_volume(idx);
+    cycle.op_received = op_received_sampler_->cycle_volume(idx);
+    cycle.gateway_volume = gateway_sampler_->cycle_volume(idx);
+  }
+  return cycles_;
+}
+
+}  // namespace tlc::testbed

@@ -1,0 +1,40 @@
+// Byte-buffer helpers shared across the TLC library.
+//
+// All wire formats in this project (CDR/CDA/PoC messages, RSA key blobs,
+// packet payloads) are carried as `Bytes`. The helpers here provide hex
+// round-trips for debugging/storage and constant-time comparison for
+// signature material.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/expected.hpp"
+
+namespace tlc {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Encodes `data` as lowercase hex ("deadbeef").
+[[nodiscard]] std::string to_hex(const Bytes& data);
+
+/// Decodes a hex string (case-insensitive). Fails on odd length or
+/// non-hex characters.
+[[nodiscard]] Expected<Bytes> from_hex(std::string_view hex);
+
+/// Builds a byte buffer from an ASCII string (no terminator).
+[[nodiscard]] Bytes bytes_of(std::string_view text);
+
+/// Renders a byte buffer as ASCII, replacing non-printable bytes with '.'.
+[[nodiscard]] std::string printable(const Bytes& data);
+
+/// Constant-time equality for secret-dependent material (signatures,
+/// MACs). Still returns early on length mismatch, which is public.
+[[nodiscard]] bool constant_time_equal(const Bytes& a, const Bytes& b);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, const Bytes& src);
+
+}  // namespace tlc

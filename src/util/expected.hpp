@@ -1,0 +1,86 @@
+// Minimal expected<T, std::string> substitute.
+//
+// The toolchain (GCC 12, C++20) predates std::expected, and exceptions are
+// a poor fit for protocol parsing where failure is a normal outcome
+// (malformed message, bad signature). `Expected<T>` carries either a value
+// or a human-readable error string; `Status` is the void flavour.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace tlc {
+
+/// Error wrapper so `Expected<std::string>` stays unambiguous.
+struct Error {
+  std::string message;
+};
+
+/// Convenience factory: `return Err("bad length");`
+[[nodiscard]] inline Error Err(std::string message) {
+  return Error{std::move(message)};
+}
+
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}         // NOLINT(implicit)
+  Expected(Error error) : error_(std::move(error.message)) {}  // NOLINT
+
+  [[nodiscard]] bool has_value() const { return value_.has_value(); }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(has_value());
+    return *value_;
+  }
+  [[nodiscard]] T& value() & {
+    assert(has_value());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(has_value());
+    return std::move(*value_);
+  }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+  /// Error text; only meaningful when !has_value().
+  [[nodiscard]] const std::string& error() const {
+    assert(!has_value());
+    return error_;
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  std::string error_;
+};
+
+/// Result of an operation with no payload.
+class Status {
+ public:
+  Status() = default;                                  // success
+  Status(Error error) : error_(std::move(error.message)) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const std::string& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+  [[nodiscard]] static Status Ok() { return Status{}; }
+
+ private:
+  std::optional<std::string> error_;
+};
+
+}  // namespace tlc

@@ -1,0 +1,105 @@
+#include "util/serde.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace tlc {
+
+void ByteWriter::u8(std::uint8_t v) { buffer_.push_back(v); }
+
+void ByteWriter::u16(std::uint16_t v) {
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    buffer_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    buffer_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::i64(std::int64_t v) {
+  u64(static_cast<std::uint64_t>(v));
+}
+
+void ByteWriter::f64(double v) {
+  u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void ByteWriter::blob(const Bytes& data) {
+  u32(static_cast<std::uint32_t>(data.size()));
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::str(std::string_view text) {
+  u32(static_cast<std::uint32_t>(text.size()));
+  buffer_.insert(buffer_.end(), text.begin(), text.end());
+}
+
+Expected<std::uint8_t> ByteReader::u8() {
+  if (!need(1)) return Err("serde: truncated u8");
+  return data_[pos_++];
+}
+
+Expected<std::uint16_t> ByteReader::u16() {
+  if (!need(2)) return Err("serde: truncated u16");
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v = static_cast<std::uint16_t>((v << 8) | data_[pos_++]);
+  }
+  return v;
+}
+
+Expected<std::uint32_t> ByteReader::u32() {
+  if (!need(4)) return Err("serde: truncated u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | data_[pos_++];
+  }
+  return v;
+}
+
+Expected<std::uint64_t> ByteReader::u64() {
+  if (!need(8)) return Err("serde: truncated u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | data_[pos_++];
+  }
+  return v;
+}
+
+Expected<std::int64_t> ByteReader::i64() {
+  auto v = u64();
+  if (!v) return Err(v.error());
+  return static_cast<std::int64_t>(*v);
+}
+
+Expected<double> ByteReader::f64() {
+  auto v = u64();
+  if (!v) return Err(v.error());
+  return std::bit_cast<double>(*v);
+}
+
+Expected<Bytes> ByteReader::blob() {
+  auto len = u32();
+  if (!len) return Err(len.error());
+  if (!need(*len)) return Err("serde: truncated blob body");
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + *len));
+  pos_ += *len;
+  return out;
+}
+
+Expected<std::string> ByteReader::str() {
+  auto raw = blob();
+  if (!raw) return Err(raw.error());
+  return std::string(raw->begin(), raw->end());
+}
+
+}  // namespace tlc

@@ -1,0 +1,69 @@
+// Binary serialization used by all TLC wire messages.
+//
+// The format is deliberately simple and deterministic (no maps, no
+// varints for signed fields): big-endian fixed-width integers and
+// length-prefixed byte strings. Deterministic encoding matters because
+// CDR/CDA/PoC signatures are computed over the encoded bytes — two
+// encoders must produce identical buffers for identical messages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+#include "util/expected.hpp"
+
+namespace tlc {
+
+/// Appends fields to a growing byte buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  /// IEEE-754 bits, big-endian.
+  void f64(double v);
+  /// u32 length prefix + raw bytes.
+  void blob(const Bytes& data);
+  /// u32 length prefix + UTF-8 bytes.
+  void str(std::string_view text);
+
+  [[nodiscard]] const Bytes& data() const { return buffer_; }
+  [[nodiscard]] Bytes take() { return std::move(buffer_); }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+};
+
+/// Reads fields back; every accessor fails cleanly on truncation.
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& data) : data_(data) {}
+
+  [[nodiscard]] Expected<std::uint8_t> u8();
+  [[nodiscard]] Expected<std::uint16_t> u16();
+  [[nodiscard]] Expected<std::uint32_t> u32();
+  [[nodiscard]] Expected<std::uint64_t> u64();
+  [[nodiscard]] Expected<std::int64_t> i64();
+  [[nodiscard]] Expected<double> f64();
+  [[nodiscard]] Expected<Bytes> blob();
+  [[nodiscard]] Expected<std::string> str();
+
+  /// Bytes not yet consumed.
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+
+ private:
+  [[nodiscard]] bool need(std::size_t n) const { return remaining() >= n; }
+
+  const Bytes& data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tlc

@@ -1,0 +1,57 @@
+// Simulated time.
+//
+// The whole testbed runs on virtual time: `SimTime` is a nanosecond tick
+// count since simulation start. Charging cycles, RRC timers, link
+// serialization delays and workload schedules all use it; nothing in the
+// simulation path reads the wall clock (benchmarks that time real crypto
+// use std::chrono directly).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tlc {
+
+/// Nanoseconds of simulated time. Plain integer type so it can be used
+/// freely in arithmetic and comparisons.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+inline constexpr SimTime kMinute = 60 * kSecond;
+inline constexpr SimTime kHour = 60 * kMinute;
+
+[[nodiscard]] constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+[[nodiscard]] constexpr double to_millis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+[[nodiscard]] constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+[[nodiscard]] constexpr SimTime from_millis(double ms) {
+  return static_cast<SimTime>(ms * static_cast<double>(kMillisecond));
+}
+
+/// "hh:mm:ss.mmm" rendering for logs and timeline reports.
+[[nodiscard]] inline std::string format_time(SimTime t) {
+  const std::int64_t total_ms = t / kMillisecond;
+  const std::int64_t ms = total_ms % 1000;
+  const std::int64_t total_s = total_ms / 1000;
+  const std::int64_t s = total_s % 60;
+  const std::int64_t m = (total_s / 60) % 60;
+  const std::int64_t h = total_s / 3600;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%02lld:%02lld:%02lld.%03lld",
+                static_cast<long long>(h), static_cast<long long>(m),
+                static_cast<long long>(s), static_cast<long long>(ms));
+  return buf;
+}
+
+}  // namespace tlc

@@ -1,0 +1,95 @@
+// Statistics accumulators used by the experiment harness and benches.
+//
+// The paper reports averages (Table 2), CDFs (Figs 12, 15, 17, 18) and
+// time series; `RunningStats` gives streaming mean/stddev/min/max,
+// `Samples` retains values for exact quantiles and CDF dumps, and
+// `Histogram` bins time-series data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tlc {
+
+/// Streaming mean / variance (Welford), min and max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one.
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Retains all samples; supports exact quantiles and CDF extraction.
+class Samples {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Exact quantile, q in [0, 1], linear interpolation between order
+  /// statistics. Empty sample set returns 0.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// (value, cumulative fraction) pairs at `points` evenly spaced
+  /// probabilities — the series plotted in the paper's CDF figures.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf(
+      std::size_t points = 20) const;
+
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Fixed-width bins over [lo, hi); out-of-range values clamp to the
+/// first/last bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] double count(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// Formats a double with fixed precision — shared by report printers.
+[[nodiscard]] std::string format_double(double v, int precision = 2);
+
+}  // namespace tlc

@@ -1,0 +1,33 @@
+#include "workloads/gaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tlc::workloads {
+
+GamingSource::GamingSource(sim::Simulator& sim, EmitFn emit,
+                           std::uint32_t flow_id, sim::Direction direction,
+                           sim::Qci qci, GamingParams params, Rng rng)
+    : PacketSource(sim, std::move(emit), flow_id, direction, qci, rng),
+      params_(params) {}
+
+void GamingSource::start(SimTime at) {
+  running_ = true;
+  sim_.schedule_at(at, [this] { next_tick(); });
+}
+
+void GamingSource::next_tick() {
+  if (!running_) return;
+  if (rng_.chance(params_.sync_probability)) {
+    emit(params_.sync_bytes);
+  } else {
+    const double jittered =
+        static_cast<double>(params_.update_bytes_mean) *
+        std::max(0.3, 1.0 + params_.update_jitter * rng_.gaussian());
+    emit(static_cast<std::uint32_t>(std::llround(jittered)));
+  }
+  sim_.schedule_after(from_seconds(1.0 / params_.tick_hz),
+                      [this] { next_tick(); });
+}
+
+}  // namespace tlc::workloads

@@ -1,0 +1,50 @@
+#include "workloads/source.hpp"
+
+namespace tlc::workloads {
+
+std::uint64_t PacketSource::next_packet_id_ = 1;
+
+PacketSource::PacketSource(sim::Simulator& sim, EmitFn emit,
+                           std::uint32_t flow_id, sim::Direction direction,
+                           sim::Qci qci, Rng rng)
+    : sim_(sim),
+      emit_fn_(std::move(emit)),
+      flow_id_(flow_id),
+      direction_(direction),
+      qci_(qci),
+      rng_(rng) {}
+
+void PacketSource::emit(std::uint32_t size_bytes) {
+  if (size_bytes == 0) return;
+  sim::Packet packet;
+  packet.id = next_packet_id_++;
+  packet.flow_id = flow_id_;
+  packet.size_bytes = size_bytes;
+  packet.direction = direction_;
+  packet.qci = qci_;
+  packet.created_at = sim_.now();
+  ++packets_;
+  bytes_ += size_bytes;
+  emit_fn_(packet);
+}
+
+void PacketSource::emit_frame(std::uint32_t total_bytes, std::uint32_t mtu,
+                              SimTime spacing) {
+  SimTime delay = 0;
+  bool first = true;
+  while (total_bytes > 0) {
+    const std::uint32_t chunk = std::min(total_bytes, mtu);
+    total_bytes -= chunk;
+    if (first) {
+      emit(chunk);  // head of the frame leaves immediately
+      first = false;
+    } else {
+      delay += spacing;
+      sim_.schedule_after(delay, [this, chunk] {
+        if (running_) emit(chunk);
+      });
+    }
+  }
+}
+
+}  // namespace tlc::workloads

@@ -1,0 +1,48 @@
+#include "workloads/vr_gvsp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tlc::workloads {
+
+VrGvspSource::VrGvspSource(sim::Simulator& sim, EmitFn emit,
+                           std::uint32_t flow_id, sim::Direction direction,
+                           sim::Qci qci, VrGvspParams params, Rng rng)
+    : PacketSource(sim, std::move(emit), flow_id, direction, qci, rng),
+      params_(params) {
+  const double bytes_per_second = params_.mean_bitrate_mbps * 1e6 / 8.0;
+  // Account for the keyframe inflation so the long-run mean matches.
+  const double inflation = 1.0 + params_.keyframe_probability *
+                                     (params_.keyframe_scale - 1.0);
+  frame_mean_bytes_ = bytes_per_second / params_.fps / inflation;
+}
+
+void VrGvspSource::start(SimTime at) {
+  running_ = true;
+  sim_.schedule_at(at, [this] { next_frame(); });
+}
+
+void VrGvspSource::next_frame() {
+  if (!running_) return;
+  double mean = frame_mean_bytes_;
+  if (rng_.chance(params_.keyframe_probability)) {
+    mean *= params_.keyframe_scale;
+  }
+  const double jittered =
+      mean * std::max(0.25, 1.0 + params_.size_jitter * rng_.gaussian());
+  const auto payload = static_cast<std::uint32_t>(std::llround(jittered));
+
+  // GVSP framing: leader, paced payload train, trailer.
+  emit(params_.leader_bytes);
+  emit_frame(payload, params_.mtu, params_.packet_spacing);
+  const std::uint32_t payload_packets = (payload + params_.mtu - 1) / params_.mtu;
+  sim_.schedule_after(params_.packet_spacing * (payload_packets + 1),
+                      [this] {
+                        if (running_) emit(params_.trailer_bytes);
+                      });
+
+  sim_.schedule_after(from_seconds(1.0 / params_.fps),
+                      [this] { next_frame(); });
+}
+
+}  // namespace tlc::workloads

@@ -1,0 +1,68 @@
+#include "charging/monitors.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::charging {
+namespace {
+
+TEST(CallbackMonitorTest, ReadsThrough) {
+  std::uint64_t counter = 0;
+  CallbackMonitor monitor("test", [&] { return counter; });
+  EXPECT_EQ(monitor.read(), 0u);
+  counter = 500;
+  EXPECT_EQ(monitor.read(), 500u);
+  EXPECT_EQ(monitor.name(), "test");
+}
+
+TEST(RrcCounterMonitorTest, TracksLatestReport) {
+  RrcCounterMonitor dl(RrcCounterMonitor::Track::Downlink);
+  EXPECT_EQ(dl.read(), 0u);
+  EXPECT_LT(dl.last_report_at(), 0);
+  dl.on_report(100, 2000, 10 * kSecond);
+  EXPECT_EQ(dl.read(), 2000u);  // downlink track
+  dl.on_report(150, 2500, 20 * kSecond);
+  EXPECT_EQ(dl.read(), 2500u);
+  EXPECT_EQ(dl.reports(), 2u);
+  EXPECT_EQ(dl.last_report_at(), 20 * kSecond);
+}
+
+TEST(RrcCounterMonitorTest, UplinkTrackSelectsUlField) {
+  RrcCounterMonitor ul(RrcCounterMonitor::Track::Uplink);
+  ul.on_report(100, 2000, kSecond);
+  EXPECT_EQ(ul.read(), 100u);
+  EXPECT_EQ(ul.name(), "rrc-counter-ul");
+}
+
+TEST(RrcCounterMonitorTest, OutOfOrderReportsIgnored) {
+  RrcCounterMonitor dl(RrcCounterMonitor::Track::Downlink);
+  dl.on_report(0, 5000, 30 * kSecond);
+  dl.on_report(0, 4000, 10 * kSecond);  // late delivery of an older check
+  EXPECT_EQ(dl.read(), 5000u);
+}
+
+TEST(RrcCounterMonitorTest, StalenessBetweenReports) {
+  // The monitor's read is the last response, not live state — the §5.4
+  // design's inherent error source (Fig 18).
+  RrcCounterMonitor dl(RrcCounterMonitor::Track::Downlink);
+  dl.on_report(0, 1000, kSecond);
+  // Traffic kept flowing; no further counter check yet.
+  EXPECT_EQ(dl.read(), 1000u);
+}
+
+TEST(TamperedMonitorTest, UnderReportsByFactor) {
+  std::uint64_t counter = 10000;
+  CallbackMonitor inner("api", [&] { return counter; });
+  TamperedMonitor tampered(inner, 0.7);
+  EXPECT_EQ(tampered.read(), 7000u);
+  EXPECT_EQ(tampered.name(), "api+tampered");
+}
+
+TEST(TamperedMonitorTest, FactorClamped) {
+  std::uint64_t counter = 1000;
+  CallbackMonitor inner("api", [&] { return counter; });
+  EXPECT_EQ(TamperedMonitor(inner, 1.5).read(), 1000u);
+  EXPECT_EQ(TamperedMonitor(inner, -1.0).read(), 0u);
+}
+
+}  // namespace
+}  // namespace tlc::charging

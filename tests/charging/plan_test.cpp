@@ -1,0 +1,92 @@
+#include "charging/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace tlc::charging {
+namespace {
+
+TEST(PlanTest, Equation1KnownValues) {
+  // x̂ = x̂o + c (x̂e − x̂o)
+  EXPECT_EQ(expected_charge(1000, 800, 0.0), 800u);   // receiver-pays
+  EXPECT_EQ(expected_charge(1000, 800, 1.0), 1000u);  // sender-pays
+  EXPECT_EQ(expected_charge(1000, 800, 0.5), 900u);
+  EXPECT_EQ(expected_charge(1000, 800, 0.25), 850u);
+}
+
+TEST(PlanTest, ChargedVolumeSymmetricInClaimOrder) {
+  // Algorithm 1 line 8 handles claims in either order.
+  EXPECT_EQ(charged_volume(800, 1000, 0.5), charged_volume(1000, 800, 0.5));
+  EXPECT_EQ(charged_volume(0, 500, 0.3), charged_volume(500, 0, 0.3));
+}
+
+TEST(PlanTest, DegenerateCases) {
+  EXPECT_EQ(charged_volume(0, 0, 0.5), 0u);
+  EXPECT_EQ(charged_volume(700, 700, 0.3), 700u);  // equal claims
+  EXPECT_EQ(charged_volume(1, 0, 1.0), 1u);
+}
+
+TEST(PlanTest, WeightClampedToUnitInterval) {
+  EXPECT_EQ(charged_volume(1000, 800, -0.5), 800u);
+  EXPECT_EQ(charged_volume(1000, 800, 1.5), 1000u);
+}
+
+TEST(PlanTest, GapMetrics) {
+  EXPECT_EQ(charging_gap(900, 1000), 100u);
+  EXPECT_EQ(charging_gap(1000, 900), 100u);
+  EXPECT_EQ(charging_gap(500, 500), 0u);
+  EXPECT_DOUBLE_EQ(gap_ratio(1100, 1000), 0.1);
+  EXPECT_DOUBLE_EQ(gap_ratio(0, 0), 0.0);  // safe on empty cycles
+}
+
+TEST(PlanTest, DescribeMentionsParameters) {
+  DataPlan plan;
+  plan.lost_data_weight_c = 0.25;
+  const std::string text = plan.describe();
+  EXPECT_NE(text.find("0.25"), std::string::npos);
+  EXPECT_NE(text.find("kbps"), std::string::npos);
+}
+
+// Property sweep over the lost-data weight c (the Fig 15 knob).
+class PlanWeightTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PlanWeightTest, ChargeBoundedByClaims) {
+  const double c = GetParam();
+  Rng rng(static_cast<std::uint64_t>(c * 1000) + 1);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t received = rng.uniform_u64(1u << 30);
+    const std::uint64_t sent = received + rng.uniform_u64(1u << 24);
+    const std::uint64_t x = charged_volume(sent, received, c);
+    EXPECT_GE(x, received);
+    EXPECT_LE(x, sent);
+  }
+}
+
+TEST_P(PlanWeightTest, MonotoneInBothClaims) {
+  const double c = GetParam();
+  // Increasing either claim never decreases the charge — the fact
+  // Theorem 2's proof leans on ("x is positively monotonic").
+  const std::uint64_t x0 = charged_volume(1000, 500, c);
+  EXPECT_LE(x0, charged_volume(1100, 500, c));
+  EXPECT_LE(x0, charged_volume(1000, 600, c));
+}
+
+TEST_P(PlanWeightTest, LinearInterpolation) {
+  const double c = GetParam();
+  const std::uint64_t x = charged_volume(2000, 1000, c);
+  EXPECT_NEAR(static_cast<double>(x), 1000.0 + 1000.0 * c, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, PlanWeightTest,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+TEST(CycleTest, LengthAndEquality) {
+  const ChargingCycle a{0, kHour};
+  EXPECT_EQ(a.length(), kHour);
+  EXPECT_EQ(a, (ChargingCycle{0, kHour}));
+  EXPECT_NE(a, (ChargingCycle{0, 2 * kHour}));
+}
+
+}  // namespace
+}  // namespace tlc::charging

@@ -1,0 +1,125 @@
+#include "charging/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace tlc::charging {
+namespace {
+
+TEST(ClockModelTest, ZeroModelDrawsZero) {
+  ClockModel exact{0.0, 0.0};
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(exact.draw_offset(rng), 0);
+  }
+}
+
+TEST(ClockModelTest, BiasShiftsOffsets) {
+  ClockModel biased{0.0, 2.0};
+  Rng rng(2);
+  EXPECT_EQ(biased.draw_offset(rng), 2 * kSecond);
+}
+
+TEST(ClockModelTest, StddevSpreadsOffsets) {
+  ClockModel noisy{1.0, 0.0};
+  Rng rng(3);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double s = to_seconds(noisy.draw_offset(rng));
+    sum += s;
+    sq += s * s;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(CycleSamplerTest, ExactBoundariesYieldExactVolumes) {
+  sim::Simulator sim;
+  std::uint64_t counter = 0;
+  CallbackMonitor monitor("counter", [&] { return counter; });
+  CycleSampler sampler(sim, monitor, ClockModel{0.0, 0.0}, Rng(4));
+
+  // Counter grows by 100 per second.
+  for (int s = 1; s <= 30; ++s) {
+    sim.schedule_at(s * kSecond, [&] { counter += 100; });
+  }
+  sampler.schedule_boundary(0);
+  sampler.schedule_boundary(10 * kSecond);
+  sampler.schedule_boundary(20 * kSecond);
+  sim.run_until(kMinute);
+
+  ASSERT_EQ(sampler.completed_cycles(), 2u);
+  EXPECT_EQ(sampler.cycle_volume(0), 1000u);
+  EXPECT_EQ(sampler.cycle_volume(1), 1000u);
+}
+
+TEST(CycleSamplerTest, BiasedClockShiftsWindow) {
+  sim::Simulator sim;
+  std::uint64_t counter = 0;
+  CallbackMonitor monitor("counter", [&] { return counter; });
+  // +2 s bias: each boundary samples 2 s late.
+  CycleSampler sampler(sim, monitor, ClockModel{0.0, 2.0}, Rng(5));
+
+  for (int s = 1; s <= 30; ++s) {
+    sim.schedule_at(s * kSecond - kMillisecond, [&] { counter += 100; });
+  }
+  sampler.schedule_boundary(0);
+  sampler.schedule_boundary(10 * kSecond);
+  sim.run_until(kMinute);
+
+  // Window [2 s, 12 s): still 10 s of traffic at constant rate.
+  EXPECT_EQ(sampler.cycle_volume(0), 1000u);
+  // But the snapshots themselves are shifted.
+  EXPECT_EQ(sampler.snapshots()[0], 200u);
+}
+
+TEST(CycleSamplerTest, SnapshotsRecordCumulative) {
+  sim::Simulator sim;
+  std::uint64_t counter = 7777;
+  CallbackMonitor monitor("counter", [&] { return counter; });
+  CycleSampler sampler(sim, monitor, ClockModel{0.0, 0.0}, Rng(6));
+  sampler.schedule_boundary(kSecond);
+  sim.run_until(2 * kSecond);
+  ASSERT_EQ(sampler.snapshots().size(), 1u);
+  EXPECT_EQ(sampler.snapshots()[0], 7777u);
+  EXPECT_EQ(sampler.completed_cycles(), 0u);
+}
+
+TEST(CycleSamplerTest, MisalignmentCreatesVolumeError) {
+  // Same traffic, two samplers: one exact, one with a noisy clock. The
+  // noisy one's cycle volume differs — the Fig 18 record error.
+  sim::Simulator sim;
+  std::uint64_t counter = 0;
+  CallbackMonitor monitor("counter", [&] { return counter; });
+  CycleSampler exact(sim, monitor, ClockModel{0.0, 0.0}, Rng(7));
+  CycleSampler noisy(sim, monitor, ClockModel{1.5, 0.0}, Rng(8));
+
+  for (int s = 1; s <= 120; ++s) {
+    sim.schedule_at(s * kSecond, [&] { counter += 1000; });
+  }
+  for (int b = 0; b <= 2; ++b) {
+    exact.schedule_boundary(b * 40 * kSecond);
+    noisy.schedule_boundary(b * 40 * kSecond);
+  }
+  sim.run_until(3 * kMinute);
+
+  bool any_error = false;
+  for (std::size_t i = 0; i < 2; ++i) {
+    any_error = any_error || exact.cycle_volume(i) != noisy.cycle_volume(i);
+  }
+  EXPECT_TRUE(any_error);
+  // Errors are small relative to the cycle volume.
+  for (std::size_t i = 0; i < 2; ++i) {
+    const double rel =
+        std::abs(static_cast<double>(noisy.cycle_volume(i)) -
+                 static_cast<double>(exact.cycle_volume(i))) /
+        static_cast<double>(exact.cycle_volume(i));
+    EXPECT_LT(rel, 0.25);
+  }
+}
+
+}  // namespace
+}  // namespace tlc::charging

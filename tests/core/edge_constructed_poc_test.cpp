@@ -1,0 +1,117 @@
+// Symmetry check: when the edge vendor initiates, the *edge* ends up
+// constructing the PoC (it is the one receiving the CDA), and the
+// public verifier must handle both constructors (Algorithm 2 keys swap
+// roles per layer).
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "charging/plan.hpp"
+#include "core/protocol.hpp"
+#include "core/verifier.hpp"
+
+namespace tlc::core {
+namespace {
+
+struct EdgePocFixture : public ::testing::Test {
+  EdgePocFixture() {
+    Rng rng(616);
+    edge_kp = crypto::rsa_generate(512, rng);
+    op_kp = crypto::rsa_generate(512, rng);
+  }
+
+  EndpointConfig config_for(PartyRole role) const {
+    EndpointConfig config;
+    config.role = role;
+    if (role == PartyRole::Operator) {
+      config.own_private = op_kp.private_key;
+      config.own_public = op_kp.public_key;
+      config.peer_public = edge_kp.public_key;
+    } else {
+      config.own_private = edge_kp.private_key;
+      config.own_public = edge_kp.public_key;
+      config.peer_public = op_kp.public_key;
+    }
+    config.plan = PlanRef{0, kHour, 0.5};
+    config.view = UsageView{300000, 280000};
+    return config;
+  }
+
+  crypto::RsaKeyPair edge_kp;
+  crypto::RsaKeyPair op_kp;
+};
+
+TEST_F(EdgePocFixture, EdgeInitiatedPocVerifies) {
+  OptimalStrategy op_strategy;
+  OptimalStrategy edge_strategy;
+  ProtocolEndpoint op(config_for(PartyRole::Operator), op_strategy, Rng(1));
+  ProtocolEndpoint edge(config_for(PartyRole::EdgeVendor), edge_strategy,
+                        Rng(2));
+  std::deque<std::pair<bool, Bytes>> wire;
+  op.set_send([&](const Bytes& m) { wire.emplace_back(true, m); });
+  edge.set_send([&](const Bytes& m) { wire.emplace_back(false, m); });
+  edge.start();  // the EDGE initiates
+  while (!wire.empty()) {
+    auto [to_edge, message] = wire.front();
+    wire.pop_front();
+    if (to_edge) {
+      (void)edge.receive(message);
+    } else {
+      (void)op.receive(message);
+    }
+  }
+  ASSERT_TRUE(edge.done());
+  ASSERT_TRUE(op.done());
+
+  // The party that received the CDA constructed the PoC: for an
+  // edge-initiated 1-round flow that is the edge vendor.
+  ASSERT_TRUE(edge.poc().has_value());
+  EXPECT_EQ(edge.poc()->body.sender, PartyRole::EdgeVendor);
+
+  auto verified = verify_poc(VerificationRequest{
+      encode_signed_poc(*edge.poc()), PlanRef{0, kHour, 0.5},
+      edge_kp.public_key, op_kp.public_key});
+  ASSERT_TRUE(verified) << verified.error();
+  EXPECT_EQ(verified->constructed_by, PartyRole::EdgeVendor);
+  EXPECT_EQ(verified->charged,
+            charging::charged_volume(300000, 280000, 0.5));
+  // Claims map to roles regardless of who constructed the proof.
+  EXPECT_EQ(verified->edge_claim, 280000u);
+  EXPECT_EQ(verified->operator_claim, 300000u);
+}
+
+TEST_F(EdgePocFixture, BothConstructorsAgreeOnCharge) {
+  // Operator-initiated and edge-initiated negotiations of the same
+  // measurements settle at the same x.
+  auto run = [&](bool edge_initiates) {
+    OptimalStrategy op_strategy;
+    OptimalStrategy edge_strategy;
+    ProtocolEndpoint op(config_for(PartyRole::Operator), op_strategy,
+                        Rng(10));
+    ProtocolEndpoint edge(config_for(PartyRole::EdgeVendor), edge_strategy,
+                          Rng(11));
+    std::deque<std::pair<bool, Bytes>> wire;
+    op.set_send([&](const Bytes& m) { wire.emplace_back(true, m); });
+    edge.set_send([&](const Bytes& m) { wire.emplace_back(false, m); });
+    if (edge_initiates) {
+      edge.start();
+    } else {
+      op.start();
+    }
+    while (!wire.empty()) {
+      auto [to_edge, message] = wire.front();
+      wire.pop_front();
+      if (to_edge) {
+        (void)edge.receive(message);
+      } else {
+        (void)op.receive(message);
+      }
+    }
+    EXPECT_TRUE(op.done());
+    return op.negotiated();
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace tlc::core

@@ -1,0 +1,56 @@
+// Appendix D: the generic-downlink over-charge bound.
+#include "core/generic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace tlc::core {
+namespace {
+
+TEST(GenericDownlinkTest, NoInternetLossMeansNoOvercharge) {
+  const auto outcome = generic_downlink_charge(1000, 1000, 800, 0.5);
+  EXPECT_EQ(outcome.overcharge, 0u);
+  EXPECT_EQ(outcome.bound, 0u);
+  EXPECT_EQ(outcome.charged, outcome.ideal);
+}
+
+TEST(GenericDownlinkTest, KnownValues) {
+  // x̂e' = 1200 (Internet), x̂e = 1000 (core), x̂o = 800, c = 0.5:
+  // charged = 800 + 0.5*400 = 1000; ideal = 800 + 0.5*200 = 900.
+  const auto outcome = generic_downlink_charge(1200, 1000, 800, 0.5);
+  EXPECT_EQ(outcome.charged, 1000u);
+  EXPECT_EQ(outcome.ideal, 900u);
+  EXPECT_EQ(outcome.overcharge, 100u);
+  EXPECT_EQ(outcome.bound, 100u);  // c * (1200 - 1000)
+}
+
+TEST(GenericDownlinkTest, CZeroEliminatesOvercharge) {
+  // Receiver-pays plans are immune to Internet-side loss.
+  const auto outcome = generic_downlink_charge(5000, 3000, 2000, 0.0);
+  EXPECT_EQ(outcome.overcharge, 0u);
+}
+
+class GenericBoundTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GenericBoundTest, OverchargeEqualsAppendixDBound) {
+  const double c = GetParam();
+  Rng rng(static_cast<std::uint64_t>(c * 100) + 5);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t device = rng.uniform_u64(1u << 24);
+    const std::uint64_t core = device + rng.uniform_u64(1u << 20);
+    const std::uint64_t internet = core + rng.uniform_u64(1u << 20);
+    const auto outcome = generic_downlink_charge(internet, core, device, c);
+    // Appendix D: x̂' − x̂ = c (x̂e' − x̂e), within rounding.
+    EXPECT_LE(outcome.overcharge, outcome.bound + 1);
+    EXPECT_GE(outcome.overcharge + 1, outcome.bound);
+    // And the bound is itself capped by the Internet-side loss.
+    EXPECT_LE(outcome.bound, internet - core);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, GenericBoundTest,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+}  // namespace
+}  // namespace tlc::core

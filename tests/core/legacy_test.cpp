@@ -1,0 +1,33 @@
+#include "core/legacy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::core {
+namespace {
+
+TEST(LegacyTest, HonestOperatorBillsGatewayRecord) {
+  EXPECT_EQ(legacy_charge(123456), 123456u);
+}
+
+TEST(LegacyTest, SelfishOverclaimIsUnbounded) {
+  // §3.1: "the selfish charging volume can be unbounded" — nothing in
+  // legacy 4G/5G constrains the factor.
+  LegacyChargeParams selfish;
+  selfish.operator_selfish_factor = 100.0;
+  EXPECT_EQ(legacy_charge(1000, selfish), 100000u);
+  selfish.operator_selfish_factor = 1e6;
+  EXPECT_EQ(legacy_charge(1000, selfish), 1000000000u);
+}
+
+TEST(LegacyTest, NegativeFactorClampsToZero) {
+  LegacyChargeParams params;
+  params.operator_selfish_factor = -1.0;
+  EXPECT_EQ(legacy_charge(1000, params), 0u);
+}
+
+TEST(LegacyTest, ZeroUsageZeroBill) {
+  EXPECT_EQ(legacy_charge(0), 0u);
+}
+
+}  // namespace
+}  // namespace tlc::core

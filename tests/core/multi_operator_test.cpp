@@ -1,0 +1,123 @@
+#include "core/multi_operator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "charging/plan.hpp"
+
+namespace tlc::core {
+namespace {
+
+struct MultiOperatorFixture : public ::testing::Test {
+  MultiOperatorFixture() {
+    Rng rng(909);
+    edge_kp = crypto::rsa_generate(512, rng);
+    op_a_kp = crypto::rsa_generate(512, rng);
+    op_b_kp = crypto::rsa_generate(512, rng);
+  }
+
+  SessionConfig edge_facing(const crypto::RsaKeyPair& op_kp) const {
+    SessionConfig config;
+    config.role = PartyRole::EdgeVendor;
+    config.own_keys = edge_kp;
+    config.peer_key = op_kp.public_key;
+    return config;
+  }
+
+  /// Runs one cycle for the edge against a freshly built operator-side
+  /// session for `op_kp`.
+  void settle(TlcSession& edge_session, const crypto::RsaKeyPair& op_kp,
+              std::uint64_t sent, std::uint64_t received) {
+    SessionConfig op_config;
+    op_config.role = PartyRole::Operator;
+    op_config.own_keys = op_kp;
+    op_config.peer_key = edge_kp.public_key;
+    TlcSession op_session(op_config, std::make_unique<OptimalStrategy>(),
+                          Rng(3));
+
+    std::deque<std::pair<bool, Bytes>> wire;
+    op_session.set_send([&](const Bytes& m) { wire.emplace_back(true, m); });
+    edge_session.set_send(
+        [&](const Bytes& m) { wire.emplace_back(false, m); });
+    ASSERT_TRUE(op_session.begin_cycle(UsageView{sent, received}).ok());
+    ASSERT_TRUE(edge_session.begin_cycle(UsageView{sent, received}).ok());
+    ASSERT_TRUE(op_session.start().ok());
+    while (!wire.empty()) {
+      auto [to_edge, message] = wire.front();
+      wire.pop_front();
+      if (to_edge) {
+        (void)edge_session.receive(message);
+      } else {
+        (void)op_session.receive(message);
+      }
+    }
+    ASSERT_TRUE(edge_session.cycle_complete());
+    ASSERT_TRUE(edge_session.finish_cycle());
+    ASSERT_TRUE(op_session.finish_cycle());
+  }
+
+  crypto::RsaKeyPair edge_kp;
+  crypto::RsaKeyPair op_a_kp;
+  crypto::RsaKeyPair op_b_kp;
+};
+
+TEST_F(MultiOperatorFixture, RegistersOperators) {
+  MultiOperatorCharging multi;
+  EXPECT_TRUE(multi.add_operator("operator-A", edge_facing(op_a_kp),
+                                 std::make_unique<OptimalStrategy>(), Rng(1))
+                  .ok());
+  EXPECT_TRUE(multi.add_operator("operator-B", edge_facing(op_b_kp),
+                                 std::make_unique<OptimalStrategy>(), Rng(2))
+                  .ok());
+  EXPECT_EQ(multi.operator_count(), 2u);
+  EXPECT_TRUE(multi.has_operator("operator-A"));
+  EXPECT_FALSE(multi.has_operator("operator-C"));
+  EXPECT_EQ(multi.operator_names(),
+            (std::vector<std::string>{"operator-A", "operator-B"}));
+}
+
+TEST_F(MultiOperatorFixture, DuplicateNameRejected) {
+  MultiOperatorCharging multi;
+  ASSERT_TRUE(multi.add_operator("op", edge_facing(op_a_kp),
+                                 std::make_unique<OptimalStrategy>(), Rng(1))
+                  .ok());
+  EXPECT_FALSE(multi.add_operator("op", edge_facing(op_b_kp),
+                                  std::make_unique<OptimalStrategy>(), Rng(2))
+                   .ok());
+}
+
+TEST_F(MultiOperatorFixture, UnknownSessionLookupFails) {
+  MultiOperatorCharging multi;
+  EXPECT_FALSE(multi.session("ghost"));
+}
+
+TEST_F(MultiOperatorFixture, PerOperatorChargingAggregates) {
+  // §8: the edge classifies its traffic per operator and negotiates a
+  // separate PoC with each.
+  MultiOperatorCharging multi;
+  ASSERT_TRUE(multi.add_operator("operator-A", edge_facing(op_a_kp),
+                                 std::make_unique<OptimalStrategy>(), Rng(1))
+                  .ok());
+  ASSERT_TRUE(multi.add_operator("operator-B", edge_facing(op_b_kp),
+                                 std::make_unique<OptimalStrategy>(), Rng(2))
+                  .ok());
+
+  auto session_a = multi.session("operator-A");
+  auto session_b = multi.session("operator-B");
+  ASSERT_TRUE(session_a);
+  ASSERT_TRUE(session_b);
+
+  // Operator A carried 60% of the traffic this cycle, B the rest.
+  settle(**session_a, op_a_kp, 60000, 57000);
+  settle(**session_b, op_b_kp, 40000, 39000);
+
+  EXPECT_EQ(multi.total_cycles(), 2);
+  const std::uint64_t expected =
+      charging::charged_volume(60000, 57000, 0.5) +
+      charging::charged_volume(40000, 39000, 0.5);
+  EXPECT_EQ(multi.total_charged(), expected);
+}
+
+}  // namespace
+}  // namespace tlc::core

@@ -1,0 +1,80 @@
+#include "core/poc_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace tlc::core {
+namespace {
+
+PlanRef plan_at(SimTime start) { return PlanRef{start, start + kHour, 0.5}; }
+
+TEST(PocStoreTest, AddAndFind) {
+  PocStore store;
+  EXPECT_TRUE(store.empty());
+  store.add(plan_at(0), bytes_of("poc-0"));
+  store.add(plan_at(kHour), bytes_of("poc-1"));
+  EXPECT_EQ(store.size(), 2u);
+  auto entry = store.find_cycle(kHour);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->poc_wire, bytes_of("poc-1"));
+  EXPECT_FALSE(store.find_cycle(5 * kHour).has_value());
+}
+
+TEST(PocStoreTest, StoredBytes) {
+  PocStore store;
+  store.add(plan_at(0), Bytes(796, 0xaa));  // paper-sized PoC
+  store.add(plan_at(kHour), Bytes(796, 0xbb));
+  EXPECT_EQ(store.stored_bytes(), 1592u);
+}
+
+TEST(PocStoreTest, SerializeRoundTrip) {
+  PocStore store;
+  store.add(plan_at(0), bytes_of("alpha"));
+  store.add(PlanRef{kHour, 2 * kHour, 0.25}, bytes_of("beta"));
+  auto back = PocStore::deserialize(store.serialize());
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->entries(), store.entries());
+}
+
+TEST(PocStoreTest, CorruptionDetected) {
+  PocStore store;
+  store.add(plan_at(0), bytes_of("receipt"));
+  Bytes data = store.serialize();
+  data[data.size() / 2] ^= 0x01;
+  EXPECT_FALSE(PocStore::deserialize(data));
+}
+
+TEST(PocStoreTest, TruncationDetected) {
+  PocStore store;
+  store.add(plan_at(0), bytes_of("receipt"));
+  Bytes data = store.serialize();
+  data.resize(data.size() - 10);
+  EXPECT_FALSE(PocStore::deserialize(data));
+  EXPECT_FALSE(PocStore::deserialize(Bytes(8, 0)));
+}
+
+TEST(PocStoreTest, EmptyStoreRoundTrips) {
+  PocStore store;
+  auto back = PocStore::deserialize(store.serialize());
+  ASSERT_TRUE(back);
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(PocStoreTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/tlc_poc_store_test.bin";
+  PocStore store;
+  store.add(plan_at(0), bytes_of("filed"));
+  ASSERT_TRUE(store.save(path).ok());
+  auto back = PocStore::load(path);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->entries(), store.entries());
+  std::remove(path.c_str());
+}
+
+TEST(PocStoreTest, LoadMissingFileFails) {
+  EXPECT_FALSE(PocStore::load("/nonexistent/poc.bin"));
+}
+
+}  // namespace
+}  // namespace tlc::core

@@ -1,0 +1,122 @@
+#include "core/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::core {
+namespace {
+
+RoundContext edge_ctx(std::uint64_t sent, std::uint64_t received,
+                      std::uint64_t lo = 0, std::uint64_t hi = kUnbounded) {
+  return RoundContext{PartyRole::EdgeVendor, UsageView{sent, received},
+                      lo, hi, 0, 0.5};
+}
+
+RoundContext op_ctx(std::uint64_t sent, std::uint64_t received,
+                    std::uint64_t lo = 0, std::uint64_t hi = kUnbounded) {
+  return RoundContext{PartyRole::Operator, UsageView{sent, received},
+                      lo, hi, 0, 0.5};
+}
+
+TEST(HonestStrategyTest, ClaimsTruthfulMeasurement) {
+  HonestStrategy s;
+  EXPECT_EQ(s.claim(edge_ctx(1000, 800)), 1000u);  // edge reports sent
+  EXPECT_EQ(s.claim(op_ctx(1000, 800)), 800u);     // operator reports received
+}
+
+TEST(HonestStrategyTest, CrossChecksOpponent) {
+  HonestStrategy s;
+  // Edge rejects operator claims exceeding its sent volume (+tolerance).
+  EXPECT_TRUE(s.accept(edge_ctx(1000, 800), 1000, 1050));
+  EXPECT_FALSE(s.accept(edge_ctx(1000, 800), 1000, 1200));
+  // Operator rejects edge claims below its received volume (-tolerance).
+  EXPECT_TRUE(s.accept(op_ctx(1000, 800), 800, 760));
+  EXPECT_FALSE(s.accept(op_ctx(1000, 800), 800, 600));
+}
+
+TEST(OptimalStrategyTest, MinimaxMaximinClaims) {
+  OptimalStrategy s;
+  // Theorem 4: the edge claims x̂o, the operator claims x̂e.
+  EXPECT_EQ(s.claim(edge_ctx(1000, 800)), 800u);
+  EXPECT_EQ(s.claim(op_ctx(1000, 800)), 1000u);
+}
+
+TEST(OptimalStrategyTest, ClaimsClampToBounds) {
+  OptimalStrategy s;
+  EXPECT_EQ(s.claim(edge_ctx(1000, 800, 850, 950)), 850u);
+  EXPECT_EQ(s.claim(op_ctx(1000, 800, 850, 950)), 950u);
+}
+
+TEST(OptimalStrategyTest, AcceptsWithinCrossCheck) {
+  OptimalStrategy s;
+  EXPECT_TRUE(s.accept(edge_ctx(1000, 800), 800, 1000));
+  EXPECT_FALSE(s.accept(edge_ctx(1000, 800), 800, 1500));
+}
+
+TEST(RandomSelfishStrategyTest, ClaimsWithinPlausibleWindow) {
+  RandomSelfishStrategy s(Rng(1));
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t claim = s.claim(edge_ctx(1000, 800));
+    EXPECT_GE(claim, 800u);
+    EXPECT_LE(claim, 1000u);
+  }
+}
+
+TEST(RandomSelfishStrategyTest, ClaimsRespectBounds) {
+  RandomSelfishStrategy s(Rng(2));
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t claim = s.claim(edge_ctx(1000, 800, 850, 900));
+    EXPECT_GE(claim, 850u);
+    EXPECT_LE(claim, 900u);
+  }
+}
+
+TEST(RandomSelfishStrategyTest, AcceptsCloseClaims) {
+  RandomSelfishStrategy s(Rng(3), 0.01);
+  EXPECT_TRUE(s.accept(edge_ctx(1000, 800), 900, 905));
+  EXPECT_FALSE(s.accept(edge_ctx(1000, 800), 850, 990));
+}
+
+TEST(RandomSelfishStrategyTest, ToleranceEscalatesWithRounds) {
+  RandomSelfishStrategy s(Rng(4), 0.01);
+  RoundContext late = edge_ctx(1000, 800);
+  late.round = 10;  // 1% tolerance grows ~8.5x by round 10
+  EXPECT_TRUE(s.accept(late, 900, 960));
+  RoundContext early = edge_ctx(1000, 800);
+  EXPECT_FALSE(s.accept(early, 900, 960));
+}
+
+TEST(RejectAllStrategyTest, NeverAccepts) {
+  RejectAllStrategy s;
+  EXPECT_FALSE(s.accept(edge_ctx(1000, 800), 900, 900));
+  EXPECT_EQ(s.claim(edge_ctx(1000, 800)), 800u);
+}
+
+TEST(GreedyOverclaimStrategyTest, OperatorClaimsBeyondSent) {
+  GreedyOverclaimStrategy s(1.5);
+  // Claims 1.5x its own x̂e estimate — beyond any defensible volume.
+  EXPECT_EQ(s.claim(op_ctx(1000, 800)), 1500u);
+  // And ignores the negotiated window (the engine flags this).
+  EXPECT_EQ(s.claim(op_ctx(1000, 800, 900, 950)), 1500u);
+}
+
+TEST(GreedyOverclaimStrategyTest, EdgeVariantUnderClaims) {
+  GreedyOverclaimStrategy s(2.0);
+  EXPECT_EQ(s.claim(edge_ctx(1000, 800)), 400u);
+}
+
+TEST(ClampClaimTest, Clamps) {
+  const RoundContext ctx = edge_ctx(1000, 800, 100, 200);
+  EXPECT_EQ(clamp_claim(50, ctx), 100u);
+  EXPECT_EQ(clamp_claim(150, ctx), 150u);
+  EXPECT_EQ(clamp_claim(500, ctx), 200u);
+}
+
+TEST(PartyRoleTest, Helpers) {
+  EXPECT_EQ(other_party(PartyRole::Operator), PartyRole::EdgeVendor);
+  EXPECT_EQ(other_party(PartyRole::EdgeVendor), PartyRole::Operator);
+  EXPECT_STREQ(role_name(PartyRole::Operator), "operator");
+  EXPECT_STREQ(role_name(PartyRole::EdgeVendor), "edge-vendor");
+}
+
+}  // namespace
+}  // namespace tlc::core

@@ -1,0 +1,80 @@
+// Theorem 1 made measurable: record-synchronized charging must delay
+// traffic, and the delay diverges with loss.
+#include "core/sync_baseline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::core {
+namespace {
+
+SyncChargingParams base_params() {
+  SyncChargingParams params;
+  params.window_packets = 32;
+  params.one_way_delay = 20 * kMillisecond;
+  params.retransmit_timeout = 200 * kMillisecond;
+  params.packet_interval = 5 * kMillisecond;
+  params.total_packets = 20000;
+  return params;
+}
+
+TEST(SyncBaselineTest, LosslessStillAddsDelay) {
+  auto params = base_params();
+  params.loss_probability = 0.0;
+  const auto outcome = simulate_sync_charging(params, Rng(1));
+  // Even without loss, each window costs one sync RTT while data waits.
+  EXPECT_GT(outcome.mean_added_delay_ms, 0.0);
+  EXPECT_EQ(outcome.sync_retransmissions, 0u);
+  EXPECT_EQ(outcome.residual_gap, 0u);
+}
+
+TEST(SyncBaselineTest, DelayGrowsWithLoss) {
+  double previous = -1.0;
+  for (double loss : {0.0, 0.05, 0.15, 0.30}) {
+    auto params = base_params();
+    params.loss_probability = loss;
+    const auto outcome = simulate_sync_charging(params, Rng(2));
+    EXPECT_GT(outcome.mean_added_delay_ms, previous) << "loss=" << loss;
+    previous = outcome.mean_added_delay_ms;
+  }
+}
+
+TEST(SyncBaselineTest, RetransmissionsTrackLoss) {
+  auto params = base_params();
+  params.loss_probability = 0.2;
+  const auto outcome = simulate_sync_charging(params, Rng(3));
+  EXPECT_GT(outcome.sync_retransmissions, 0u);
+  // P(attempt fails) = 1-(1-p)^2 = 0.36; retransmissions/window ≈ 0.5625.
+  const double windows = static_cast<double>(params.total_packets) /
+                         params.window_packets;
+  const double per_window =
+      static_cast<double>(outcome.sync_retransmissions) / windows;
+  EXPECT_NEAR(per_window, 0.36 / 0.64, 0.15);
+}
+
+TEST(SyncBaselineTest, ThroughputCollapsesUnderHeavyLoss) {
+  auto params = base_params();
+  params.loss_probability = 0.5;
+  const auto outcome = simulate_sync_charging(params, Rng(4));
+  EXPECT_LT(outcome.throughput_ratio, 1.0);
+}
+
+TEST(SyncBaselineTest, LargerWindowsAmortizeBetter) {
+  auto small = base_params();
+  small.window_packets = 8;
+  auto large = base_params();
+  large.window_packets = 128;
+  const auto small_outcome = simulate_sync_charging(small, Rng(5));
+  const auto large_outcome = simulate_sync_charging(large, Rng(5));
+  EXPECT_GT(small_outcome.mean_added_delay_ms,
+            large_outcome.mean_added_delay_ms);
+}
+
+TEST(SyncBaselineTest, P99AtLeastMean) {
+  auto params = base_params();
+  params.loss_probability = 0.1;
+  const auto outcome = simulate_sync_charging(params, Rng(6));
+  EXPECT_GE(outcome.p99_added_delay_ms, outcome.mean_added_delay_ms);
+}
+
+}  // namespace
+}  // namespace tlc::core

@@ -1,0 +1,202 @@
+#include "crypto/bignum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace tlc::crypto {
+namespace {
+
+TEST(BigUIntTest, ConstructionAndLowU64) {
+  EXPECT_TRUE(BigUInt{}.is_zero());
+  EXPECT_TRUE(BigUInt{0}.is_zero());
+  EXPECT_EQ(BigUInt{42}.low_u64(), 42u);
+  EXPECT_EQ(BigUInt{0xdeadbeefcafebabeULL}.low_u64(), 0xdeadbeefcafebabeULL);
+}
+
+TEST(BigUIntTest, ByteRoundTrip) {
+  const Bytes be = {0x01, 0x02, 0x03, 0x04, 0x05};
+  const BigUInt v = BigUInt::from_bytes(be);
+  EXPECT_EQ(v.to_bytes(), be);
+  EXPECT_EQ(v.low_u64(), 0x0102030405ULL);
+}
+
+TEST(BigUIntTest, LeadingZeroBytesStripped) {
+  const Bytes be = {0x00, 0x00, 0x7f};
+  const BigUInt v = BigUInt::from_bytes(be);
+  EXPECT_EQ(v.to_bytes(), Bytes{0x7f});
+}
+
+TEST(BigUIntTest, PaddedBytes) {
+  const BigUInt v{0x1234};
+  const Bytes padded = v.to_bytes_padded(8);
+  ASSERT_EQ(padded.size(), 8u);
+  EXPECT_EQ(padded[6], 0x12);
+  EXPECT_EQ(padded[7], 0x34);
+  EXPECT_EQ(padded[0], 0x00);
+  EXPECT_TRUE(BigUInt{}.to_bytes().empty());
+}
+
+TEST(BigUIntTest, BitLength) {
+  EXPECT_EQ(BigUInt{}.bit_length(), 0u);
+  EXPECT_EQ(BigUInt{1}.bit_length(), 1u);
+  EXPECT_EQ(BigUInt{255}.bit_length(), 8u);
+  EXPECT_EQ(BigUInt{256}.bit_length(), 9u);
+  EXPECT_EQ((BigUInt{1} << 100).bit_length(), 101u);
+}
+
+TEST(BigUIntTest, CompareAndOrdering) {
+  const BigUInt a{100};
+  const BigUInt b{200};
+  EXPECT_LT(a, b);
+  EXPECT_LE(a, a);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, BigUInt{100});
+  EXPECT_NE(a, b);
+  EXPECT_LT(BigUInt{}, a);
+}
+
+TEST(BigUIntTest, ShiftRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const BigUInt v = BigUInt::random_with_bits(200, rng);
+    const std::size_t shift = rng.uniform_u64(130);
+    EXPECT_EQ((v << shift) >> shift, v);
+  }
+  EXPECT_TRUE((BigUInt{5} >> 10).is_zero());
+}
+
+TEST(BigUIntTest, HexRoundTrip) {
+  EXPECT_EQ(BigUInt{}.to_hex(), "0");
+  EXPECT_EQ(BigUInt{255}.to_hex(), "ff");
+  EXPECT_EQ(BigUInt{4096}.to_hex(), "1000");
+  auto parsed = BigUInt::from_hex("deadbeef123");
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->to_hex(), "deadbeef123");
+  EXPECT_FALSE(BigUInt::from_hex("xyz"));
+}
+
+TEST(BigUIntTest, DecimalString) {
+  EXPECT_EQ(BigUInt{}.to_string(), "0");
+  EXPECT_EQ(BigUInt{1234567890123456789ULL}.to_string(), "1234567890123456789");
+  // 2^128 known value.
+  const BigUInt v = BigUInt{1} << 128;
+  EXPECT_EQ(v.to_string(), "340282366920938463463374607431768211456");
+}
+
+// Property sweep: arithmetic on values that fit in 64 bits must agree
+// with native arithmetic.
+class BigUIntPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigUIntPropertyTest, MatchesNativeArithmetic) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.next_u64() >> 33;  // keep products in range
+    const std::uint64_t b = rng.next_u64() >> 33;
+    const BigUInt A{a};
+    const BigUInt B{b};
+    EXPECT_EQ((A + B).low_u64(), a + b);
+    EXPECT_EQ((A * B).low_u64(), a * b);
+    if (a >= b) {
+      EXPECT_EQ((A - B).low_u64(), a - b);
+    }
+    if (b != 0) {
+      const auto qr = A.divmod(B);
+      EXPECT_EQ(qr.quotient.low_u64(), a / b);
+      EXPECT_EQ(qr.remainder.low_u64(), a % b);
+    }
+  }
+}
+
+TEST_P(BigUIntPropertyTest, DivModReconstructs) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  for (int i = 0; i < 40; ++i) {
+    const BigUInt a = BigUInt::random_with_bits(256 + rng.uniform_u64(256), rng);
+    const BigUInt b = BigUInt::random_with_bits(64 + rng.uniform_u64(192), rng);
+    const auto qr = a.divmod(b);
+    EXPECT_EQ(qr.quotient * b + qr.remainder, a);
+    EXPECT_LT(qr.remainder, b);
+  }
+}
+
+TEST_P(BigUIntPropertyTest, MulDistributesOverAdd) {
+  Rng rng(GetParam() ^ 0x1111);
+  for (int i = 0; i < 40; ++i) {
+    const BigUInt a = BigUInt::random_with_bits(180, rng);
+    const BigUInt b = BigUInt::random_with_bits(200, rng);
+    const BigUInt c = BigUInt::random_with_bits(160, rng);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TEST_P(BigUIntPropertyTest, ModExpMatchesNaive) {
+  Rng rng(GetParam() ^ 0x2222);
+  for (int i = 0; i < 10; ++i) {
+    const std::uint64_t base = rng.uniform_u64(1000) + 2;
+    const std::uint64_t exp = rng.uniform_u64(24);
+    const std::uint64_t mod = rng.uniform_u64(100000) + 2;
+    std::uint64_t naive = 1 % mod;
+    for (std::uint64_t k = 0; k < exp; ++k) naive = naive * base % mod;
+    EXPECT_EQ(BigUInt{base}.mod_exp(BigUInt{exp}, BigUInt{mod}).low_u64(),
+              naive);
+  }
+}
+
+TEST_P(BigUIntPropertyTest, ModInverseIsInverse) {
+  Rng rng(GetParam() ^ 0x3333);
+  const BigUInt modulus{1000003};  // prime
+  for (int i = 0; i < 40; ++i) {
+    const BigUInt v{rng.uniform_u64(1000002) + 1};
+    auto inv = v.mod_inverse(modulus);
+    ASSERT_TRUE(inv);
+    EXPECT_EQ(((v * *inv) % modulus).low_u64(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigUIntPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST(BigUIntTest, GcdKnownValues) {
+  EXPECT_EQ(BigUInt::gcd(BigUInt{48}, BigUInt{36}).low_u64(), 12u);
+  EXPECT_EQ(BigUInt::gcd(BigUInt{17}, BigUInt{13}).low_u64(), 1u);
+  EXPECT_EQ(BigUInt::gcd(BigUInt{0}, BigUInt{7}).low_u64(), 7u);
+  EXPECT_EQ(BigUInt::gcd(BigUInt{7}, BigUInt{0}).low_u64(), 7u);
+}
+
+TEST(BigUIntTest, ModInverseRequiresCoprime) {
+  EXPECT_FALSE(BigUInt{4}.mod_inverse(BigUInt{8}));
+  EXPECT_TRUE(BigUInt{3}.mod_inverse(BigUInt{8}));
+}
+
+TEST(BigUIntTest, RandomWithBitsHasExactLength) {
+  Rng rng(9);
+  for (std::size_t bits : {1u, 31u, 32u, 33u, 512u, 1024u}) {
+    const BigUInt v = BigUInt::random_with_bits(bits, rng);
+    EXPECT_EQ(v.bit_length(), bits);
+  }
+}
+
+TEST(BigUIntTest, RandomBelowInRange) {
+  Rng rng(10);
+  const BigUInt bound{1000};
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_LT(BigUInt::random_below(bound, rng), bound);
+  }
+}
+
+TEST(BigUIntTest, KnuthDAddBackCase) {
+  // A division constructed to stress the rare D6 add-back correction:
+  // divisor with max-valued top limbs.
+  auto u = BigUInt::from_hex("7fffffff800000010000000000000000");
+  auto v = BigUInt::from_hex("800000008000000200000005");
+  ASSERT_TRUE(u);
+  ASSERT_TRUE(v);
+  const auto qr = u->divmod(*v);
+  EXPECT_EQ(qr.quotient * *v + qr.remainder, *u);
+  EXPECT_LT(qr.remainder, *v);
+}
+
+}  // namespace
+}  // namespace tlc::crypto

@@ -1,0 +1,61 @@
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+
+namespace tlc::crypto {
+namespace {
+
+// RFC 4231 test vectors for HMAC-SHA256.
+TEST(HmacTest, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Bytes data = bytes_of("Hi There");
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  const Bytes key = bytes_of("Jefe");
+  const Bytes data = bytes_of("what do ya want for nothing?");
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, Rfc4231Case6LongKey) {
+  // Key longer than the block size must be hashed first.
+  const Bytes key(131, 0xaa);
+  const Bytes data =
+      bytes_of("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, KeySensitivity) {
+  const Bytes data = bytes_of("trace body");
+  const Bytes a = hmac_sha256(bytes_of("key-a"), data);
+  const Bytes b = hmac_sha256(bytes_of("key-b"), data);
+  EXPECT_NE(a, b);
+}
+
+TEST(HmacTest, MessageSensitivity) {
+  const Bytes key = bytes_of("key");
+  EXPECT_NE(hmac_sha256(key, bytes_of("m1")), hmac_sha256(key, bytes_of("m2")));
+}
+
+TEST(HmacTest, EmptyInputsDefined) {
+  const Bytes tag = hmac_sha256({}, {});
+  EXPECT_EQ(tag.size(), 32u);
+  EXPECT_EQ(to_hex(tag),
+            "b613679a0814d9ec772f95d778c35fc5ff1697c493715653c6c712144292c5ad");
+}
+
+}  // namespace
+}  // namespace tlc::crypto

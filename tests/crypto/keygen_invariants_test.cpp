@@ -1,0 +1,68 @@
+// Number-theoretic invariants of generated RSA key material.
+#include <gtest/gtest.h>
+
+#include "crypto/prime.hpp"
+#include "crypto/rsa.hpp"
+#include "util/rng.hpp"
+
+namespace tlc::crypto {
+namespace {
+
+class KeygenInvariantsTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  RsaKeyPair generate() {
+    Rng rng(GetParam());
+    return rsa_generate(512, rng);
+  }
+};
+
+TEST_P(KeygenInvariantsTest, ModulusIsProductOfTwoPrimes) {
+  const RsaKeyPair kp = generate();
+  const auto& priv = kp.private_key;
+  EXPECT_EQ(priv.p * priv.q, priv.n);
+  EXPECT_NE(priv.p, priv.q);
+  Rng check(99);
+  EXPECT_TRUE(is_probable_prime(priv.p, check, 32));
+  EXPECT_TRUE(is_probable_prime(priv.q, check, 32));
+}
+
+TEST_P(KeygenInvariantsTest, ExponentsAreInverses) {
+  const RsaKeyPair kp = generate();
+  const BigUInt one{1};
+  const BigUInt p1 = kp.private_key.p - one;
+  const BigUInt q1 = kp.private_key.q - one;
+  const BigUInt lambda = (p1 / BigUInt::gcd(p1, q1)) * q1;
+  // e * d ≡ 1 (mod λ(n))
+  EXPECT_EQ((kp.public_key.e * kp.private_key.d) % lambda, one);
+}
+
+TEST_P(KeygenInvariantsTest, CrtParametersConsistent) {
+  const RsaKeyPair kp = generate();
+  const auto& priv = kp.private_key;
+  const BigUInt one{1};
+  EXPECT_EQ(priv.d_p, priv.d % (priv.p - one));
+  EXPECT_EQ(priv.d_q, priv.d % (priv.q - one));
+  EXPECT_EQ((priv.q_inv * priv.q) % priv.p, one);
+  // CRT convention used by Garner recombination: p > q.
+  EXPECT_GT(priv.p, priv.q);
+}
+
+TEST_P(KeygenInvariantsTest, RawRoundTripOnRandomValues) {
+  const RsaKeyPair kp = generate();
+  Rng rng(GetParam() ^ 0xabc);
+  for (int i = 0; i < 3; ++i) {
+    const BigUInt m = BigUInt::random_below(kp.private_key.n, rng);
+    const BigUInt c = m.mod_exp(kp.public_key.e, kp.public_key.n);
+    EXPECT_EQ(kp.private_key.private_op(c), m);
+  }
+}
+
+TEST_P(KeygenInvariantsTest, ModulusHasExactBitLength) {
+  EXPECT_EQ(generate().public_key.n.bit_length(), 512u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KeygenInvariantsTest,
+                         ::testing::Values(2001, 2002, 2003));
+
+}  // namespace
+}  // namespace tlc::crypto

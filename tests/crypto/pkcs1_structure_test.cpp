@@ -1,0 +1,69 @@
+// White-box checks of the EMSA-PKCS1-v1_5 encoding: the recovered
+// encoded message must have the exact RFC 8017 layout, byte for byte —
+// the property interop with other RSA implementations depends on.
+#include <gtest/gtest.h>
+
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+#include "util/rng.hpp"
+
+namespace tlc::crypto {
+namespace {
+
+// DigestInfo prefix for SHA-256 from RFC 8017 §9.2.
+const Bytes kDigestInfoPrefix = {0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60,
+                                 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02,
+                                 0x01, 0x05, 0x00, 0x04, 0x20};
+
+TEST(Pkcs1StructureTest, RecoveredEncodingMatchesRfc8017) {
+  Rng rng(11);
+  const RsaKeyPair kp = rsa_generate(512, rng);
+  const Bytes message = bytes_of("structural check");
+  const Bytes signature = rsa_sign(kp.private_key, message);
+
+  // Recover EM = signature^e mod n.
+  const BigUInt s = BigUInt::from_bytes(signature);
+  const BigUInt m = s.mod_exp(kp.public_key.e, kp.public_key.n);
+  const Bytes em = m.to_bytes_padded(kp.public_key.modulus_bytes());
+
+  // Layout: 0x00 0x01 FF..FF 0x00 DigestInfo || H.
+  ASSERT_GE(em.size(), 11u + kDigestInfoPrefix.size() + kSha256DigestSize);
+  EXPECT_EQ(em[0], 0x00);
+  EXPECT_EQ(em[1], 0x01);
+  const std::size_t t_len = kDigestInfoPrefix.size() + kSha256DigestSize;
+  const std::size_t pad_end = em.size() - t_len - 1;
+  for (std::size_t i = 2; i < pad_end; ++i) {
+    EXPECT_EQ(em[i], 0xff) << "pad byte " << i;
+  }
+  EXPECT_EQ(em[pad_end], 0x00);
+  const Bytes digest_info(em.begin() + static_cast<std::ptrdiff_t>(pad_end) + 1,
+                          em.begin() + static_cast<std::ptrdiff_t>(pad_end) +
+                              1 + static_cast<std::ptrdiff_t>(
+                                      kDigestInfoPrefix.size()));
+  EXPECT_EQ(digest_info, kDigestInfoPrefix);
+  const Bytes digest(em.end() - static_cast<std::ptrdiff_t>(kSha256DigestSize),
+                     em.end());
+  EXPECT_EQ(digest, sha256(message));
+}
+
+TEST(Pkcs1StructureTest, SignatureIsDeterministic) {
+  // PKCS#1 v1.5 signatures are deterministic — same key + message gives
+  // the same bytes (unlike PSS). TLC relies on this for byte-exact echo
+  // comparison of re-encoded messages.
+  Rng rng(12);
+  const RsaKeyPair kp = rsa_generate(512, rng);
+  const Bytes message = bytes_of("determinism");
+  EXPECT_EQ(rsa_sign(kp.private_key, message),
+            rsa_sign(kp.private_key, message));
+}
+
+TEST(Pkcs1StructureTest, PadLengthScalesWithModulus) {
+  Rng rng(13);
+  const RsaKeyPair small = rsa_generate(512, rng);
+  const RsaKeyPair large = rsa_generate(1024, rng);
+  EXPECT_EQ(rsa_sign(small.private_key, bytes_of("x")).size(), 64u);
+  EXPECT_EQ(rsa_sign(large.private_key, bytes_of("x")).size(), 128u);
+}
+
+}  // namespace
+}  // namespace tlc::crypto

@@ -1,0 +1,68 @@
+#include "crypto/prime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::crypto {
+namespace {
+
+TEST(PrimeTest, SmallKnownPrimes) {
+  Rng rng(1);
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 97ull, 65537ull, 1000003ull,
+                          2147483647ull}) {
+    EXPECT_TRUE(is_probable_prime(BigUInt{p}, rng)) << p;
+  }
+}
+
+TEST(PrimeTest, SmallKnownComposites) {
+  Rng rng(2);
+  for (std::uint64_t c : {1ull, 4ull, 9ull, 15ull, 91ull, 561ull, 1000001ull,
+                          65536ull}) {
+    EXPECT_FALSE(is_probable_prime(BigUInt{c}, rng)) << c;
+  }
+}
+
+TEST(PrimeTest, CarmichaelNumbersRejected) {
+  // Carmichael numbers fool Fermat tests but not Miller-Rabin.
+  Rng rng(3);
+  for (std::uint64_t c : {561ull, 1105ull, 1729ull, 2465ull, 2821ull,
+                          6601ull, 8911ull, 41041ull, 825265ull}) {
+    EXPECT_FALSE(is_probable_prime(BigUInt{c}, rng)) << c;
+  }
+}
+
+TEST(PrimeTest, LargeKnownPrime) {
+  // 2^127 - 1 is a Mersenne prime.
+  Rng rng(4);
+  const BigUInt m127 = (BigUInt{1} << 127) - BigUInt{1};
+  EXPECT_TRUE(is_probable_prime(m127, rng));
+  // 2^128 + 1 is composite (= 59649589127497217 * ...).
+  const BigUInt f7 = (BigUInt{1} << 128) + BigUInt{1};
+  EXPECT_FALSE(is_probable_prime(f7, rng));
+}
+
+TEST(PrimeTest, GeneratedPrimeProperties) {
+  Rng rng(5);
+  const BigUInt p = generate_prime(128, rng);
+  EXPECT_EQ(p.bit_length(), 128u);
+  EXPECT_TRUE(p.is_odd());
+  Rng check_rng(6);
+  EXPECT_TRUE(is_probable_prime(p, check_rng, 40));
+  // gcd(p - 1, 65537) == 1 per the RSA constraint.
+  EXPECT_EQ(BigUInt::gcd(p - BigUInt{1}, BigUInt{65537}), BigUInt{1});
+}
+
+TEST(PrimeTest, GenerationIsDeterministicPerSeed) {
+  Rng a(7);
+  Rng b(7);
+  EXPECT_EQ(generate_prime(96, a), generate_prime(96, b));
+}
+
+TEST(PrimeTest, DistinctPrimesFromOneStream) {
+  Rng rng(8);
+  const BigUInt p = generate_prime(96, rng);
+  const BigUInt q = generate_prime(96, rng);
+  EXPECT_NE(p, q);
+}
+
+}  // namespace
+}  // namespace tlc::crypto

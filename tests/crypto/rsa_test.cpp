@@ -1,0 +1,162 @@
+#include "crypto/rsa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace tlc::crypto {
+namespace {
+
+/// Shared small keypair so the suite stays fast; RSA-1024 is covered in
+/// one dedicated test and in the benches.
+const RsaKeyPair& test_keypair() {
+  static const RsaKeyPair kp = [] {
+    Rng rng(1001);
+    return rsa_generate(512, rng);
+  }();
+  return kp;
+}
+
+TEST(RsaTest, SignVerifyRoundTrip) {
+  const auto& kp = test_keypair();
+  const Bytes message = bytes_of("charging record: 123456 bytes");
+  const Bytes signature = rsa_sign(kp.private_key, message);
+  EXPECT_EQ(signature.size(), kp.public_key.modulus_bytes());
+  EXPECT_TRUE(rsa_verify(kp.public_key, message, signature).ok());
+}
+
+TEST(RsaTest, TamperedMessageRejected) {
+  const auto& kp = test_keypair();
+  Bytes message = bytes_of("volume=1000");
+  const Bytes signature = rsa_sign(kp.private_key, message);
+  message.back() = '9';  // claim a different volume
+  EXPECT_FALSE(rsa_verify(kp.public_key, message, signature).ok());
+}
+
+TEST(RsaTest, TamperedSignatureRejected) {
+  const auto& kp = test_keypair();
+  const Bytes message = bytes_of("msg");
+  Bytes signature = rsa_sign(kp.private_key, message);
+  signature[10] ^= 0x40;
+  EXPECT_FALSE(rsa_verify(kp.public_key, message, signature).ok());
+}
+
+TEST(RsaTest, WrongKeyRejected) {
+  const auto& kp = test_keypair();
+  Rng rng(2002);
+  const RsaKeyPair other = rsa_generate(512, rng);
+  const Bytes message = bytes_of("msg");
+  const Bytes signature = rsa_sign(kp.private_key, message);
+  EXPECT_FALSE(rsa_verify(other.public_key, message, signature).ok());
+}
+
+TEST(RsaTest, WrongLengthSignatureRejected) {
+  const auto& kp = test_keypair();
+  const Bytes message = bytes_of("msg");
+  Bytes signature = rsa_sign(kp.private_key, message);
+  signature.pop_back();
+  EXPECT_FALSE(rsa_verify(kp.public_key, message, signature).ok());
+  signature.push_back(0);
+  signature.push_back(0);
+  EXPECT_FALSE(rsa_verify(kp.public_key, message, signature).ok());
+}
+
+TEST(RsaTest, SignatureOutOfRangeRejected) {
+  const auto& kp = test_keypair();
+  // A "signature" equal to the modulus is >= n and must be rejected
+  // before any math.
+  const Bytes bogus = kp.public_key.n.to_bytes_padded(
+      kp.public_key.modulus_bytes());
+  EXPECT_FALSE(rsa_verify(kp.public_key, bytes_of("m"), bogus).ok());
+}
+
+TEST(RsaTest, CrtMatchesPlainExponentiation) {
+  const auto& kp = test_keypair();
+  Rng rng(3003);
+  for (int i = 0; i < 5; ++i) {
+    const BigUInt m = BigUInt::random_below(kp.private_key.n, rng);
+    RsaPrivateKey no_crt = kp.private_key;
+    no_crt.p = BigUInt{};
+    no_crt.q = BigUInt{};
+    EXPECT_EQ(kp.private_key.private_op(m), no_crt.private_op(m));
+  }
+}
+
+TEST(RsaTest, DeterministicKeygen) {
+  Rng a(42);
+  Rng b(42);
+  const RsaKeyPair ka = rsa_generate(512, a);
+  const RsaKeyPair kb = rsa_generate(512, b);
+  EXPECT_EQ(ka.public_key, kb.public_key);
+}
+
+TEST(RsaTest, PublicKeySerializationRoundTrip) {
+  const auto& kp = test_keypair();
+  const Bytes blob = kp.public_key.serialize();
+  auto back = RsaPublicKey::deserialize(blob);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(*back, kp.public_key);
+  EXPECT_EQ(back->fingerprint(), kp.public_key.fingerprint());
+  EXPECT_EQ(kp.public_key.fingerprint_hex().size(), 16u);
+}
+
+TEST(RsaTest, PublicKeyDeserializeRejectsGarbage) {
+  EXPECT_FALSE(RsaPublicKey::deserialize(bytes_of("junk")));
+  // Zero modulus must be rejected.
+  RsaPublicKey zero;
+  zero.n = BigUInt{};
+  zero.e = BigUInt{65537};
+  EXPECT_FALSE(RsaPublicKey::deserialize(zero.serialize()));
+}
+
+TEST(RsaTest, EncryptDecryptRoundTrip) {
+  const auto& kp = test_keypair();
+  Rng rng(4004);
+  const Bytes payload = bytes_of("short secret");
+  auto ciphertext = rsa_encrypt(kp.public_key, payload, rng);
+  ASSERT_TRUE(ciphertext);
+  EXPECT_EQ(ciphertext->size(), kp.public_key.modulus_bytes());
+  auto plaintext = rsa_decrypt(kp.private_key, *ciphertext);
+  ASSERT_TRUE(plaintext);
+  EXPECT_EQ(*plaintext, payload);
+}
+
+TEST(RsaTest, EncryptRejectsOversizedPayload) {
+  const auto& kp = test_keypair();
+  Rng rng(5005);
+  const Bytes big(kp.public_key.modulus_bytes() - 10, 0x42);
+  EXPECT_FALSE(rsa_encrypt(kp.public_key, big, rng));
+}
+
+TEST(RsaTest, DecryptRejectsCorruptedCiphertext) {
+  const auto& kp = test_keypair();
+  Rng rng(6006);
+  auto ciphertext = rsa_encrypt(kp.public_key, bytes_of("x"), rng);
+  ASSERT_TRUE(ciphertext);
+  (*ciphertext)[5] ^= 0xff;
+  // Either padding fails or the payload differs; both are acceptable,
+  // but it must never return the original payload with an OK status.
+  auto plaintext = rsa_decrypt(kp.private_key, *ciphertext);
+  if (plaintext) {
+    EXPECT_NE(*plaintext, bytes_of("x"));
+  }
+}
+
+TEST(RsaTest, Rsa1024EndToEnd) {
+  Rng rng(7007);
+  const RsaKeyPair kp = rsa_generate(1024, rng);
+  EXPECT_EQ(kp.public_key.modulus_bytes(), 128u);
+  const Bytes message = bytes_of("PoC for cycle 2019-01-07T07:13:46");
+  const Bytes signature = rsa_sign(kp.private_key, message);
+  EXPECT_EQ(signature.size(), 128u);
+  EXPECT_TRUE(rsa_verify(kp.public_key, message, signature).ok());
+}
+
+TEST(RsaTest, DistinctMessagesDistinctSignatures) {
+  const auto& kp = test_keypair();
+  EXPECT_NE(rsa_sign(kp.private_key, bytes_of("a")),
+            rsa_sign(kp.private_key, bytes_of("b")));
+}
+
+}  // namespace
+}  // namespace tlc::crypto

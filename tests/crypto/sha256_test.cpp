@@ -1,0 +1,85 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace tlc::crypto {
+namespace {
+
+std::string digest_hex(const std::string& message) {
+  return to_hex(sha256(bytes_of(message)));
+}
+
+// FIPS 180-4 / NIST CAVP known-answer vectors.
+TEST(Sha256Test, NistVectors) {
+  EXPECT_EQ(digest_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(digest_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(digest_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  EXPECT_EQ(digest_hex("The quick brown fox jumps over the lazy dog"),
+            "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, StreamingEqualsOneShot) {
+  Rng rng(4);
+  const Bytes data = rng.bytes(10000);
+  // Split at awkward boundaries relative to the 64-byte block size.
+  for (std::size_t split : {1u, 63u, 64u, 65u, 127u, 5000u}) {
+    Sha256 h;
+    h.update(data.data(), split);
+    h.update(data.data() + split, data.size() - split);
+    EXPECT_EQ(h.finish(), sha256(data)) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, ResetRestoresInitialState) {
+  Sha256 h;
+  h.update(bytes_of("garbage"));
+  h.reset();
+  h.update(bytes_of("abc"));
+  EXPECT_EQ(to_hex(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, LengthBoundaryPadding) {
+  // Messages near the 56-byte padding boundary exercise the two-block
+  // finalization path.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u}) {
+    const Bytes message(len, 0x5a);
+    const Bytes digest = sha256(message);
+    EXPECT_EQ(digest.size(), kSha256DigestSize);
+    // Also deterministic.
+    EXPECT_EQ(digest, sha256(message));
+  }
+}
+
+TEST(Sha256Test, AvalancheOnSingleBitFlip) {
+  Bytes message = bytes_of("charging record 1234567890");
+  const Bytes d1 = sha256(message);
+  message[0] ^= 0x01;
+  const Bytes d2 = sha256(message);
+  int differing_bits = 0;
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    differing_bits += __builtin_popcount(d1[i] ^ d2[i]);
+  }
+  // Expect roughly half of 256 bits to flip.
+  EXPECT_GT(differing_bits, 80);
+  EXPECT_LT(differing_bits, 176);
+}
+
+}  // namespace
+}  // namespace tlc::crypto

@@ -1,0 +1,88 @@
+#include "epc/cdr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::epc {
+namespace {
+
+ChargingDataRecord sample_cdr() {
+  ChargingDataRecord cdr;
+  cdr.served_imsi = Imsi{111326547648ull};
+  cdr.gateway_address = (192u << 24) | (168u << 16) | (2u << 8) | 11u;
+  cdr.charging_id = 0;
+  cdr.sequence_number = 1001;
+  cdr.time_of_first_usage = 7 * kHour + 13 * kMinute + 46 * kSecond;
+  cdr.time_of_last_usage = 8 * kHour + 13 * kMinute + 46 * kSecond;
+  cdr.datavolume_uplink = 274841;
+  cdr.datavolume_downlink = 33604032;
+  return cdr;
+}
+
+TEST(CdrTest, FormatIpv4) {
+  EXPECT_EQ(format_ipv4((192u << 24) | (168u << 16) | (2u << 8) | 11u),
+            "192.168.2.11");
+  EXPECT_EQ(format_ipv4(0), "0.0.0.0");
+  EXPECT_EQ(format_ipv4(0xffffffffu), "255.255.255.255");
+}
+
+TEST(CdrTest, TimeUsageDerived) {
+  const auto cdr = sample_cdr();
+  EXPECT_EQ(cdr.time_usage(), kHour);
+}
+
+TEST(CdrTest, XmlMatchesTrace1Structure) {
+  const std::string xml = sample_cdr().to_xml();
+  // The element set of the paper's Trace 1.
+  EXPECT_NE(xml.find("<chargingRecord>"), std::string::npos);
+  EXPECT_NE(xml.find("<servedIMSI>000111326547648</servedIMSI>"),
+            std::string::npos);
+  EXPECT_NE(xml.find("<gatewayAddress>192.168.2.11</gatewayAddress>"),
+            std::string::npos);
+  EXPECT_NE(xml.find("<chargingID>0</chargingID>"), std::string::npos);
+  EXPECT_NE(xml.find("<SequenceNumber>1001</SequenceNumber>"),
+            std::string::npos);
+  EXPECT_NE(xml.find("<timeUsage>3600</timeUsage>"), std::string::npos);
+  EXPECT_NE(xml.find("<datavolumeUplink>274841</datavolumeUplink>"),
+            std::string::npos);
+  EXPECT_NE(xml.find("<datavolumeDownlink>33604032</datavolumeDownlink>"),
+            std::string::npos);
+  EXPECT_NE(xml.find("</chargingRecord>"), std::string::npos);
+}
+
+TEST(CdrTest, CompactEncodingIs34Bytes) {
+  // The "LTE CDR: 34 bytes" row of the paper's Fig 17 size table.
+  EXPECT_EQ(sample_cdr().encode_compact().size(), 34u);
+}
+
+TEST(CdrTest, CompactRoundTrip) {
+  const auto cdr = sample_cdr();
+  auto back = ChargingDataRecord::decode_compact(cdr.encode_compact());
+  ASSERT_TRUE(back);
+  EXPECT_EQ(*back, cdr);
+}
+
+TEST(CdrTest, CompactRoundTripTruncatesSubSecond) {
+  auto cdr = sample_cdr();
+  cdr.time_of_first_usage += 123 * kMillisecond;  // sub-second precision
+  auto back = ChargingDataRecord::decode_compact(cdr.encode_compact());
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->time_of_first_usage,
+            sample_cdr().time_of_first_usage);  // whole seconds only
+}
+
+TEST(CdrTest, CompactDecodeRejectsWrongLength) {
+  Bytes data = sample_cdr().encode_compact();
+  data.pop_back();
+  EXPECT_FALSE(ChargingDataRecord::decode_compact(data));
+  data.push_back(0);
+  data.push_back(0);
+  EXPECT_FALSE(ChargingDataRecord::decode_compact(data));
+}
+
+TEST(CdrTest, ImsiFormatsTo15Digits) {
+  EXPECT_EQ(Imsi{42}.to_string(), "000000000000042");
+  EXPECT_EQ(Imsi{111326547648ull}.to_string(), "000111326547648");
+}
+
+}  // namespace
+}  // namespace tlc::epc

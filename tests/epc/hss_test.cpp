@@ -1,0 +1,72 @@
+#include "epc/hss.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::epc {
+namespace {
+
+SubscriberProfile subscriber(std::uint64_t imsi) {
+  return SubscriberProfile{Imsi{imsi}, "device", device_el20()};
+}
+
+TEST(HssTest, ProvisionAndLookup) {
+  Hss hss;
+  EXPECT_EQ(hss.subscriber_count(), 0u);
+  hss.provision(subscriber(1));
+  EXPECT_EQ(hss.subscriber_count(), 1u);
+  auto found = hss.lookup(Imsi{1});
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->name, "device");
+  EXPECT_FALSE(hss.lookup(Imsi{2}).has_value());
+}
+
+TEST(HssTest, AuthorizeRequiresProvisioning) {
+  Hss hss;
+  EXPECT_FALSE(hss.authorize_attach(Imsi{1}));
+  hss.provision(subscriber(1));
+  EXPECT_TRUE(hss.authorize_attach(Imsi{1}));
+}
+
+TEST(HssTest, BarringBlocksAttach) {
+  Hss hss;
+  hss.provision(subscriber(1));
+  hss.set_barred(Imsi{1}, true);
+  EXPECT_FALSE(hss.authorize_attach(Imsi{1}));
+  hss.set_barred(Imsi{1}, false);
+  EXPECT_TRUE(hss.authorize_attach(Imsi{1}));
+}
+
+TEST(HssTest, BarUnknownSubscriberIsNoop) {
+  Hss hss;
+  hss.set_barred(Imsi{9}, true);
+  EXPECT_EQ(hss.subscriber_count(), 0u);
+}
+
+TEST(HssTest, ReprovisionReplaces) {
+  Hss hss;
+  hss.provision(subscriber(1));
+  auto replacement = subscriber(1);
+  replacement.name = "renamed";
+  hss.provision(replacement);
+  EXPECT_EQ(hss.subscriber_count(), 1u);
+  EXPECT_EQ(hss.lookup(Imsi{1})->name, "renamed");
+}
+
+TEST(HssTest, ReprovisionClearsBar) {
+  Hss hss;
+  hss.provision(subscriber(1));
+  hss.set_barred(Imsi{1}, true);
+  hss.provision(subscriber(1));
+  EXPECT_TRUE(hss.authorize_attach(Imsi{1}));
+}
+
+TEST(HssTest, Deprovision) {
+  Hss hss;
+  hss.provision(subscriber(1));
+  hss.deprovision(Imsi{1});
+  EXPECT_EQ(hss.subscriber_count(), 0u);
+  EXPECT_FALSE(hss.authorize_attach(Imsi{1}));
+}
+
+}  // namespace
+}  // namespace tlc::epc

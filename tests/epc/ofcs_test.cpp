@@ -1,0 +1,121 @@
+#include "epc/ofcs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::epc {
+namespace {
+
+constexpr Imsi kUe{9001};
+
+ChargingDataRecord cdr_of(std::uint64_t ul, std::uint64_t dl,
+                          std::uint32_t seq = 1000) {
+  ChargingDataRecord cdr;
+  cdr.served_imsi = kUe;
+  cdr.sequence_number = seq;
+  cdr.datavolume_uplink = ul;
+  cdr.datavolume_downlink = dl;
+  return cdr;
+}
+
+charging::DataPlan test_plan() {
+  charging::DataPlan plan;
+  plan.price_per_mb = 0.01;
+  plan.quota_bytes = 10 * 1000 * 1000;  // 10 MB quota for easy testing
+  return plan;
+}
+
+TEST(OfcsTest, AggregatesCdrsIntoCycle) {
+  Ofcs ofcs(test_plan());
+  ofcs.ingest(cdr_of(1000, 2000));
+  ofcs.ingest(cdr_of(500, 1500, 1001));
+  const BillLine line = ofcs.close_cycle(kUe);
+  EXPECT_EQ(line.cycle_index, 0u);
+  EXPECT_EQ(line.gateway_volume, 5000u);
+  EXPECT_EQ(line.billed_volume, 5000u);  // legacy: bill the gateway record
+  EXPECT_EQ(ofcs.cdrs_ingested(), 2u);
+}
+
+TEST(OfcsTest, RatesBillAmount) {
+  Ofcs ofcs(test_plan());
+  ofcs.ingest(cdr_of(0, 2000000));  // 2 MB
+  const BillLine line = ofcs.close_cycle(kUe);
+  EXPECT_NEAR(line.amount, 0.02, 1e-9);
+}
+
+TEST(OfcsTest, CyclesAreIndependent) {
+  Ofcs ofcs(test_plan());
+  ofcs.ingest(cdr_of(100, 0));
+  (void)ofcs.close_cycle(kUe);
+  ofcs.ingest(cdr_of(200, 0));
+  const BillLine line = ofcs.close_cycle(kUe);
+  EXPECT_EQ(line.cycle_index, 1u);
+  EXPECT_EQ(line.gateway_volume, 200u);
+}
+
+TEST(OfcsTest, EmptyCycleBillsZero) {
+  Ofcs ofcs(test_plan());
+  const BillLine line = ofcs.close_cycle(kUe);
+  EXPECT_EQ(line.gateway_volume, 0u);
+  EXPECT_EQ(line.amount, 0.0);
+}
+
+TEST(OfcsTest, QuotaTriggersThrottle) {
+  // §2.1: "unlimited" plans throttle beyond the quota instead of
+  // cutting service.
+  Ofcs ofcs(test_plan());
+  ofcs.ingest(cdr_of(0, 6000000));
+  EXPECT_FALSE(ofcs.close_cycle(kUe).throttled);
+  ofcs.ingest(cdr_of(0, 6000000));
+  EXPECT_TRUE(ofcs.close_cycle(kUe).throttled);  // 12 MB > 10 MB quota
+  const SubscriberBilling* billing = ofcs.billing(kUe);
+  ASSERT_NE(billing, nullptr);
+  EXPECT_TRUE(billing->throttled);
+}
+
+TEST(OfcsTest, TlcHookOverridesBilledVolume) {
+  // §6: the TLC policy post-processes the charging records — the bill
+  // uses the negotiated x, not the raw gateway CDR.
+  Ofcs ofcs(test_plan());
+  ofcs.set_charge_hook([](Imsi, std::uint32_t, std::uint64_t gateway) {
+    return gateway - 400;  // the negotiated x discounts lost data
+  });
+  ofcs.ingest(cdr_of(1000, 1000));
+  const BillLine line = ofcs.close_cycle(kUe);
+  EXPECT_EQ(line.gateway_volume, 2000u);
+  EXPECT_EQ(line.billed_volume, 1600u);
+  EXPECT_NEAR(line.amount, 1600.0 / 1e6 * 0.01, 1e-12);
+}
+
+TEST(OfcsTest, ArchiveKeepsAllCdrs) {
+  Ofcs ofcs(test_plan());
+  ofcs.ingest(cdr_of(1, 0, 1000));
+  ofcs.ingest(cdr_of(2, 0, 1001));
+  (void)ofcs.close_cycle(kUe);
+  ofcs.ingest(cdr_of(3, 0, 1002));
+  const auto* archive = ofcs.archive(kUe);
+  ASSERT_NE(archive, nullptr);
+  EXPECT_EQ(archive->size(), 3u);
+  EXPECT_EQ((*archive)[2].sequence_number, 1002u);
+}
+
+TEST(OfcsTest, UnknownSubscriberQueries) {
+  Ofcs ofcs(test_plan());
+  EXPECT_EQ(ofcs.billing(Imsi{404}), nullptr);
+  EXPECT_EQ(ofcs.archive(Imsi{404}), nullptr);
+}
+
+TEST(OfcsTest, BillingAccumulatesAcrossCycles) {
+  Ofcs ofcs(test_plan());
+  ofcs.ingest(cdr_of(1000000, 0));
+  (void)ofcs.close_cycle(kUe);
+  ofcs.ingest(cdr_of(0, 2000000));
+  (void)ofcs.close_cycle(kUe);
+  const SubscriberBilling* billing = ofcs.billing(kUe);
+  ASSERT_NE(billing, nullptr);
+  EXPECT_EQ(billing->lines.size(), 2u);
+  EXPECT_EQ(billing->total_billed_bytes, 3000000u);
+  EXPECT_NEAR(billing->total_amount, 0.03, 1e-9);
+}
+
+}  // namespace
+}  // namespace tlc::epc

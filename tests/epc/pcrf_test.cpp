@@ -1,0 +1,53 @@
+#include "epc/pcrf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::epc {
+namespace {
+
+TEST(PcrfTest, DefaultBearerIsQci9) {
+  Pcrf pcrf;
+  EXPECT_EQ(pcrf.qci_for(1), sim::Qci::kQci9);
+  EXPECT_EQ(pcrf.delay_budget(1), 300 * kMillisecond);
+}
+
+TEST(PcrfTest, DedicatedRule) {
+  Pcrf pcrf;
+  pcrf.install_rule(7, sim::Qci::kQci7);
+  EXPECT_EQ(pcrf.qci_for(7), sim::Qci::kQci7);
+  EXPECT_EQ(pcrf.delay_budget(7), 100 * kMillisecond);
+  EXPECT_EQ(pcrf.rule_count(), 1u);
+}
+
+TEST(PcrfTest, GamingQci3DelayBudget) {
+  Pcrf pcrf;
+  pcrf.install_rule(3, sim::Qci::kQci3);
+  EXPECT_EQ(pcrf.delay_budget(3), 50 * kMillisecond);
+}
+
+TEST(PcrfTest, RuleReplacement) {
+  Pcrf pcrf;
+  pcrf.install_rule(1, sim::Qci::kQci7);
+  pcrf.install_rule(1, sim::Qci::kQci3);
+  EXPECT_EQ(pcrf.qci_for(1), sim::Qci::kQci3);
+  EXPECT_EQ(pcrf.rule_count(), 1u);
+}
+
+TEST(PcrfTest, RemoveFallsBackToDefault) {
+  Pcrf pcrf;
+  pcrf.install_rule(1, sim::Qci::kQci7);
+  pcrf.remove_rule(1);
+  EXPECT_EQ(pcrf.qci_for(1), sim::Qci::kQci9);
+  EXPECT_EQ(pcrf.rule_count(), 0u);
+}
+
+TEST(PcrfTest, QciPriorityOrdering) {
+  // TS 23.203: lower QCI value -> higher scheduling priority here.
+  EXPECT_LT(sim::qci_priority(sim::Qci::kQci3),
+            sim::qci_priority(sim::Qci::kQci7));
+  EXPECT_LT(sim::qci_priority(sim::Qci::kQci7),
+            sim::qci_priority(sim::Qci::kQci9));
+}
+
+}  // namespace
+}  // namespace tlc::epc

@@ -1,0 +1,45 @@
+#include "epc/profiles.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::epc {
+namespace {
+
+TEST(ProfilesTest, FourPaperPlatforms) {
+  const auto devices = all_devices();
+  ASSERT_EQ(devices.size(), 4u);
+  EXPECT_EQ(devices[0].name, "EL20");
+  EXPECT_EQ(devices[1].name, "Pixel 2XL");
+  EXPECT_EQ(devices[2].name, "S7 Edge");
+  EXPECT_EQ(devices[3].name, "Z840");
+}
+
+TEST(ProfilesTest, CryptoScalesNormalizedToZ840) {
+  // Fig 17 verification times: 23.2 / 75.6 / 58.3 / 15.7 ms. The
+  // profiles carry those ratios so host measurements can be projected.
+  EXPECT_DOUBLE_EQ(device_z840().crypto_scale, 1.0);
+  EXPECT_NEAR(device_el20().crypto_scale, 23.2 / 15.7, 1e-9);
+  EXPECT_NEAR(device_pixel2xl().crypto_scale, 75.6 / 15.7, 1e-9);
+  EXPECT_NEAR(device_s7edge().crypto_scale, 58.3 / 15.7, 1e-9);
+}
+
+TEST(ProfilesTest, OrderingMatchesPaper) {
+  // Pixel 2 XL is the slowest device at crypto, the workstation the
+  // fastest; the EL20 gateway has the lowest device RTT.
+  EXPECT_GT(device_pixel2xl().crypto_scale, device_s7edge().crypto_scale);
+  EXPECT_GT(device_s7edge().crypto_scale, device_el20().crypto_scale);
+  EXPECT_LT(device_el20().base_rtt, device_s7edge().base_rtt);
+  EXPECT_LT(device_s7edge().base_rtt, device_pixel2xl().base_rtt);
+  EXPECT_LT(device_z840().base_rtt, device_el20().base_rtt);
+}
+
+TEST(ProfilesTest, RttsInLteBand) {
+  for (const DeviceProfile& device :
+       {device_el20(), device_pixel2xl(), device_s7edge()}) {
+    EXPECT_GE(device.base_rtt, 20 * kMillisecond) << device.name;
+    EXPECT_LE(device.base_rtt, 80 * kMillisecond) << device.name;
+  }
+}
+
+}  // namespace
+}  // namespace tlc::epc

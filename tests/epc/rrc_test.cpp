@@ -1,0 +1,65 @@
+#include "epc/rrc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "epc/enodeb.hpp"
+
+namespace tlc::epc {
+namespace {
+
+TEST(RrcMessagesTest, CounterCheckRoundTrip) {
+  const RrcCounterCheck check{0xdeadbeef};
+  auto back = RrcCounterCheck::decode(check.encode());
+  ASSERT_TRUE(back);
+  EXPECT_EQ(*back, check);
+}
+
+TEST(RrcMessagesTest, ResponseRoundTrip) {
+  const RrcCounterCheckResponse response{7, 1234567890123ull, 987654321ull};
+  auto back = RrcCounterCheckResponse::decode(response.encode());
+  ASSERT_TRUE(back);
+  EXPECT_EQ(*back, response);
+}
+
+TEST(RrcMessagesTest, TypeConfusionRejected) {
+  const RrcCounterCheck check{1};
+  EXPECT_FALSE(RrcCounterCheckResponse::decode(check.encode()));
+  const RrcCounterCheckResponse response{1, 2, 3};
+  EXPECT_FALSE(RrcCounterCheck::decode(response.encode()));
+}
+
+TEST(RrcMessagesTest, TruncationAndTrailingRejected) {
+  Bytes wire = RrcCounterCheckResponse{1, 2, 3}.encode();
+  Bytes truncated(wire.begin(), wire.end() - 4);
+  EXPECT_FALSE(RrcCounterCheckResponse::decode(truncated));
+  wire.push_back(0x00);
+  EXPECT_FALSE(RrcCounterCheckResponse::decode(wire));
+  EXPECT_FALSE(RrcCounterCheck::decode({}));
+}
+
+class FixedCounterUe final : public RrcEndpoint {
+ public:
+  [[nodiscard]] std::uint64_t modem_tx_bytes() const override { return 111; }
+  [[nodiscard]] std::uint64_t modem_rx_bytes() const override { return 222; }
+  void modem_deliver(const sim::Packet&) override {}
+};
+
+TEST(RrcMessagesTest, DefaultEndpointAnswersFromModemCounters) {
+  FixedCounterUe ue;
+  const RrcCounterCheck check{42};
+  auto response_wire = ue.handle_rrc(check.encode());
+  ASSERT_TRUE(response_wire);
+  auto response = RrcCounterCheckResponse::decode(*response_wire);
+  ASSERT_TRUE(response);
+  EXPECT_EQ(response->transaction_id, 42u);
+  EXPECT_EQ(response->uplink_bytes, 111u);
+  EXPECT_EQ(response->downlink_bytes, 222u);
+}
+
+TEST(RrcMessagesTest, EndpointRejectsGarbage) {
+  FixedCounterUe ue;
+  EXPECT_FALSE(ue.handle_rrc(bytes_of("garbage")));
+}
+
+}  // namespace
+}  // namespace tlc::epc

@@ -1,0 +1,121 @@
+#include "epc/spgw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tlc::epc {
+namespace {
+
+constexpr Imsi kUe{77};
+
+class NullUe final : public RrcEndpoint {
+ public:
+  [[nodiscard]] std::uint64_t modem_tx_bytes() const override { return 0; }
+  [[nodiscard]] std::uint64_t modem_rx_bytes() const override { return rx_; }
+  void modem_deliver(const sim::Packet& packet) override {
+    rx_ += packet.size_bytes;
+  }
+  std::uint64_t rx_ = 0;
+};
+
+sim::Packet packet_of(std::uint32_t bytes) {
+  sim::Packet p;
+  p.id = 1;
+  p.size_bytes = bytes;
+  return p;
+}
+
+struct SpgwFixture : public ::testing::Test {
+  SpgwFixture()
+      : radio(sim::RadioParams{}, Rng(1)),
+        enodeb(sim, EnodebParams{}, Rng(2)),
+        spgw(sim, enodeb) {
+    enodeb.add_ue(kUe, &ue, &radio);
+    spgw.create_session(kUe);
+  }
+
+  sim::Simulator sim;
+  sim::RadioChannel radio;
+  NullUe ue;
+  EnodeB enodeb;
+  Spgw spgw;
+};
+
+TEST_F(SpgwFixture, DownlinkChargedBeforeDelivery) {
+  spgw.downlink_submit(kUe, packet_of(5000));
+  // Charged immediately — even though nothing has reached the UE yet.
+  EXPECT_EQ(spgw.downlink_bytes(kUe), 5000u);
+  EXPECT_EQ(ue.rx_, 0u);
+  sim.run_until(kSecond);
+  EXPECT_EQ(ue.rx_, 5000u);
+}
+
+TEST_F(SpgwFixture, UplinkCountedOnArrival) {
+  std::vector<sim::Packet> at_server;
+  spgw.set_server_sink(
+      [&](Imsi, const sim::Packet& p) { at_server.push_back(p); });
+  sim::Packet p = packet_of(1200);
+  p.direction = sim::Direction::Uplink;
+  enodeb.uplink_submit(kUe, p);
+  sim.run_until(kSecond);
+  EXPECT_EQ(spgw.uplink_bytes(kUe), 1200u);
+  EXPECT_EQ(at_server.size(), 1u);
+}
+
+TEST_F(SpgwFixture, DetachedTrafficDiscardedUncharged) {
+  spgw.close_session(kUe);
+  spgw.downlink_submit(kUe, packet_of(5000));
+  EXPECT_EQ(spgw.downlink_bytes(kUe), 0u);
+  EXPECT_EQ(spgw.discarded_detached(), 1u);
+  sim.run_until(kSecond);
+  EXPECT_EQ(ue.rx_, 0u);
+}
+
+TEST_F(SpgwFixture, SessionLifecycle) {
+  EXPECT_TRUE(spgw.has_session(kUe));
+  spgw.close_session(kUe);
+  EXPECT_FALSE(spgw.has_session(kUe));
+  spgw.create_session(kUe);
+  EXPECT_TRUE(spgw.has_session(kUe));
+  // Usage survives a close/reopen (it belongs to the subscriber).
+  spgw.downlink_submit(kUe, packet_of(100));
+  spgw.close_session(kUe);
+  spgw.create_session(kUe);
+  EXPECT_EQ(spgw.downlink_bytes(kUe), 100u);
+}
+
+TEST_F(SpgwFixture, CdrCoversUsageSinceLastCdr) {
+  spgw.downlink_submit(kUe, packet_of(1000));
+  sim.run_until(kSecond);
+  auto cdr1 = spgw.generate_cdr(kUe);
+  EXPECT_EQ(cdr1.datavolume_downlink, 1000u);
+  EXPECT_EQ(cdr1.served_imsi, kUe);
+
+  spgw.downlink_submit(kUe, packet_of(500));
+  auto cdr2 = spgw.generate_cdr(kUe);
+  EXPECT_EQ(cdr2.datavolume_downlink, 500u);  // only the delta
+  EXPECT_EQ(cdr2.sequence_number, cdr1.sequence_number + 1);
+}
+
+TEST_F(SpgwFixture, CdrTamperingIsUndetectableInLegacy) {
+  // §3.3: "The operator can modify its CDRs for over-billing" — nothing
+  // in the legacy record authenticates it.
+  spgw.downlink_submit(kUe, packet_of(1000));
+  auto cdr = spgw.generate_cdr(kUe);
+  auto tampered = cdr;
+  tampered.datavolume_downlink *= 100;  // unbounded over-claim
+  // Round-trips through the standard encoding without any error.
+  auto decoded =
+      ChargingDataRecord::decode_compact(tampered.encode_compact());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->datavolume_downlink, 100000u);
+}
+
+TEST_F(SpgwFixture, UnknownImsiHasZeroUsage) {
+  EXPECT_EQ(spgw.uplink_bytes(Imsi{404}), 0u);
+  EXPECT_EQ(spgw.downlink_bytes(Imsi{404}), 0u);
+}
+
+}  // namespace
+}  // namespace tlc::epc

@@ -1,0 +1,109 @@
+#include "epc/ue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::epc {
+namespace {
+
+constexpr Imsi kImsi{55};
+
+sim::Packet packet_of(std::uint32_t bytes) {
+  sim::Packet p;
+  p.id = 1;
+  p.size_bytes = bytes;
+  p.direction = sim::Direction::Uplink;
+  return p;
+}
+
+struct UeFixture : public ::testing::Test {
+  UeFixture()
+      : radio(sim::RadioParams{}, Rng(1)),
+        enodeb(sim, EnodebParams{}, Rng(2)),
+        ue(sim, kImsi, device_el20(), &radio, &enodeb, Rng(3)) {
+    enodeb.add_ue(kImsi, &ue, &radio);
+    ue.set_attached(true);
+  }
+
+  sim::Simulator sim;
+  sim::RadioChannel radio;
+  EnodeB enodeb;
+  UeDevice ue;
+};
+
+TEST_F(UeFixture, AppSendCountsAndTransmits) {
+  std::uint64_t forwarded = 0;
+  enodeb.set_uplink_sink(
+      [&](Imsi, const sim::Packet& p) { forwarded += p.size_bytes; });
+  ue.app_send(packet_of(800));
+  EXPECT_EQ(ue.app_tx_bytes(), 800u);  // counted at the app immediately
+  sim.run_until(kSecond);
+  EXPECT_EQ(ue.modem_tx_bytes(), 800u);
+  EXPECT_EQ(forwarded, 800u);
+}
+
+TEST_F(UeFixture, DetachedSendDropsAtModem) {
+  ue.set_attached(false);
+  ue.app_send(packet_of(800));
+  sim.run_until(kSecond);
+  // The app still produced the data (x̂e grows) but the modem dropped it.
+  EXPECT_EQ(ue.app_tx_bytes(), 800u);
+  EXPECT_EQ(ue.modem_tx_bytes(), 0u);
+  EXPECT_EQ(ue.modem_dropped(), 1u);
+}
+
+TEST_F(UeFixture, DownlinkCountsModemThenApp) {
+  sim::Packet p = packet_of(600);
+  p.direction = sim::Direction::Downlink;
+  ue.modem_deliver(p);
+  EXPECT_EQ(ue.modem_rx_bytes(), 600u);  // hardware counter: immediate
+  EXPECT_EQ(ue.app_rx_bytes(), 0u);      // app sees it after processing
+  sim.run_until(kSecond);
+  EXPECT_EQ(ue.app_rx_bytes(), 600u);
+}
+
+TEST_F(UeFixture, AppReceiveHandlerInvoked) {
+  int received = 0;
+  ue.set_app_receive_handler([&](const sim::Packet&) { ++received; });
+  sim::Packet p = packet_of(100);
+  p.direction = sim::Direction::Downlink;
+  ue.modem_deliver(p);
+  sim.run_until(kSecond);
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(UeFixture, TrafficStatsHonestByDefault) {
+  ue.app_send(packet_of(1000));
+  EXPECT_EQ(ue.traffic_stats_tx(), 1000u);
+}
+
+TEST_F(UeFixture, TrafficStatsTamperUnderReports) {
+  // Strawman 1 (§5.4): a selfish edge scales the user-space API down.
+  ue.set_traffic_stats_tamper(0.8);
+  ue.app_send(packet_of(1000));
+  EXPECT_EQ(ue.traffic_stats_tx(), 800u);
+  // The hardware modem counter is unaffected — that is the whole point
+  // of the RRC COUNTER CHECK design.
+  sim.run_until(kSecond);
+  EXPECT_EQ(ue.modem_tx_bytes(), 1000u);
+}
+
+TEST_F(UeFixture, TamperFactorClamped) {
+  ue.set_traffic_stats_tamper(1.7);
+  ue.app_send(packet_of(1000));
+  EXPECT_EQ(ue.traffic_stats_tx(), 1000u);  // cannot over-report
+}
+
+TEST_F(UeFixture, ProcessingDelayScalesWithProfile) {
+  // The device profile's base RTT shows up as send latency.
+  std::uint64_t forwarded = 0;
+  enodeb.set_uplink_sink(
+      [&](Imsi, const sim::Packet& p) { forwarded += p.size_bytes; });
+  ue.app_send(packet_of(100));
+  sim.run_until(5 * kMillisecond);
+  EXPECT_EQ(forwarded, 0u);  // still inside the device stack (~18 ms)
+  sim.run_until(kSecond);
+  EXPECT_EQ(forwarded, 100u);
+}
+
+}  // namespace
+}  // namespace tlc::epc

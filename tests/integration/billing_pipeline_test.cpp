@@ -1,0 +1,120 @@
+// Operator-side billing pipeline: SPGW CDRs -> OFCS rating with the TLC
+// charge hook (§6) -> bills that reflect the negotiated x instead of the
+// raw gateway record.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "charging/plan.hpp"
+#include "core/tlc_session.hpp"
+#include "core/verifier.hpp"
+#include "epc/ofcs.hpp"
+#include "testbed/testbed.hpp"
+
+namespace tlc {
+namespace {
+
+using core::PartyRole;
+using core::SessionConfig;
+using core::TlcSession;
+using core::UsageView;
+
+struct BillingPipelineFixture : public ::testing::Test {
+  BillingPipelineFixture() {
+    Rng rng(31337);
+    edge_kp = crypto::rsa_generate(512, rng);
+    op_kp = crypto::rsa_generate(512, rng);
+  }
+
+  crypto::RsaKeyPair edge_kp;
+  crypto::RsaKeyPair op_kp;
+};
+
+TEST_F(BillingPipelineFixture, TlcHookChangesTheBill) {
+  // Run a lossy downlink cycle on the testbed.
+  testbed::ScenarioConfig scenario;
+  scenario.app = testbed::AppKind::VrGvsp;
+  scenario.background_mbps = 160.0;
+  scenario.cycle_length = 20 * kSecond;
+  scenario.cycles = 1;
+  scenario.seed = 3;
+  testbed::Testbed testbed(scenario);
+  const auto& cycle = testbed.run().front();
+
+  // Negotiate the cycle with TLC sessions on both sides.
+  SessionConfig op_config;
+  op_config.role = PartyRole::Operator;
+  op_config.own_keys = op_kp;
+  op_config.peer_key = edge_kp.public_key;
+  op_config.cycle_length = 20 * kSecond;
+  TlcSession op_session(op_config, std::make_unique<core::OptimalStrategy>(),
+                        Rng(1));
+  SessionConfig edge_config = op_config;
+  edge_config.role = PartyRole::EdgeVendor;
+  edge_config.own_keys = edge_kp;
+  edge_config.peer_key = op_kp.public_key;
+  TlcSession edge_session(edge_config,
+                          std::make_unique<core::OptimalStrategy>(), Rng(2));
+
+  std::deque<std::pair<bool, Bytes>> wire;
+  op_session.set_send([&](const Bytes& m) { wire.emplace_back(true, m); });
+  edge_session.set_send([&](const Bytes& m) { wire.emplace_back(false, m); });
+  ASSERT_TRUE(op_session
+                  .begin_cycle(UsageView{cycle.op_sent, cycle.op_received})
+                  .ok());
+  ASSERT_TRUE(edge_session
+                  .begin_cycle(UsageView{cycle.edge_sent,
+                                         cycle.edge_received})
+                  .ok());
+  ASSERT_TRUE(op_session.start().ok());
+  while (!wire.empty()) {
+    auto [to_edge, message] = wire.front();
+    wire.pop_front();
+    if (to_edge) {
+      (void)edge_session.receive(message);
+    } else {
+      (void)op_session.receive(message);
+    }
+  }
+  auto receipt = op_session.finish_cycle();
+  ASSERT_TRUE(receipt);
+
+  // Feed the gateway CDR into the OFCS twice: once legacy, once with the
+  // TLC policy installed.
+  charging::DataPlan plan;
+  plan.price_per_mb = 0.01;
+
+  epc::Ofcs legacy_ofcs(plan);
+  auto cdr = testbed.spgw().generate_cdr(testbed.app_imsi());
+  legacy_ofcs.ingest(cdr);
+  const epc::BillLine legacy_line =
+      legacy_ofcs.close_cycle(testbed.app_imsi());
+
+  epc::Ofcs tlc_ofcs(plan);
+  tlc_ofcs.set_charge_hook(
+      [&](epc::Imsi, std::uint32_t, std::uint64_t) {
+        return receipt->charged;  // §6: bill the negotiated x
+      });
+  tlc_ofcs.ingest(cdr);
+  const epc::BillLine tlc_line = tlc_ofcs.close_cycle(testbed.app_imsi());
+
+  // Under heavy downlink loss the gateway over-counts; the TLC bill is
+  // materially smaller and closer to the ground truth x̂.
+  const std::uint64_t expected =
+      charging::expected_charge(cycle.true_sent, cycle.true_received, 0.5);
+  EXPECT_GT(legacy_line.billed_volume, tlc_line.billed_volume);
+  EXPECT_LT(charging::gap_ratio(tlc_line.billed_volume, expected),
+            charging::gap_ratio(legacy_line.billed_volume, expected));
+  EXPECT_LT(tlc_line.amount, legacy_line.amount);
+
+  // And the bill is backed by a receipt any third party can check.
+  core::PublicVerifier verifier;
+  const auto& entry = op_session.receipts().entries().front();
+  auto verified = verifier.verify(core::VerificationRequest{
+      entry.poc_wire, entry.plan, edge_kp.public_key, op_kp.public_key});
+  ASSERT_TRUE(verified);
+  EXPECT_EQ(verified->charged, tlc_line.billed_volume);
+}
+
+}  // namespace
+}  // namespace tlc

@@ -1,0 +1,179 @@
+// Full-stack integration: emulated LTE testbed -> measured cycles ->
+// signed CDR/CDA/PoC negotiation with real RSA -> public verification.
+// This is the paper's Figure 5 loop executed end to end.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "charging/plan.hpp"
+#include "core/legacy.hpp"
+#include "core/protocol.hpp"
+#include "core/verifier.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/testbed.hpp"
+
+namespace tlc {
+namespace {
+
+using core::EndpointConfig;
+using core::PartyRole;
+using core::PlanRef;
+using core::ProtocolEndpoint;
+using core::UsageView;
+
+struct EndToEndFixture : public ::testing::Test {
+  EndToEndFixture() {
+    Rng rng(2024);
+    edge_kp = crypto::rsa_generate(512, rng);
+    op_kp = crypto::rsa_generate(512, rng);
+  }
+
+  testbed::ScenarioConfig scenario() {
+    testbed::ScenarioConfig config;
+    config.app = testbed::AppKind::VrGvsp;
+    config.background_mbps = 120.0;
+    config.cycle_length = 20 * kSecond;
+    config.cycles = 2;
+    config.seed = 5;
+    return config;
+  }
+
+  /// Runs the signed protocol on one measured cycle; returns both
+  /// endpoints' final state via out-params and the PoC wire bytes.
+  Bytes negotiate(const testbed::CycleMeasurements& cycle, PlanRef plan,
+                  std::uint64_t* negotiated = nullptr, int* rounds = nullptr) {
+    EndpointConfig op_config;
+    op_config.role = PartyRole::Operator;
+    op_config.own_private = op_kp.private_key;
+    op_config.own_public = op_kp.public_key;
+    op_config.peer_public = edge_kp.public_key;
+    op_config.plan = plan;
+    op_config.view = UsageView{cycle.op_sent, cycle.op_received};
+
+    EndpointConfig edge_config;
+    edge_config.role = PartyRole::EdgeVendor;
+    edge_config.own_private = edge_kp.private_key;
+    edge_config.own_public = edge_kp.public_key;
+    edge_config.peer_public = op_kp.public_key;
+    edge_config.plan = plan;
+    edge_config.view = UsageView{cycle.edge_sent, cycle.edge_received};
+
+    core::OptimalStrategy op_strategy;
+    core::OptimalStrategy edge_strategy;
+    ProtocolEndpoint op(op_config, op_strategy, Rng(7));
+    ProtocolEndpoint edge(edge_config, edge_strategy, Rng(8));
+
+    std::deque<std::pair<bool, Bytes>> wire;
+    op.set_send([&](const Bytes& m) { wire.emplace_back(true, m); });
+    edge.set_send([&](const Bytes& m) { wire.emplace_back(false, m); });
+    op.start();
+    while (!wire.empty()) {
+      auto [to_edge, message] = wire.front();
+      wire.pop_front();
+      if (to_edge) {
+        (void)edge.receive(message);
+      } else {
+        (void)op.receive(message);
+      }
+    }
+    EXPECT_TRUE(op.done());
+    EXPECT_TRUE(edge.done());
+    EXPECT_EQ(op.negotiated(), edge.negotiated());
+    if (negotiated != nullptr) *negotiated = op.negotiated();
+    if (rounds != nullptr) *rounds = op.rounds();
+    return encode_signed_poc(*op.poc());
+  }
+
+  crypto::RsaKeyPair edge_kp;
+  crypto::RsaKeyPair op_kp;
+};
+
+TEST_F(EndToEndFixture, Figure5LoopCompletes) {
+  // (1) data transfer on the emulated testbed
+  testbed::Testbed tb(scenario());
+  const auto& cycles = tb.run();
+  ASSERT_EQ(cycles.size(), 2u);
+
+  core::PublicVerifier verifier;
+  for (int i = 0; i < 2; ++i) {
+    const auto& cycle = cycles[static_cast<std::size_t>(i)];
+    const PlanRef plan{static_cast<SimTime>(i) * 20 * kSecond,
+                       static_cast<SimTime>(i + 1) * 20 * kSecond, 0.5};
+    // (2)-(4) charging records -> cancellation -> PoC
+    std::uint64_t negotiated = 0;
+    int rounds = 0;
+    const Bytes poc = negotiate(cycle, plan, &negotiated, &rounds);
+    EXPECT_EQ(rounds, 1);
+
+    // The negotiated charge lands near x̂ despite heavy congestion loss.
+    const std::uint64_t expected =
+        charging::expected_charge(cycle.true_sent, cycle.true_received, 0.5);
+    const double rel_gap =
+        std::abs(static_cast<double>(negotiated) -
+                 static_cast<double>(expected)) /
+        static_cast<double>(expected);
+    EXPECT_LT(rel_gap, 0.05) << "cycle " << i;
+
+    // (5) public verification
+    auto verified = verifier.verify(core::VerificationRequest{
+        poc, plan, edge_kp.public_key, op_kp.public_key});
+    ASSERT_TRUE(verified) << verified.error();
+    EXPECT_EQ(verified->charged, negotiated);
+  }
+  EXPECT_EQ(verifier.accepted(), 2u);
+}
+
+TEST_F(EndToEndFixture, LegacyGapExceedsTlcGapOnSameCycles) {
+  testbed::Testbed tb(scenario());
+  const auto& cycles = tb.run();
+  const PlanRef plan{0, 20 * kSecond, 0.5};
+
+  double legacy_gap = 0.0;
+  double tlc_gap = 0.0;
+  for (const auto& cycle : cycles) {
+    const std::uint64_t expected =
+        charging::expected_charge(cycle.true_sent, cycle.true_received, 0.5);
+    legacy_gap += static_cast<double>(
+        charging::charging_gap(core::legacy_charge(cycle.gateway_volume),
+                               expected));
+    std::uint64_t negotiated = 0;
+    (void)negotiate(cycle, plan, &negotiated);
+    tlc_gap += static_cast<double>(
+        charging::charging_gap(negotiated, expected));
+  }
+  EXPECT_GT(legacy_gap, 3.0 * tlc_gap);
+}
+
+TEST_F(EndToEndFixture, VerifierCatchesPostHocOperatorEdit) {
+  testbed::Testbed tb(scenario());
+  const auto& cycles = tb.run();
+  const PlanRef plan{0, 20 * kSecond, 0.5};
+  Bytes wire = negotiate(cycles[0], plan);
+
+  auto poc = core::decode_signed_poc(wire);
+  ASSERT_TRUE(poc);
+  poc->body.charged = poc->body.charged * 2;  // bill double
+  poc->signature =
+      crypto::rsa_sign(op_kp.private_key, core::encode_poc_body(poc->body));
+  auto verified = core::verify_poc(core::VerificationRequest{
+      core::encode_signed_poc(*poc), plan, edge_kp.public_key,
+      op_kp.public_key});
+  EXPECT_FALSE(verified);
+}
+
+TEST_F(EndToEndFixture, CrossCycleReplayBlocked) {
+  testbed::Testbed tb(scenario());
+  const auto& cycles = tb.run();
+  const PlanRef plan{0, 20 * kSecond, 0.5};
+  const Bytes wire = negotiate(cycles[0], plan);
+
+  core::PublicVerifier verifier;
+  EXPECT_TRUE(verifier.verify(core::VerificationRequest{
+      wire, plan, edge_kp.public_key, op_kp.public_key}));
+  EXPECT_FALSE(verifier.verify(core::VerificationRequest{
+      wire, plan, edge_kp.public_key, op_kp.public_key}));
+  EXPECT_EQ(verifier.replays_blocked(), 1u);
+}
+
+}  // namespace
+}  // namespace tlc

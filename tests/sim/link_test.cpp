@@ -1,0 +1,110 @@
+#include "sim/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tlc::sim {
+namespace {
+
+Packet packet_of(std::uint32_t bytes, std::uint64_t id = 1) {
+  Packet p;
+  p.id = id;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(LinkTest, DeliveryDelayIsSerializationPlusPropagation) {
+  Simulator sim;
+  LinkParams params;
+  params.rate_bps = 8e6;  // 1 byte per microsecond
+  params.propagation_delay = 3 * kMillisecond;
+  Link link(sim, params);
+
+  SimTime delivered_at = -1;
+  ASSERT_TRUE(link.send(packet_of(1000), [&](const Packet&) {
+    delivered_at = sim.now();
+  }));
+  sim.run();
+  EXPECT_EQ(delivered_at, kMillisecond + 3 * kMillisecond);
+}
+
+TEST(LinkTest, BackToBackPacketsQueueBehindEachOther) {
+  Simulator sim;
+  LinkParams params;
+  params.rate_bps = 8e6;
+  params.propagation_delay = 0;
+  Link link(sim, params);
+
+  std::vector<SimTime> deliveries;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(link.send(packet_of(1000),
+                          [&](const Packet&) { deliveries.push_back(sim.now()); }));
+  }
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 3u);
+  EXPECT_EQ(deliveries[0], 1 * kMillisecond);
+  EXPECT_EQ(deliveries[1], 2 * kMillisecond);
+  EXPECT_EQ(deliveries[2], 3 * kMillisecond);
+}
+
+TEST(LinkTest, DropTailWhenQueueFull) {
+  Simulator sim;
+  LinkParams params;
+  params.rate_bps = 8e3;  // very slow: 1 ms per byte
+  params.queue_limit_bytes = 2500;
+  Link link(sim, params);
+
+  std::vector<std::uint64_t> dropped_ids;
+  link.set_drop_handler(
+      [&](const Packet& p) { dropped_ids.push_back(p.id); });
+
+  EXPECT_TRUE(link.send(packet_of(1000, 1), nullptr));
+  EXPECT_TRUE(link.send(packet_of(1000, 2), nullptr));
+  EXPECT_FALSE(link.send(packet_of(1000, 3), nullptr));  // 3000 > 2500
+  EXPECT_EQ(link.dropped_packets(), 1u);
+  ASSERT_EQ(dropped_ids.size(), 1u);
+  EXPECT_EQ(dropped_ids[0], 3u);
+}
+
+TEST(LinkTest, QueueDrainsAndAcceptsAgain) {
+  Simulator sim;
+  LinkParams params;
+  params.rate_bps = 8e6;
+  params.queue_limit_bytes = 1500;
+  Link link(sim, params);
+
+  EXPECT_TRUE(link.send(packet_of(1400), nullptr));
+  EXPECT_FALSE(link.send(packet_of(1400), nullptr));
+  sim.run();
+  EXPECT_EQ(link.queued_bytes(), 0u);
+  EXPECT_TRUE(link.send(packet_of(1400), nullptr));
+  sim.run();
+  EXPECT_EQ(link.delivered_packets(), 2u);
+}
+
+TEST(LinkTest, CurrentDelayReflectsBacklog) {
+  Simulator sim;
+  LinkParams params;
+  params.rate_bps = 8e6;
+  params.propagation_delay = kMillisecond;
+  params.queue_limit_bytes = 1 << 20;
+  Link link(sim, params);
+
+  const SimTime empty_delay = link.current_delay(1000);
+  EXPECT_EQ(empty_delay, kMillisecond + kMillisecond);
+  ASSERT_TRUE(link.send(packet_of(1000), nullptr));
+  const SimTime busy_delay = link.current_delay(1000);
+  EXPECT_EQ(busy_delay, 2 * kMillisecond + kMillisecond);
+}
+
+TEST(LinkTest, ZeroCallbacksAreSafe) {
+  Simulator sim;
+  Link link(sim, LinkParams{});
+  EXPECT_TRUE(link.send(packet_of(100), nullptr));
+  sim.run();
+  EXPECT_EQ(link.delivered_packets(), 1u);
+}
+
+}  // namespace
+}  // namespace tlc::sim

@@ -1,0 +1,106 @@
+#include "sim/loss.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::sim {
+namespace {
+
+Packet test_packet() {
+  Packet p;
+  p.size_bytes = 1400;
+  return p;
+}
+
+TEST(BernoulliLossTest, Extremes) {
+  BernoulliLoss never(0.0, Rng(1));
+  BernoulliLoss always(1.0, Rng(2));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(never.should_drop(test_packet(), 0));
+    EXPECT_TRUE(always.should_drop(test_packet(), 0));
+  }
+}
+
+TEST(BernoulliLossTest, MatchesProbability) {
+  BernoulliLoss loss(0.2, Rng(3));
+  int drops = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    drops += loss.should_drop(test_packet(), 0) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.2, 0.01);
+}
+
+TEST(BernoulliLossTest, ClampsOutOfRangeProbability) {
+  BernoulliLoss below(-0.5, Rng(4));
+  BernoulliLoss above(1.5, Rng(5));
+  EXPECT_FALSE(below.should_drop(test_packet(), 0));
+  EXPECT_TRUE(above.should_drop(test_packet(), 0));
+}
+
+TEST(GilbertElliottTest, LongRunLossBetweenStateRates) {
+  GilbertElliottLoss::Params params;
+  params.p_good_to_bad = 0.01;
+  params.p_bad_to_good = 0.10;
+  params.loss_in_good = 0.001;
+  params.loss_in_bad = 0.5;
+  GilbertElliottLoss loss(params, Rng(6));
+  int drops = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    drops += loss.should_drop(test_packet(), 0) ? 1 : 0;
+  }
+  // Stationary bad-state probability = p_gb / (p_gb + p_bg) = 1/11.
+  const double expected = (1.0 / 11.0) * 0.5 + (10.0 / 11.0) * 0.001;
+  EXPECT_NEAR(static_cast<double>(drops) / n, expected, 0.01);
+}
+
+TEST(GilbertElliottTest, LossesAreBursty) {
+  GilbertElliottLoss::Params params;
+  params.p_good_to_bad = 0.005;
+  params.p_bad_to_good = 0.2;
+  params.loss_in_good = 0.0;
+  params.loss_in_bad = 0.9;
+  GilbertElliottLoss loss(params, Rng(7));
+  // Measure P(drop | previous drop) — should far exceed the marginal
+  // drop rate for a bursty process.
+  int drops = 0;
+  int pairs = 0;
+  bool prev = false;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const bool d = loss.should_drop(test_packet(), 0);
+    drops += d ? 1 : 0;
+    if (prev && d) ++pairs;
+    prev = d;
+  }
+  const double marginal = static_cast<double>(drops) / n;
+  const double conditional = static_cast<double>(pairs) / drops;
+  EXPECT_GT(conditional, 3.0 * marginal);
+}
+
+TEST(BlerCurveTest, MonotoneDecreasingInSignal) {
+  double prev = 1.1;
+  for (double rss = -140.0; rss <= -60.0; rss += 1.0) {
+    const double bler = bler_from_rss(rss);
+    EXPECT_LE(bler, prev) << "rss=" << rss;
+    EXPECT_GE(bler, 0.0);
+    EXPECT_LE(bler, 1.0);
+    prev = bler;
+  }
+}
+
+TEST(BlerCurveTest, CalibratedAnchors) {
+  // The paper's "good radio" regime (>= -95 dBm) has a few percent
+  // loss; deep weak signal approaches full loss.
+  EXPECT_LT(bler_from_rss(-85.0), 0.01);
+  EXPECT_NEAR(bler_from_rss(-95.0), 0.04, 0.015);
+  EXPECT_GT(bler_from_rss(-110.0), 0.35);
+  EXPECT_GT(bler_from_rss(-125.0), 0.8);
+}
+
+TEST(BlerCurveTest, ResidualFloorInPerfectSignal) {
+  EXPECT_GE(bler_from_rss(-40.0), 0.002);
+}
+
+}  // namespace
+}  // namespace tlc::sim

@@ -1,0 +1,107 @@
+#include "sim/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/radio.hpp"
+
+namespace tlc::sim {
+namespace {
+
+TEST(MobilityTest, StaticDeviceNeverHandsOver) {
+  MobilityParams params;
+  params.speed_mps = 0.0;
+  MobilityModel model(params, Rng(1));
+  for (SimTime t = 0; t < 10 * kMinute; t += kSecond) {
+    EXPECT_FALSE(model.in_interruption(t));
+  }
+  EXPECT_EQ(model.handovers(), 0u);
+  EXPECT_EQ(handover_interval_s(params), 0.0);
+}
+
+TEST(MobilityTest, HandoverRateTracksSpeed) {
+  MobilityParams driving;
+  driving.speed_mps = 16.7;  // highway
+  driving.cell_radius_m = 300.0;
+  MobilityModel model(driving, Rng(2));
+  (void)model.in_interruption(30 * kMinute);
+  const double expected_interval = handover_interval_s(driving);  // ~28 s
+  const double expected_count = 30.0 * 60.0 / expected_interval;
+  EXPECT_NEAR(static_cast<double>(model.handovers()), expected_count,
+              expected_count * 0.35);
+}
+
+TEST(MobilityTest, FasterMeansMoreHandovers) {
+  MobilityParams walk;
+  walk.speed_mps = 1.4;
+  MobilityParams drive;
+  drive.speed_mps = 16.7;
+  MobilityModel walker(walk, Rng(3));
+  MobilityModel driver(drive, Rng(3));
+  (void)walker.in_interruption(kHour);
+  (void)driver.in_interruption(kHour);
+  EXPECT_GT(driver.handovers(), 4 * walker.handovers());
+}
+
+TEST(MobilityTest, InterruptionsHaveExpectedDuration) {
+  MobilityParams params;
+  params.speed_mps = 30.0;  // lots of handovers
+  params.cell_radius_m = 100.0;
+  params.failure_prob = 0.0;
+  params.interruption_ms = 55.0;
+  MobilityModel model(params, Rng(4));
+  (void)model.in_interruption(10 * kMinute);
+  ASSERT_GT(model.handovers(), 20u);
+  const double mean_ms = to_millis(model.total_interruption()) /
+                         static_cast<double>(model.handovers());
+  EXPECT_NEAR(mean_ms, 55.0, 1.0);
+  EXPECT_EQ(model.failed_handovers(), 0u);
+}
+
+TEST(MobilityTest, FailuresCostLongerOutages) {
+  MobilityParams params;
+  params.speed_mps = 30.0;
+  params.cell_radius_m = 100.0;
+  params.failure_prob = 1.0;  // every handover fails
+  params.failure_outage_s = 1.0;
+  MobilityModel model(params, Rng(5));
+  (void)model.in_interruption(5 * kMinute);
+  ASSERT_GT(model.handovers(), 0u);
+  EXPECT_EQ(model.failed_handovers(), model.handovers());
+  const double mean_s = to_seconds(model.total_interruption()) /
+                        static_cast<double>(model.handovers());
+  EXPECT_NEAR(mean_s, 1.0, 0.05);
+}
+
+TEST(MobilityTest, RadioChannelIntegration) {
+  // A moving device stays "in service" through handovers (the scheduler
+  // keeps transmitting) but in-flight packets are lost — loss
+  // probability hits 1 while connected() stays true.
+  RadioParams params;
+  params.mean_rss_dbm = -75.0;
+  params.mobility.speed_mps = 30.0;
+  params.mobility.cell_radius_m = 100.0;
+  params.mobility.interruption_ms = 200.0;  // easier to observe
+  RadioChannel radio(params, Rng(6));
+  bool saw_interruption = false;
+  for (SimTime t = 0; t < 10 * kMinute; t += 50 * kMillisecond) {
+    if (radio.packet_loss_probability(t) == 1.0) {
+      saw_interruption = true;
+      EXPECT_TRUE(radio.connected(t));  // no coverage outage here
+    }
+  }
+  EXPECT_TRUE(saw_interruption);
+  EXPECT_GT(radio.handovers(), 0u);
+  EXPECT_GT(radio.total_disconnected(10 * kMinute), 0);
+}
+
+TEST(MobilityTest, StaticRadioUnaffected) {
+  RadioParams params;
+  RadioChannel radio(params, Rng(7));
+  EXPECT_EQ(radio.handovers(), 0u);
+  for (SimTime t = 0; t < kMinute; t += kSecond) {
+    EXPECT_TRUE(radio.connected(t));
+  }
+}
+
+}  // namespace
+}  // namespace tlc::sim

@@ -1,0 +1,117 @@
+#include "sim/radio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/loss.hpp"
+
+#include "util/stats.hpp"
+
+namespace tlc::sim {
+namespace {
+
+TEST(RadioTest, AlwaysConnectedWithoutOutages) {
+  RadioParams params;
+  params.disconnect_ratio = 0.0;
+  RadioChannel radio(params, Rng(1));
+  for (SimTime t = 0; t < 60 * kSecond; t += kSecond) {
+    EXPECT_TRUE(radio.connected(t));
+  }
+  EXPECT_EQ(radio.total_disconnected(60 * kSecond), 0);
+  EXPECT_LT(radio.disconnected_since(), 0);
+}
+
+TEST(RadioTest, RssStaysNearMean) {
+  RadioParams params;
+  params.mean_rss_dbm = -90.0;
+  params.rss_stddev_db = 4.0;
+  RadioChannel radio(params, Rng(2));
+  RunningStats rss;
+  for (SimTime t = 0; t < 30 * kMinute; t += kSecond) {
+    rss.add(radio.rss(t));
+  }
+  EXPECT_NEAR(rss.mean(), -90.0, 1.5);
+  EXPECT_NEAR(rss.stddev(), 4.0, 1.5);
+}
+
+class RadioDisconnectRatioTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RadioDisconnectRatioTest, MeasuredRatioTracksTarget) {
+  RadioParams params;
+  params.disconnect_ratio = GetParam();
+  params.mean_outage_s = 1.93;
+  RadioChannel radio(params, Rng(42));
+  const SimTime horizon = 60 * kMinute;
+  radio.advance_to(horizon);
+  const double measured = radio.measured_disconnect_ratio(horizon);
+  EXPECT_NEAR(measured, GetParam(), GetParam() * 0.35 + 0.005);
+}
+
+INSTANTIATE_TEST_SUITE_P(Etas, RadioDisconnectRatioTest,
+                         ::testing::Values(0.05, 0.10, 0.15));
+
+TEST(RadioTest, OutagesForceFullLoss) {
+  RadioParams params;
+  params.disconnect_ratio = 0.3;
+  params.mean_outage_s = 2.0;
+  RadioChannel radio(params, Rng(5));
+  bool saw_outage = false;
+  for (SimTime t = 0; t < 5 * kMinute; t += 100 * kMillisecond) {
+    if (!radio.connected(t)) {
+      saw_outage = true;
+      EXPECT_DOUBLE_EQ(radio.packet_loss_probability(t), 1.0);
+      EXPECT_GE(radio.disconnected_since(), 0);
+      EXPECT_LE(radio.rss(t), -120.0);  // signal floor in the dip
+    }
+  }
+  EXPECT_TRUE(saw_outage);
+}
+
+TEST(RadioTest, LossProbabilityFollowsBler) {
+  RadioParams params;
+  params.mean_rss_dbm = -90.0;
+  params.rss_stddev_db = 0.5;  // keep RSS pinned near the mean
+  RadioChannel radio(params, Rng(6));
+  const SimTime t = 10 * kSecond;
+  const double loss = radio.packet_loss_probability(t);
+  EXPECT_NEAR(loss, bler_from_rss(radio.rss(t)), 1e-12);
+}
+
+TEST(RadioTest, DeterministicForSeed) {
+  RadioParams params;
+  params.disconnect_ratio = 0.1;
+  RadioChannel a(params, Rng(9));
+  RadioChannel b(params, Rng(9));
+  for (SimTime t = 0; t < kMinute; t += 100 * kMillisecond) {
+    EXPECT_EQ(a.connected(t), b.connected(t));
+    EXPECT_DOUBLE_EQ(a.rss(t), b.rss(t));
+  }
+}
+
+TEST(RadioTest, MeanOutageDurationRoughlyMatches) {
+  RadioParams params;
+  params.disconnect_ratio = 0.10;
+  params.mean_outage_s = 1.93;  // the paper's Fig 4 average
+  RadioChannel radio(params, Rng(10));
+  // Count outage episodes by edge detection.
+  int episodes = 0;
+  bool prev = true;
+  for (SimTime t = 0; t < 60 * kMinute; t += 100 * kMillisecond) {
+    const bool now = radio.connected(t);
+    if (prev && !now) ++episodes;
+    prev = now;
+  }
+  ASSERT_GT(episodes, 10);
+  const double total_outage_s =
+      to_seconds(radio.total_disconnected(60 * kMinute));
+  EXPECT_NEAR(total_outage_s / episodes, 1.93, 1.0);
+}
+
+TEST(RadioTest, QueriesBeforeFirstTickSafe) {
+  RadioParams params;
+  RadioChannel radio(params, Rng(11));
+  EXPECT_TRUE(radio.connected(0));
+  EXPECT_NEAR(radio.rss(0), params.mean_rss_dbm, 20.0);
+}
+
+}  // namespace
+}  // namespace tlc::sim

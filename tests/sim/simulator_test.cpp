@@ -1,0 +1,119 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tlc::sim {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(SimulatorTest, FifoAtSameTimestamp) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(50, [&] {
+    sim.schedule_after(25, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 75);
+}
+
+TEST(SimulatorTest, PastTimesClampToNow) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_at(10, [&] { fired_at = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_at(10, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+TEST(SimulatorTest, CancelUnknownIdIsNoop) {
+  Simulator sim;
+  sim.cancel(9999);
+  bool fired = false;
+  sim.schedule_at(1, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.schedule_at(30, [&] { ++fired; });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(100);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulatorTest, RunUntilSkipsCancelledHead) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_at(10, [] {});
+  sim.schedule_at(50, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run_until(20);
+  // The live event at 50 must not run just because a cancelled event
+  // sat at the head of the queue.
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.now(), 20);
+}
+
+TEST(SimulatorTest, EventsCanScheduleRecursively) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 10) sim.schedule_after(5, tick);
+  };
+  sim.schedule_at(0, tick);
+  sim.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(sim.now(), 45);
+  EXPECT_EQ(sim.executed(), 10u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesTimeEvenWhenIdle) {
+  Simulator sim;
+  sim.run_until(1000);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+}  // namespace
+}  // namespace tlc::sim

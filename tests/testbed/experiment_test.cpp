@@ -1,0 +1,111 @@
+#include "testbed/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::testbed {
+namespace {
+
+ScenarioConfig quick_config(AppKind app, double bg = 0.0) {
+  ScenarioConfig config;
+  config.app = app;
+  config.background_mbps = bg;
+  config.cycle_length = 20 * kSecond;
+  config.cycles = 2;
+  config.seed = 23;
+  return config;
+}
+
+TEST(ExperimentTest, SchemesEvaluatedPerCycle) {
+  const auto result = run_experiment(quick_config(AppKind::WebcamUdp));
+  EXPECT_EQ(result.cycles.size(), 2u);
+  EXPECT_EQ(result.outcomes.size(), 3u);
+  for (const auto& [scheme, outcomes] : result.outcomes) {
+    EXPECT_EQ(outcomes.size(), 2u) << scheme_name(scheme);
+  }
+}
+
+TEST(ExperimentTest, TlcOptimalConvergesInOneRound) {
+  const auto result = run_experiment(quick_config(AppKind::WebcamUdp));
+  for (const CycleOutcome& o : result.outcomes.at(Scheme::TlcOptimal)) {
+    EXPECT_TRUE(o.completed);
+    EXPECT_EQ(o.rounds, 1);  // Theorem 4 / Fig 16b
+  }
+}
+
+TEST(ExperimentTest, TlcReducesGapUnderCongestion) {
+  // The §7.1 headline: under loss, TLC-optimal's gap is a fraction of
+  // legacy's.
+  const auto result = run_experiment(quick_config(AppKind::VrGvsp, 160.0));
+  const double legacy = result.mean_gap_mb_per_hr(Scheme::Legacy);
+  const double optimal = result.mean_gap_mb_per_hr(Scheme::TlcOptimal);
+  EXPECT_GT(legacy, 5.0 * optimal);
+  // And TLC-random lands in between.
+  const double random = result.mean_gap_mb_per_hr(Scheme::TlcRandom);
+  EXPECT_LT(random, legacy);
+}
+
+TEST(ExperimentTest, OptimalGapStaysSmallEverywhere) {
+  for (double bg : {0.0, 120.0}) {
+    const auto result = run_experiment(quick_config(AppKind::WebcamUdp, bg));
+    // Paper Table 2: TLC-optimal ε ≈ 2%; allow slack for short cycles.
+    EXPECT_LT(result.mean_gap_ratio(Scheme::TlcOptimal), 0.05) << bg;
+  }
+}
+
+TEST(ExperimentTest, ChargeBoundedByGroundTruth) {
+  // Theorem 2 carried through the full pipeline: TLC never charges
+  // outside the union of the parties' measured windows.
+  const auto result = run_experiment(quick_config(AppKind::VrGvsp, 120.0));
+  const auto& cycles = result.cycles;
+  const auto& outcomes = result.outcomes.at(Scheme::TlcOptimal);
+  for (std::size_t i = 0; i < cycles.size(); ++i) {
+    const std::uint64_t hi =
+        std::max({cycles[i].edge_sent, cycles[i].op_sent});
+    const std::uint64_t lo =
+        std::min({cycles[i].edge_received, cycles[i].op_received});
+    EXPECT_GE(outcomes[i].charged, lo);
+    EXPECT_LE(outcomes[i].charged, hi);
+  }
+}
+
+TEST(ExperimentTest, GamingQci7BeatsQci9UnderCongestion) {
+  // Fig 12d: the dedicated QoS session shields gaming from background
+  // congestion; the same stream on QCI 9 suffers.
+  const auto qci7 = run_experiment(quick_config(AppKind::GamingQci7, 160.0),
+                                   {Scheme::Legacy});
+  const auto qci9 = run_experiment(quick_config(AppKind::GamingQci9, 160.0),
+                                   {Scheme::Legacy});
+  const auto loss = [](const ExperimentResult& r) {
+    double total = 0.0;
+    for (const auto& c : r.cycles) {
+      total += 1.0 - static_cast<double>(c.true_received) /
+                         static_cast<double>(c.true_sent);
+    }
+    return total / static_cast<double>(r.cycles.size());
+  };
+  EXPECT_LT(loss(qci7), loss(qci9));
+}
+
+TEST(ExperimentTest, GapScalingToPerHour) {
+  const auto result = run_experiment(quick_config(AppKind::WebcamUdp));
+  for (const auto& o : result.outcomes.at(Scheme::Legacy)) {
+    // 20 s cycles: MB/hr = MB * 180.
+    EXPECT_NEAR(o.gap_mb_per_hr, o.gap_mb * 180.0, 1e-6);
+  }
+}
+
+TEST(ExperimentTest, SchemeNames) {
+  EXPECT_STREQ(scheme_name(Scheme::Legacy), "Legacy 4G/5G");
+  EXPECT_STREQ(scheme_name(Scheme::TlcOptimal), "TLC-optimal");
+  EXPECT_STREQ(scheme_name(Scheme::TlcRandom), "TLC-random");
+}
+
+TEST(ExperimentTest, MeanHelpersOnMissingScheme) {
+  const auto result =
+      run_experiment(quick_config(AppKind::WebcamUdp), {Scheme::Legacy});
+  EXPECT_EQ(result.mean_gap_mb_per_hr(Scheme::TlcOptimal), 0.0);
+  EXPECT_EQ(result.mean_rounds(Scheme::TlcRandom), 0.0);
+}
+
+}  // namespace
+}  // namespace tlc::testbed

@@ -1,0 +1,47 @@
+#include "testbed/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc::testbed {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"A", "Longer header", "C"});
+  table.add_row({"1", "2", "3"});
+  table.add_row({"much longer cell", "x", "y"});
+  const std::string out = table.render();
+  // Header present, rule present, rows present.
+  EXPECT_NE(out.find("Longer header"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("much longer cell"), std::string::npos);
+  // All lines of the body share the same width alignment: the header
+  // line and first row line have equal column offsets for column B.
+  const std::size_t header_pos = out.find("Longer header");
+  const std::size_t row_pos = out.find("x");
+  const std::size_t header_col = header_pos - out.rfind('\n', header_pos) - 1;
+  const std::size_t row_col = row_pos - out.rfind('\n', row_pos) - 1;
+  EXPECT_EQ(header_col, row_col);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable table({"A", "B"});
+  table.add_row({"only-a"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("only-a"), std::string::npos);
+}
+
+TEST(ReportCellsTest, Formatting) {
+  EXPECT_EQ(cell(3.14159, 2), "3.14");
+  EXPECT_EQ(cell(10.0, 0), "10");
+  EXPECT_EQ(cell_pct(0.1234), "12.3%");
+  EXPECT_EQ(cell_pct(0.5, 0), "50%");
+}
+
+TEST(PrintCdfTest, DoesNotCrashOnEmpty) {
+  Samples empty;
+  print_cdf("empty", empty, 5);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tlc::testbed

@@ -1,0 +1,70 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc {
+namespace {
+
+TEST(BytesTest, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7e};
+  EXPECT_EQ(to_hex(data), "0001abff7e");
+  auto back = from_hex("0001abff7e");
+  ASSERT_TRUE(back);
+  EXPECT_EQ(*back, data);
+}
+
+TEST(BytesTest, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  auto back = from_hex("");
+  ASSERT_TRUE(back);
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(BytesTest, HexUppercaseAccepted) {
+  auto value = from_hex("DEADBEEF");
+  ASSERT_TRUE(value);
+  EXPECT_EQ(to_hex(*value), "deadbeef");
+}
+
+TEST(BytesTest, HexOddLengthRejected) {
+  EXPECT_FALSE(from_hex("abc"));
+}
+
+TEST(BytesTest, HexBadCharacterRejected) {
+  EXPECT_FALSE(from_hex("zz"));
+  EXPECT_FALSE(from_hex("0g"));
+}
+
+TEST(BytesTest, BytesOfString) {
+  const Bytes b = bytes_of("abc");
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 'a');
+  EXPECT_EQ(b[2], 'c');
+}
+
+TEST(BytesTest, PrintableMasksControlBytes) {
+  const Bytes data = {'h', 'i', 0x00, 0x1f, '!'};
+  EXPECT_EQ(printable(data), "hi..!");
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  const Bytes a = bytes_of("signature-material");
+  Bytes b = a;
+  EXPECT_TRUE(constant_time_equal(a, b));
+  b.back() ^= 1;
+  EXPECT_FALSE(constant_time_equal(a, b));
+  b.pop_back();
+  EXPECT_FALSE(constant_time_equal(a, b));  // length mismatch
+  EXPECT_TRUE(constant_time_equal({}, {}));
+}
+
+TEST(BytesTest, AppendConcatenates) {
+  Bytes dst = bytes_of("ab");
+  append(dst, bytes_of("cd"));
+  EXPECT_EQ(dst, bytes_of("abcd"));
+  append(dst, {});
+  EXPECT_EQ(dst, bytes_of("abcd"));
+}
+
+}  // namespace
+}  // namespace tlc

@@ -1,0 +1,68 @@
+#include "util/expected.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tlc {
+namespace {
+
+Expected<int> parse_positive(int value) {
+  if (value <= 0) return Err("not positive");
+  return value;
+}
+
+TEST(ExpectedTest, HoldsValue) {
+  auto v = parse_positive(42);
+  ASSERT_TRUE(v);
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(ExpectedTest, HoldsError) {
+  auto v = parse_positive(-1);
+  ASSERT_FALSE(v);
+  EXPECT_EQ(v.error(), "not positive");
+}
+
+TEST(ExpectedTest, ValueOrFallback) {
+  EXPECT_EQ(parse_positive(5).value_or(9), 5);
+  EXPECT_EQ(parse_positive(-5).value_or(9), 9);
+}
+
+TEST(ExpectedTest, StringPayloadUnambiguous) {
+  // Error and value are distinct even when T is std::string.
+  Expected<std::string> ok(std::string("payload"));
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(*ok, "payload");
+  Expected<std::string> bad = Err("broken");
+  ASSERT_FALSE(bad);
+  EXPECT_EQ(bad.error(), "broken");
+}
+
+TEST(ExpectedTest, ArrowOperator) {
+  Expected<std::string> v(std::string("abc"));
+  EXPECT_EQ(v->size(), 3u);
+}
+
+TEST(ExpectedTest, MoveOut) {
+  Expected<std::string> v(std::string("move-me"));
+  std::string taken = std::move(v).value();
+  EXPECT_EQ(taken, "move-me");
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(StatusTest, CarriesError) {
+  Status s = Err("failed check");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error(), "failed check");
+}
+
+}  // namespace
+}  // namespace tlc

@@ -1,0 +1,135 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tlc {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_u64(17), 17u);
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  EXPECT_EQ(rng.uniform_u64(0), 0u);
+  EXPECT_EQ(rng.uniform_u64(1), 0u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  EXPECT_EQ(rng.uniform_int(9, 2), 9);  // degenerate returns lo
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(42);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(43);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double e = rng.exponential(2.5);
+    EXPECT_GE(e, 0.0);
+    sum += e;
+  }
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(RngTest, ChanceEdges) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceFrequency) {
+  Rng rng(6);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.chance(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(8);
+  for (double mean : {0.5, 4.0, 80.0}) {
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+      sum += static_cast<double>(rng.poisson(mean));
+    }
+    EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.02) << "mean=" << mean;
+  }
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(RngTest, BytesLengthAndDeterminism) {
+  Rng a(77);
+  Rng b(77);
+  const Bytes x = a.bytes(33);
+  const Bytes y = b.bytes(33);
+  EXPECT_EQ(x.size(), 33u);
+  EXPECT_EQ(x, y);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(99);
+  Rng child = parent.fork();
+  // The fork consumes parent state, so parent and child streams differ.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += parent.next_u64() == child.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace tlc

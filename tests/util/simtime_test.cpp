@@ -1,0 +1,37 @@
+#include "util/simtime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlc {
+namespace {
+
+TEST(SimTimeTest, UnitRelations) {
+  EXPECT_EQ(kMicrosecond, 1000 * kNanosecond);
+  EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 3600 * kSecond);
+}
+
+TEST(SimTimeTest, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_seconds(500 * kMillisecond), 0.5);
+  EXPECT_DOUBLE_EQ(to_millis(2 * kSecond), 2000.0);
+  EXPECT_EQ(from_seconds(1.5), 1500 * kMillisecond);
+  EXPECT_EQ(from_millis(2.5), 2500 * kMicrosecond);
+}
+
+TEST(SimTimeTest, RoundTrip) {
+  for (double s : {0.0, 0.001, 1.0, 3600.0}) {
+    EXPECT_NEAR(to_seconds(from_seconds(s)), s, 1e-9);
+  }
+}
+
+TEST(SimTimeTest, Format) {
+  EXPECT_EQ(format_time(0), "00:00:00.000");
+  EXPECT_EQ(format_time(kSecond + 250 * kMillisecond), "00:00:01.250");
+  EXPECT_EQ(format_time(kHour + 2 * kMinute + 3 * kSecond), "01:02:03.000");
+}
+
+}  // namespace
+}  // namespace tlc

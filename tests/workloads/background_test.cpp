@@ -1,0 +1,89 @@
+#include "workloads/background.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tlc::workloads {
+namespace {
+
+TEST(BackgroundTest, RateMatchesTarget) {
+  for (double mbps : {20.0, 100.0, 160.0}) {
+    sim::Simulator sim;
+    std::uint64_t bytes = 0;
+    BackgroundParams params;
+    params.rate_mbps = mbps;
+    BackgroundUdpSource source(
+        sim, [&](const sim::Packet& p) { bytes += p.size_bytes; }, 2,
+        sim::Direction::Downlink, params, Rng(1));
+    source.start(0);
+    sim.run_until(20 * kSecond);
+    source.stop();
+    const double measured = static_cast<double>(bytes) * 8.0 / 1e6 / 20.0;
+    EXPECT_NEAR(measured, mbps, mbps * 0.05) << "target=" << mbps;
+  }
+}
+
+TEST(BackgroundTest, ZeroRateEmitsNothing) {
+  sim::Simulator sim;
+  int packets = 0;
+  BackgroundParams params;
+  params.rate_mbps = 0.0;
+  BackgroundUdpSource source(
+      sim, [&](const sim::Packet&) { ++packets; }, 2,
+      sim::Direction::Downlink, params, Rng(2));
+  source.start(0);
+  sim.run_until(10 * kSecond);
+  EXPECT_EQ(packets, 0);
+}
+
+TEST(BackgroundTest, PoissonInterArrivalsAreExponential) {
+  sim::Simulator sim;
+  std::vector<SimTime> stamps;
+  BackgroundParams params;
+  params.rate_mbps = 10.0;
+  BackgroundUdpSource source(
+      sim, [&](const sim::Packet& p) { stamps.push_back(p.created_at); }, 2,
+      sim::Direction::Downlink, params, Rng(3));
+  source.start(0);
+  sim.run_until(30 * kSecond);
+  source.stop();
+  ASSERT_GT(stamps.size(), 1000u);
+  // Exponential inter-arrivals: stddev ≈ mean (CV ≈ 1), unlike CBR.
+  double sum = 0.0;
+  double sq = 0.0;
+  const std::size_t n = stamps.size() - 1;
+  for (std::size_t i = 1; i < stamps.size(); ++i) {
+    const double gap = to_seconds(stamps[i] - stamps[i - 1]);
+    sum += gap;
+    sq += gap * gap;
+  }
+  const double mean = sum / static_cast<double>(n);
+  const double var = sq / static_cast<double>(n) - mean * mean;
+  const double cv = std::sqrt(var) / mean;
+  EXPECT_NEAR(cv, 1.0, 0.1);
+}
+
+TEST(BackgroundTest, FixedPacketSize) {
+  sim::Simulator sim;
+  BackgroundParams params;
+  params.rate_mbps = 50.0;
+  params.packet_bytes = 1200;
+  bool checked = false;
+  BackgroundUdpSource source(
+      sim,
+      [&](const sim::Packet& p) {
+        EXPECT_EQ(p.size_bytes, 1200u);
+        EXPECT_EQ(p.qci, sim::Qci::kQci9);
+        checked = true;
+      },
+      2, sim::Direction::Uplink, params, Rng(4));
+  source.start(0);
+  sim.run_until(kSecond);
+  source.stop();
+  EXPECT_TRUE(checked);
+}
+
+}  // namespace
+}  // namespace tlc::workloads

@@ -1,0 +1,137 @@
+#include "workloads/webcam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tlc::workloads {
+namespace {
+
+struct Collected {
+  std::vector<sim::Packet> packets;
+  std::uint64_t bytes = 0;
+};
+
+TrafficSource::EmitFn collector(Collected& out) {
+  return [&out](const sim::Packet& p) {
+    out.packets.push_back(p);
+    out.bytes += p.size_bytes;
+  };
+}
+
+double run_bitrate_mbps(WebcamParams params, SimTime duration,
+                        std::uint64_t seed = 1) {
+  sim::Simulator sim;
+  Collected out;
+  WebcamSource source(sim, collector(out), 1, sim::Direction::Uplink,
+                      sim::Qci::kQci9, params, Rng(seed), "cam");
+  source.start(0);
+  sim.run_until(duration);
+  source.stop();
+  return static_cast<double>(out.bytes) * 8.0 / 1e6 / to_seconds(duration);
+}
+
+TEST(WebcamTest, RtspPresetHitsPaperBitrate) {
+  // §3.2: RTSP 1080p30 averages 0.77 Mbps.
+  const double mbps = run_bitrate_mbps(webcam_rtsp_params(), 2 * kMinute);
+  EXPECT_NEAR(mbps, 0.77, 0.08);
+}
+
+TEST(WebcamTest, UdpPresetHitsPaperBitrate) {
+  // §3.2: legacy UDP streaming averages 1.73 Mbps.
+  const double mbps = run_bitrate_mbps(webcam_udp_params(), 2 * kMinute);
+  EXPECT_NEAR(mbps, 1.73, 0.17);
+}
+
+TEST(WebcamTest, FrameRateMatchesFps) {
+  sim::Simulator sim;
+  Collected out;
+  WebcamSource source(sim, collector(out), 1, sim::Direction::Uplink,
+                      sim::Qci::kQci9, webcam_rtsp_params(), Rng(2), "cam");
+  source.start(0);
+  sim.run_until(10 * kSecond);
+  source.stop();
+  // Group paced packets into frames: gaps within a frame are the
+  // ~120 us pacing, gaps between frames ~33 ms.
+  int frames = 0;
+  SimTime last = -kSecond;
+  for (const auto& p : out.packets) {
+    if (p.created_at - last > 5 * kMillisecond) ++frames;
+    last = p.created_at;
+  }
+  EXPECT_NEAR(frames, 300, 3);  // 30 fps for 10 s
+}
+
+TEST(WebcamTest, GopStructureIFramesLarger) {
+  sim::Simulator sim;
+  Collected out;
+  auto params = webcam_rtsp_params();
+  params.size_jitter = 0.0;  // isolate the GOP structure
+  WebcamSource source(sim, collector(out), 1, sim::Direction::Uplink,
+                      sim::Qci::kQci9, params, Rng(3), "cam");
+  source.start(0);
+  sim.run_until(3 * kSecond);
+  source.stop();
+  // Aggregate per-frame sizes (frames separated by > 5 ms gaps).
+  std::vector<std::uint64_t> frame_sizes;
+  SimTime last = -kSecond;
+  for (const auto& p : out.packets) {
+    if (p.created_at - last > 5 * kMillisecond) {
+      frame_sizes.push_back(0);
+    }
+    last = p.created_at;
+    frame_sizes.back() += p.size_bytes;
+  }
+  ASSERT_GE(frame_sizes.size(), 61u);
+  // Frame 0 and frame 30 are I-frames, ~6x the P-frames around them.
+  EXPECT_GT(frame_sizes[0], 4 * frame_sizes[1]);
+  EXPECT_GT(frame_sizes[30], 4 * frame_sizes[29]);
+  EXPECT_NEAR(static_cast<double>(frame_sizes[0]) / frame_sizes[1], 6.0, 1.0);
+}
+
+TEST(WebcamTest, PacketsRespectMtu) {
+  sim::Simulator sim;
+  Collected out;
+  WebcamSource source(sim, collector(out), 1, sim::Direction::Uplink,
+                      sim::Qci::kQci9, webcam_udp_params(), Rng(4), "cam");
+  source.start(0);
+  sim.run_until(5 * kSecond);
+  source.stop();
+  for (const auto& p : out.packets) {
+    EXPECT_LE(p.size_bytes, 1400u);
+    EXPECT_GT(p.size_bytes, 0u);
+  }
+}
+
+TEST(WebcamTest, StopHaltsEmission) {
+  sim::Simulator sim;
+  Collected out;
+  WebcamSource source(sim, collector(out), 1, sim::Direction::Uplink,
+                      sim::Qci::kQci9, webcam_rtsp_params(), Rng(5), "cam");
+  source.start(0);
+  sim.run_until(kSecond);
+  source.stop();
+  const auto count = out.packets.size();
+  sim.run_until(10 * kSecond);
+  EXPECT_EQ(out.packets.size(), count);
+}
+
+TEST(WebcamTest, MetadataPropagates) {
+  sim::Simulator sim;
+  Collected out;
+  WebcamSource source(sim, collector(out), 42, sim::Direction::Downlink,
+                      sim::Qci::kQci7, webcam_rtsp_params(), Rng(6), "cam-x");
+  source.start(0);
+  sim.run_until(kSecond);
+  ASSERT_FALSE(out.packets.empty());
+  for (const auto& p : out.packets) {
+    EXPECT_EQ(p.flow_id, 42u);
+    EXPECT_EQ(p.direction, sim::Direction::Downlink);
+    EXPECT_EQ(p.qci, sim::Qci::kQci7);
+  }
+  EXPECT_EQ(source.name(), "cam-x");
+  EXPECT_EQ(source.emitted_packets(), out.packets.size());
+}
+
+}  // namespace
+}  // namespace tlc::workloads
