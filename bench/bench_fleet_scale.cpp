@@ -1,0 +1,90 @@
+// Fleet scaling bench: UEs/sec and settlement throughput vs worker
+// threads.
+//
+// Runs the same 64-UE fleet at 1/2/4/8 worker threads, reports shard
+// simulation throughput (UEs/sec), batch settlement throughput
+// ((UE,cycle) settlements/sec), speedup relative to 1 thread, and
+// asserts the determinism contract along the way: every thread count
+// must produce bit-identical measurement / CDF / PoC digests.
+//
+// Speedups are bounded by the hardware the bench runs on — the core
+// count is printed so a 1-core container's flat curve reads as what it
+// is, not as a scaling bug.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "fleet/engine.hpp"
+#include "util/bytes.hpp"
+
+namespace tlc::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+fleet::FleetConfig fleet_config(const BenchOptions& options,
+                                unsigned threads) {
+  fleet::FleetConfig config;
+  config.base.cycle_length = options.full ? 30 * kSecond : 10 * kSecond;
+  config.base.cycles = options.cycles();
+  config.base.background_mbps = 2.0;
+  config.ue_count = options.full ? 128 : 64;
+  config.shards = options.full ? 16 : 8;
+  config.threads = threads;
+  config.seed = options.seed;
+  config.rsa_bits = 512;
+  config.key_cache_slots = 4;
+  return config;
+}
+
+int run(const BenchOptions& options) {
+  print_mode(options);
+  std::printf("hardware threads available: %u\n\n",
+              std::thread::hardware_concurrency());
+  const fleet::FleetConfig probe = fleet_config(options, 1);
+  std::printf(
+      "fleet: %d UEs over %d shards, %d cycles x %.0fs, settle=RSA-%zu\n\n",
+      probe.ue_count, probe.shards, probe.base.cycles,
+      to_seconds(probe.base.cycle_length), probe.rsa_bits);
+  std::printf("%8s %12s %14s %18s %10s\n", "threads", "wall (s)", "UEs/sec",
+              "settlements/sec", "speedup");
+
+  std::string reference_digest;
+  double reference_wall = 0.0;
+  bool digests_agree = true;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    const fleet::FleetConfig config = fleet_config(options, threads);
+    const auto start = Clock::now();
+    const fleet::FleetResult result = fleet::run_fleet(config);
+    const double wall = seconds_since(start);
+
+    const std::string digest = to_hex(result.measurement_digest) +
+                               to_hex(result.cdf_digest) +
+                               to_hex(result.poc_digest);
+    if (reference_digest.empty()) {
+      reference_digest = digest;
+      reference_wall = wall;
+    } else if (digest != reference_digest) {
+      digests_agree = false;
+    }
+    std::printf("%8u %12.2f %14.1f %18.1f %9.2fx\n", threads, wall,
+                config.ue_count / wall, result.receipts.size() / wall,
+                reference_wall / wall);
+  }
+
+  std::printf("\ndeterminism: digests %s across thread counts\n",
+              digests_agree ? "IDENTICAL" : "DIVERGED");
+  return digests_agree ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tlc::bench
+
+int main(int argc, char** argv) {
+  return tlc::bench::run(tlc::bench::parse_options(argc, argv));
+}

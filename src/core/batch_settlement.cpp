@@ -1,0 +1,228 @@
+#include "core/batch_settlement.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <thread>
+#include <utility>
+
+#include "sim/rng_stream.hpp"
+
+namespace tlc::core {
+
+RsaKeyCache::RsaKeyCache(std::size_t modulus_bits, std::size_t slots,
+                         std::uint64_t seed)
+    : modulus_bits_(modulus_bits) {
+  if (slots == 0) slots = 1;
+  edge_keys_.reserve(slots);
+  op_keys_.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    // Slot keys derive from (seed, slot) alone so slot i survives cache
+    // resizes; even/odd streams keep the two parties' keys distinct.
+    Rng edge_rng = sim::stream_rng(seed, 2 * i);
+    Rng op_rng = sim::stream_rng(seed, 2 * i + 1);
+    edge_keys_.push_back(crypto::rsa_generate(modulus_bits, edge_rng));
+    op_keys_.push_back(crypto::rsa_generate(modulus_bits, op_rng));
+  }
+}
+
+namespace {
+
+/// One UE's items and reused session pair.
+struct Group {
+  std::uint64_t ue_id = 0;
+  std::vector<std::size_t> item_indices;  // into the input vector
+  std::unique_ptr<TlcSession> edge;
+  std::unique_ptr<TlcSession> op;
+  // Pending wire messages: (to_edge, bytes), FIFO per group.
+  std::deque<std::pair<bool, Bytes>> wire;
+  bool poisoned = false;  // a cycle failed; remaining cycles skip
+};
+
+std::unique_ptr<TlcSession> make_session(const BatchConfig& config,
+                                         const RsaKeyCache& keys,
+                                         std::uint64_t ue_id,
+                                         PartyRole role) {
+  SessionConfig session_config;
+  session_config.role = role;
+  if (role == PartyRole::EdgeVendor) {
+    session_config.own_keys = keys.edge_key(ue_id);
+    session_config.peer_key = keys.operator_key(ue_id).public_key;
+  } else {
+    session_config.own_keys = keys.operator_key(ue_id);
+    session_config.peer_key = keys.edge_key(ue_id).public_key;
+  }
+  session_config.c = config.c;
+  session_config.cycle_length = config.cycle_length;
+  session_config.first_cycle_start = config.first_cycle_start;
+  session_config.max_rounds = config.max_rounds;
+  // Session RNG derives from (salt, ue, role): a pure function, so the
+  // same UE settles to byte-identical PoCs whether it runs in a batch,
+  // alone, or on any worker thread.
+  const std::uint64_t stream =
+      2 * ue_id + (role == PartyRole::EdgeVendor ? 0 : 1);
+  return std::make_unique<TlcSession>(
+      std::move(session_config), std::make_unique<OptimalStrategy>(),
+      sim::stream_rng(config.rng_salt, stream));
+}
+
+/// Delivers one queued message; poisons the group on protocol errors.
+void deliver_one(Group& group) {
+  auto [to_edge, message] = std::move(group.wire.front());
+  group.wire.pop_front();
+  const Status status = to_edge ? group.edge->receive(message)
+                                : group.op->receive(message);
+  if (!status.ok()) group.poisoned = true;
+}
+
+/// Arms cycle `item` on both sides and lets the operator initiate.
+bool begin_group_cycle(Group& group, const SettlementItem& item) {
+  if (group.poisoned) return false;
+  if (!group.op->begin_cycle(item.op_view).ok()) return false;
+  if (!group.edge->begin_cycle(item.edge_view).ok()) return false;
+  return group.op->start().ok();
+}
+
+/// Finishes the in-flight cycle and fills the receipt; a failed
+/// negotiation poisons the group (its remaining receipts stay
+/// incomplete — §5.1: retry policy belongs to the caller).
+void finish_group_cycle(Group& group, SettlementReceipt& receipt) {
+  if (group.poisoned || !group.op->cycle_complete() ||
+      !group.edge->cycle_complete()) {
+    group.op->abort_cycle();
+    group.edge->abort_cycle();
+    group.poisoned = true;
+    return;
+  }
+  const auto op_receipt = group.op->finish_cycle();
+  const auto edge_receipt = group.edge->finish_cycle();
+  if (!op_receipt || !edge_receipt) {
+    group.poisoned = true;
+    return;
+  }
+  receipt.completed = true;
+  receipt.charged = op_receipt->charged;
+  receipt.rounds = op_receipt->rounds;
+  receipt.poc_wire = group.op->receipts().entries().back().poc_wire;
+}
+
+/// All cycles of one group, local FIFO pump (the thread-worker path).
+void run_group(Group& group, const std::vector<SettlementItem>& items,
+               std::vector<SettlementReceipt>& receipts) {
+  for (std::size_t item_index : group.item_indices) {
+    if (!begin_group_cycle(group, items[item_index])) {
+      group.poisoned = true;
+      continue;
+    }
+    while (!group.wire.empty() && !group.poisoned) deliver_one(group);
+    finish_group_cycle(group, receipts[item_index]);
+  }
+}
+
+}  // namespace
+
+BatchSettler::BatchSettler(BatchConfig config, const RsaKeyCache& keys)
+    : config_(config), keys_(keys) {}
+
+std::vector<SettlementReceipt> BatchSettler::settle(
+    const std::vector<SettlementItem>& items, unsigned threads) const {
+  std::vector<SettlementReceipt> receipts(items.size());
+
+  // Group items by UE in first-appearance order; per-UE item order is
+  // input order (item n of a UE = its cycle n). A deque keeps Group
+  // addresses stable for the send closures below.
+  std::deque<Group> groups;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    Group* group = nullptr;
+    for (Group& g : groups) {
+      if (g.ue_id == items[i].ue_id) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.emplace_back();
+      group = &groups.back();
+      group->ue_id = items[i].ue_id;
+    }
+    group->item_indices.push_back(i);
+    receipts[i].ue_id = items[i].ue_id;
+    receipts[i].cycle =
+        static_cast<std::uint32_t>(group->item_indices.size() - 1);
+  }
+  for (Group& group : groups) {
+    group.edge =
+        make_session(config_, keys_, group.ue_id, PartyRole::EdgeVendor);
+    group.op = make_session(config_, keys_, group.ue_id, PartyRole::Operator);
+    Group* raw = &group;
+    group.edge->set_send(
+        [raw](const Bytes& m) { raw->wire.emplace_back(false, m); });
+    group.op->set_send(
+        [raw](const Bytes& m) { raw->wire.emplace_back(true, m); });
+  }
+
+  if (threads <= 1 && interleave_) {
+    // Lockstep waves: cycle k of every group runs concurrently through
+    // a shared pump, one message per visited group per round, visiting
+    // order chosen by the hook — cross-session reordering with
+    // per-session FIFO intact.
+    std::size_t max_cycles = 0;
+    for (const Group& group : groups) {
+      max_cycles = std::max(max_cycles, group.item_indices.size());
+    }
+    for (std::size_t cycle = 0; cycle < max_cycles; ++cycle) {
+      std::vector<std::size_t> active;
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        Group& group = groups[g];
+        if (cycle >= group.item_indices.size()) continue;
+        if (begin_group_cycle(group, items[group.item_indices[cycle]])) {
+          active.push_back(g);
+        } else {
+          group.poisoned = true;
+        }
+      }
+      for (;;) {
+        std::vector<std::size_t> pending;
+        for (std::size_t g : active) {
+          if (!groups[g].wire.empty() && !groups[g].poisoned) {
+            pending.push_back(g);
+          }
+        }
+        if (pending.empty()) break;
+        interleave_(pending);
+        for (std::size_t g : pending) {
+          if (!groups[g].wire.empty() && !groups[g].poisoned) {
+            deliver_one(groups[g]);
+          }
+        }
+      }
+      for (std::size_t g : active) {
+        finish_group_cycle(groups[g], receipts[groups[g].item_indices[cycle]]);
+      }
+    }
+    return receipts;
+  }
+
+  if (threads <= 1 || groups.size() <= 1) {
+    for (Group& group : groups) run_group(group, items, receipts);
+    return receipts;
+  }
+
+  // Static round-robin partition of groups over a fixed worker set:
+  // each group is fully local to one worker and writes only its own
+  // receipt slots, so results never depend on the worker count.
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads, groups.size()));
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      for (std::size_t g = w; g < groups.size(); g += workers) {
+        run_group(groups[g], items, receipts);
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+  return receipts;
+}
+
+}  // namespace tlc::core

@@ -1,0 +1,113 @@
+// Batch TLC settlement over many (UE, cycle) pairs.
+//
+// The fleet case of §5: one edge vendor and one operator settle every
+// subscriber's cycles, not a single device's. Running a fresh
+// `TlcSession` pair per (UE, cycle) would re-run RSA keygen — by far
+// the most expensive step (Fig 17) — tens of times per cycle, so the
+// batch API amortizes it two ways:
+//
+//  * `RsaKeyCache` precomputes a small set of key pairs once,
+//    deterministically from a seed, and hands them out by UE slot
+//    (reads are const and thread-safe);
+//  * one reusable `TlcSession` pair per UE settles that UE's cycles in
+//    sequence, exactly as the single-UE API would.
+//
+// Distinct UEs share no mutable state, so `settle()` can fan UE groups
+// out over worker threads — receipts are bit-identical for every thread
+// count, and (single-threaded) the cross-session message pump can be
+// reordered arbitrarily between sessions without changing any receipt.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/tlc_session.hpp"
+#include "crypto/rsa.hpp"
+
+namespace tlc::core {
+
+/// Deterministic pool of precomputed RSA key pairs. Key slot `i` is a
+/// pure function of (seed, i): growing or shrinking the cache never
+/// changes the keys existing slots return.
+class RsaKeyCache {
+ public:
+  RsaKeyCache(std::size_t modulus_bits, std::size_t slots,
+              std::uint64_t seed);
+
+  [[nodiscard]] std::size_t slots() const { return edge_keys_.size(); }
+  [[nodiscard]] std::size_t modulus_bits() const { return modulus_bits_; }
+
+  /// Keys for a UE relationship; `ue_id` maps onto a slot by modulo.
+  [[nodiscard]] const crypto::RsaKeyPair& edge_key(std::uint64_t ue_id) const {
+    return edge_keys_[static_cast<std::size_t>(ue_id % edge_keys_.size())];
+  }
+  [[nodiscard]] const crypto::RsaKeyPair& operator_key(
+      std::uint64_t ue_id) const {
+    return op_keys_[static_cast<std::size_t>(ue_id % op_keys_.size())];
+  }
+
+ private:
+  std::size_t modulus_bits_;
+  std::vector<crypto::RsaKeyPair> edge_keys_;
+  std::vector<crypto::RsaKeyPair> op_keys_;
+};
+
+/// One (UE, cycle) settlement input. Items of one UE are settled in
+/// input order through a single reused session pair; the n-th item of a
+/// UE is its cycle n.
+struct SettlementItem {
+  std::uint64_t ue_id = 0;
+  UsageView edge_view;
+  UsageView op_view;
+};
+
+struct SettlementReceipt {
+  std::uint64_t ue_id = 0;
+  std::uint32_t cycle = 0;  // per-UE cycle index
+  bool completed = false;
+  std::uint64_t charged = 0;
+  int rounds = 0;
+  /// The archived PoC (identical on both sides; the operator's copy).
+  Bytes poc_wire;
+};
+
+struct BatchConfig {
+  double c = 0.5;
+  SimTime cycle_length = kHour;
+  SimTime first_cycle_start = 0;
+  int max_rounds = 64;
+  /// Root for per-session RNG derivation (nonces). Receipts are a pure
+  /// function of (items, keys, salt).
+  std::uint64_t rng_salt = 0x5eedfa11ULL;
+};
+
+class BatchSettler {
+ public:
+  /// Test hook: permutes which session delivers its next pending
+  /// message first during the single-threaded pump. Receives the
+  /// currently-pending UE group order; per-session FIFO is preserved
+  /// regardless of the permutation.
+  using InterleaveFn = std::function<void(std::vector<std::size_t>& order)>;
+
+  /// `keys` must outlive the settler.
+  BatchSettler(BatchConfig config, const RsaKeyCache& keys);
+
+  void set_interleave(InterleaveFn interleave) {
+    interleave_ = std::move(interleave);
+  }
+
+  /// Settles every item. `threads` > 1 distributes UE groups over that
+  /// many workers (each group stays sequential internally). Receipts
+  /// come back in input order and are identical for every thread count
+  /// and every cross-session interleaving.
+  [[nodiscard]] std::vector<SettlementReceipt> settle(
+      const std::vector<SettlementItem>& items, unsigned threads = 1) const;
+
+ private:
+  BatchConfig config_;
+  const RsaKeyCache& keys_;
+  InterleaveFn interleave_;
+};
+
+}  // namespace tlc::core

@@ -1,5 +1,8 @@
 #include "epc/ofcs.hpp"
 
+#include <algorithm>
+#include <utility>
+
 namespace tlc::epc {
 
 Ofcs::Ofcs(charging::DataPlan plan) : plan_(plan) {}
@@ -36,6 +39,37 @@ BillLine Ofcs::close_cycle(Imsi imsi) {
 
   state.billing.lines.push_back(line);
   return line;
+}
+
+std::vector<Imsi> Ofcs::subscribers() const {
+  std::vector<Imsi> imsis;
+  imsis.reserve(subscribers_.size());
+  for (const auto& [imsi, state] : subscribers_) imsis.push_back(imsi);
+  std::sort(imsis.begin(), imsis.end());
+  return imsis;
+}
+
+std::vector<std::pair<Imsi, BillLine>> Ofcs::close_cycle_all() {
+  std::vector<std::pair<Imsi, BillLine>> lines;
+  for (Imsi imsi : subscribers()) {
+    lines.emplace_back(imsi, close_cycle(imsi));
+  }
+  return lines;
+}
+
+Ofcs::FleetTotals Ofcs::totals() const {
+  FleetTotals totals;
+  totals.subscribers = subscribers_.size();
+  // Ascending-IMSI accumulation keeps the floating-point sum bit-stable
+  // across runs (unordered_map iteration order is not part of the
+  // fleet determinism contract).
+  for (Imsi imsi : subscribers()) {
+    const State& state = subscribers_.at(imsi);
+    totals.billed_bytes += state.billing.total_billed_bytes;
+    totals.amount += state.billing.total_amount;
+    if (state.billing.throttled) ++totals.throttled;
+  }
+  return totals;
 }
 
 const SubscriberBilling* Ofcs::billing(Imsi imsi) const {

@@ -61,6 +61,24 @@ class Ofcs {
   /// Returns the new bill line (zero-volume cycles still produce one).
   BillLine close_cycle(Imsi imsi);
 
+  /// Closes the current cycle for every known subscriber, in ascending
+  /// IMSI order (deterministic regardless of ingest order — fleet runs
+  /// merge shard results concurrently). Returns one line per
+  /// subscriber.
+  std::vector<std::pair<Imsi, BillLine>> close_cycle_all();
+
+  /// Subscribers with state, ascending IMSI order.
+  [[nodiscard]] std::vector<Imsi> subscribers() const;
+
+  /// Fleet-level rollup across every subscriber's rated cycles.
+  struct FleetTotals {
+    std::size_t subscribers = 0;
+    std::size_t throttled = 0;  // currently speed-limited
+    std::uint64_t billed_bytes = 0;
+    double amount = 0.0;
+  };
+  [[nodiscard]] FleetTotals totals() const;
+
   [[nodiscard]] const SubscriberBilling* billing(Imsi imsi) const;
   /// CDRs archived for a subscriber (the audit trail; unauthenticated
   /// in legacy 4G/5G, which is what TLC's PoC fixes).

@@ -1,0 +1,225 @@
+#include "fleet/engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "crypto/sha256.hpp"
+#include "fleet/thread_pool.hpp"
+#include "sim/rng_stream.hpp"
+
+namespace tlc::fleet {
+namespace {
+
+// Fleet-level seed streams (disjoint from per-shard streams, which are
+// derived as stream_seed(seed, shard_index) and so live in the small
+// integers).
+constexpr std::uint64_t kKeyCacheStream = 0x6b657963ULL;    // "keyc"
+constexpr std::uint64_t kSettleSaltStream = 0x73616c74ULL;  // "salt"
+
+constexpr std::uint32_t kGatewayAddress = 0x0a000001;  // 10.0.0.1
+
+void append_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void append_double(Bytes& out, double v) {
+  append_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+Bytes digest_measurements(const std::vector<UeRecord>& records) {
+  Bytes buf;
+  for (const UeRecord& record : records) {
+    append_u64(buf, record.ue_index);
+    append_u64(buf, record.imsi.value);
+    for (const testbed::CycleMeasurements& cycle : record.cycles) {
+      append_u64(buf, cycle.true_sent);
+      append_u64(buf, cycle.true_received);
+      append_u64(buf, cycle.edge_sent);
+      append_u64(buf, cycle.edge_received);
+      append_u64(buf, cycle.op_sent);
+      append_u64(buf, cycle.op_received);
+      append_u64(buf, cycle.gateway_volume);
+    }
+  }
+  return crypto::sha256(buf);
+}
+
+Bytes digest_cdfs(const std::map<testbed::Scheme, Samples>& gap_samples) {
+  Bytes buf;
+  for (const auto& [scheme, samples] : gap_samples) {
+    append_u64(buf, static_cast<std::uint64_t>(scheme));
+    append_u64(buf, samples.count());
+    for (const auto& [value, fraction] : samples.cdf()) {
+      append_double(buf, value);
+      append_double(buf, fraction);
+    }
+  }
+  return crypto::sha256(buf);
+}
+
+Bytes digest_receipts(const std::vector<core::SettlementReceipt>& receipts) {
+  Bytes buf;
+  for (const core::SettlementReceipt& receipt : receipts) {
+    append_u64(buf, receipt.ue_id);
+    append_u64(buf, receipt.cycle);
+    append_u64(buf, receipt.completed ? 1 : 0);
+    append_u64(buf, receipt.charged);
+    append_u64(buf, static_cast<std::uint64_t>(receipt.rounds));
+    append_u64(buf, receipt.poc_wire.size());
+    append(buf, receipt.poc_wire);
+  }
+  return crypto::sha256(buf);
+}
+
+}  // namespace
+
+FleetResult run_fleet(const FleetConfig& config) {
+  FleetResult result;
+  const std::size_t per_shard = config.ues_per_shard();
+  const auto total_ues = static_cast<std::uint64_t>(std::max(0, config.ue_count));
+  if (per_shard == 0 || total_ues == 0) return result;
+
+  // Partition [0, ue_count) into contiguous shard slices. The partition
+  // depends only on (ue_count, shards) — never on the thread count.
+  struct Slice {
+    int shard_index;
+    std::uint64_t first_ue;
+    std::size_t ue_count;
+  };
+  std::vector<Slice> slices;
+  for (int s = 0; s < config.shards; ++s) {
+    const std::uint64_t first = static_cast<std::uint64_t>(s) * per_shard;
+    if (first >= total_ues) break;
+    const std::size_t count = static_cast<std::size_t>(
+        std::min<std::uint64_t>(per_shard, total_ues - first));
+    slices.push_back(Slice{s, first, count});
+  }
+
+  // Run shards on the pool; each job owns one pre-allocated slot, so
+  // worker scheduling cannot reorder the merge.
+  std::vector<std::vector<UeRecord>> slots(slices.size());
+  {
+    ThreadPool pool(config.threads);
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+      const Slice slice = slices[i];
+      std::vector<UeRecord>* slot = &slots[i];
+      pool.submit([&config, slice, slot] {
+        FleetShard shard(config, slice.shard_index, slice.first_ue,
+                         slice.ue_count);
+        *slot = shard.run();
+      });
+    }
+    pool.wait_idle();
+  }
+
+  // Merge in shard order == ue_index order (slices are contiguous).
+  result.records.reserve(total_ues);
+  for (auto& slot : slots) {
+    for (UeRecord& record : slot) {
+      result.records.push_back(std::move(record));
+    }
+  }
+
+  // Fleet gap CDF inputs, appended in (ue_index, cycle) order.
+  for (const UeRecord& record : result.records) {
+    for (const auto& [scheme, outcomes] : record.outcomes) {
+      Samples& samples = result.gap_samples[scheme];
+      for (const testbed::CycleOutcome& outcome : outcomes) {
+        samples.add(outcome.gap_mb_per_hr);
+      }
+    }
+  }
+
+  // Batch TLC settlement over every (UE, cycle) pair.
+  std::map<std::pair<std::uint64_t, std::uint32_t>,
+           const core::SettlementReceipt*>
+      by_ue_cycle;
+  std::unique_ptr<core::RsaKeyCache> keys;
+  if (config.settle) {
+    keys = std::make_unique<core::RsaKeyCache>(
+        config.rsa_bits, config.key_cache_slots,
+        sim::stream_seed(config.seed, kKeyCacheStream));
+    core::BatchConfig batch;
+    batch.c = config.base.plan_c;
+    batch.cycle_length = config.base.cycle_length;
+    batch.first_cycle_start = 0;
+    batch.rng_salt = sim::stream_seed(config.seed, kSettleSaltStream);
+    core::BatchSettler settler(batch, *keys);
+
+    std::vector<core::SettlementItem> items;
+    items.reserve(result.records.size() *
+                  static_cast<std::size_t>(config.base.cycles));
+    for (const UeRecord& record : result.records) {
+      for (const testbed::CycleMeasurements& cycle : record.cycles) {
+        core::SettlementItem item;
+        item.ue_id = record.ue_index;
+        item.edge_view = {cycle.edge_sent, cycle.edge_received};
+        item.op_view = {cycle.op_sent, cycle.op_received};
+        items.push_back(item);
+      }
+    }
+    result.receipts = settler.settle(items, config.threads);
+    for (const core::SettlementReceipt& receipt : result.receipts) {
+      by_ue_cycle[{receipt.ue_id, receipt.cycle}] = &receipt;
+    }
+  }
+
+  // OFCS aggregation: synthetic gateway CDRs per (UE, cycle), rated
+  // with the TLC hook substituting each cycle's negotiated x.
+  charging::DataPlan plan;
+  plan.lost_data_weight_c = config.base.plan_c;
+  plan.cycle_length = config.base.cycle_length;
+  epc::Ofcs ofcs(plan);
+
+  std::map<epc::Imsi, std::uint64_t> ue_by_imsi;
+  for (const UeRecord& record : result.records) {
+    ue_by_imsi[record.imsi] = record.ue_index;
+  }
+  ofcs.set_charge_hook([&by_ue_cycle, &ue_by_imsi](
+                           epc::Imsi imsi, std::uint32_t cycle_index,
+                           std::uint64_t gateway_volume) {
+    const auto ue = ue_by_imsi.find(imsi);
+    if (ue == ue_by_imsi.end()) return gateway_volume;
+    const auto receipt = by_ue_cycle.find({ue->second, cycle_index});
+    if (receipt == by_ue_cycle.end() || !receipt->second->completed) {
+      return gateway_volume;  // legacy fallback
+    }
+    return receipt->second->charged;
+  });
+
+  result.bills.reserve(static_cast<std::size_t>(config.base.cycles));
+  for (int cycle = 0; cycle < config.base.cycles; ++cycle) {
+    for (const UeRecord& record : result.records) {
+      const testbed::CycleMeasurements& m =
+          record.cycles[static_cast<std::size_t>(cycle)];
+      const bool uplink = testbed::app_direction(record.member.app) ==
+                          sim::Direction::Uplink;
+      epc::ChargingDataRecord cdr;
+      cdr.served_imsi = record.imsi;
+      cdr.gateway_address = kGatewayAddress;
+      cdr.charging_id = static_cast<std::uint16_t>(record.ue_index);
+      cdr.sequence_number = static_cast<std::uint32_t>(cycle);
+      cdr.time_of_first_usage =
+          static_cast<SimTime>(cycle) * config.base.cycle_length;
+      cdr.time_of_last_usage =
+          static_cast<SimTime>(cycle + 1) * config.base.cycle_length;
+      cdr.datavolume_uplink = uplink ? m.gateway_volume : 0;
+      cdr.datavolume_downlink = uplink ? 0 : m.gateway_volume;
+      ofcs.ingest(cdr);
+    }
+    result.bills.push_back(ofcs.close_cycle_all());
+  }
+  result.totals = ofcs.totals();
+
+  result.measurement_digest = digest_measurements(result.records);
+  result.cdf_digest = digest_cdfs(result.gap_samples);
+  result.poc_digest = digest_receipts(result.receipts);
+  return result;
+}
+
+}  // namespace tlc::fleet

@@ -1,0 +1,54 @@
+// Fleet engine: runs every shard, merges their results, aggregates the
+// fleet through the OFCS and settles every (UE, cycle) pair via the
+// batch TLC API.
+//
+// This is the top of the determinism contract: `run_fleet` output is a
+// pure function of the FleetConfig. Shards execute concurrently on a
+// fixed-size thread pool but write pre-allocated, disjoint result
+// slots; merging walks those slots in shard order, settlement derives
+// all randomness from seed streams, and every floating-point
+// accumulation happens in a sorted, thread-independent order. The
+// digests exist so tests (and benches) can assert bit-identity across
+// thread counts with one comparison.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/batch_settlement.hpp"
+#include "epc/ofcs.hpp"
+#include "fleet/fleet_config.hpp"
+#include "fleet/shard.hpp"
+#include "util/stats.hpp"
+
+namespace tlc::fleet {
+
+struct FleetResult {
+  /// Every member's record, ordered by global ue_index.
+  std::vector<UeRecord> records;
+
+  /// Fleet-wide gap CDF inputs per scheme: one gap_mb_per_hr sample per
+  /// (UE, cycle), appended in (ue_index, cycle) order.
+  std::map<testbed::Scheme, Samples> gap_samples;
+
+  /// Batch TLC settlement receipts, in (ue_index, cycle) order. Empty
+  /// when config.settle is false.
+  std::vector<core::SettlementReceipt> receipts;
+
+  /// OFCS output: bills[cycle] holds one line per subscriber (ascending
+  /// IMSI), rated with the TLC hook backed by the receipts (legacy
+  /// gateway volume where settlement is disabled or incomplete).
+  std::vector<std::vector<std::pair<epc::Imsi, epc::BillLine>>> bills;
+  epc::Ofcs::FleetTotals totals;
+
+  /// SHA-256 digests for bit-identity assertions.
+  Bytes measurement_digest;  // all merged CycleMeasurements
+  Bytes cdf_digest;          // per-scheme gap CDF point series
+  Bytes poc_digest;          // all settlement receipts incl. PoC wire
+};
+
+/// Runs the whole fleet: shards on `config.threads` workers, then
+/// merge, settlement and OFCS aggregation.
+[[nodiscard]] FleetResult run_fleet(const FleetConfig& config);
+
+}  // namespace tlc::fleet

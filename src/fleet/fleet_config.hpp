@@ -1,0 +1,71 @@
+// Fleet run configuration.
+//
+// A fleet is N subscribers (UEs) partitioned over S deterministic
+// testbed shards. Each shard is a self-contained world — its own
+// discrete-event simulator, small cell, gateway counter set and UE
+// population — so shards can run on any number of worker threads
+// without sharing mutable state. The determinism contract: fleet
+// results are a pure function of this config; the thread count only
+// changes wall-clock time, never a byte of output.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "testbed/scenario.hpp"
+
+namespace tlc::fleet {
+
+struct FleetConfig {
+  /// Shared knobs every member inherits (cycle structure, cell
+  /// parameters, plan, clock discipline, background congestion per
+  /// shard cell). Per-UE fields (app, rss, disconnect, seed) are drawn
+  /// per member and applied via testbed::lift_scenario.
+  testbed::ScenarioConfig base;
+
+  /// Fleet population size.
+  int ue_count = 32;
+
+  /// Shard count. Fixed independently of the worker count — results
+  /// depend on it (each shard is one cell), so scaling threads up or
+  /// down must not change it.
+  int shards = 8;
+
+  /// Worker threads for the shard runs and batch settlement.
+  unsigned threads = 1;
+
+  /// Master seed; every shard / UE / settlement stream derives from it
+  /// through sim::stream_seed.
+  std::uint64_t seed = 1;
+
+  /// Workload mix the per-shard RNG stream draws each UE's app from
+  /// (uniform over the entries; repeat an entry to weight it).
+  std::vector<testbed::AppKind> app_mix = {
+      testbed::AppKind::WebcamRtsp, testbed::AppKind::WebcamUdp,
+      testbed::AppKind::VrGvsp, testbed::AppKind::GamingQci7};
+
+  /// Population heterogeneity: fraction of UEs in weak signal, and
+  /// fraction with intermittent connectivity (Figs 12-14 conditions).
+  double weak_signal_fraction = 0.25;
+  double weak_signal_rss_dbm = -102.0;
+  double intermittent_fraction = 0.25;
+  double intermittent_eta = 0.10;
+
+  /// Batch TLC settlement of every (UE, cycle) pair after the runs.
+  bool settle = true;
+  /// RSA modulus for settlement sessions (tests/benches use 512 for
+  /// speed; the paper's prototype uses 1024).
+  std::size_t rsa_bits = 512;
+  /// Precomputed key-cache slots shared by all sessions.
+  std::size_t key_cache_slots = 4;
+
+  /// Members per shard (ceiling division; the last shard may be short).
+  [[nodiscard]] std::size_t ues_per_shard() const {
+    if (shards <= 0 || ue_count <= 0) return 0;
+    return (static_cast<std::size_t>(ue_count) +
+            static_cast<std::size_t>(shards) - 1) /
+           static_cast<std::size_t>(shards);
+  }
+};
+
+}  // namespace tlc::fleet

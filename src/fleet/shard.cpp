@@ -1,0 +1,435 @@
+#include "fleet/shard.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/rng_stream.hpp"
+#include "workloads/background.hpp"
+#include "workloads/gaming.hpp"
+#include "workloads/trace.hpp"
+#include "workloads/vr_gvsp.hpp"
+#include "workloads/webcam.hpp"
+
+namespace tlc::fleet {
+namespace {
+
+// Mirrors testbed::Testbed's cycle bookkeeping.
+constexpr SimTime kBoundaryGrace = 50 * kSecond;
+constexpr SimTime kCounterCheckLead = 120 * kMillisecond;
+
+// Shard seed-stream layout (indices into the shard's StreamSeeder).
+// Each UE owns two streams: profile draws and its world seed.
+constexpr std::uint64_t kEnodebStream = 1;
+constexpr std::uint64_t kBackgroundStream = 2;
+constexpr std::uint64_t kUeStreamBase = 16;
+
+// Stream under a member's seed used for scheme evaluation draws.
+constexpr std::uint64_t kSchemeEvalStream = 0xe7a1;
+
+constexpr std::uint32_t kFlowBase = 100;
+constexpr std::uint32_t kBackgroundFlow = 1;
+constexpr std::uint64_t kFleetImsiBase = 310170000000000ull;
+constexpr std::uint64_t kShardBackgroundImsiBase = 460110000000000ull;
+
+SimTime draw_clamped_offset(const charging::ClockModel& model, Rng& rng,
+                            SimTime max_abs) {
+  const SimTime offset = model.draw_offset(rng);
+  return std::clamp<SimTime>(offset, -max_abs, max_abs);
+}
+
+}  // namespace
+
+struct FleetShard::UeCtx {
+  UeRecord record;
+  testbed::ScenarioConfig scenario;  // lifted base, member applied
+  std::uint32_t flow_id = 0;
+  Rng rng{0};  // per-UE randomness root (seeded from member.seed)
+  std::unique_ptr<sim::RadioChannel> radio;
+  std::unique_ptr<epc::UeDevice> device;
+  std::unique_ptr<workloads::TrafficSource> source;
+
+  charging::RrcCounterMonitor rrc_ul{
+      charging::RrcCounterMonitor::Track::Uplink};
+  charging::RrcCounterMonitor rrc_dl{
+      charging::RrcCounterMonitor::Track::Downlink};
+  std::vector<std::unique_ptr<charging::UsageMonitor>> monitors;
+  std::unique_ptr<charging::CycleSampler> true_sent;
+  std::unique_ptr<charging::CycleSampler> true_received;
+  std::unique_ptr<charging::CycleSampler> edge_sent;
+  std::unique_ptr<charging::CycleSampler> edge_received;
+  std::unique_ptr<charging::CycleSampler> op_sent;
+  std::unique_ptr<charging::CycleSampler> op_received;
+  std::unique_ptr<charging::CycleSampler> gateway;
+  Rng edge_clock_rng{0};
+  Rng op_clock_rng{0};
+};
+
+FleetShard::~FleetShard() = default;
+
+epc::Imsi FleetShard::fleet_imsi(std::uint64_t ue_index) {
+  return epc::Imsi{kFleetImsiBase + ue_index};
+}
+
+FleetShard::FleetShard(const FleetConfig& config, int shard_index,
+                       std::uint64_t first_ue, std::size_t ue_count)
+    : config_(config), shard_index_(shard_index) {
+  enodeb_ = std::make_unique<epc::EnodeB>(
+      sim_, config_.base.enodeb,
+      sim::stream_rng(shard_seed(), kEnodebStream));
+  mme_ = std::make_unique<epc::Mme>(sim_, hss_);
+  spgw_ = std::make_unique<epc::Spgw>(sim_, *enodeb_);
+  server_ = std::make_unique<testbed::EdgeServer>(sim_, *spgw_);
+  spgw_->set_server_sink([this](epc::Imsi imsi, const sim::Packet& packet) {
+    server_->deliver_uplink(imsi, packet);
+  });
+
+  // Operator's tamper-resilient monitor feed (§5.4), dispatched per
+  // member.
+  if (config_.base.enable_counter_check) {
+    enodeb_->set_counter_check_handler(
+        [this](epc::Imsi imsi, std::uint64_t ul, std::uint64_t dl,
+               SimTime at) {
+          auto it = by_imsi_.find(imsi);
+          if (it == by_imsi_.end()) return;
+          it->second->rrc_ul.on_report(ul, dl, at);
+          it->second->rrc_dl.on_report(ul, dl, at);
+        });
+  }
+
+  // EMM attach handling for the whole population.
+  mme_->set_state_change_handler([this](epc::Imsi imsi, bool attached) {
+    epc::UeDevice* device = nullptr;
+    sim::RadioChannel* radio = nullptr;
+    if (auto it = by_imsi_.find(imsi); it != by_imsi_.end()) {
+      device = it->second->device.get();
+      radio = it->second->radio.get();
+    } else if (bg_ue_ && imsi == bg_ue_->imsi()) {
+      device = bg_ue_.get();
+      radio = bg_radio_.get();
+    }
+    if (device == nullptr) return;
+    if (attached) {
+      spgw_->create_session(imsi);
+      enodeb_->add_ue(imsi, device, radio);
+      device->set_attached(true);
+    } else {
+      spgw_->close_session(imsi);
+      enodeb_->remove_ue(imsi);
+      device->set_attached(false);
+    }
+  });
+
+  for (std::size_t i = 0; i < ue_count; ++i) {
+    build_ue(first_ue + i, kUeStreamBase + 2 * i);
+  }
+  build_background();
+
+  // Initial attach: population order, then the background phone.
+  for (const auto& ue : ues_) {
+    const bool ok = mme_->register_ue(ue->record.imsi, ue->radio.get());
+    assert(ok);
+    (void)ok;
+  }
+  if (bg_ue_) {
+    const bool ok = mme_->register_ue(bg_ue_->imsi(), bg_radio_.get());
+    assert(ok);
+    (void)ok;
+  }
+}
+
+std::uint64_t FleetShard::shard_seed() const {
+  return sim::stream_seed(config_.seed,
+                          static_cast<std::uint64_t>(shard_index_));
+}
+
+void FleetShard::build_ue(std::uint64_t ue_index,
+                          std::uint64_t member_stream) {
+  auto owned = std::make_unique<UeCtx>();
+  UeCtx& ue = *owned;
+  ue.record.ue_index = ue_index;
+  ue.record.imsi = fleet_imsi(ue_index);
+  ue.flow_id = kFlowBase + static_cast<std::uint32_t>(ues_.size());
+
+  // Member profile drawn from the shard's per-UE stream; the world seed
+  // comes from the adjacent stream so profile draws never consume world
+  // randomness.
+  Rng profile_rng = sim::stream_rng(shard_seed(), member_stream);
+  testbed::FleetMember member;
+  member.app = config_.app_mix.empty()
+                   ? config_.base.app
+                   : config_.app_mix[static_cast<std::size_t>(
+                         profile_rng.uniform_u64(config_.app_mix.size()))];
+  member.mean_rss_dbm = profile_rng.chance(config_.weak_signal_fraction)
+                            ? config_.weak_signal_rss_dbm
+                            : config_.base.mean_rss_dbm;
+  member.disconnect_ratio =
+      profile_rng.chance(config_.intermittent_fraction)
+          ? config_.intermittent_eta
+          : config_.base.disconnect_ratio;
+  member.mobility_speed_mps = config_.base.mobility.speed_mps;
+  member.seed = sim::stream_seed(shard_seed(), member_stream + 1);
+  ue.record.member = member;
+  ue.scenario = testbed::lift_scenario(config_.base, member);
+  ue.rng = Rng(member.seed);
+
+  // Radio + device, mirroring Testbed's construction order.
+  sim::RadioParams radio_params;
+  radio_params.mean_rss_dbm = ue.scenario.mean_rss_dbm;
+  radio_params.disconnect_ratio = ue.scenario.disconnect_ratio;
+  radio_params.mean_outage_s = ue.scenario.mean_outage_s;
+  radio_params.mobility = ue.scenario.mobility;
+  ue.radio = std::make_unique<sim::RadioChannel>(radio_params, ue.rng.fork());
+  ue.device = std::make_unique<epc::UeDevice>(
+      sim_, ue.record.imsi, ue.scenario.device, ue.radio.get(),
+      enodeb_.get(), ue.rng.fork());
+  ue.device->set_traffic_stats_tamper(ue.scenario.edge_trafficstats_tamper);
+
+  hss_.provision(epc::SubscriberProfile{ue.record.imsi, "fleet-member",
+                                        ue.scenario.device});
+  pcrf_.install_rule(ue.flow_id, testbed::app_qci(member.app));
+
+  // Workload source.
+  const sim::Direction direction = testbed::app_direction(member.app);
+  const sim::Qci qci = pcrf_.qci_for(ue.flow_id);
+  UeCtx* raw = &ue;
+  workloads::TrafficSource::EmitFn sink;
+  if (direction == sim::Direction::Uplink) {
+    sink = [raw](const sim::Packet& p) { raw->device->app_send(p); };
+  } else {
+    sink = [this, raw](const sim::Packet& p) {
+      server_->app_send(raw->record.imsi, p);
+    };
+  }
+  if (ue.scenario.replay_trace) {
+    ue.source = std::make_unique<workloads::TraceReplaySource>(
+        sim_, sink, ue.flow_id, *ue.scenario.replay_trace, /*loop=*/true);
+  } else {
+    switch (member.app) {
+      case testbed::AppKind::WebcamRtsp:
+        ue.source = std::make_unique<workloads::WebcamSource>(
+            sim_, sink, ue.flow_id, direction, qci,
+            workloads::webcam_rtsp_params(), ue.rng.fork(), "WebCam (RTSP)");
+        break;
+      case testbed::AppKind::WebcamUdp:
+      case testbed::AppKind::WebcamUdpDownlink:
+        ue.source = std::make_unique<workloads::WebcamSource>(
+            sim_, sink, ue.flow_id, direction, qci,
+            workloads::webcam_udp_params(), ue.rng.fork(), "WebCam (UDP)");
+        break;
+      case testbed::AppKind::VrGvsp:
+        ue.source = std::make_unique<workloads::VrGvspSource>(
+            sim_, sink, ue.flow_id, direction, qci, workloads::VrGvspParams{},
+            ue.rng.fork());
+        break;
+      case testbed::AppKind::GamingQci7:
+      case testbed::AppKind::GamingQci9:
+        ue.source = std::make_unique<workloads::GamingSource>(
+            sim_, sink, ue.flow_id, direction, qci, workloads::GamingParams{},
+            ue.rng.fork());
+        break;
+    }
+  }
+
+  build_ue_samplers(ue);
+
+  by_imsi_.emplace(ue.record.imsi, &ue);
+  ues_.push_back(std::move(owned));
+}
+
+void FleetShard::build_background() {
+  if (config_.base.background_mbps <= 0.0) return;
+  const epc::Imsi bg_imsi{kShardBackgroundImsiBase +
+                          static_cast<std::uint64_t>(shard_index_)};
+  Rng bg_rng = sim::stream_rng(shard_seed(), kBackgroundStream);
+
+  sim::RadioParams bg_radio_params;
+  bg_radio_params.mean_rss_dbm = -70.0;  // strong signal, never drops
+  bg_radio_ =
+      std::make_unique<sim::RadioChannel>(bg_radio_params, bg_rng.fork());
+  bg_ue_ = std::make_unique<epc::UeDevice>(sim_, bg_imsi,
+                                           epc::device_s7edge(),
+                                           bg_radio_.get(), enodeb_.get(),
+                                           bg_rng.fork());
+  hss_.provision(
+      epc::SubscriberProfile{bg_imsi, "background-phone", epc::device_s7edge()});
+  pcrf_.install_rule(kBackgroundFlow, sim::Qci::kQci9);
+
+  // Background congestion runs in the population's dominant direction;
+  // with a mixed app population the downlink (where most fleet traffic
+  // lives) is the congested side, matching the paper's iperf setup.
+  const sim::Direction direction = testbed::app_direction(config_.base.app);
+  workloads::TrafficSource::EmitFn sink;
+  if (direction == sim::Direction::Uplink) {
+    sink = [this](const sim::Packet& p) { bg_ue_->app_send(p); };
+  } else {
+    sink = [this, bg_imsi](const sim::Packet& p) {
+      spgw_->downlink_submit(bg_imsi, p);
+    };
+  }
+  workloads::BackgroundParams bg_params;
+  bg_params.rate_mbps = config_.base.background_mbps;
+  bg_source_ = std::make_unique<workloads::BackgroundUdpSource>(
+      sim_, sink, kBackgroundFlow, direction, bg_params, bg_rng.fork());
+}
+
+void FleetShard::build_ue_samplers(UeCtx& ue) {
+  const sim::Direction direction =
+      testbed::app_direction(ue.record.member.app);
+  const charging::ClockModel exact{0.0, 0.0};
+  const epc::Imsi imsi = ue.record.imsi;
+  UeCtx* raw = &ue;
+
+  auto make_monitor = [&ue](std::string name,
+                            std::function<std::uint64_t()> reader)
+      -> const charging::UsageMonitor& {
+    ue.monitors.push_back(std::make_unique<charging::CallbackMonitor>(
+        std::move(name), std::move(reader)));
+    return *ue.monitors.back();
+  };
+
+  const charging::UsageMonitor& true_sent =
+      direction == sim::Direction::Uplink
+          ? make_monitor("true-sent",
+                         [raw] { return raw->device->app_tx_bytes(); })
+          : make_monitor("true-sent",
+                         [this, imsi] { return server_->sent_bytes(imsi); });
+  const charging::UsageMonitor& true_received =
+      direction == sim::Direction::Uplink
+          ? make_monitor("true-received",
+                         [this, imsi] { return server_->received_bytes(imsi); })
+          : make_monitor("true-received",
+                         [raw] { return raw->device->app_rx_bytes(); });
+
+  const charging::UsageMonitor& gateway =
+      direction == sim::Direction::Uplink
+          ? make_monitor("gateway-ul",
+                         [this, imsi] { return spgw_->uplink_bytes(imsi); })
+          : make_monitor("gateway-dl",
+                         [this, imsi] { return spgw_->downlink_bytes(imsi); });
+
+  const charging::UsageMonitor* op_far_side = nullptr;
+  if (config_.base.enable_counter_check) {
+    op_far_side =
+        direction == sim::Direction::Uplink
+            ? static_cast<const charging::UsageMonitor*>(&ue.rrc_ul)
+            : static_cast<const charging::UsageMonitor*>(&ue.rrc_dl);
+  } else {
+    op_far_side =
+        direction == sim::Direction::Uplink
+            ? &make_monitor("trafficstats-tx",
+                            [raw] { return raw->device->traffic_stats_tx(); })
+            : &make_monitor("trafficstats-rx",
+                            [raw] { return raw->device->traffic_stats_rx(); });
+  }
+
+  const charging::UsageMonitor& op_sent =
+      direction == sim::Direction::Uplink ? *op_far_side : gateway;
+  const charging::UsageMonitor& op_received =
+      direction == sim::Direction::Uplink ? gateway : *op_far_side;
+
+  ue.true_sent = std::make_unique<charging::CycleSampler>(sim_, true_sent,
+                                                          exact, ue.rng.fork());
+  ue.true_received = std::make_unique<charging::CycleSampler>(
+      sim_, true_received, exact, ue.rng.fork());
+  ue.edge_sent = std::make_unique<charging::CycleSampler>(sim_, true_sent,
+                                                          exact, ue.rng.fork());
+  ue.edge_received = std::make_unique<charging::CycleSampler>(
+      sim_, true_received, exact, ue.rng.fork());
+  ue.op_sent = std::make_unique<charging::CycleSampler>(sim_, op_sent, exact,
+                                                        ue.rng.fork());
+  ue.op_received = std::make_unique<charging::CycleSampler>(
+      sim_, op_received, exact, ue.rng.fork());
+  ue.gateway = std::make_unique<charging::CycleSampler>(sim_, gateway, exact,
+                                                        ue.rng.fork());
+  ue.edge_clock_rng = ue.rng.fork();
+  ue.op_clock_rng = ue.rng.fork();
+}
+
+void FleetShard::schedule_ue_boundaries(UeCtx& ue) {
+  const SimTime max_offset = std::min<SimTime>(
+      kBoundaryGrace - 5 * kSecond, config_.base.cycle_length / 2);
+  const double cycle_s = to_seconds(config_.base.cycle_length);
+  const charging::ClockModel edge_clock{
+      config_.base.edge_clock_rel_std * cycle_s, 0.0};
+  const charging::ClockModel op_clock{
+      config_.base.operator_clock_rel_std * cycle_s, 0.0};
+  const epc::Imsi imsi = ue.record.imsi;
+
+  for (int i = 0; i <= config_.base.cycles; ++i) {
+    const SimTime nominal =
+        static_cast<SimTime>(i) * config_.base.cycle_length;
+    const SimTime edge_at =
+        nominal +
+        draw_clamped_offset(edge_clock, ue.edge_clock_rng, max_offset);
+    const SimTime op_at =
+        nominal + draw_clamped_offset(op_clock, ue.op_clock_rng, max_offset);
+
+    ue.true_sent->schedule_boundary(nominal);
+    ue.true_received->schedule_boundary(nominal);
+    ue.edge_sent->schedule_boundary(edge_at);
+    ue.edge_received->schedule_boundary(edge_at);
+    ue.op_sent->schedule_boundary(op_at);
+    ue.op_received->schedule_boundary(op_at);
+    ue.gateway->schedule_boundary(op_at);
+
+    if (config_.base.enable_counter_check) {
+      sim_.schedule_at(std::max<SimTime>(op_at - kCounterCheckLead, 0),
+                       [this, imsi] { enodeb_->request_counter_check(imsi); });
+    }
+  }
+}
+
+const std::vector<UeRecord>& FleetShard::run() {
+  if (ran_) return records_;
+  ran_ = true;
+
+  for (auto& ue : ues_) schedule_ue_boundaries(*ue);
+  mme_->start();
+  for (auto& ue : ues_) ue->source->start(0);
+  if (bg_source_) bg_source_->start(0);
+
+  const SimTime horizon =
+      static_cast<SimTime>(config_.base.cycles) * config_.base.cycle_length +
+      kBoundaryGrace;
+  sim_.run_until(horizon);
+
+  for (auto& ue : ues_) ue->source->stop();
+  if (bg_source_) bg_source_->stop();
+
+  records_.reserve(ues_.size());
+  for (auto& owned : ues_) {
+    UeCtx& ue = *owned;
+    ue.record.cycles.resize(static_cast<std::size_t>(config_.base.cycles));
+    for (int i = 0; i < config_.base.cycles; ++i) {
+      auto& cycle = ue.record.cycles[static_cast<std::size_t>(i)];
+      const auto idx = static_cast<std::size_t>(i);
+      cycle.true_sent = ue.true_sent->cycle_volume(idx);
+      cycle.true_received = ue.true_received->cycle_volume(idx);
+      cycle.edge_sent = ue.edge_sent->cycle_volume(idx);
+      cycle.edge_received = ue.edge_received->cycle_volume(idx);
+      cycle.op_sent = ue.op_sent->cycle_volume(idx);
+      cycle.op_received = ue.op_received->cycle_volume(idx);
+      cycle.gateway_volume = ue.gateway->cycle_volume(idx);
+    }
+
+    // Scheme evaluation rides the member's own seed stream, so the
+    // outcome is independent of shard/thread scheduling by design.
+    Rng scheme_rng = sim::stream_rng(ue.record.member.seed,
+                                     kSchemeEvalStream);
+    for (testbed::Scheme scheme :
+         {testbed::Scheme::Legacy, testbed::Scheme::TlcOptimal,
+          testbed::Scheme::TlcRandom}) {
+      auto& outcomes = ue.record.outcomes[scheme];
+      outcomes.reserve(ue.record.cycles.size());
+      for (const testbed::CycleMeasurements& cycle : ue.record.cycles) {
+        outcomes.push_back(testbed::evaluate_scheme(
+            cycle, scheme, config_.base.plan_c, config_.base.cycle_length,
+            scheme_rng));
+      }
+    }
+    records_.push_back(std::move(ue.record));
+  }
+  return records_;
+}
+
+}  // namespace tlc::fleet

@@ -1,0 +1,54 @@
+// Fixed-size thread pool for shard execution.
+//
+// Deliberately minimal: submit closures, wait for all of them. Workers
+// are started once and reused, so a fleet run costs S jobs on W
+// long-lived threads rather than S thread spawns. Determinism is the
+// caller's job — fleet jobs write disjoint result slots, so scheduling
+// order cannot leak into output.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tlc::fleet {
+
+class ThreadPool {
+ public:
+  using Job = std::function<void()>;
+
+  /// `threads` == 0 is clamped to 1. The pool never grows or shrinks.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a job; runs as soon as a worker frees up.
+  void submit(Job job);
+
+  /// Blocks until every submitted job has finished executing (not just
+  /// been dequeued).
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<Job> queue_;
+  std::size_t in_flight_ = 0;  // dequeued but not yet finished
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tlc::fleet

@@ -66,4 +66,15 @@ std::string ScenarioConfig::describe() const {
   return out.str();
 }
 
+ScenarioConfig lift_scenario(const ScenarioConfig& base,
+                             const FleetMember& member) {
+  ScenarioConfig config = base;
+  config.app = member.app;
+  config.mean_rss_dbm = member.mean_rss_dbm;
+  config.disconnect_ratio = member.disconnect_ratio;
+  config.mobility.speed_mps = member.mobility_speed_mps;
+  config.seed = member.seed;
+  return config;
+}
+
 }  // namespace tlc::testbed

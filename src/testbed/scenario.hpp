@@ -93,4 +93,24 @@ struct ScenarioConfig {
   [[nodiscard]] std::string describe() const;
 };
 
+/// One member of a fleet population: the per-UE knobs a fleet engine
+/// draws from its shard RNG stream. Everything not listed here (cycle
+/// structure, cell parameters, plan, clock discipline) is inherited
+/// from the fleet's base scenario.
+struct FleetMember {
+  AppKind app = AppKind::WebcamUdp;
+  double mean_rss_dbm = -92.0;
+  double disconnect_ratio = 0.0;
+  double mobility_speed_mps = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Lifts a base scenario to one fleet member's scenario: applies the
+/// member overrides and leaves every shared knob untouched. The lift is
+/// the single place the base → per-UE mapping lives, so a one-UE
+/// Testbed run with a lifted config and a fleet shard slot agree on
+/// what the member's world looks like.
+[[nodiscard]] ScenarioConfig lift_scenario(const ScenarioConfig& base,
+                                           const FleetMember& member);
+
 }  // namespace tlc::testbed

@@ -327,9 +327,8 @@ void Testbed::record_timeline_point() {
 void Testbed::send_ping() {
   if (pings_remaining_ <= 0) return;
   --pings_remaining_;
-  static std::uint64_t ping_id = 1ull << 40;
   sim::Packet probe;
-  probe.id = ping_id++;
+  probe.id = next_ping_id_++;
   probe.flow_id = EdgeServer::kPingFlow;
   probe.size_bytes = 64;
   probe.direction = sim::Direction::Uplink;

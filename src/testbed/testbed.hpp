@@ -148,9 +148,11 @@ class Testbed {
   std::vector<TimelinePoint> timeline_;
   std::uint64_t timeline_prev_device_bytes_ = 0;
 
-  // RTT probing.
+  // RTT probing. Ping ids live in their own namespace above workload
+  // packet ids; per-instance so concurrent testbeds never share state.
   int pings_remaining_ = 0;
   SimTime ping_interval_ = kSecond;
+  std::uint64_t next_ping_id_ = 1ull << 40;
   std::vector<double> rtt_ms_;
 };
 

@@ -2,8 +2,6 @@
 
 namespace tlc::workloads {
 
-std::uint64_t PacketSource::next_packet_id_ = 1;
-
 PacketSource::PacketSource(sim::Simulator& sim, EmitFn emit,
                            std::uint32_t flow_id, sim::Direction direction,
                            sim::Qci qci, Rng rng)
@@ -12,7 +10,8 @@ PacketSource::PacketSource(sim::Simulator& sim, EmitFn emit,
       flow_id_(flow_id),
       direction_(direction),
       qci_(qci),
-      rng_(rng) {}
+      rng_(rng),
+      next_packet_id_((static_cast<std::uint64_t>(flow_id) << 32) | 1u) {}
 
 void PacketSource::emit(std::uint32_t size_bytes) {
   if (size_bytes == 0) return;

@@ -64,7 +64,11 @@ class PacketSource : public TrafficSource {
   bool running_ = false;
 
  private:
-  static std::uint64_t next_packet_id_;
+  // Per-instance, namespaced by flow: packet ids stay unique within a
+  // simulation without a process-global counter (which would be a data
+  // race — and a determinism leak — across concurrently running
+  // simulator shards).
+  std::uint64_t next_packet_id_;
 };
 
 }  // namespace tlc::workloads

@@ -1,0 +1,127 @@
+// Shard RNG stream independence.
+//
+// Every shard's randomness roots at stream_seed(fleet_seed, shard) —
+// the fleet's loss/mobility statistics are only meaningful if adjacent
+// shard streams are statistically independent, not lag-shifted copies
+// of each other (the classic seed+1 artifact).
+#include "sim/rng_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace tlc::sim {
+namespace {
+
+constexpr std::uint64_t kMaster = 0x5eed0fLL;
+
+TEST(RngStreamsTest, StreamSeedIsAPureFunction) {
+  EXPECT_EQ(stream_seed(kMaster, 7), stream_seed(kMaster, 7));
+  EXPECT_NE(stream_seed(kMaster, 7), stream_seed(kMaster, 8));
+  EXPECT_NE(stream_seed(kMaster, 7), stream_seed(kMaster + 1, 7));
+}
+
+TEST(RngStreamsTest, AdjacentStreamSeedsAllDistinct) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t shard = 0; shard < 4096; ++shard) {
+    seeds.insert(stream_seed(kMaster, shard));
+  }
+  EXPECT_EQ(seeds.size(), 4096u);
+}
+
+TEST(RngStreamsTest, AdjacentShardDrawSequencesNeverOverlap) {
+  // 64-bit draws from adjacent shard streams: any shared value would
+  // mean the generators walked overlapping state trajectories.
+  constexpr std::size_t kDraws = 8192;
+  for (std::uint64_t shard = 0; shard < 4; ++shard) {
+    Rng a = stream_rng(kMaster, shard);
+    Rng b = stream_rng(kMaster, shard + 1);
+    std::set<std::uint64_t> seen;
+    for (std::size_t i = 0; i < kDraws; ++i) seen.insert(a.next_u64());
+    for (std::size_t i = 0; i < kDraws; ++i) {
+      ASSERT_EQ(seen.count(b.next_u64()), 0u)
+          << "shards " << shard << " and " << shard + 1
+          << " produced a common draw";
+    }
+  }
+}
+
+TEST(RngStreamsTest, AdjacentShardUniformsUncorrelated) {
+  // Pearson correlation between paired uniform draws of adjacent shard
+  // streams. Independent streams give |r| ~ 1/sqrt(n); a lag-0 copy
+  // gives r = 1. The 0.05 bound is ~4.5 sigma at n = 8192.
+  constexpr std::size_t kN = 8192;
+  Rng a = stream_rng(kMaster, 11);
+  Rng b = stream_rng(kMaster, 12);
+  double sum_a = 0, sum_b = 0, sum_aa = 0, sum_bb = 0, sum_ab = 0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double x = a.uniform();
+    const double y = b.uniform();
+    sum_a += x;
+    sum_b += y;
+    sum_aa += x * x;
+    sum_bb += y * y;
+    sum_ab += x * y;
+  }
+  const double n = static_cast<double>(kN);
+  const double cov = sum_ab / n - (sum_a / n) * (sum_b / n);
+  const double var_a = sum_aa / n - (sum_a / n) * (sum_a / n);
+  const double var_b = sum_bb / n - (sum_b / n) * (sum_b / n);
+  const double r = cov / std::sqrt(var_a * var_b);
+  EXPECT_LT(std::abs(r), 0.05);
+}
+
+TEST(RngStreamsTest, AdjacentShardLossStreamsStatisticallyIndependent) {
+  // Bernoulli loss draws (p = 0.1, the weak-signal regime): the joint
+  // frequency of simultaneous losses across two adjacent shards must
+  // match the product of marginals. Total-variation distance between
+  // the empirical joint and the product distribution stays below 0.02
+  // for independent streams at n = 16384 (~5 sigma); correlated streams
+  // concentrate mass on the diagonal and blow far past it.
+  constexpr std::size_t kN = 16384;
+  constexpr double kLossP = 0.1;
+  Rng a = stream_rng(kMaster, 21);
+  Rng b = stream_rng(kMaster, 22);
+  double joint[2][2] = {{0, 0}, {0, 0}};
+  double pa = 0, pb = 0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const bool la = a.chance(kLossP);
+    const bool lb = b.chance(kLossP);
+    joint[la][lb] += 1.0;
+    pa += la;
+    pb += lb;
+  }
+  const double n = static_cast<double>(kN);
+  pa /= n;
+  pb /= n;
+  double tv = 0.0;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      const double marginal_i = i ? pa : 1.0 - pa;
+      const double marginal_j = j ? pb : 1.0 - pb;
+      tv += std::abs(joint[i][j] / n - marginal_i * marginal_j);
+    }
+  }
+  tv /= 2.0;
+  EXPECT_LT(tv, 0.02);
+  // Sanity: the marginals themselves look like p = 0.1 draws.
+  EXPECT_NEAR(pa, kLossP, 0.02);
+  EXPECT_NEAR(pb, kLossP, 0.02);
+}
+
+TEST(RngStreamsTest, SeederChildMatchesNestedDerivation) {
+  StreamSeeder fleet(kMaster);
+  const StreamSeeder shard3 = fleet.child(3);
+  EXPECT_EQ(shard3.seed(16), stream_seed(stream_seed(kMaster, 3), 16));
+  // Obtaining stream i never disturbs stream j: order-free access.
+  const std::uint64_t j_first = fleet.seed(9);
+  (void)fleet.seed(4);
+  (void)fleet.rng(5).next_u64();
+  EXPECT_EQ(fleet.seed(9), j_first);
+}
+
+}  // namespace
+}  // namespace tlc::sim

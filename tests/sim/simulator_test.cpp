@@ -115,5 +115,48 @@ TEST(SimulatorTest, RunUntilAdvancesTimeEvenWhenIdle) {
   EXPECT_EQ(sim.now(), 1000);
 }
 
+// Regression: cancelling an event scheduled exactly at the horizon must
+// fully retire it — no stale action entry left behind, nothing counted
+// as executed when the horizon is finally reached.
+TEST(SimulatorTest, CancelAtHorizonLeavesNoStaleEntry) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_at(100, [&] { fired = true; });
+  sim.run_until(50);
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.run_until(100);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.executed(), 0u);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulatorTest, EventAtHorizonCancelsPeerAtSameTimestamp) {
+  Simulator sim;
+  bool peer_fired = false;
+  std::uint64_t peer = 0;
+  sim.schedule_at(100, [&] { sim.cancel(peer); });
+  peer = sim.schedule_at(100, [&] { peer_fired = true; });
+  sim.run_until(100);
+  EXPECT_FALSE(peer_fired);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.executed(), 1u);
+}
+
+TEST(SimulatorTest, CancelledHorizonEventDoesNotResurrect) {
+  // Cancel, run past the horizon, then reuse the same timestamp: the
+  // new event must fire exactly once (fresh id, no leftover state).
+  Simulator sim;
+  int fired = 0;
+  const auto id = sim.schedule_at(100, [&] { ++fired; });
+  sim.cancel(id);
+  sim.run_until(100);
+  sim.schedule_at(100, [&] { ++fired; });
+  sim.run_until(200);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
 }  // namespace
 }  // namespace tlc::sim
