@@ -25,23 +25,25 @@ RsaKeyCache::RsaKeyCache(std::size_t modulus_bits, std::size_t slots,
   }
 }
 
-namespace {
+const char* settle_outcome_name(SettleOutcome outcome) {
+  switch (outcome) {
+    case SettleOutcome::Converged:
+      return "converged";
+    case SettleOutcome::Retried:
+      return "retried";
+    case SettleOutcome::Degraded:
+      return "degraded";
+    case SettleOutcome::RejectedTamper:
+      return "rejected-tamper";
+  }
+  return "?";
+}
 
-/// One UE's items and reused session pair.
-struct Group {
-  std::uint64_t ue_id = 0;
-  std::vector<std::size_t> item_indices;  // into the input vector
-  std::unique_ptr<TlcSession> edge;
-  std::unique_ptr<TlcSession> op;
-  // Pending wire messages: (to_edge, bytes), FIFO per group.
-  std::deque<std::pair<bool, Bytes>> wire;
-  bool poisoned = false;  // a cycle failed; remaining cycles skip
-};
-
-std::unique_ptr<TlcSession> make_session(const BatchConfig& config,
-                                         const RsaKeyCache& keys,
-                                         std::uint64_t ue_id,
-                                         PartyRole role) {
+std::unique_ptr<TlcSession> make_batch_session(const BatchConfig& config,
+                                               const RsaKeyCache& keys,
+                                               std::uint64_t ue_id,
+                                               PartyRole role,
+                                               bool tolerate_faults) {
   SessionConfig session_config;
   session_config.role = role;
   if (role == PartyRole::EdgeVendor) {
@@ -55,6 +57,7 @@ std::unique_ptr<TlcSession> make_session(const BatchConfig& config,
   session_config.cycle_length = config.cycle_length;
   session_config.first_cycle_start = config.first_cycle_start;
   session_config.max_rounds = config.max_rounds;
+  session_config.tolerate_faults = tolerate_faults;
   // Session RNG derives from (salt, ue, role): a pure function, so the
   // same UE settles to byte-identical PoCs whether it runs in a batch,
   // alone, or on any worker thread.
@@ -65,13 +68,32 @@ std::unique_ptr<TlcSession> make_session(const BatchConfig& config,
       sim::stream_rng(config.rng_salt, stream));
 }
 
+namespace {
+
+/// One UE's items and reused session pair.
+struct Group {
+  std::uint64_t ue_id = 0;
+  std::vector<std::size_t> item_indices;  // into the input vector
+  std::unique_ptr<TlcSession> edge;
+  std::unique_ptr<TlcSession> op;
+  // Pending wire messages: (to_edge, bytes), FIFO per group.
+  std::deque<std::pair<bool, Bytes>> wire;
+  bool poisoned = false;  // a cycle failed; remaining cycles skip
+  std::string poison_reason;
+};
+
+void poison(Group& group, const std::string& reason) {
+  group.poisoned = true;
+  if (group.poison_reason.empty()) group.poison_reason = reason;
+}
+
 /// Delivers one queued message; poisons the group on protocol errors.
 void deliver_one(Group& group) {
   auto [to_edge, message] = std::move(group.wire.front());
   group.wire.pop_front();
   const Status status = to_edge ? group.edge->receive(message)
                                 : group.op->receive(message);
-  if (!status.ok()) group.poisoned = true;
+  if (!status.ok()) poison(group, status.error());
 }
 
 /// Arms cycle `item` on both sides and lets the operator initiate.
@@ -90,19 +112,22 @@ void finish_group_cycle(Group& group, SettlementReceipt& receipt) {
       !group.edge->cycle_complete()) {
     group.op->abort_cycle();
     group.edge->abort_cycle();
-    group.poisoned = true;
+    poison(group, "negotiation did not complete");
+    receipt.failure_reason = group.poison_reason;
     return;
   }
   const auto op_receipt = group.op->finish_cycle();
   const auto edge_receipt = group.edge->finish_cycle();
   if (!op_receipt || !edge_receipt) {
-    group.poisoned = true;
+    poison(group, op_receipt ? edge_receipt.error() : op_receipt.error());
+    receipt.failure_reason = group.poison_reason;
     return;
   }
   receipt.completed = true;
   receipt.charged = op_receipt->charged;
   receipt.rounds = op_receipt->rounds;
   receipt.poc_wire = group.op->receipts().entries().back().poc_wire;
+  receipt.outcome = SettleOutcome::Converged;
 }
 
 /// All cycles of one group, local FIFO pump (the thread-worker path).
@@ -110,7 +135,8 @@ void run_group(Group& group, const std::vector<SettlementItem>& items,
                std::vector<SettlementReceipt>& receipts) {
   for (std::size_t item_index : group.item_indices) {
     if (!begin_group_cycle(group, items[item_index])) {
-      group.poisoned = true;
+      poison(group, "cycle could not start");
+      receipts[item_index].failure_reason = group.poison_reason;
       continue;
     }
     while (!group.wire.empty() && !group.poisoned) deliver_one(group);
@@ -151,8 +177,9 @@ std::vector<SettlementReceipt> BatchSettler::settle(
   }
   for (Group& group : groups) {
     group.edge =
-        make_session(config_, keys_, group.ue_id, PartyRole::EdgeVendor);
-    group.op = make_session(config_, keys_, group.ue_id, PartyRole::Operator);
+        make_batch_session(config_, keys_, group.ue_id, PartyRole::EdgeVendor);
+    group.op =
+        make_batch_session(config_, keys_, group.ue_id, PartyRole::Operator);
     Group* raw = &group;
     group.edge->set_send(
         [raw](const Bytes& m) { raw->wire.emplace_back(false, m); });
@@ -177,7 +204,9 @@ std::vector<SettlementReceipt> BatchSettler::settle(
         if (begin_group_cycle(group, items[group.item_indices[cycle]])) {
           active.push_back(g);
         } else {
-          group.poisoned = true;
+          poison(group, "cycle could not start");
+          receipts[group.item_indices[cycle]].failure_reason =
+              group.poison_reason;
         }
       }
       for (;;) {

@@ -62,6 +62,16 @@ struct SettlementItem {
   UsageView op_view;
 };
 
+/// How a (UE, cycle) settlement ended (§8 per-cycle outcome taxonomy).
+enum class SettleOutcome : std::uint8_t {
+  Converged,       // negotiated on the first delivery of every message
+  Retried,         // negotiated, but only after >= 1 retransmission
+  Degraded,        // retry budget / deadline spent; legacy CDR bill
+  RejectedTamper,  // corruption or forgery detected; legacy CDR bill
+};
+
+[[nodiscard]] const char* settle_outcome_name(SettleOutcome outcome);
+
 struct SettlementReceipt {
   std::uint64_t ue_id = 0;
   std::uint32_t cycle = 0;  // per-UE cycle index
@@ -70,6 +80,11 @@ struct SettlementReceipt {
   int rounds = 0;
   /// The archived PoC (identical on both sides; the operator's copy).
   Bytes poc_wire;
+  SettleOutcome outcome = SettleOutcome::Degraded;
+  /// Retransmissions spent on this cycle (lossy transport only).
+  int retransmits = 0;
+  /// Why the cycle did not converge (empty when it did).
+  std::string failure_reason;
 };
 
 struct BatchConfig {
@@ -81,6 +96,15 @@ struct BatchConfig {
   /// function of (items, keys, salt).
   std::uint64_t rng_salt = 0x5eedfa11ULL;
 };
+
+/// Builds the reusable per-UE session one side of a batch settlement
+/// runs. Key slots and the session RNG stream (salt, 2*ue + role) are
+/// pure functions of their inputs, so any driver — the in-process
+/// BatchSettler below or the lossy-transport settler — produces
+/// byte-identical PoCs for the same inputs.
+[[nodiscard]] std::unique_ptr<TlcSession> make_batch_session(
+    const BatchConfig& config, const RsaKeyCache& keys, std::uint64_t ue_id,
+    PartyRole role, bool tolerate_faults = false);
 
 class BatchSettler {
  public:

@@ -1,5 +1,6 @@
 #include "core/protocol.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "charging/plan.hpp"
@@ -68,8 +69,30 @@ void ProtocolEndpoint::send_wire(const Bytes& wire) {
 
 void ProtocolEndpoint::fail(const std::string& reason) {
   state_ = EndpointState::Failed;
+  if (failure_reason_.empty()) failure_reason_ = reason;
   TLC_WARN("tlc-proto") << role_name(config_.role)
                         << " negotiation failed: " << reason;
+}
+
+Status ProtocolEndpoint::reject_tamper(const std::string& reason) {
+  ++tamper_suspected_;
+  if (!config_.tolerate_faults) fail(reason);
+  return Err(reason);
+}
+
+bool ProtocolEndpoint::is_duplicate(const Bytes& wire) const {
+  return std::find(processed_wires_.begin(), processed_wires_.end(), wire) !=
+         processed_wires_.end();
+}
+
+void ProtocolEndpoint::mark_processed(const Bytes& wire) {
+  // Bounded memory: old wires cannot recur on a drained channel, so
+  // forgetting the oldest is safe.
+  constexpr std::size_t kMaxRemembered = 128;
+  if (processed_wires_.size() >= kMaxRemembered) {
+    processed_wires_.erase(processed_wires_.begin());
+  }
+  processed_wires_.push_back(wire);
 }
 
 void ProtocolEndpoint::update_bounds(std::uint64_t a, std::uint64_t b) {
@@ -106,43 +129,49 @@ void ProtocolEndpoint::start() {
 }
 
 Status ProtocolEndpoint::receive(const Bytes& wire) {
+  // Idempotent delivery: an exact duplicate of a message this endpoint
+  // already acted on is acknowledged and dropped — it must neither
+  // advance the state machine nor abort a finished negotiation.
+  if (is_duplicate(wire)) {
+    ++duplicates_ignored_;
+    return Status::Ok();
+  }
   if (state_ == EndpointState::Done || state_ == EndpointState::Failed) {
     return Err("endpoint is no longer negotiating");
   }
   auto type = peek_type(wire);
   if (!type) {
-    fail(type.error());
-    return Err(type.error());
+    return reject_tamper(type.error());
   }
-  switch (*type) {
-    case MessageType::Cdr:
-      return handle_cdr(wire);
-    case MessageType::Cda:
-      return handle_cda(wire);
-    case MessageType::Poc:
-      return handle_poc(wire);
-  }
-  return Err("unreachable");
+  Status status = [&]() -> Status {
+    switch (*type) {
+      case MessageType::Cdr:
+        return handle_cdr(wire);
+      case MessageType::Cda:
+        return handle_cda(wire);
+      case MessageType::Poc:
+        return handle_poc(wire);
+    }
+    return Err("unreachable");
+  }();
+  if (status) mark_processed(wire);
+  return status;
 }
 
 Status ProtocolEndpoint::handle_cdr(const Bytes& wire) {
   auto decoded = decode_signed_cdr(wire);
   if (!decoded) {
-    fail(decoded.error());
-    return Err(decoded.error());
+    return reject_tamper(decoded.error());
   }
   const SignedCdr& cdr = *decoded;
   if (cdr.body.sender != other_party(config_.role)) {
-    fail("cdr: sender role mismatch");
-    return Err("cdr: sender role mismatch");
+    return reject_tamper("cdr: sender role mismatch");
   }
   if (auto s = timed_verify(encode_cdr_body(cdr.body), cdr.signature); !s) {
-    fail(s.error());
-    return Err(s.error());
+    return reject_tamper(s.error());
   }
   if (cdr.body.plan != config_.plan) {
-    fail("cdr: data plan mismatch");
-    return Err("cdr: data plan mismatch");
+    return reject_tamper("cdr: data plan mismatch");
   }
 
   const auto round = static_cast<int>(cdr.body.seq);
@@ -261,21 +290,17 @@ Status ProtocolEndpoint::handle_cda(const Bytes& wire) {
   }
   auto decoded = decode_signed_cda(wire);
   if (!decoded) {
-    fail(decoded.error());
-    return Err(decoded.error());
+    return reject_tamper(decoded.error());
   }
   const SignedCda& cda = *decoded;
   if (cda.body.sender != other_party(config_.role)) {
-    fail("cda: sender role mismatch");
-    return Err("cda: sender role mismatch");
+    return reject_tamper("cda: sender role mismatch");
   }
   if (auto s = timed_verify(encode_cda_body(cda.body), cda.signature); !s) {
-    fail(s.error());
-    return Err(s.error());
+    return reject_tamper(s.error());
   }
   if (cda.body.plan != config_.plan) {
-    fail("cda: data plan mismatch");
-    return Err("cda: data plan mismatch");
+    return reject_tamper("cda: data plan mismatch");
   }
   if (static_cast<int>(cda.body.seq) != current_round_) {
     // Stale acceptance of an earlier round's CDR — happens legitimately
@@ -283,8 +308,7 @@ Status ProtocolEndpoint::handle_cda(const Bytes& wire) {
     return Err("cda: round mismatch (stale or replay)");
   }
   if (cda.body.peer_cdr_wire != last_sent_cdr_wire_) {
-    fail("cda: echoed CDR does not match what we sent");
-    return Err("cda: echoed CDR mismatch");
+    return reject_tamper("cda: echoed CDR does not match what we sent");
   }
 
   const std::uint64_t peer_claim = cda.body.volume;
@@ -344,44 +368,36 @@ Status ProtocolEndpoint::handle_poc(const Bytes& wire) {
   }
   auto decoded = decode_signed_poc(wire);
   if (!decoded) {
-    fail(decoded.error());
-    return Err(decoded.error());
+    return reject_tamper(decoded.error());
   }
   const SignedPoc& poc = *decoded;
   if (poc.body.sender != other_party(config_.role)) {
-    fail("poc: sender role mismatch");
-    return Err("poc: sender role mismatch");
+    return reject_tamper("poc: sender role mismatch");
   }
   if (auto s = timed_verify(encode_poc_body(poc.body), poc.signature); !s) {
-    fail(s.error());
-    return Err(s.error());
+    return reject_tamper(s.error());
   }
   if (poc.body.plan != config_.plan) {
-    fail("poc: data plan mismatch");
-    return Err("poc: data plan mismatch");
+    return reject_tamper("poc: data plan mismatch");
   }
   if (poc.body.cda_wire != last_sent_cda_wire_) {
-    fail("poc: embedded CDA does not match what we sent");
-    return Err("poc: embedded CDA mismatch");
+    return reject_tamper("poc: embedded CDA does not match what we sent");
   }
 
   // Recompute x from the claims inside the nested messages and check
   // the constructor did not misreport it.
   auto inner_cda = decode_signed_cda(poc.body.cda_wire);
   if (!inner_cda) {
-    fail(inner_cda.error());
-    return Err(inner_cda.error());
+    return reject_tamper(inner_cda.error());
   }
   auto inner_cdr = decode_signed_cdr(inner_cda->body.peer_cdr_wire);
   if (!inner_cdr) {
-    fail(inner_cdr.error());
-    return Err(inner_cdr.error());
+    return reject_tamper(inner_cdr.error());
   }
   const std::uint64_t expected = charging::charged_volume(
       inner_cda->body.volume, inner_cdr->body.volume, config_.plan.c);
   if (expected != poc.body.charged) {
-    fail("poc: charged volume inconsistent with claims");
-    return Err("poc: charged volume inconsistent with claims");
+    return reject_tamper("poc: charged volume inconsistent with claims");
   }
 
   negotiated_ = poc.body.charged;

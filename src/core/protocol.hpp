@@ -46,6 +46,12 @@ struct EndpointConfig {
   /// Multiplier applied to measured crypto time (device profiles,
   /// Fig 17: Pixel 2 XL is ~4.8x the Z840).
   double crypto_time_scale = 1.0;
+  /// Transport-hardened mode (§8): messages that fail decode, signature
+  /// verification or cross-layer consistency are *dropped* (counted in
+  /// tamper_suspected()) instead of aborting the negotiation — over a
+  /// lossy link a corrupted copy must not kill a cycle a retransmission
+  /// can still save. Protocol-fatal conditions (round cap) still abort.
+  bool tolerate_faults = false;
 };
 
 class ProtocolEndpoint {
@@ -80,6 +86,18 @@ class ProtocolEndpoint {
   [[nodiscard]] int rounds() const { return claims_made_; }
   [[nodiscard]] int bound_violations() const { return bound_violations_; }
 
+  /// Messages rejected as tampered/corrupt (bad decode, bad signature,
+  /// inconsistent plan or mismatched echo). In tolerate_faults mode the
+  /// endpoint drops them and keeps negotiating.
+  [[nodiscard]] int tamper_suspected() const { return tamper_suspected_; }
+  /// Exact duplicates of already-processed messages, ignored without
+  /// advancing the state machine (idempotent receive).
+  [[nodiscard]] int duplicates_ignored() const { return duplicates_ignored_; }
+  /// Reason recorded by the transition to Failed (empty otherwise).
+  [[nodiscard]] const std::string& failure_reason() const {
+    return failure_reason_;
+  }
+
   // --- Fig 17 accounting ---
   [[nodiscard]] double crypto_seconds() const { return crypto_seconds_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
@@ -96,6 +114,11 @@ class ProtocolEndpoint {
   Status handle_cda(const Bytes& wire);
   Status handle_poc(const Bytes& wire);
   void fail(const std::string& reason);
+  /// Rejects a tampered/corrupt message: counts it, aborts in strict
+  /// mode, merely drops it in tolerate_faults mode.
+  Status reject_tamper(const std::string& reason);
+  [[nodiscard]] bool is_duplicate(const Bytes& wire) const;
+  void mark_processed(const Bytes& wire);
   /// Contracts [lower_, upper_] from a claim pair (line 12).
   void update_bounds(std::uint64_t a, std::uint64_t b);
 
@@ -123,6 +146,12 @@ class ProtocolEndpoint {
 
   int claims_made_ = 0;
   int bound_violations_ = 0;
+  int tamper_suspected_ = 0;
+  int duplicates_ignored_ = 0;
+  std::string failure_reason_;
+  /// Exact wires already accepted, newest last (bounded; duplicates of
+  /// these are ignored rather than re-dispatched).
+  std::vector<Bytes> processed_wires_;
   double crypto_seconds_ = 0.0;
   std::uint64_t bytes_sent_ = 0;
   int messages_sent_ = 0;

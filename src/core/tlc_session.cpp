@@ -33,6 +33,7 @@ Status TlcSession::begin_cycle(const UsageView& measured) {
   endpoint_config.view = measured;
   endpoint_config.max_rounds = config_.max_rounds;
   endpoint_config.crypto_time_scale = config_.crypto_time_scale;
+  endpoint_config.tolerate_faults = config_.tolerate_faults;
   endpoint_ = std::make_unique<ProtocolEndpoint>(endpoint_config, *strategy_,
                                                  rng_.fork());
   endpoint_->set_send(send_);
@@ -72,6 +73,12 @@ Expected<CycleReceipt> TlcSession::finish_cycle() {
 void TlcSession::abort_cycle() {
   if (endpoint_) crypto_seconds_ += endpoint_->crypto_seconds();
   endpoint_.reset();
+}
+
+void TlcSession::skip_cycle() {
+  if (endpoint_) crypto_seconds_ += endpoint_->crypto_seconds();
+  endpoint_.reset();
+  ++cycle_index_;
 }
 
 }  // namespace tlc::core

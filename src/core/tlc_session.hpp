@@ -33,6 +33,9 @@ struct SessionConfig {
   SimTime first_cycle_start = 0;
   int max_rounds = 64;
   double crypto_time_scale = 1.0;
+  /// Passed through to EndpointConfig::tolerate_faults — required when
+  /// the session runs over a lossy transport (§8).
+  bool tolerate_faults = false;
 };
 
 /// Summary of a settled cycle.
@@ -83,6 +86,25 @@ class TlcSession {
   /// Abandons a failed negotiation without advancing the cycle (the
   /// parties retry; §5.1: neither benefits from stalling).
   void abort_cycle();
+
+  /// Gives up on the current cycle and moves on to the next one —
+  /// graceful degradation after the transport retry budget is spent:
+  /// the cycle settles via the operator's unilateral legacy CDR bill
+  /// instead, so the plan window must still advance.
+  void skip_cycle();
+
+  /// Tamper/duplicate counters of the in-flight negotiation (0 when
+  /// none is running).
+  [[nodiscard]] int tamper_suspected() const {
+    return endpoint_ ? endpoint_->tamper_suspected() : 0;
+  }
+  [[nodiscard]] int duplicates_ignored() const {
+    return endpoint_ ? endpoint_->duplicates_ignored() : 0;
+  }
+  [[nodiscard]] std::string failure_reason() const {
+    return endpoint_ ? endpoint_->failure_reason() : std::string{};
+  }
+  [[nodiscard]] int cycle_index() const { return cycle_index_; }
 
   [[nodiscard]] const PocStore& receipts() const { return store_; }
   [[nodiscard]] int completed_cycles() const { return completed_; }

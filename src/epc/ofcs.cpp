@@ -57,6 +57,44 @@ std::vector<std::pair<Imsi, BillLine>> Ofcs::close_cycle_all() {
   return lines;
 }
 
+void Ofcs::record_settlement(std::uint32_t cycle_index,
+                             SettlementOutcome outcome) {
+  if (settlement_by_cycle_.size() <= cycle_index) {
+    settlement_by_cycle_.resize(cycle_index + 1);
+  }
+  SettlementCounters& counters = settlement_by_cycle_[cycle_index];
+  switch (outcome) {
+    case SettlementOutcome::Converged:
+      ++counters.converged;
+      break;
+    case SettlementOutcome::Retried:
+      ++counters.retried;
+      break;
+    case SettlementOutcome::Degraded:
+      ++counters.degraded;
+      break;
+    case SettlementOutcome::RejectedTamper:
+      ++counters.rejected_tamper;
+      break;
+  }
+}
+
+SettlementCounters Ofcs::settlement_counters(std::uint32_t cycle_index) const {
+  if (cycle_index >= settlement_by_cycle_.size()) return {};
+  return settlement_by_cycle_[cycle_index];
+}
+
+SettlementCounters Ofcs::settlement_totals() const {
+  SettlementCounters sum;
+  for (const SettlementCounters& counters : settlement_by_cycle_) {
+    sum.converged += counters.converged;
+    sum.retried += counters.retried;
+    sum.degraded += counters.degraded;
+    sum.rejected_tamper += counters.rejected_tamper;
+  }
+  return sum;
+}
+
 Ofcs::FleetTotals Ofcs::totals() const {
   FleetTotals totals;
   totals.subscribers = subscribers_.size();
@@ -69,6 +107,7 @@ Ofcs::FleetTotals Ofcs::totals() const {
     totals.amount += state.billing.total_amount;
     if (state.billing.throttled) ++totals.throttled;
   }
+  totals.settlement = settlement_totals();
   return totals;
 }
 

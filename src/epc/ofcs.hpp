@@ -9,6 +9,7 @@
 // the negotiated x.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <unordered_map>
@@ -19,6 +20,30 @@
 #include "epc/ids.hpp"
 
 namespace tlc::epc {
+
+/// How one (subscriber, cycle) TLC settlement ended, as seen by the
+/// operator's charging backend (§8 outcome taxonomy; mirrors
+/// core::SettleOutcome without depending on the core library — the EPC
+/// layer deliberately cannot see the protocol stack).
+enum class SettlementOutcome : std::uint8_t {
+  Converged,
+  Retried,
+  Degraded,
+  RejectedTamper,
+};
+
+/// Per-cycle settlement outcome census.
+struct SettlementCounters {
+  std::uint64_t converged = 0;
+  std::uint64_t retried = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t rejected_tamper = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return converged + retried + degraded + rejected_tamper;
+  }
+  [[nodiscard]] bool operator==(const SettlementCounters&) const = default;
+};
 
 /// One rated charging cycle for a subscriber.
 struct BillLine {
@@ -70,12 +95,28 @@ class Ofcs {
   /// Subscribers with state, ascending IMSI order.
   [[nodiscard]] std::vector<Imsi> subscribers() const;
 
+  /// Records how cycle `cycle_index` settled for one subscriber (the
+  /// fleet engine calls this once per settlement receipt).
+  void record_settlement(std::uint32_t cycle_index,
+                         SettlementOutcome outcome);
+
+  /// Outcome census of one cycle (zero counters past the last recorded
+  /// cycle) and the all-cycle aggregate.
+  [[nodiscard]] SettlementCounters settlement_counters(
+      std::uint32_t cycle_index) const;
+  [[nodiscard]] SettlementCounters settlement_totals() const;
+  [[nodiscard]] std::size_t settlement_cycles() const {
+    return settlement_by_cycle_.size();
+  }
+
   /// Fleet-level rollup across every subscriber's rated cycles.
   struct FleetTotals {
     std::size_t subscribers = 0;
     std::size_t throttled = 0;  // currently speed-limited
     std::uint64_t billed_bytes = 0;
     double amount = 0.0;
+    /// Settlement outcome census across all recorded cycles.
+    SettlementCounters settlement;
   };
   [[nodiscard]] FleetTotals totals() const;
 
@@ -101,6 +142,7 @@ class Ofcs {
   ChargeHook hook_;
   std::unordered_map<Imsi, State> subscribers_;
   std::uint64_t ingested_ = 0;
+  std::vector<SettlementCounters> settlement_by_cycle_;
 };
 
 }  // namespace tlc::epc

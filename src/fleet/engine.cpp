@@ -9,9 +9,24 @@
 #include "crypto/sha256.hpp"
 #include "fleet/thread_pool.hpp"
 #include "sim/rng_stream.hpp"
+#include "transport/lossy_settlement.hpp"
 
 namespace tlc::fleet {
 namespace {
+
+epc::SettlementOutcome to_epc_outcome(core::SettleOutcome outcome) {
+  switch (outcome) {
+    case core::SettleOutcome::Converged:
+      return epc::SettlementOutcome::Converged;
+    case core::SettleOutcome::Retried:
+      return epc::SettlementOutcome::Retried;
+    case core::SettleOutcome::Degraded:
+      return epc::SettlementOutcome::Degraded;
+    case core::SettleOutcome::RejectedTamper:
+      return epc::SettlementOutcome::RejectedTamper;
+  }
+  return epc::SettlementOutcome::Degraded;
+}
 
 // Fleet-level seed streams (disjoint from per-shard streams, which are
 // derived as stream_seed(seed, shard_index) and so live in the small
@@ -149,7 +164,6 @@ FleetResult run_fleet(const FleetConfig& config) {
     batch.cycle_length = config.base.cycle_length;
     batch.first_cycle_start = 0;
     batch.rng_salt = sim::stream_seed(config.seed, kSettleSaltStream);
-    core::BatchSettler settler(batch, *keys);
 
     std::vector<core::SettlementItem> items;
     items.reserve(result.records.size() *
@@ -163,7 +177,13 @@ FleetResult run_fleet(const FleetConfig& config) {
         items.push_back(item);
       }
     }
-    result.receipts = settler.settle(items, config.threads);
+    if (config.lossy_transport) {
+      transport::LossySettler settler(batch, config.transport, *keys);
+      result.receipts = settler.settle(items, config.threads).receipts;
+    } else {
+      core::BatchSettler settler(batch, *keys);
+      result.receipts = settler.settle(items, config.threads);
+    }
     for (const core::SettlementReceipt& receipt : result.receipts) {
       by_ue_cycle[{receipt.ue_id, receipt.cycle}] = &receipt;
     }
@@ -175,6 +195,12 @@ FleetResult run_fleet(const FleetConfig& config) {
   plan.lost_data_weight_c = config.base.plan_c;
   plan.cycle_length = config.base.cycle_length;
   epc::Ofcs ofcs(plan);
+  // Feed the settlement outcome census (§8) into the charging backend:
+  // receipts are in (ue_index, cycle) input order, so the counters are
+  // thread-independent by construction.
+  for (const core::SettlementReceipt& receipt : result.receipts) {
+    ofcs.record_settlement(receipt.cycle, to_epc_outcome(receipt.outcome));
+  }
 
   std::map<epc::Imsi, std::uint64_t> ue_by_imsi;
   for (const UeRecord& record : result.records) {
@@ -215,6 +241,12 @@ FleetResult run_fleet(const FleetConfig& config) {
     result.bills.push_back(ofcs.close_cycle_all());
   }
   result.totals = ofcs.totals();
+  result.settlement_totals = ofcs.settlement_totals();
+  result.settlement_by_cycle.reserve(ofcs.settlement_cycles());
+  for (std::size_t cycle = 0; cycle < ofcs.settlement_cycles(); ++cycle) {
+    result.settlement_by_cycle.push_back(
+        ofcs.settlement_counters(static_cast<std::uint32_t>(cycle)));
+  }
 
   result.measurement_digest = digest_measurements(result.records);
   result.cdf_digest = digest_cdfs(result.gap_samples);

@@ -41,6 +41,12 @@ struct FleetResult {
   std::vector<std::vector<std::pair<epc::Imsi, epc::BillLine>>> bills;
   epc::Ofcs::FleetTotals totals;
 
+  /// Settlement outcome census (§8): per-cycle and aggregate. All
+  /// Converged on a lossless run; Retried/Degraded/RejectedTamper
+  /// appear once config.lossy_transport injects faults.
+  std::vector<epc::SettlementCounters> settlement_by_cycle;
+  epc::SettlementCounters settlement_totals;
+
   /// SHA-256 digests for bit-identity assertions.
   Bytes measurement_digest;  // all merged CycleMeasurements
   Bytes cdf_digest;          // per-scheme gap CDF point series

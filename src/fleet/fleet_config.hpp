@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "testbed/scenario.hpp"
+#include "transport/lossy_settlement.hpp"
 
 namespace tlc::fleet {
 
@@ -58,6 +59,16 @@ struct FleetConfig {
   std::size_t rsa_bits = 512;
   /// Precomputed key-cache slots shared by all sessions.
   std::size_t key_cache_slots = 4;
+
+  /// Settle over the fault-injected transport (§8) instead of the
+  /// in-process pump. With all-zero fault rates the receipts are
+  /// bit-identical to the lossless path.
+  bool lossy_transport = false;
+  /// Fault rates, retry policy and transport seed when lossy_transport
+  /// is on. Fault schedules derive from (transport.seed, ue, message
+  /// index) — never wall clock — so lossy fleets keep the bit-identity
+  /// contract at any thread count.
+  transport::TransportConfig transport;
 
   /// Members per shard (ceiling division; the last shard may be short).
   [[nodiscard]] std::size_t ues_per_shard() const {

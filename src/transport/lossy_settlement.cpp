@@ -1,0 +1,139 @@
+#include "transport/lossy_settlement.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <thread>
+
+#include "sim/rng_stream.hpp"
+#include "transport/settlement_runner.hpp"
+
+namespace tlc::transport {
+namespace {
+
+struct Group {
+  std::uint64_t ue_id = 0;
+  std::vector<std::size_t> item_indices;  // into the input vector
+};
+
+}  // namespace
+
+LossySettler::LossySettler(core::BatchConfig config, TransportConfig transport,
+                           const core::RsaKeyCache& keys)
+    : config_(config), transport_(transport), keys_(keys) {}
+
+LossyBatchReport LossySettler::settle(
+    const std::vector<core::SettlementItem>& items, unsigned threads) const {
+  LossyBatchReport report;
+  report.receipts.resize(items.size());
+
+  // Same grouping as BatchSettler: by UE in first-appearance order,
+  // item n of a UE = its cycle n.
+  std::deque<Group> groups;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    Group* group = nullptr;
+    for (Group& g : groups) {
+      if (g.ue_id == items[i].ue_id) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.emplace_back();
+      group = &groups.back();
+      group->ue_id = items[i].ue_id;
+    }
+    group->item_indices.push_back(i);
+    report.receipts[i].ue_id = items[i].ue_id;
+    report.receipts[i].cycle =
+        static_cast<std::uint32_t>(group->item_indices.size() - 1);
+  }
+
+  auto run_group = [&](const Group& group) {
+    const std::uint64_t ue = group.ue_id;
+    auto edge = core::make_batch_session(config_, keys_, ue,
+                                         core::PartyRole::EdgeVendor,
+                                         /*tolerate_faults=*/true);
+    auto op = core::make_batch_session(config_, keys_, ue,
+                                       core::PartyRole::Operator,
+                                       /*tolerate_faults=*/true);
+    // Fault schedules and retry jitter derive from (seed, ue, ...):
+    // the group is a pure function of its inputs wherever it runs.
+    FaultyChannel channel(transport_.to_edge, transport_.to_operator,
+                          sim::stream_seed(transport_.seed, 2 * ue));
+    const std::uint64_t jitter_root =
+        sim::stream_seed(transport_.seed, 2 * ue + 1);
+    std::uint64_t now = 0;
+
+    for (std::size_t slot = 0; slot < group.item_indices.size(); ++slot) {
+      const std::size_t item_index = group.item_indices[slot];
+      const core::SettlementItem& item = items[item_index];
+      core::SettlementReceipt& receipt = report.receipts[item_index];
+
+      if (!op->begin_cycle(item.op_view).ok() ||
+          !edge->begin_cycle(item.edge_view).ok()) {
+        receipt.failure_reason = "cycle could not start";
+        continue;
+      }
+      // Each cycle is a fresh transport association: leftovers of the
+      // previous cycle (late duplicates, reordered stragglers) must
+      // not replay into this one.
+      channel.drain();
+
+      SettlementRunner runner(*edge, *op, channel, transport_.retry,
+                              sim::stream_seed(jitter_root, slot), now);
+      CycleRunResult result = runner.run_cycle(
+          keys_.edge_key(ue).public_key, keys_.operator_key(ue).public_key);
+      now = runner.now() + 1;
+
+      receipt.outcome = result.outcome;
+      receipt.completed = result.outcome == core::SettleOutcome::Converged ||
+                          result.outcome == core::SettleOutcome::Retried;
+      receipt.charged = result.charged;
+      receipt.rounds = result.rounds;
+      receipt.poc_wire = std::move(result.poc_wire);
+      receipt.retransmits = result.retransmits;
+      receipt.failure_reason = std::move(result.failure_reason);
+    }
+  };
+
+  if (threads <= 1 || groups.size() <= 1) {
+    for (const Group& group : groups) run_group(group);
+  } else {
+    // Static round-robin partition: each group is fully local to one
+    // worker and writes only its own receipt slots, so results never
+    // depend on the worker count.
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(threads, groups.size()));
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        for (std::size_t g = w; g < groups.size(); g += workers) {
+          run_group(groups[g]);
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+  }
+
+  // Census in input order — a pure function of the receipts.
+  for (const core::SettlementReceipt& receipt : report.receipts) {
+    switch (receipt.outcome) {
+      case core::SettleOutcome::Converged:
+        ++report.converged;
+        break;
+      case core::SettleOutcome::Retried:
+        ++report.retried;
+        break;
+      case core::SettleOutcome::Degraded:
+        ++report.degraded;
+        break;
+      case core::SettleOutcome::RejectedTamper:
+        ++report.rejected_tamper;
+        break;
+    }
+  }
+  return report;
+}
+
+}  // namespace tlc::transport

@@ -1,0 +1,65 @@
+// Batch settlement over a fault-injected transport (§8).
+//
+// The lossy-link counterpart of core::BatchSettler: the same per-UE
+// reusable session pairs and key slots, but every wire message crosses
+// a FaultyChannel and is protected by the stop-and-wait retry shim.
+// Unlike the in-process settler, a cycle that cannot converge does not
+// poison its UE — it degrades to the legacy CDR bill and the next
+// cycle proceeds.
+//
+// Determinism contract: every random draw derives from
+// (transport.seed, ue, message index) for faults, (transport.seed, ue,
+// cycle, party) for retry jitter, and (rng_salt, ue, role) for session
+// nonces — pure functions, no wall clock, no shared RNG sequences.
+// Receipts and counters are therefore bit-identical for every thread
+// count, and with all-zero fault rates the PoC bytes equal the
+// lossless BatchSettler's exactly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/batch_settlement.hpp"
+#include "transport/faulty_channel.hpp"
+#include "transport/retry.hpp"
+
+namespace tlc::transport {
+
+/// Everything that shapes the lossy transport between the parties.
+struct TransportConfig {
+  FaultProfile to_edge;
+  FaultProfile to_operator;
+  RetryPolicy retry;
+  /// Root seed for fault schedules and retry jitter (independent of
+  /// the protocol-level rng_salt).
+  std::uint64_t seed = 0x10557;
+};
+
+/// Receipts plus the per-outcome census (§8 settlement counters).
+struct LossyBatchReport {
+  std::vector<core::SettlementReceipt> receipts;
+  std::size_t converged = 0;
+  std::size_t retried = 0;
+  std::size_t degraded = 0;
+  std::size_t rejected_tamper = 0;
+};
+
+class LossySettler {
+ public:
+  /// `keys` must outlive the settler.
+  LossySettler(core::BatchConfig config, TransportConfig transport,
+               const core::RsaKeyCache& keys);
+
+  /// Settles every item; same grouping, ordering and threading rules
+  /// as BatchSettler::settle.
+  [[nodiscard]] LossyBatchReport settle(
+      const std::vector<core::SettlementItem>& items,
+      unsigned threads = 1) const;
+
+ private:
+  core::BatchConfig config_;
+  TransportConfig transport_;
+  const core::RsaKeyCache& keys_;
+};
+
+}  // namespace tlc::transport

@@ -1,0 +1,60 @@
+#include "transport/reliable_session.hpp"
+
+namespace tlc::transport {
+
+ReliableSessionDriver::ReliableSessionDriver(core::TlcSession& session,
+                                             RetryPolicy policy, Rng jitter_rng,
+                                             WireSink sink)
+    : session_(session), timer_(policy, jitter_rng), sink_(std::move(sink)) {
+  session_.set_send([this](const Bytes& wire) { handle_send(wire); });
+}
+
+void ReliableSessionDriver::handle_send(const Bytes& wire) {
+  last_sent_ = wire;
+  timer_.arm(now_);
+  sink_(wire);
+}
+
+void ReliableSessionDriver::resend_last(std::uint64_t now) {
+  if (last_sent_.empty()) return;
+  if (!timer_.record_retransmit(now)) {
+    degraded_ = true;
+    return;
+  }
+  // Same bytes, same signature, same nonce — never re-signed.
+  sink_(last_sent_);
+}
+
+void ReliableSessionDriver::on_wire(const Bytes& wire, std::uint64_t now) {
+  now_ = now;
+  const int dupes_before = session_.duplicates_ignored();
+  const Status status = session_.receive(wire);
+  if (session_.duplicates_ignored() > dupes_before) {
+    // The peer repeated itself: our reply to that message was lost (or
+    // is still in flight). Resending it is the only way a lost final
+    // PoC ever reaches a peer that has nothing left to time out on.
+    ++duplicates_seen_;
+    resend_last(now);
+    return;
+  }
+  if (!status.ok()) last_error_ = status.error();
+  if (session_.cycle_complete() || session_.cycle_failed()) timer_.disarm();
+}
+
+bool ReliableSessionDriver::poll(std::uint64_t now) {
+  now_ = now;
+  if (degraded_) return false;
+  if (!timer_.expired(now)) return true;
+  if (!timer_.record_retransmit(now)) {
+    degraded_ = true;
+    return false;
+  }
+  sink_(last_sent_);
+  return true;
+}
+
+std::uint64_t ReliableSessionDriver::next_deadline() const {
+  return degraded_ ? RetransmitTimer::kNever : timer_.deadline();
+}
+
+}  // namespace tlc::transport

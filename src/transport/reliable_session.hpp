@@ -1,0 +1,69 @@
+// Reliability shim between one TlcSession and a lossy channel (§8).
+//
+// The negotiation is stop-and-wait (each party has at most one message
+// outstanding), so reliability is exactly one retransmit timer per
+// party. The driver records the last wire this side sent and, when the
+// timer expires or the peer's duplicate betrays a lost reply, resends
+// those *same bytes* — same signature, same nonce; the peer's
+// idempotent receive makes the resend a no-op if the original arrived
+// after all. Retransmissions draw on a per-cycle budget; once it is
+// spent the driver reports degradation and the cycle falls back to the
+// legacy CDR bill.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/tlc_session.hpp"
+#include "transport/retry.hpp"
+
+namespace tlc::transport {
+
+class ReliableSessionDriver {
+ public:
+  /// Where outgoing wires go (into a FaultyChannel lane).
+  using WireSink = std::function<void(const Bytes&)>;
+
+  /// Hooks the session's send path. The session must already have the
+  /// cycle armed (begin_cycle); call before start()/first delivery.
+  ReliableSessionDriver(core::TlcSession& session, RetryPolicy policy,
+                        Rng jitter_rng, WireSink sink);
+
+  /// Syncs the driver's virtual clock (stamps timer arms triggered by
+  /// sends the session makes from within start()).
+  void set_now(std::uint64_t now) { now_ = now; }
+
+  /// Delivers one inbound wire at `now`. A duplicate of an
+  /// already-processed message means the peer missed our reply, so it
+  /// is answered by resending the last sent wire (budget permitting).
+  void on_wire(const Bytes& wire, std::uint64_t now);
+
+  /// Drives the retransmit timer at `now`. Returns false once the
+  /// retransmission budget is exhausted — the caller degrades the
+  /// cycle.
+  [[nodiscard]] bool poll(std::uint64_t now);
+
+  /// Next tick at which poll() would act (RetransmitTimer::kNever when
+  /// idle or degraded).
+  [[nodiscard]] std::uint64_t next_deadline() const;
+
+  [[nodiscard]] int retransmits() const { return timer_.retransmits(); }
+  [[nodiscard]] int duplicates_seen() const { return duplicates_seen_; }
+  [[nodiscard]] bool degraded() const { return degraded_; }
+  [[nodiscard]] const std::string& last_error() const { return last_error_; }
+
+ private:
+  void handle_send(const Bytes& wire);
+  void resend_last(std::uint64_t now);
+
+  core::TlcSession& session_;
+  RetransmitTimer timer_;
+  WireSink sink_;
+  Bytes last_sent_;
+  std::uint64_t now_ = 0;
+  int duplicates_seen_ = 0;
+  bool degraded_ = false;
+  std::string last_error_;
+};
+
+}  // namespace tlc::transport

@@ -1,0 +1,41 @@
+#include "transport/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tlc::transport {
+
+std::uint64_t backoff_timeout(const RetryPolicy& policy, int attempt,
+                              Rng& jitter_rng) {
+  double timeout = static_cast<double>(policy.base_timeout_ticks);
+  for (int i = 0; i < attempt; ++i) timeout *= policy.backoff_factor;
+  timeout = std::min(timeout, static_cast<double>(policy.max_timeout_ticks));
+  auto ticks = static_cast<std::uint64_t>(timeout);
+  ticks = std::max<std::uint64_t>(ticks, 1);
+  if (policy.jitter > 0.0) {
+    const auto spread = static_cast<std::uint64_t>(
+        policy.jitter * static_cast<double>(ticks));
+    if (spread > 0) ticks += jitter_rng.uniform_u64(spread);
+  }
+  return ticks;
+}
+
+void RetransmitTimer::arm(std::uint64_t now) {
+  attempt_ = 0;
+  deadline_ = now + backoff_timeout(policy_, attempt_, jitter_rng_);
+}
+
+void RetransmitTimer::disarm() { deadline_ = kNever; }
+
+bool RetransmitTimer::record_retransmit(std::uint64_t now) {
+  if (budget_exhausted()) {
+    deadline_ = kNever;
+    return false;
+  }
+  ++total_;
+  ++attempt_;
+  deadline_ = now + backoff_timeout(policy_, attempt_, jitter_rng_);
+  return true;
+}
+
+}  // namespace tlc::transport

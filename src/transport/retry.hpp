@@ -1,0 +1,89 @@
+// Retry policy for settlement transport (§8: fault model).
+//
+// The negotiation is stop-and-wait: each party has at most one message
+// outstanding, so loss recovery is a per-message timeout that resends
+// the *same bytes* (same signature, same nonce — the peer's dedup and
+// the endpoint's idempotent receive make the resend harmless). Timeouts
+// grow exponentially with deterministic jitter, and the total number of
+// retransmissions per cycle is bounded: when the budget runs out the
+// cycle degrades to the operator's unilateral legacy bill instead of
+// negotiating forever.
+//
+// All time here is virtual ticks — never wall clock — so every retry
+// schedule is a pure function of (policy, seed) and fleet runs stay
+// bit-reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace tlc::transport {
+
+struct RetryPolicy {
+  /// Timeout before the first retransmission of a message.
+  std::uint64_t base_timeout_ticks = 16;
+  /// Exponential growth per retransmission of the same message.
+  double backoff_factor = 2.0;
+  /// Backoff ceiling.
+  std::uint64_t max_timeout_ticks = 1024;
+  /// Jitter fraction: each armed timeout is lengthened by a draw from
+  /// [0, jitter * timeout), decorrelating the two parties' retries.
+  double jitter = 0.25;
+  /// Retransmission budget per party per cycle (the bounded
+  /// renegotiation budget); exhausting it degrades the cycle.
+  int max_retransmits = 8;
+  /// Hard per-cycle deadline in ticks — the never-stuck backstop.
+  std::uint64_t max_ticks = 1 << 20;
+};
+
+/// Timeout for the `attempt`-th retransmission of one message
+/// (attempt 0 = the wait before the first resend). Deterministic given
+/// the policy and the jitter RNG state.
+[[nodiscard]] std::uint64_t backoff_timeout(const RetryPolicy& policy,
+                                            int attempt, Rng& jitter_rng);
+
+/// Stop-and-wait retransmit timer over a virtual clock.
+///
+/// `arm(now)` starts a fresh backoff ladder for a newly sent message;
+/// `record_retransmit(now)` climbs one rung and re-arms, returning
+/// false once the per-cycle budget is exhausted (the caller degrades).
+/// The budget spans the whole cycle — re-arming for a new message does
+/// not refund spent retransmissions.
+class RetransmitTimer {
+ public:
+  static constexpr std::uint64_t kNever = ~0ull;
+
+  RetransmitTimer(RetryPolicy policy, Rng jitter_rng)
+      : policy_(policy), jitter_rng_(jitter_rng) {}
+
+  /// A fresh message went out at `now`: restart the backoff ladder.
+  void arm(std::uint64_t now);
+  /// Nothing outstanding (negotiation finished): stop firing.
+  void disarm();
+
+  [[nodiscard]] bool armed() const { return deadline_ != kNever; }
+  [[nodiscard]] std::uint64_t deadline() const { return deadline_; }
+  [[nodiscard]] bool expired(std::uint64_t now) const {
+    return armed() && now >= deadline_;
+  }
+
+  /// Accounts one retransmission at `now` and re-arms with the next
+  /// backoff step. Returns false (leaving the timer disarmed) when the
+  /// budget is exhausted.
+  [[nodiscard]] bool record_retransmit(std::uint64_t now);
+
+  [[nodiscard]] int retransmits() const { return total_; }
+  [[nodiscard]] bool budget_exhausted() const {
+    return total_ >= policy_.max_retransmits;
+  }
+
+ private:
+  RetryPolicy policy_;
+  Rng jitter_rng_;
+  int attempt_ = 0;  // rung on the current message's backoff ladder
+  int total_ = 0;    // cycle-wide retransmission count
+  std::uint64_t deadline_ = kNever;
+};
+
+}  // namespace tlc::transport

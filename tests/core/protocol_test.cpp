@@ -312,6 +312,179 @@ TEST(ProtocolTest, SimultaneousInitiationRandomStrategies) {
   EXPECT_LE(op.negotiated(), 500000u);
 }
 
+TEST(ProtocolTest, DuplicateCdrIgnoredMidNegotiation) {
+  // A retransmitted copy of the message the endpoint already acted on
+  // must not advance, abort, or re-answer — idempotent receive.
+  OptimalStrategy op_strategy;
+  OptimalStrategy edge_strategy;
+  const UsageView view{100000, 90000};
+  ProtocolEndpoint op(make_config(PartyRole::Operator, view), op_strategy,
+                      Rng(50));
+  ProtocolEndpoint edge(make_config(PartyRole::EdgeVendor, view),
+                        edge_strategy, Rng(51));
+  Bytes op_cdr;
+  int edge_sends = 0;
+  op.set_send([&](const Bytes& m) { op_cdr = m; });
+  edge.set_send([&](const Bytes&) { ++edge_sends; });
+  op.start();
+  ASSERT_TRUE(edge.receive(op_cdr).ok());
+  ASSERT_EQ(edge.state(), EndpointState::SentCda);
+  ASSERT_EQ(edge_sends, 1);
+
+  // Same bytes again (transport duplicate).
+  EXPECT_TRUE(edge.receive(op_cdr).ok());
+  EXPECT_EQ(edge.state(), EndpointState::SentCda);
+  EXPECT_EQ(edge_sends, 1);  // no re-answer from the endpoint itself
+  EXPECT_EQ(edge.duplicates_ignored(), 1);
+  EXPECT_FALSE(edge.failed());
+}
+
+TEST(ProtocolTest, DuplicateAfterDoneIsAcknowledgedNotFatal) {
+  // A duplicate arriving after the negotiation finished is the one case
+  // where "refuse further input" must NOT fire: the peer just repeated
+  // itself because our reply was slow. Fresh garbage still errors
+  // (DoneEndpointRefusesFurtherInput).
+  OptimalStrategy op_strategy;
+  OptimalStrategy edge_strategy;
+  const UsageView view{100000, 90000};
+  ProtocolEndpoint op(make_config(PartyRole::Operator, view), op_strategy,
+                      Rng(52));
+  ProtocolEndpoint edge(make_config(PartyRole::EdgeVendor, view),
+                        edge_strategy, Rng(53));
+  std::deque<std::pair<bool, Bytes>> wire;
+  Bytes edge_cda;
+  op.set_send([&](const Bytes& m) { wire.emplace_back(true, m); });
+  edge.set_send([&](const Bytes& m) {
+    edge_cda = m;
+    wire.emplace_back(false, m);
+  });
+  op.start();
+  int safety = 100;
+  while (!wire.empty() && safety-- > 0) {
+    auto [to_edge, message] = wire.front();
+    wire.pop_front();
+    if (to_edge) {
+      (void)edge.receive(message);
+    } else {
+      (void)op.receive(message);
+    }
+  }
+  ASSERT_TRUE(op.done());
+  ASSERT_TRUE(edge.done());
+  // The edge's CDA reaches the (done) operator a second time.
+  EXPECT_TRUE(op.receive(edge_cda).ok());
+  EXPECT_TRUE(op.done());
+  EXPECT_EQ(op.duplicates_ignored(), 1);
+}
+
+TEST(ProtocolTest, OutOfOrderPocDoesNotAbort) {
+  // A PoC surfacing while we sit in SentCdr (reordered transport) is
+  // dropped with an error but must not kill the negotiation.
+  OptimalStrategy op_strategy;
+  const UsageView view{1000, 900};
+  ProtocolEndpoint op(make_config(PartyRole::Operator, view), op_strategy,
+                      Rng(54));
+  op.set_send([](const Bytes&) {});
+  op.start();
+  PocMessage poc;
+  poc.plan = test_plan();
+  poc.sender = PartyRole::EdgeVendor;
+  poc.seq = 1;
+  poc.charged = 950;
+  SignedPoc signed_poc;
+  signed_poc.body = poc;
+  signed_poc.signature =
+      crypto::rsa_sign(edge_keys().private_key, encode_poc_body(poc));
+  EXPECT_FALSE(op.receive(encode_signed_poc(signed_poc)).ok());
+  EXPECT_FALSE(op.failed());
+  EXPECT_EQ(op.state(), EndpointState::SentCdr);
+}
+
+TEST(ProtocolTest, LenientModeDropsForgedMessageWithoutAborting) {
+  // tolerate_faults: a corrupt/forged message is counted and dropped;
+  // the negotiation stays alive for a retransmission to save.
+  OptimalStrategy op_strategy;
+  const UsageView view{1000, 900};
+  auto config = make_config(PartyRole::Operator, view);
+  config.tolerate_faults = true;
+  ProtocolEndpoint op(config, op_strategy, Rng(55));
+  op.set_send([](const Bytes&) {});
+  op.start();
+
+  Rng rng(56);
+  const auto mallory = crypto::rsa_generate(512, rng);
+  CdrMessage fake;
+  fake.plan = test_plan();
+  fake.sender = PartyRole::EdgeVendor;
+  fake.seq = 0;
+  fake.nonce = 1;
+  fake.volume = 1;
+  const Bytes forged = encode_signed_cdr(sign_cdr(fake, mallory.private_key));
+  EXPECT_FALSE(op.receive(forged).ok());
+  EXPECT_FALSE(op.failed());
+  EXPECT_EQ(op.tamper_suspected(), 1);
+  EXPECT_EQ(op.state(), EndpointState::SentCdr);
+
+  // Garbage is likewise dropped, not fatal.
+  EXPECT_FALSE(op.receive(bytes_of("???")).ok());
+  EXPECT_FALSE(op.failed());
+  EXPECT_EQ(op.tamper_suspected(), 2);
+}
+
+TEST(ProtocolTest, LenientModeStillConvergesAfterTamper) {
+  // After dropping a corrupted copy, the genuine message still settles
+  // the cycle.
+  OptimalStrategy op_strategy;
+  OptimalStrategy edge_strategy;
+  const UsageView view{100000, 90000};
+  auto op_config = make_config(PartyRole::Operator, view);
+  op_config.tolerate_faults = true;
+  auto edge_config = make_config(PartyRole::EdgeVendor, view);
+  edge_config.tolerate_faults = true;
+  ProtocolEndpoint op(op_config, op_strategy, Rng(57));
+  ProtocolEndpoint edge(edge_config, edge_strategy, Rng(58));
+  std::deque<std::pair<bool, Bytes>> wire;
+  op.set_send([&](const Bytes& m) { wire.emplace_back(true, m); });
+  edge.set_send([&](const Bytes& m) { wire.emplace_back(false, m); });
+  op.start();
+  bool corrupted_once = false;
+  int safety = 100;
+  while (!wire.empty() && safety-- > 0) {
+    auto [to_edge, message] = wire.front();
+    wire.pop_front();
+    if (to_edge && !corrupted_once) {
+      // First deliver a bit-flipped copy, then the genuine bytes.
+      corrupted_once = true;
+      Bytes bad = message;
+      bad[bad.size() / 2] ^= 0x40;
+      EXPECT_FALSE(edge.receive(bad).ok());
+      EXPECT_FALSE(edge.failed());
+    }
+    if (to_edge) {
+      (void)edge.receive(message);
+    } else {
+      (void)op.receive(message);
+    }
+  }
+  ASSERT_TRUE(op.done());
+  ASSERT_TRUE(edge.done());
+  EXPECT_EQ(op.negotiated(), edge.negotiated());
+  EXPECT_EQ(edge.tamper_suspected(), 1);
+}
+
+TEST(ProtocolTest, FailureReasonRecorded) {
+  OptimalStrategy op_strategy;
+  const UsageView view{1000, 900};
+  ProtocolEndpoint op(make_config(PartyRole::Operator, view), op_strategy,
+                      Rng(59));
+  op.set_send([](const Bytes&) {});
+  op.start();
+  EXPECT_TRUE(op.failure_reason().empty());
+  EXPECT_FALSE(op.receive(bytes_of("junk")).ok());
+  ASSERT_TRUE(op.failed());
+  EXPECT_FALSE(op.failure_reason().empty());
+}
+
 TEST(ProtocolTest, CryptoTimeScalesWithDeviceProfile) {
   OptimalStrategy s1;
   OptimalStrategy s2;

@@ -1,0 +1,237 @@
+// Property-based adversarial soak: ~200 seeded fault configurations
+// (drop/duplicate/reorder/corrupt/truncate rates x negotiation
+// strategies) each drive one settlement cycle over the lossy channel.
+//
+// The §8 invariant, checked on every run:
+//   the cycle terminates (never stuck), and ends in exactly one of
+//     (a) a PoC that Algorithm 2 publicly verifies, or
+//     (b) a clean degradation to the legacy CDR bill with a reason;
+//   corruption surfaces as rejected-tamper, never as a crash or an
+//   accepted-but-unverifiable PoC.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/batch_settlement.hpp"
+#include "core/verifier.hpp"
+#include "sim/rng_stream.hpp"
+#include "transport/settlement_runner.hpp"
+
+namespace tlc::transport {
+namespace {
+
+constexpr std::uint64_t kSweepSeed = 0x50ab5eed;
+constexpr int kConfigs = 200;
+
+struct PropertyConfig {
+  FaultProfile to_edge;
+  FaultProfile to_operator;
+  int strategy = 0;  // 0 Optimal, 1 Honest, 2 RandomSelfish
+  std::uint64_t seed = 0;
+};
+
+FaultProfile draw_profile(Rng& rng) {
+  FaultProfile profile;
+  if (rng.chance(0.7)) profile.drop = rng.uniform(0.0, 0.35);
+  if (rng.chance(0.5)) profile.duplicate = rng.uniform(0.0, 0.3);
+  if (rng.chance(0.5)) profile.reorder = rng.uniform(0.0, 0.3);
+  if (rng.chance(0.4)) profile.corrupt = rng.uniform(0.0, 0.25);
+  if (rng.chance(0.3)) profile.truncate = rng.uniform(0.0, 0.15);
+  profile.delay_jitter_ticks = rng.uniform_u64(6);
+  return profile;
+}
+
+PropertyConfig draw_config(int index) {
+  Rng rng = sim::stream_rng(kSweepSeed, static_cast<std::uint64_t>(index));
+  PropertyConfig config;
+  config.to_edge = draw_profile(rng);
+  config.to_operator = draw_profile(rng);
+  if (index % 8 == 7) {
+    // Every 8th config is brutal: loss heavy enough to exhaust the
+    // retry budget, so the sweep exercises the degradation class too.
+    config.to_edge.drop = rng.uniform(0.55, 0.95);
+    config.to_operator.drop = rng.uniform(0.55, 0.95);
+  }
+  config.strategy = index % 3;
+  config.seed = rng.next_u64();
+  return config;
+}
+
+RetryPolicy soak_policy() {
+  RetryPolicy policy;
+  policy.base_timeout_ticks = 8;
+  policy.backoff_factor = 2.0;
+  policy.max_timeout_ticks = 64;
+  policy.jitter = 0.25;
+  policy.max_retransmits = 6;
+  policy.max_ticks = 1 << 14;
+  return policy;
+}
+
+class SettlementPropertyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    keys_ = new core::RsaKeyCache(512, 1, 0x50c5eed);
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    keys_ = nullptr;
+  }
+
+  static std::unique_ptr<core::TlcSession> make_session(
+      core::PartyRole role, const PropertyConfig& config) {
+    core::SessionConfig session_config;
+    session_config.role = role;
+    if (role == core::PartyRole::EdgeVendor) {
+      session_config.own_keys = keys_->edge_key(0);
+      session_config.peer_key = keys_->operator_key(0).public_key;
+    } else {
+      session_config.own_keys = keys_->operator_key(0);
+      session_config.peer_key = keys_->edge_key(0).public_key;
+    }
+    session_config.max_rounds = 12;
+    session_config.tolerate_faults = true;
+    Rng rng = sim::stream_rng(config.seed,
+                              role == core::PartyRole::EdgeVendor ? 0 : 1);
+    std::unique_ptr<core::Strategy> strategy;
+    switch (config.strategy) {
+      case 0:
+        strategy = std::make_unique<core::OptimalStrategy>();
+        break;
+      case 1:
+        strategy = std::make_unique<core::HonestStrategy>();
+        break;
+      default:
+        strategy = std::make_unique<core::RandomSelfishStrategy>(rng.fork());
+        break;
+    }
+    return std::make_unique<core::TlcSession>(std::move(session_config),
+                                              std::move(strategy), rng);
+  }
+
+  static CycleRunResult run_config(const PropertyConfig& config, int index) {
+    auto edge = make_session(core::PartyRole::EdgeVendor, config);
+    auto op = make_session(core::PartyRole::Operator, config);
+    const auto ue = static_cast<std::uint64_t>(index);
+    const std::uint64_t sent = 1'000'000 + ue * 17'000;
+    const std::uint64_t lost = 20'000 + ue * 450;
+    EXPECT_TRUE(edge->begin_cycle({sent, sent - lost + ue * 7}).ok());
+    EXPECT_TRUE(op->begin_cycle({sent - ue * 3, sent - lost}).ok());
+
+    FaultyChannel channel(config.to_edge, config.to_operator,
+                          sim::stream_seed(config.seed, 2));
+    SettlementRunner runner(*edge, *op, channel, soak_policy(),
+                            sim::stream_seed(config.seed, 3), 0);
+    return runner.run_cycle(keys_->edge_key(0).public_key,
+                            keys_->operator_key(0).public_key);
+  }
+
+  static void check_invariant(const CycleRunResult& result) {
+    // Terminated within the hard deadline (never stuck). The clock can
+    // overshoot the deadline by at most one event jump (a capped
+    // backoff step), never unboundedly.
+    EXPECT_LE(result.ticks, soak_policy().max_ticks +
+                                soak_policy().max_timeout_ticks * 2);
+    switch (result.outcome) {
+      case core::SettleOutcome::Converged:
+      case core::SettleOutcome::Retried: {
+        // (a) exactly: the PoC publicly verifies.
+        core::VerificationRequest request;
+        request.poc_wire = result.poc_wire;
+        request.plan = core::PlanRef{0, kHour, 0.5};
+        request.edge_key = keys_->edge_key(0).public_key;
+        request.operator_key = keys_->operator_key(0).public_key;
+        const auto verified = core::verify_poc(request);
+        EXPECT_TRUE(verified.has_value()) << verified.error();
+        if (verified) {
+          EXPECT_EQ(verified->charged, result.charged);
+        }
+        EXPECT_TRUE(result.failure_reason.empty());
+        if (result.outcome == core::SettleOutcome::Converged) {
+          EXPECT_EQ(result.retransmits, 0);
+        } else {
+          EXPECT_GT(result.retransmits, 0);
+        }
+        break;
+      }
+      case core::SettleOutcome::Degraded:
+        // (b): clean fallback with a reason and no phantom PoC.
+        EXPECT_FALSE(result.failure_reason.empty());
+        EXPECT_TRUE(result.poc_wire.empty());
+        EXPECT_EQ(result.tamper_suspected, 0);
+        break;
+      case core::SettleOutcome::RejectedTamper:
+        EXPECT_FALSE(result.failure_reason.empty());
+        EXPECT_TRUE(result.poc_wire.empty());
+        break;
+    }
+  }
+
+  static core::RsaKeyCache* keys_;
+};
+
+core::RsaKeyCache* SettlementPropertyTest::keys_ = nullptr;
+
+TEST_F(SettlementPropertyTest, SweepHoldsTheInvariantOnEveryConfig) {
+  int converged = 0;
+  int degraded = 0;
+  for (int index = 0; index < kConfigs; ++index) {
+    const PropertyConfig config = draw_config(index);
+    const CycleRunResult result = run_config(config, index);
+    SCOPED_TRACE("config " + std::to_string(index) + " outcome " +
+                 core::settle_outcome_name(result.outcome) + " reason '" +
+                 result.failure_reason + "'");
+    check_invariant(result);
+    if (result.outcome == core::SettleOutcome::Converged ||
+        result.outcome == core::SettleOutcome::Retried) {
+      ++converged;
+    } else {
+      ++degraded;
+    }
+  }
+  // The sweep must exercise both terminal classes, or it proves little.
+  EXPECT_GT(converged, 0);
+  EXPECT_GT(degraded, 0);
+}
+
+TEST_F(SettlementPropertyTest, IdenticalSeedsReproduceIdenticalRuns) {
+  for (int index = 0; index < kConfigs; index += 8) {
+    const PropertyConfig config = draw_config(index);
+    const CycleRunResult first = run_config(config, index);
+    const CycleRunResult second = run_config(config, index);
+    SCOPED_TRACE("config " + std::to_string(index));
+    EXPECT_EQ(first.outcome, second.outcome);
+    EXPECT_EQ(first.charged, second.charged);
+    EXPECT_EQ(first.poc_wire, second.poc_wire);
+    EXPECT_EQ(first.retransmits, second.retransmits);
+    EXPECT_EQ(first.ticks, second.ticks);
+    EXPECT_EQ(first.failure_reason, second.failure_reason);
+  }
+}
+
+TEST_F(SettlementPropertyTest, TotalCorruptionIsRejectedTamperNotACrash) {
+  PropertyConfig config;
+  config.to_edge.corrupt = 1.0;
+  config.to_operator.corrupt = 1.0;
+  config.strategy = 0;
+  config.seed = 0xc0441;
+  const CycleRunResult result = run_config(config, 0);
+  EXPECT_EQ(result.outcome, core::SettleOutcome::RejectedTamper);
+  EXPECT_GT(result.tamper_suspected, 0);
+  EXPECT_FALSE(result.failure_reason.empty());
+}
+
+TEST_F(SettlementPropertyTest, TotalLossDegradesWithBudgetReason) {
+  PropertyConfig config;
+  config.to_edge.drop = 1.0;
+  config.to_operator.drop = 1.0;
+  config.strategy = 0;
+  config.seed = 0xd40b;
+  const CycleRunResult result = run_config(config, 0);
+  EXPECT_EQ(result.outcome, core::SettleOutcome::Degraded);
+  EXPECT_EQ(result.failure_reason, kReasonBudget);
+}
+
+}  // namespace
+}  // namespace tlc::transport
