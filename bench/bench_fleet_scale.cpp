@@ -73,7 +73,8 @@ int run(const BenchOptions& options) {
       digests_agree = false;
     }
     std::printf("%8u %12.2f %14.1f %18.1f %9.2fx\n", threads, wall,
-                config.ue_count / wall, result.receipts.size() / wall,
+                config.ue_count / wall,
+                static_cast<double>(result.receipts.size()) / wall,
                 reference_wall / wall);
   }
 

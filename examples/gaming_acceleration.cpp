@@ -38,7 +38,9 @@ QosOutcome run(AppKind app, double background_mbps) {
   double rtt_sum = 0.0;
   for (double r : probe.rtt_ms()) rtt_sum += r;
   outcome.mean_rtt_ms =
-      probe.rtt_ms().empty() ? 0.0 : rtt_sum / probe.rtt_ms().size();
+      probe.rtt_ms().empty()
+          ? 0.0
+          : rtt_sum / static_cast<double>(probe.rtt_ms().size());
 
   const auto result =
       run_experiment(config, {Scheme::Legacy, Scheme::TlcOptimal});

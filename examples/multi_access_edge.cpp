@@ -78,12 +78,15 @@ int main() {
   const CycleReceipt b =
       settle(**session_b, edge_kp, op_b_kp, 300000000, 291000000);
 
-  std::printf("CarrierA: charged %.2f MB in %d round(s)\n", a.charged / 1e6,
+  std::printf("CarrierA: charged %.2f MB in %d round(s)\n",
+              static_cast<double>(a.charged) / 1e6,
               a.rounds);
-  std::printf("CarrierB: charged %.2f MB in %d round(s)\n", b.charged / 1e6,
+  std::printf("CarrierB: charged %.2f MB in %d round(s)\n",
+              static_cast<double>(b.charged) / 1e6,
               b.rounds);
   std::printf("total across operators: %.2f MB over %d cycles\n",
-              multi.total_charged() / 1e6, multi.total_cycles());
+              static_cast<double>(multi.total_charged()) / 1e6,
+              multi.total_cycles());
 
   // Each receipt verifies against its own operator's key — and NOT
   // against the other's: the per-operator isolation is cryptographic.

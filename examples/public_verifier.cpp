@@ -56,7 +56,7 @@ Bytes negotiate_poc(const crypto::RsaKeyPair& edge_kp,
 void report(const char* what, const Expected<VerifiedCharge>& result) {
   if (result) {
     std::printf("  %-38s ACCEPTED  (x = %.2f MB)\n", what,
-                result->charged / 1e6);
+                static_cast<double>(result->charged) / 1e6);
   } else {
     std::printf("  %-38s REJECTED  (%s)\n", what, result.error().c_str());
   }

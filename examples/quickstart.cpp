@@ -33,7 +33,8 @@ int main() {
   const auto& cycles = testbed.run();
   const testbed::CycleMeasurements& cycle = cycles.front();
   std::printf("ground truth: sent %.2f MB, received %.2f MB (%.1f%% lost)\n",
-              cycle.true_sent / 1e6, cycle.true_received / 1e6,
+              static_cast<double>(cycle.true_sent) / 1e6,
+              static_cast<double>(cycle.true_received) / 1e6,
               100.0 * (1.0 - static_cast<double>(cycle.true_received) /
                                  static_cast<double>(cycle.true_sent)));
 
@@ -82,11 +83,12 @@ int main() {
       charging::expected_charge(cycle.true_sent, cycle.true_received, plan.c);
   std::printf("negotiated in %d round(s): charged %.2f MB (x-hat %.2f MB, "
               "gap %.2f%%)\n",
-              op.rounds(), op.negotiated() / 1e6, expected / 1e6,
+              op.rounds(), static_cast<double>(op.negotiated()) / 1e6,
+              static_cast<double>(expected) / 1e6,
               100.0 * charging::gap_ratio(op.negotiated(), expected));
   std::printf("legacy 4G/5G would have billed the gateway CDR: %.2f MB "
               "(gap %.2f%%)\n",
-              cycle.gateway_volume / 1e6,
+              static_cast<double>(cycle.gateway_volume) / 1e6,
               100.0 * charging::gap_ratio(cycle.gateway_volume, expected));
 
   // --- 4. public verification ---------------------------------------
@@ -100,8 +102,9 @@ int main() {
   }
   std::printf("\npublic verifier: PoC accepted (x=%.2f MB, xe=%.2f MB, "
               "xo=%.2f MB)\n",
-              verified->charged / 1e6, verified->edge_claim / 1e6,
-              verified->operator_claim / 1e6);
+              static_cast<double>(verified->charged) / 1e6,
+              static_cast<double>(verified->edge_claim) / 1e6,
+              static_cast<double>(verified->operator_claim) / 1e6);
   std::printf("== done ==\n");
   return 0;
 }

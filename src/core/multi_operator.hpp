@@ -21,7 +21,7 @@ namespace tlc::core {
 class MultiOperatorCharging {
  public:
   /// Registers an operator relationship. `name` must be unique.
-  Status add_operator(const std::string& name, SessionConfig config,
+  [[nodiscard]] Status add_operator(const std::string& name, SessionConfig config,
                       std::unique_ptr<Strategy> strategy, Rng rng);
 
   [[nodiscard]] bool has_operator(const std::string& name) const {

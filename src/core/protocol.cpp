@@ -1,7 +1,6 @@
 #include "core/protocol.hpp"
 
 #include <algorithm>
-#include <chrono>
 
 #include "charging/plan.hpp"
 #include "util/logging.hpp"
@@ -12,14 +11,6 @@
 // flow); the PoC finalizing round k has seq = k + 1.
 
 namespace tlc::core {
-namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  const auto elapsed = std::chrono::steady_clock::now() - start;
-  return std::chrono::duration<double>(elapsed).count();
-}
-
-}  // namespace
 
 const char* endpoint_state_name(EndpointState state) {
   switch (state) {
@@ -39,7 +30,9 @@ const char* endpoint_state_name(EndpointState state) {
 
 ProtocolEndpoint::ProtocolEndpoint(EndpointConfig config, Strategy& strategy,
                                    Rng rng)
-    : config_(std::move(config)), strategy_(strategy), rng_(rng) {}
+    : config_(std::move(config)), strategy_(strategy), rng_(rng) {
+  if (!config_.crypto_clock) config_.crypto_clock = util::monotonic_nanos;
+}
 
 RoundContext ProtocolEndpoint::make_context() const {
   return RoundContext{config_.role, config_.view, lower_,
@@ -47,18 +40,23 @@ RoundContext ProtocolEndpoint::make_context() const {
 }
 
 Bytes ProtocolEndpoint::timed_sign(const Bytes& message) {
-  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t start = config_.crypto_clock();
   Bytes signature = crypto::rsa_sign(config_.own_private, message);
-  crypto_seconds_ += seconds_since(start) * config_.crypto_time_scale;
+  record_crypto_nanos(config_.crypto_clock() - start);
   return signature;
 }
 
 Status ProtocolEndpoint::timed_verify(const Bytes& message,
                                       const Bytes& signature) {
-  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t start = config_.crypto_clock();
   Status status = crypto::rsa_verify(config_.peer_public, message, signature);
-  crypto_seconds_ += seconds_since(start) * config_.crypto_time_scale;
+  record_crypto_nanos(config_.crypto_clock() - start);
   return status;
+}
+
+void ProtocolEndpoint::record_crypto_nanos(std::uint64_t elapsed) {
+  crypto_seconds_ +=
+      static_cast<double>(elapsed) * 1e-9 * config_.crypto_time_scale;
 }
 
 void ProtocolEndpoint::send_wire(const Bytes& wire) {

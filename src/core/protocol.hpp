@@ -22,6 +22,7 @@
 #include "core/types.hpp"
 #include "crypto/rsa.hpp"
 #include "util/rng.hpp"
+#include "util/walltime.hpp"
 
 namespace tlc::core {
 
@@ -46,6 +47,12 @@ struct EndpointConfig {
   /// Multiplier applied to measured crypto time (device profiles,
   /// Fig 17: Pixel 2 XL is ~4.8x the Z840).
   double crypto_time_scale = 1.0;
+  /// Clock backing the crypto-latency telemetry (crypto_seconds()).
+  /// Telemetry only — it never feeds settlement bytes, nonces or RNG
+  /// state, so replay stays bit-identical whatever it returns. Defaults
+  /// to the sanctioned monotonic wall clock; tests may inject a
+  /// deterministic counter.
+  util::WallClock crypto_clock;
   /// Transport-hardened mode (§8): messages that fail decode, signature
   /// verification or cross-layer consistency are *dropped* (counted in
   /// tamper_suspected()) instead of aborting the negotiation — over a
@@ -69,7 +76,7 @@ class ProtocolEndpoint {
   /// Feeds one wire message from the peer. Returns an error Status on
   /// protocol violations (the endpoint transitions to Failed for
   /// unrecoverable ones).
-  Status receive(const Bytes& wire);
+  [[nodiscard]] Status receive(const Bytes& wire);
 
   [[nodiscard]] EndpointState state() const { return state_; }
   [[nodiscard]] bool done() const { return state_ == EndpointState::Done; }
@@ -110,22 +117,23 @@ class ProtocolEndpoint {
   [[nodiscard]] RoundContext make_context() const;
   void send_wire(const Bytes& wire);
   void send_cdr();
-  Status handle_cdr(const Bytes& wire);
-  Status handle_cda(const Bytes& wire);
-  Status handle_poc(const Bytes& wire);
+  [[nodiscard]] Status handle_cdr(const Bytes& wire);
+  [[nodiscard]] Status handle_cda(const Bytes& wire);
+  [[nodiscard]] Status handle_poc(const Bytes& wire);
   void fail(const std::string& reason);
   /// Rejects a tampered/corrupt message: counts it, aborts in strict
   /// mode, merely drops it in tolerate_faults mode.
-  Status reject_tamper(const std::string& reason);
+  [[nodiscard]] Status reject_tamper(const std::string& reason);
   [[nodiscard]] bool is_duplicate(const Bytes& wire) const;
   void mark_processed(const Bytes& wire);
   /// Contracts [lower_, upper_] from a claim pair (line 12).
   void update_bounds(std::uint64_t a, std::uint64_t b);
 
-  // Timed crypto wrappers.
+  // Timed crypto wrappers (telemetry clock; see EndpointConfig).
   [[nodiscard]] Bytes timed_sign(const Bytes& message);
   [[nodiscard]] Status timed_verify(const Bytes& message,
                                     const Bytes& signature);
+  void record_crypto_nanos(std::uint64_t elapsed);
 
   EndpointConfig config_;
   Strategy& strategy_;

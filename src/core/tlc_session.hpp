@@ -33,6 +33,8 @@ struct SessionConfig {
   SimTime first_cycle_start = 0;
   int max_rounds = 64;
   double crypto_time_scale = 1.0;
+  /// Telemetry clock for crypto_seconds(); see EndpointConfig.
+  util::WallClock crypto_clock;
   /// Passed through to EndpointConfig::tolerate_faults — required when
   /// the session runs over a lossy transport (§8).
   bool tolerate_faults = false;
@@ -62,14 +64,14 @@ class TlcSession {
 
   /// Arms the negotiation for the current cycle with this party's
   /// measured usage. Fails if a negotiation is already in flight.
-  Status begin_cycle(const UsageView& measured);
+  [[nodiscard]] Status begin_cycle(const UsageView& measured);
 
   /// Initiator entry point: sends the first CDR (call after
   /// begin_cycle; exactly one party initiates).
-  Status start();
+  [[nodiscard]] Status start();
 
   /// Feeds a message from the peer.
-  Status receive(const Bytes& wire);
+  [[nodiscard]] Status receive(const Bytes& wire);
 
   [[nodiscard]] bool negotiating() const { return endpoint_ != nullptr; }
   [[nodiscard]] bool cycle_complete() const {
@@ -81,7 +83,7 @@ class TlcSession {
 
   /// Archives the PoC, records the receipt, advances to the next cycle.
   /// Fails unless cycle_complete().
-  Expected<CycleReceipt> finish_cycle();
+  [[nodiscard]] Expected<CycleReceipt> finish_cycle();
 
   /// Abandons a failed negotiation without advancing the cycle (the
   /// parties retry; §5.1: neither benefits from stalling).

@@ -1,5 +1,8 @@
 #include "epc/mme.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "util/logging.hpp"
 
 namespace tlc::epc {
@@ -40,7 +43,17 @@ void Mme::start() {
 
 void Mme::poll() {
   const SimTime now = sim_.now();
-  for (auto& [imsi, state] : ues_) {
+  // Poll in ascending IMSI order, not hash order: detaches and attach
+  // timers scheduled in this pass land at identical timestamps, so
+  // iteration order decides their relative event order. Hash order
+  // would tie that to insertion history and hasher implementation.
+  std::vector<Imsi> imsis;
+  imsis.reserve(ues_.size());
+  // tlclint: ordered — key collection, sorted on the next line
+  for (const auto& [imsi, state] : ues_) imsis.push_back(imsi);
+  std::sort(imsis.begin(), imsis.end());
+  for (const Imsi imsi : imsis) {
+    UeState& state = ues_.at(imsi);
     if (state.radio == nullptr) continue;
     const bool connected = state.radio->connected(now);
     if (state.attached) {

@@ -44,6 +44,7 @@ BillLine Ofcs::close_cycle(Imsi imsi) {
 std::vector<Imsi> Ofcs::subscribers() const {
   std::vector<Imsi> imsis;
   imsis.reserve(subscribers_.size());
+  // tlclint: ordered — key collection, sorted on the next line
   for (const auto& [imsi, state] : subscribers_) imsis.push_back(imsi);
   std::sort(imsis.begin(), imsis.end());
   return imsis;

@@ -15,7 +15,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_ready_.notify_all();
@@ -24,23 +24,23 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(Job job) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     queue_.push_back(std::move(job));
   }
   work_ready_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  util::MutexLock lock(mutex_);
+  while (!queue_.empty() || in_flight_ != 0) all_done_.wait(mutex_);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      util::MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_ready_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ with a drained queue
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -48,7 +48,7 @@ void ThreadPool::worker_loop() {
     }
     job();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
     }

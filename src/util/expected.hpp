@@ -23,8 +23,12 @@ struct Error {
   return Error{std::move(message)};
 }
 
+/// Class-level [[nodiscard]]: any call that drops an Expected return is
+/// a compile error under -Werror, even if the function declaration
+/// forgot its own annotation (tlclint's nodiscard-expected rule keeps
+/// declarations annotated too, for readers and for pre-C++17 tooling).
 template <typename T>
-class Expected {
+class [[nodiscard]] Expected {
  public:
   Expected(T value) : value_(std::move(value)) {}         // NOLINT(implicit)
   Expected(Error error) : error_(std::move(error.message)) {}  // NOLINT
@@ -65,7 +69,7 @@ class Expected {
 };
 
 /// Result of an operation with no payload.
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() = default;                                  // success
   Status(Error error) : error_(std::move(error.message)) {}  // NOLINT

@@ -1,0 +1,11 @@
+// MUST-FLAG: float/double arithmetic in a charging translation unit.
+#include <cstdint>
+
+namespace fixture {
+
+double rate_bill(std::uint64_t billed_bytes) {
+  const float per_byte = 0.0000001f;
+  return billed_bytes * per_byte;
+}
+
+}  // namespace fixture

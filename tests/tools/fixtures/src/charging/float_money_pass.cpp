@@ -1,0 +1,19 @@
+// MUST-PASS: integer money math; the one legitimate double is pragma'd.
+// The word "double" in this comment must not trip the linter either.
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t rate_bill_micros(std::uint64_t billed_bytes) {
+  constexpr std::uint64_t kMicrosPerMegabyte = 4200;
+  return billed_bytes / 1000000 * kMicrosPerMegabyte;
+}
+
+// tlclint: allow(float-money) report-only gap ratio, never billed
+double gap_ratio(std::uint64_t charged, std::uint64_t expected) {
+  if (expected == 0) return 0.0;  // tlclint: allow(float-money) report-only
+  // tlclint: allow(float-money) report-only
+  return static_cast<double>(charged) / static_cast<double>(expected);
+}
+
+}  // namespace fixture

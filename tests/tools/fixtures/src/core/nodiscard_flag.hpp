@@ -1,0 +1,23 @@
+// MUST-FLAG: Expected/Status-returning declarations without
+// [[nodiscard]] — a caller can silently drop the error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+template <typename T>
+class Expected {};
+class Status {};
+
+class Codec {
+ public:
+  Expected<std::uint64_t> decode(const std::string& wire);
+  Status validate(const std::string& wire) const;
+  static Status check_all();
+};
+
+Expected<std::string> encode(std::uint64_t value);
+
+}  // namespace fixture

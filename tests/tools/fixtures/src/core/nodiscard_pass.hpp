@@ -1,0 +1,36 @@
+// MUST-PASS: annotated declarations, plus the shapes the rule must NOT
+// match — constructors, member variables, out-of-line definitions,
+// using-aliases and return statements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+template <typename T>
+class Expected {};
+class Status {
+ public:
+  Status() = default;
+  Status(int code);  // constructor, not a Status-returning function
+};
+
+class Codec {
+ public:
+  [[nodiscard]] Expected<std::uint64_t> decode(const std::string& wire);
+  [[nodiscard]] Status validate(const std::string& wire) const;
+  [[nodiscard]] static Status check_all();
+
+ private:
+  Status last_status_;  // member variable, not a declaration
+};
+
+[[nodiscard]] Expected<std::string> encode(std::uint64_t value);
+
+// Out-of-line definition: the annotation lives on the declaration.
+inline Status Codec::validate_stub() { return Status{}; }
+
+using StatusFn = Status (*)(const std::string&);
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// MUST-FLAG: ambient time and randomness on a settlement path.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+
+namespace fixture {
+
+std::uint64_t cycle_stamp() {
+  const auto now = std::chrono::system_clock::now();
+  (void)now;
+  return static_cast<std::uint64_t>(time(nullptr));
+}
+
+std::uint64_t nonce() { return static_cast<std::uint64_t>(rand()); }
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// MUST-PASS: virtual time and identifiers that merely *contain* the
+// forbidden words (format_time, serialization_time, randomize_order,
+// strand) must not trip the word-boundary matcher.
+#include <cstdint>
+
+namespace fixture {
+
+using SimTime = std::int64_t;
+
+SimTime serialization_time(std::uint32_t bytes) {
+  return static_cast<SimTime>(bytes) * 8;
+}
+
+SimTime format_time(SimTime t) { return t; }
+
+std::uint64_t strand_id(std::uint64_t randomized_seed) {
+  return randomized_seed ^ 0x9e3779b97f4a7c15ULL;
+}
+
+SimTime now_virtual(SimTime clock_ticks) { return clock_ticks; }
+
+}  // namespace fixture

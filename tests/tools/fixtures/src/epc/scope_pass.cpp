@@ -1,0 +1,15 @@
+// MUST-PASS: scope checks. epc/ (outside ofcs*) is not an annotated
+// subsystem, so a raw mutex is tolerated here; nor is it a charging TU,
+// so double arithmetic is fine. wallclock still applies everywhere —
+// this file must stay free of ambient time.
+#include <mutex>
+
+namespace fixture {
+
+double mean_rtt(double total_ms, int samples) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  return samples == 0 ? 0.0 : total_ms / samples;
+}
+
+}  // namespace fixture

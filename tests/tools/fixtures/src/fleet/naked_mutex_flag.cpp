@@ -1,0 +1,20 @@
+// MUST-FLAG: raw std synchronization primitives in fleet/ — they are
+// invisible to Clang's thread-safety analysis.
+#include <cstdint>
+#include <mutex>
+
+namespace fixture {
+
+class Counters {
+ public:
+  void bump() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++total_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// MUST-PASS: the annotated wrappers (and a comment mentioning
+// std::mutex, which must not count).
+#include <cstdint>
+
+// Stand-ins for util/thread_annotations.hpp in this self-contained
+// fixture; the real tree includes the header.
+#define TLC_GUARDED_BY(x)
+namespace util {
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex&) {}
+};
+class CondVar {};
+}  // namespace util
+
+namespace fixture {
+
+class Counters {
+ public:
+  void bump() {
+    util::MutexLock lock(mu_);
+    ++total_;
+  }
+
+ private:
+  util::Mutex mu_;
+  std::uint64_t total_ TLC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// MUST-FLAG: range-for over an unordered container without an ordering
+// pragma — hash order would leak into the aggregate.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+std::uint64_t total_volume(
+    const std::unordered_map<std::string, std::uint64_t>& per_ue) {
+  std::uint64_t total = 0;
+  for (const auto& [imsi, volume] : per_ue) total += volume;
+  return total;
+}
+
+}  // namespace fixture

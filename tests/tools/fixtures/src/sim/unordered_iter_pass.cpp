@@ -1,0 +1,30 @@
+// MUST-PASS: the same iteration, annotated — summation over u64 is
+// order-insensitive — plus an iteration over a *sorted* view.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::uint64_t total_volume(
+    const std::unordered_map<std::string, std::uint64_t>& per_ue) {
+  std::uint64_t total = 0;
+  // tlclint: ordered — u64 summation commutes; order cannot leak
+  for (const auto& [imsi, volume] : per_ue) total += volume;
+  return total;
+}
+
+std::vector<std::string> sorted_imsis(
+    const std::unordered_map<std::string, std::uint64_t>& per_ue) {
+  std::vector<std::string> imsis;
+  imsis.reserve(per_ue.size());
+  // tlclint: ordered — key collection, sorted on the next line
+  for (const auto& [imsi, volume] : per_ue) imsis.push_back(imsi);
+  std::sort(imsis.begin(), imsis.end());
+  for (const std::string& imsi : imsis) (void)imsi;  // ordered view: fine
+  return imsis;
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// MUST-FLAG: iterates a member whose unordered_map declaration lives in
+// the sibling header; a digest is exactly where hash order must not
+// leak.
+#include "unordered_member.hpp"
+
+namespace fixture {
+
+std::uint64_t Registry::checksum() const {
+  std::uint64_t digest = 0;
+  for (const auto& [key, value] : entries_) {
+    digest = digest * 31 + key + value;
+  }
+  return digest;
+}
+
+}  // namespace fixture

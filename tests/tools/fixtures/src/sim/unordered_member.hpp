@@ -1,0 +1,18 @@
+// Sibling header for unordered_member.cpp: the member's unordered type
+// is only visible here — the linter must carry it into the .cpp scan.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+class Registry {
+ public:
+  std::uint64_t checksum() const;
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> entries_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// MUST-PASS: util/rng.* is the allowlisted seeding site — wall-clock
+// and RNG primitives here are the reason the rule exists everywhere
+// else.
+#include <cstdint>
+#include <random>
+
+namespace fixture {
+
+std::uint64_t entropy_seed() {
+  std::random_device device;
+  std::mt19937_64 engine(device());
+  return engine();
+}
+
+}  // namespace fixture

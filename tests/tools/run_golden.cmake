@@ -1,0 +1,35 @@
+# Golden test driver for the tlclint fixture corpus.
+#
+# Runs the binary over tests/tools/fixtures (which mirrors src/'s
+# layout so path-scoped rules fire) and diffs stdout against
+# golden.txt. The run must exit 1: a corpus that stops producing
+# findings means a rule silently died.
+#
+# Usage:
+#   cmake -DTLCLINT=<binary> -DFIXTURES=<dir> -DGOLDEN=<file>
+#         -P run_golden.cmake
+
+execute_process(
+  COMMAND ${TLCLINT} --root ${FIXTURES} ${FIXTURES}
+  OUTPUT_VARIABLE actual
+  ERROR_VARIABLE stderr_text
+  RESULT_VARIABLE code)
+
+if(NOT code EQUAL 1)
+  message(FATAL_ERROR
+    "tlclint exited ${code} over the fixture corpus (expected 1: the "
+    "must-flag fixtures must produce findings).\nstderr: ${stderr_text}")
+endif()
+
+file(READ ${GOLDEN} expected)
+
+if(NOT actual STREQUAL expected)
+  message(FATAL_ERROR
+    "tlclint fixture output diverged from golden.txt.\n"
+    "If the change is intentional, regenerate with:\n"
+    "  tlclint --root tests/tools/fixtures tests/tools/fixtures "
+    "> tests/tools/golden.txt\n"
+    "--- expected ---\n${expected}\n--- actual ---\n${actual}")
+endif()
+
+message(STATUS "tlclint fixture corpus matches golden output")

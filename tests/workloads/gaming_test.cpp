@@ -30,7 +30,7 @@ TEST(GamingTest, TickRate) {
   source.start(0);
   sim.run_until(10 * kSecond);
   source.stop();
-  EXPECT_NEAR(packets.size(), 300, 3);  // 30 Hz
+  EXPECT_NEAR(static_cast<double>(packets.size()), 300, 3);  // 30 Hz
 }
 
 TEST(GamingTest, PacketsAreSmall) {

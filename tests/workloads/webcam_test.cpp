@@ -86,7 +86,9 @@ TEST(WebcamTest, GopStructureIFramesLarger) {
   // Frame 0 and frame 30 are I-frames, ~6x the P-frames around them.
   EXPECT_GT(frame_sizes[0], 4 * frame_sizes[1]);
   EXPECT_GT(frame_sizes[30], 4 * frame_sizes[29]);
-  EXPECT_NEAR(static_cast<double>(frame_sizes[0]) / frame_sizes[1], 6.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(frame_sizes[0]) /
+                  static_cast<double>(frame_sizes[1]),
+              6.0, 1.0);
 }
 
 TEST(WebcamTest, PacketsRespectMtu) {

@@ -1,0 +1,717 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace tlclint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+std::string normalize(const std::string& s) {
+  std::string out;
+  bool in_space = true;
+  for (char c : s) {
+    if (c == ' ' || c == '\t') {
+      if (!in_space) out.push_back(' ');
+      in_space = true;
+    } else {
+      out.push_back(c);
+      in_space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      if (!current.empty() && current.back() == '\r') current.pop_back();
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(std::move(current));
+  return lines;
+}
+
+/// Replaces comment and string/char-literal *contents* with spaces so
+/// token scans cannot match inside them. Line structure is preserved.
+/// (Raw string literals are treated as plain strings — good enough for
+/// this codebase, which has none.)
+std::vector<std::string> strip_comments_and_strings(
+    const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  bool in_block_comment = false;
+  for (const std::string& line : lines) {
+    std::string code(line.size(), ' ');
+    for (std::size_t i = 0; i < line.size();) {
+      if (in_block_comment) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block_comment = false;
+          i += 2;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        code[i] = quote;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) {
+            code[i] = quote;
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      code[i] = c;
+      ++i;
+    }
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+/// Per-line pragma state parsed from the *raw* lines. An allow on line
+/// N covers findings on N and N+1, so a pragma comment can sit on its
+/// own line above the site it blesses.
+class Pragmas {
+ public:
+  explicit Pragmas(const std::vector<std::string>& raw_lines) {
+    for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+      const std::string& line = raw_lines[i];
+      const std::size_t at = line.find("tlclint:");
+      if (at == std::string::npos) continue;
+      const std::string directive = line.substr(at + 8);
+      if (directive.find("ordered") != std::string::npos) {
+        allow_[i].insert("unordered-iter");
+      }
+      std::size_t pos = 0;
+      while ((pos = directive.find("allow(", pos)) != std::string::npos) {
+        const std::size_t close = directive.find(')', pos);
+        if (close == std::string::npos) break;
+        std::string inside = directive.substr(pos + 6, close - pos - 6);
+        std::stringstream ss(inside);
+        std::string rule;
+        while (std::getline(ss, rule, ',')) {
+          rule = trim(rule);
+          if (!rule.empty()) allow_[i].insert(rule);
+        }
+        pos = close + 1;
+      }
+    }
+  }
+
+  [[nodiscard]] bool allowed(std::size_t line_index,
+                             const std::string& rule) const {
+    return allows(line_index, rule) ||
+           (line_index > 0 && allows(line_index - 1, rule));
+  }
+
+ private:
+  [[nodiscard]] bool allows(std::size_t index, const std::string& rule) const {
+    auto it = allow_.find(index);
+    return it != allow_.end() &&
+           (it->second.count(rule) != 0 || it->second.count("*") != 0);
+  }
+
+  std::map<std::size_t, std::set<std::string>> allow_;
+};
+
+/// Finds `token` as a whole word: the characters around the match must
+/// not extend the identifier (namespace qualification like
+/// `std::chrono::system_clock` still matches).
+std::vector<std::size_t> find_word(const std::string& code,
+                                   const std::string& token) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    const bool start_ok = pos == 0 || !is_ident(code[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool end_ok = end >= code.size() || !is_ident(code[end]);
+    if (start_ok && end_ok) hits.push_back(pos);
+    pos = end;
+  }
+  return hits;
+}
+
+/// Finds `name(` used as a C-library call: bare or std::-qualified, not
+/// a member access (`.time(` / `->time(`) and not another namespace's
+/// function (`mylib::time(`).
+std::vector<std::size_t> find_call(const std::string& code,
+                                   const std::string& name) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string::npos) {
+    const std::size_t end = pos + name.size();
+    if (end >= code.size() || code[end] != '(') {
+      pos = end;
+      continue;
+    }
+    if (pos > 0 && is_ident(code[pos - 1])) {
+      pos = end;
+      continue;
+    }
+    bool qualified_ok = true;
+    if (pos >= 1 && (code[pos - 1] == '.' ))
+      qualified_ok = false;
+    if (pos >= 2 && code[pos - 2] == '-' && code[pos - 1] == '>')
+      qualified_ok = false;
+    if (pos >= 2 && code[pos - 1] == ':' && code[pos - 2] == ':') {
+      // Only std::time etc. count as the C/chrono function.
+      qualified_ok = pos >= 5 && code.compare(pos - 5, 5, "std::") == 0;
+    }
+    if (qualified_ok) hits.push_back(pos);
+    pos = end;
+  }
+  return hits;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+void add_finding(std::vector<Finding>& out, const std::string& rule,
+                 const std::string& relpath, std::size_t line_index,
+                 const std::string& message,
+                 const std::vector<std::string>& code_lines) {
+  Finding f;
+  f.rule = rule;
+  f.file = relpath;
+  f.line = static_cast<int>(line_index) + 1;
+  f.message = message;
+  f.snippet = normalize(code_lines[line_index]);
+  out.push_back(std::move(f));
+}
+
+// --------------------------------------------------------------------
+// Rule: wallclock
+// --------------------------------------------------------------------
+
+void rule_wallclock(const std::string& relpath,
+                    const std::vector<std::string>& code,
+                    const Pragmas& pragmas, std::vector<Finding>& out) {
+  if (relpath.find("util/rng.") != std::string::npos) return;
+  static const std::vector<std::string> kTokens = {
+      "system_clock",   "steady_clock", "high_resolution_clock",
+      "random_device",  "gettimeofday", "clock_gettime",
+      "timespec_get",   "localtime",    "gmtime",
+      "mktime",         "mt19937",      "minstd_rand",
+      "default_random_engine",
+  };
+  static const std::vector<std::string> kCalls = {"time", "clock", "rand",
+                                                  "srand"};
+  static const std::vector<std::string> kHeaders = {
+      "<chrono>", "<ctime>", "<time.h>", "<random>", "<sys/time.h>"};
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (pragmas.allowed(i, "wallclock")) continue;
+    const std::string& line = code[i];
+    bool flagged = false;
+    for (const std::string& token : kTokens) {
+      if (!find_word(line, token).empty()) {
+        add_finding(out, "wallclock", relpath, i,
+                    "wall-clock / ambient-RNG primitive '" + token +
+                        "' — use SimTime (util/simtime.hpp) or a seeded "
+                        "util::Rng stream",
+                    code);
+        flagged = true;
+        break;
+      }
+    }
+    if (flagged) continue;
+    for (const std::string& call : kCalls) {
+      if (!find_call(line, call).empty()) {
+        add_finding(out, "wallclock", relpath, i,
+                    "call to '" + call +
+                        "()' reads ambient time/randomness — settlement "
+                        "must be a pure function of seeds and SimTime",
+                    code);
+        flagged = true;
+        break;
+      }
+    }
+    if (flagged) continue;
+    if (line.find("#include") != std::string::npos) {
+      for (const std::string& header : kHeaders) {
+        if (line.find(header) != std::string::npos) {
+          add_finding(out, "wallclock", relpath, i,
+                      "include of wall-clock/RNG header " + header +
+                          " — only util/rng.* and allowlisted sites may",
+                      code);
+          break;
+        }
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------
+// Rule: float-money
+// --------------------------------------------------------------------
+
+bool in_money_tu(const std::string& relpath) {
+  return starts_with(relpath, "src/charging/") ||
+         starts_with(relpath, "src/core/") ||
+         starts_with(relpath, "src/epc/cdr");
+}
+
+void rule_float_money(const std::string& relpath,
+                      const std::vector<std::string>& code,
+                      const Pragmas& pragmas, std::vector<Finding>& out) {
+  if (!in_money_tu(relpath)) return;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (pragmas.allowed(i, "float-money")) continue;
+    if (!find_word(code[i], "float").empty() ||
+        !find_word(code[i], "double").empty()) {
+      add_finding(out, "float-money", relpath, i,
+                  "floating point in a charging/money translation unit — "
+                  "bill in integer bytes; derive ratios at the edges",
+                  code);
+    }
+  }
+}
+
+// --------------------------------------------------------------------
+// Rule: unordered-iter
+// --------------------------------------------------------------------
+
+/// Collects variable/member names declared (or passed) with an
+/// unordered_{map,set} type in `code`.
+std::set<std::string> unordered_names(const std::vector<std::string>& code) {
+  std::set<std::string> names;
+  // Join into one buffer with line breaks as spaces: declarations wrap.
+  std::string joined;
+  for (const std::string& line : code) {
+    joined += line;
+    joined += ' ';
+  }
+  for (const char* container : {"unordered_map", "unordered_set"}) {
+    std::size_t pos = 0;
+    while ((pos = joined.find(container, pos)) != std::string::npos) {
+      std::size_t i = pos + std::string(container).size();
+      pos = i;
+      while (i < joined.size() && joined[i] == ' ') ++i;
+      if (i >= joined.size() || joined[i] != '<') continue;
+      int depth = 0;
+      while (i < joined.size()) {
+        if (joined[i] == '<') ++depth;
+        if (joined[i] == '>') {
+          --depth;
+          if (depth == 0) {
+            ++i;
+            break;
+          }
+        }
+        ++i;
+      }
+      // Skip refs/pointers/qualifiers between the type and the name.
+      for (;;) {
+        while (i < joined.size() &&
+               (joined[i] == ' ' || joined[i] == '&' || joined[i] == '*')) {
+          ++i;
+        }
+        if (joined.compare(i, 5, "const") == 0 &&
+            (i + 5 >= joined.size() || !is_ident(joined[i + 5]))) {
+          i += 5;
+          continue;
+        }
+        break;
+      }
+      std::string name;
+      while (i < joined.size() && is_ident(joined[i])) name += joined[i++];
+      if (!name.empty() &&
+          std::isdigit(static_cast<unsigned char>(name[0])) == 0) {
+        names.insert(name);
+      }
+    }
+  }
+  return names;
+}
+
+void rule_unordered_iter(const std::string& relpath,
+                         const std::vector<std::string>& code,
+                         const std::set<std::string>& names,
+                         const Pragmas& pragmas, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::vector<std::size_t> fors = find_word(code[i], "for");
+    if (fors.empty()) continue;
+    // Join up to 4 lines so a wrapped for-header is still parsed.
+    std::string joined;
+    for (std::size_t j = i; j < code.size() && j < i + 4; ++j) {
+      joined += code[j];
+      joined += ' ';
+    }
+    for (std::size_t start : fors) {
+      std::size_t open = joined.find('(', start);
+      if (open == std::string::npos) continue;
+      int depth = 0;
+      std::size_t close = open;
+      while (close < joined.size()) {
+        if (joined[close] == '(') ++depth;
+        if (joined[close] == ')') {
+          --depth;
+          if (depth == 0) break;
+        }
+        ++close;
+      }
+      if (close >= joined.size()) continue;
+      const std::string header = joined.substr(open + 1, close - open - 1);
+      // Range-for: a top-level ':' that is not part of '::'.
+      std::size_t colon = std::string::npos;
+      int inner = 0;
+      for (std::size_t k = 0; k < header.size(); ++k) {
+        const char c = header[k];
+        if (c == '(' || c == '<' || c == '[') ++inner;
+        if (c == ')' || c == '>' || c == ']') --inner;
+        if (c == ':' && inner == 0) {
+          const bool dbl = (k + 1 < header.size() && header[k + 1] == ':') ||
+                           (k > 0 && header[k - 1] == ':');
+          if (!dbl) {
+            colon = k;
+            break;
+          }
+        }
+      }
+      if (colon == std::string::npos) continue;
+      const std::string range = header.substr(colon + 1);
+      bool hit = range.find("unordered_") != std::string::npos;
+      if (!hit) {
+        std::string ident;
+        for (std::size_t k = 0; k <= range.size(); ++k) {
+          if (k < range.size() && is_ident(range[k])) {
+            ident += range[k];
+          } else {
+            if (!ident.empty() && names.count(ident) != 0) {
+              hit = true;
+              break;
+            }
+            ident.clear();
+          }
+        }
+      }
+      if (hit && !pragmas.allowed(i, "unordered-iter")) {
+        add_finding(out, "unordered-iter", relpath, i,
+                    "iteration over an unordered container — hash order "
+                    "must not reach serialization/aggregation; iterate a "
+                    "sorted view or annotate '// tlclint: ordered — why'",
+                    code);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------
+// Rule: nodiscard-expected
+// --------------------------------------------------------------------
+
+void rule_nodiscard(const std::string& relpath,
+                    const std::vector<std::string>& raw,
+                    const std::vector<std::string>& code,
+                    const Pragmas& pragmas, std::vector<Finding>& out) {
+  const bool is_header = relpath.size() > 4 &&
+                         (relpath.rfind(".hpp") == relpath.size() - 4 ||
+                          relpath.rfind(".h") == relpath.size() - 2);
+  if (!is_header) return;
+  static const std::vector<std::string> kPrefixes = {
+      "[[nodiscard]]", "static", "inline", "virtual",
+      "constexpr",     "friend", "explicit"};
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (pragmas.allowed(i, "nodiscard-expected")) continue;
+    std::string s = trim(code[i]);
+    for (bool stripped = true; stripped;) {
+      stripped = false;
+      for (const std::string& prefix : kPrefixes) {
+        if (starts_with(s, prefix)) {
+          s = trim(s.substr(prefix.size()));
+          stripped = true;
+        }
+      }
+    }
+    std::string rest;
+    if (starts_with(s, "Expected<")) {
+      std::size_t k = 8;
+      int depth = 0;
+      while (k < s.size()) {
+        if (s[k] == '<') ++depth;
+        if (s[k] == '>') {
+          --depth;
+          if (depth == 0) {
+            ++k;
+            break;
+          }
+        }
+        ++k;
+      }
+      if (k >= s.size()) continue;  // type wraps to next line; rare
+      rest = trim(s.substr(k));
+    } else if (starts_with(s, "Status") &&
+               (s.size() == 6 || !is_ident(s[6]))) {
+      rest = trim(s.substr(6));
+    } else {
+      continue;
+    }
+    // `rest` must look like `identifier(` — skips variables, ctors
+    // (`Status(...)`) and out-of-line definitions (`Foo::bar(`).
+    std::string ident;
+    std::size_t k = 0;
+    while (k < rest.size() && is_ident(rest[k])) ident += rest[k++];
+    if (ident.empty() || k >= rest.size() || rest[k] != '(') continue;
+    const bool annotated =
+        raw[i].find("[[nodiscard]]") != std::string::npos ||
+        (i > 0 && raw[i - 1].find("[[nodiscard]]") != std::string::npos);
+    if (!annotated) {
+      add_finding(out, "nodiscard-expected", relpath, i,
+                  "declaration returning Expected/Status without "
+                  "[[nodiscard]] — dropped errors are silent undercharges",
+                  code);
+    }
+  }
+}
+
+// --------------------------------------------------------------------
+// Rule: naked-mutex
+// --------------------------------------------------------------------
+
+bool in_annotated_subsystem(const std::string& relpath) {
+  return starts_with(relpath, "src/fleet/") ||
+         starts_with(relpath, "src/transport/") ||
+         starts_with(relpath, "src/epc/ofcs");
+}
+
+void rule_naked_mutex(const std::string& relpath,
+                      const std::vector<std::string>& code,
+                      const Pragmas& pragmas, std::vector<Finding>& out) {
+  if (!in_annotated_subsystem(relpath)) return;
+  // Longest-first so condition_variable_any wins over its prefix.
+  static const std::vector<std::string> kTokens = {
+      "std::recursive_timed_mutex",
+      "std::condition_variable_any",
+      "std::shared_timed_mutex",
+      "std::condition_variable",
+      "std::recursive_mutex",
+      "std::timed_mutex",
+      "std::shared_mutex",
+      "std::scoped_lock",
+      "std::unique_lock",
+      "std::lock_guard",
+      "std::once_flag",
+      "std::call_once",
+      "std::mutex",
+  };
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (pragmas.allowed(i, "naked-mutex")) continue;
+    for (const std::string& token : kTokens) {
+      if (!find_word(code[i], token).empty()) {
+        add_finding(out, "naked-mutex", relpath, i,
+                    "raw '" + token +
+                        "' in an annotated subsystem — use util::Mutex / "
+                        "MutexLock / CondVar (util/thread_annotations.hpp) "
+                        "so Clang's -Wthread-safety sees the lock",
+                    code);
+        break;
+      }
+    }
+  }
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool lintable_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+}
+
+std::string to_relpath(const fs::path& path, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(path, root, ec);
+  std::string s = (ec || rel.empty()) ? path.string() : rel.generic_string();
+  return s;
+}
+
+}  // namespace
+
+std::string Finding::baseline_key() const {
+  return rule + "|" + file + "|" + snippet;
+}
+
+const std::vector<std::string>& all_rules() {
+  static const std::vector<std::string> kRules = {
+      "wallclock", "float-money", "unordered-iter", "nodiscard-expected",
+      "naked-mutex"};
+  return kRules;
+}
+
+std::vector<Finding> lint_file(const std::string& relpath,
+                               const std::string& contents,
+                               const std::string& sibling_header,
+                               const Options& options) {
+  const std::vector<std::string> raw = split_lines(contents);
+  const std::vector<std::string> code = strip_comments_and_strings(raw);
+  const Pragmas pragmas(raw);
+
+  std::set<std::string> names = unordered_names(code);
+  if (!sibling_header.empty()) {
+    const auto header_code =
+        strip_comments_and_strings(split_lines(sibling_header));
+    for (const std::string& name : unordered_names(header_code)) {
+      names.insert(name);
+    }
+  }
+
+  const auto enabled = [&options](const char* rule) {
+    return options.rules.empty() ||
+           std::find(options.rules.begin(), options.rules.end(), rule) !=
+               options.rules.end();
+  };
+
+  std::vector<Finding> findings;
+  if (enabled("wallclock")) rule_wallclock(relpath, code, pragmas, findings);
+  if (enabled("float-money")) {
+    rule_float_money(relpath, code, pragmas, findings);
+  }
+  if (enabled("unordered-iter")) {
+    rule_unordered_iter(relpath, code, names, pragmas, findings);
+  }
+  if (enabled("nodiscard-expected")) {
+    rule_nodiscard(relpath, raw, code, pragmas, findings);
+  }
+  if (enabled("naked-mutex")) {
+    rule_naked_mutex(relpath, code, pragmas, findings);
+  }
+  return findings;
+}
+
+std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
+                                const Options& options) {
+  const fs::path root = fs::path(options.root);
+  std::vector<fs::path> files;
+  for (const std::string& p : paths) {
+    const fs::path path(p);
+    if (fs::is_directory(path)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file() && lintable_extension(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(path)) {
+      files.push_back(path);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Finding> findings;
+  for (const fs::path& file : files) {
+    std::string sibling;
+    if (file.extension() == ".cpp" || file.extension() == ".cc") {
+      fs::path header = file;
+      header.replace_extension(".hpp");
+      if (fs::exists(header)) sibling = read_file(header);
+    }
+    const std::vector<Finding> file_findings =
+        lint_file(to_relpath(file, root), read_file(file), sibling, options);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings;
+}
+
+std::map<std::string, int> load_baseline(const std::string& path,
+                                         std::string& error) {
+  std::map<std::string, int> baseline;
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open baseline file: " + path;
+    return baseline;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    ++baseline[line];
+  }
+  return baseline;
+}
+
+std::string render_baseline(const std::vector<Finding>& findings) {
+  std::vector<std::string> keys;
+  keys.reserve(findings.size());
+  for (const Finding& f : findings) keys.push_back(f.baseline_key());
+  std::sort(keys.begin(), keys.end());
+  std::ostringstream out;
+  out << "# tlclint suppression baseline.\n"
+      << "# One `rule|file|normalized snippet` per legacy finding; new\n"
+      << "# findings not listed here fail the `static`-labelled ctest.\n"
+      << "# Regenerate (after fixing or consciously accepting findings):\n"
+      << "#   tlclint --root . --write-baseline tools/tlclint/baseline.txt "
+         "src\n";
+  for (const std::string& key : keys) out << key << "\n";
+  return out.str();
+}
+
+std::vector<Finding> subtract_baseline(
+    const std::vector<Finding>& findings,
+    const std::map<std::string, int>& baseline, int& suppressed) {
+  std::map<std::string, int> budget = baseline;
+  std::vector<Finding> fresh;
+  suppressed = 0;
+  for (const Finding& f : findings) {
+    auto it = budget.find(f.baseline_key());
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      ++suppressed;
+    } else {
+      fresh.push_back(f);
+    }
+  }
+  return fresh;
+}
+
+}  // namespace tlclint

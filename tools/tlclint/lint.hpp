@@ -1,0 +1,82 @@
+// tlclint — TLC's repo-native determinism & concurrency linter.
+//
+// Token/line-level (no libclang): fast enough to run as a tier-1 ctest
+// over all of src/, precise enough to enforce the invariants the fleet
+// determinism and settlement-replay tests only *observe*:
+//
+//   wallclock          no std::chrono clocks / time() / rand() /
+//                      std::random_device outside util/rng.* and
+//                      explicitly allowlisted sites (util/walltime.hpp)
+//   float-money        no float/double in charging/money translation
+//                      units (src/charging/, src/core/, src/epc/cdr*)
+//   unordered-iter     no range-for over unordered_{map,set} without an
+//                      ordering pragma — hash order must never reach
+//                      serialization or aggregation
+//   nodiscard-expected Expected<...>/Status-returning declarations must
+//                      be [[nodiscard]]
+//   naked-mutex        fleet/, transport/ and epc/ofcs* must use the
+//                      annotated util::Mutex/MutexLock/CondVar wrappers,
+//                      never raw std::mutex & friends
+//
+// Suppression is two-tier: in-code pragmas for sites that are correct
+// by design (`// tlclint: allow(rule) reason` on the line or the line
+// above; `// tlclint: ordered — reason` for unordered-iter), and a
+// checked-in baseline file for legacy findings, so the lint lands clean
+// and only *new* findings fail CI.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tlclint {
+
+struct Finding {
+  std::string rule;
+  std::string file;  // root-relative, forward slashes
+  int line = 0;      // 1-based
+  std::string message;
+  std::string snippet;  // whitespace-normalized source line
+
+  /// Baseline identity: deliberately excludes the line number so code
+  /// motion above a legacy finding does not resurrect it.
+  [[nodiscard]] std::string baseline_key() const;
+};
+
+struct Options {
+  /// Paths are reported relative to this directory.
+  std::string root = ".";
+  /// Baseline file to subtract (empty = report everything).
+  std::string baseline;
+  /// Rules to run (empty = all).
+  std::vector<std::string> rules;
+};
+
+/// All rule names, in reporting order.
+[[nodiscard]] const std::vector<std::string>& all_rules();
+
+/// Lints one file's contents (exposed for unit tests and the fixture
+/// corpus driver). `relpath` selects the path-scoped rules; `sibling
+/// header` optionally supplies the paired .hpp text so member
+/// declarations are visible when linting a .cpp.
+[[nodiscard]] std::vector<Finding> lint_file(const std::string& relpath,
+                                             const std::string& contents,
+                                             const std::string& sibling_header,
+                                             const Options& options);
+
+/// Walks `paths` (files or directories; .cpp/.cc/.hpp/.h), lints every
+/// file, returns findings sorted by (file, line, rule).
+[[nodiscard]] std::vector<Finding> lint_paths(
+    const std::vector<std::string>& paths, const Options& options);
+
+/// Baseline I/O: a multiset of baseline keys.
+[[nodiscard]] std::map<std::string, int> load_baseline(
+    const std::string& path, std::string& error);
+[[nodiscard]] std::string render_baseline(const std::vector<Finding>& findings);
+
+/// Subtracts the baseline multiset; returns only new findings.
+[[nodiscard]] std::vector<Finding> subtract_baseline(
+    const std::vector<Finding>& findings,
+    const std::map<std::string, int>& baseline, int& suppressed);
+
+}  // namespace tlclint

@@ -1,0 +1,113 @@
+// tlclint CLI. See lint.hpp for the rule catalogue.
+//
+//   tlclint [--root DIR] [--baseline FILE] [--write-baseline FILE]
+//           [--rule NAME]... [--list-rules] PATH...
+//
+// Findings go to stdout as `file:line: [rule] message`; the summary
+// goes to stderr so golden tests can diff stdout alone. Exit 0 when no
+// (new) findings, 1 when findings remain, 2 on usage/IO errors.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: tlclint [--root DIR] [--baseline FILE]\n"
+      "               [--write-baseline FILE] [--rule NAME]... PATH...\n"
+      "       tlclint --list-rules\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tlclint::Options options;
+  std::string write_baseline;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tlclint: %s needs an argument\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      const char* v = next("--root");
+      if (!v) return usage();
+      options.root = v;
+    } else if (arg == "--baseline") {
+      const char* v = next("--baseline");
+      if (!v) return usage();
+      options.baseline = v;
+    } else if (arg == "--write-baseline") {
+      const char* v = next("--write-baseline");
+      if (!v) return usage();
+      write_baseline = v;
+    } else if (arg == "--rule") {
+      const char* v = next("--rule");
+      if (!v) return usage();
+      options.rules.push_back(v);
+    } else if (arg == "--list-rules") {
+      for (const std::string& rule : tlclint::all_rules()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "tlclint: unknown flag %s\n", arg.c_str());
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage();
+
+  const std::vector<tlclint::Finding> all =
+      tlclint::lint_paths(paths, options);
+
+  if (!write_baseline.empty()) {
+    std::ofstream out(write_baseline);
+    if (!out) {
+      std::fprintf(stderr, "tlclint: cannot write %s\n",
+                   write_baseline.c_str());
+      return 2;
+    }
+    out << tlclint::render_baseline(all);
+    std::fprintf(stderr, "tlclint: wrote %zu finding(s) to %s\n", all.size(),
+                 write_baseline.c_str());
+    return 0;
+  }
+
+  std::vector<tlclint::Finding> report = all;
+  int suppressed = 0;
+  if (!options.baseline.empty()) {
+    std::string error;
+    const auto baseline = tlclint::load_baseline(options.baseline, error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "tlclint: %s\n", error.c_str());
+      return 2;
+    }
+    report = tlclint::subtract_baseline(all, baseline, suppressed);
+  }
+
+  for (const tlclint::Finding& f : report) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+    std::printf("    %s\n", f.snippet.c_str());
+  }
+  std::fprintf(stderr,
+               "tlclint: %zu new finding(s), %d suppressed by baseline\n",
+               report.size(), suppressed);
+  return report.empty() ? 0 : 1;
+}
