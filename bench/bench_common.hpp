@@ -4,6 +4,8 @@
 // directory executes in minutes) and accepts:
 //   --full        paper-scale sweeps (longer cycles, more repetitions)
 //   --seed=N      experiment seed
+//   --json=PATH   also write machine-readable results to PATH (benches
+//                 that support it; consumed by the bench_report target)
 #pragma once
 
 #include <cstdio>
@@ -20,6 +22,7 @@ namespace tlc::bench {
 struct BenchOptions {
   bool full = false;
   std::uint64_t seed = 1;
+  std::string json_path;  // empty = human-readable output only
 
   /// Charging cycle length for testbed sweeps.
   [[nodiscard]] SimTime cycle_length() const {
@@ -41,8 +44,10 @@ inline BenchOptions parse_options(int argc, char** argv) {
       options.full = true;
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       options.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      options.json_path = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--full] [--seed=N]\n", argv[0]);
+      std::printf("usage: %s [--full] [--seed=N] [--json=PATH]\n", argv[0]);
       std::exit(0);
     }
   }

@@ -7,6 +7,7 @@
 
 #include "core/protocol.hpp"
 #include "core/verifier.hpp"
+#include "crypto/montgomery.hpp"
 #include "crypto/rsa.hpp"
 #include "crypto/sha256.hpp"
 #include "util/rng.hpp"
@@ -44,6 +45,25 @@ void BM_Sha256(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+// The primitive under everything below: one CIOS Montgomery multiply
+// at the modulus width sign/verify use.
+void BM_MontgomeryMul1024(benchmark::State& state) {
+  Rng rng(7);
+  const crypto::BigUInt n = op_kp().public_key.n;
+  const auto ctx = crypto::MontgomeryContext::create(n);
+  const crypto::MontgomeryContext::Rep a =
+      ctx->to_mont(crypto::BigUInt::random_below(n, rng));
+  const crypto::MontgomeryContext::Rep b =
+      ctx->to_mont(crypto::BigUInt::random_below(n, rng));
+  crypto::MontgomeryContext::Rep out;
+  crypto::MontgomeryContext::Rep scratch;
+  for (auto _ : state) {
+    ctx->mul(a, b, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MontgomeryMul1024);
 
 void BM_RsaSign1024(benchmark::State& state) {
   const Bytes message = bytes_of("charging record");

@@ -27,6 +27,45 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+struct Row {
+  unsigned threads;
+  double wall_seconds;
+  double ues_per_second;
+  double settlements_per_second;
+  double speedup;
+};
+
+/// Machine-readable sidecar for the bench_report target. Deliberately
+/// timestamp-free: the report layer stamps results so reruns of the
+/// same build produce byte-comparable files.
+void write_json(const std::string& path, const fleet::FleetConfig& config,
+                const std::vector<Row>& rows, bool digests_agree) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_fleet_scale: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"fleet_scale\",\n"
+               "  \"ue_count\": %d,\n  \"shards\": %d,\n"
+               "  \"rsa_bits\": %zu,\n  \"digests_identical\": %s,\n"
+               "  \"rows\": [\n",
+               config.ue_count, config.shards, config.rsa_bits,
+               digests_agree ? "true" : "false");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(f,
+                 "    {\"threads\": %u, \"wall_seconds\": %.3f, "
+                 "\"ues_per_second\": %.1f, \"settlements_per_second\": %.1f, "
+                 "\"speedup\": %.2f}%s\n",
+                 row.threads, row.wall_seconds, row.ues_per_second,
+                 row.settlements_per_second, row.speedup,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 fleet::FleetConfig fleet_config(const BenchOptions& options,
                                 unsigned threads) {
   fleet::FleetConfig config;
@@ -57,6 +96,7 @@ int run(const BenchOptions& options) {
   std::string reference_digest;
   double reference_wall = 0.0;
   bool digests_agree = true;
+  std::vector<Row> rows;
   for (unsigned threads : {1u, 2u, 4u, 8u}) {
     const fleet::FleetConfig config = fleet_config(options, threads);
     const auto start = Clock::now();
@@ -72,14 +112,20 @@ int run(const BenchOptions& options) {
     } else if (digest != reference_digest) {
       digests_agree = false;
     }
-    std::printf("%8u %12.2f %14.1f %18.1f %9.2fx\n", threads, wall,
-                config.ue_count / wall,
-                static_cast<double>(result.receipts.size()) / wall,
-                reference_wall / wall);
+    const Row row{threads, wall, config.ue_count / wall,
+                  static_cast<double>(result.receipts.size()) / wall,
+                  reference_wall / wall};
+    rows.push_back(row);
+    std::printf("%8u %12.2f %14.1f %18.1f %9.2fx\n", row.threads,
+                row.wall_seconds, row.ues_per_second,
+                row.settlements_per_second, row.speedup);
   }
 
   std::printf("\ndeterminism: digests %s across thread counts\n",
               digests_agree ? "IDENTICAL" : "DIVERGED");
+  if (!options.json_path.empty()) {
+    write_json(options.json_path, probe, rows, digests_agree);
+  }
   return digests_agree ? 0 : 1;
 }
 

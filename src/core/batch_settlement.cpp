@@ -22,6 +22,9 @@ RsaKeyCache::RsaKeyCache(std::size_t modulus_bits, std::size_t slots,
     Rng op_rng = sim::stream_rng(seed, 2 * i + 1);
     edge_keys_.push_back(crypto::rsa_generate(modulus_bits, edge_rng));
     op_keys_.push_back(crypto::rsa_generate(modulus_bits, op_rng));
+    // rsa_generate warms the Montgomery contexts, so the slots handed
+    // out below are read-only from here on — workers on any thread
+    // share them without ever racing a lazy rebuild.
   }
 }
 

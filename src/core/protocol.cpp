@@ -32,6 +32,12 @@ ProtocolEndpoint::ProtocolEndpoint(EndpointConfig config, Strategy& strategy,
                                    Rng rng)
     : config_(std::move(config)), strategy_(strategy), rng_(rng) {
   if (!config_.crypto_clock) config_.crypto_clock = util::monotonic_nanos;
+  // Endpoints sign/verify on every round: warm the keys' Montgomery
+  // contexts up front (no-op when the keys came from rsa_generate or
+  // deserialize, which already carry them).
+  config_.own_private.precompute();
+  config_.own_public.precompute();
+  config_.peer_public.precompute();
 }
 
 RoundContext ProtocolEndpoint::make_context() const {

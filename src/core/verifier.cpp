@@ -9,12 +9,18 @@ Expected<VerifiedCharge> verify_poc(const VerificationRequest& request) {
   auto poc = decode_signed_poc(request.poc_wire);
   if (!poc) return Err(poc.error());
 
+  // Inherit (or warm, for hand-built keys) the Montgomery contexts
+  // once per PoC: the three nested signature checks below share them.
+  // Copies of an already-precomputed key share its context for free.
+  crypto::RsaPublicKey operator_key = request.operator_key;
+  crypto::RsaPublicKey edge_key = request.edge_key;
+  operator_key.precompute();
+  edge_key.precompute();
+
   const crypto::RsaPublicKey& constructor_key =
-      poc->body.sender == PartyRole::Operator ? request.operator_key
-                                              : request.edge_key;
+      poc->body.sender == PartyRole::Operator ? operator_key : edge_key;
   const crypto::RsaPublicKey& acceptor_key =
-      poc->body.sender == PartyRole::Operator ? request.edge_key
-                                              : request.operator_key;
+      poc->body.sender == PartyRole::Operator ? edge_key : operator_key;
 
   if (auto s = verify_signed_poc(*poc, constructor_key); !s) {
     return Err("poc signature: " + s.error());

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "crypto/montgomery.hpp"
+
 namespace tlc::crypto {
 namespace {
 
@@ -59,11 +61,21 @@ Bytes BigUInt::to_bytes() const {
   return out;
 }
 
-Bytes BigUInt::to_bytes_padded(std::size_t size) const {
+Expected<Bytes> BigUInt::to_bytes_padded(std::size_t size) const {
   Bytes minimal = to_bytes();
-  assert(minimal.size() <= size);
+  if (minimal.size() > size) {
+    return Err("BigUInt: value needs " + std::to_string(minimal.size()) +
+               " bytes, field holds " + std::to_string(size));
+  }
   Bytes out(size - minimal.size(), 0x00);
   out.insert(out.end(), minimal.begin(), minimal.end());
+  return out;
+}
+
+BigUInt BigUInt::from_limbs(std::vector<std::uint32_t> limbs) {
+  BigUInt out;
+  out.limbs_ = std::move(limbs);
+  out.trim();
   return out;
 }
 
@@ -173,20 +185,29 @@ BigUInt BigUInt::operator-(const BigUInt& o) const {
 }
 
 BigUInt BigUInt::operator*(const BigUInt& o) const {
-  if (is_zero() || o.is_zero()) return BigUInt{};
   BigUInt out;
-  out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
-  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+  mul_into(*this, o, out);
+  return out;
+}
+
+void BigUInt::mul_into(const BigUInt& a, const BigUInt& b, BigUInt& out) {
+  assert(&out != &a && &out != &b && "mul_into output must not alias");
+  if (a.is_zero() || b.is_zero()) {
+    out.limbs_.clear();
+    return;
+  }
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
     std::uint64_t carry = 0;
-    const std::uint64_t a = limbs_[i];
-    for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
+    const std::uint64_t ai = a.limbs_[i];
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
       const std::uint64_t cur =
-          static_cast<std::uint64_t>(out.limbs_[i + j]) + a * o.limbs_[j] +
+          static_cast<std::uint64_t>(out.limbs_[i + j]) + ai * b.limbs_[j] +
           carry;
       out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
       carry = cur >> 32;
     }
-    std::size_t k = i + o.limbs_.size();
+    std::size_t k = i + b.limbs_.size();
     while (carry != 0) {
       const std::uint64_t cur = out.limbs_[k] + carry;
       out.limbs_[k] = static_cast<std::uint32_t>(cur);
@@ -195,7 +216,10 @@ BigUInt BigUInt::operator*(const BigUInt& o) const {
     }
   }
   out.trim();
-  return out;
+}
+
+void BigUInt::square_into(const BigUInt& a, BigUInt& out) {
+  mul_into(a, a, out);
 }
 
 BigUInt BigUInt::operator<<(std::size_t bits) const {
@@ -337,16 +361,40 @@ BigUInt BigUInt::mod_exp(const BigUInt& exponent,
                          const BigUInt& modulus) const {
   assert(!modulus.is_zero());
   if (modulus == BigUInt{1}) return BigUInt{};
+  if (modulus.is_odd()) {
+    auto ctx = MontgomeryContext::create(modulus);
+    assert(ctx);  // odd modulus > 1 always succeeds
+    return ctx->mod_exp(*this, exponent);
+  }
+  return mod_exp_slow(exponent, modulus);
+}
+
+BigUInt BigUInt::mod_exp_slow(const BigUInt& exponent,
+                              const BigUInt& modulus) const {
+  assert(!modulus.is_zero());
+  if (modulus == BigUInt{1}) return BigUInt{};
   BigUInt result{1};
   BigUInt base = *this % modulus;
+  BigUInt product;  // reused across iterations (mul_into, no churn)
   const std::size_t bits = exponent.bit_length();
   for (std::size_t i = 0; i < bits; ++i) {
     if (exponent.bit(i)) {
-      result = (result * base) % modulus;
+      mul_into(result, base, product);
+      result = product % modulus;
     }
-    base = (base * base) % modulus;
+    square_into(base, product);
+    base = product % modulus;
   }
   return result;
+}
+
+std::uint32_t BigUInt::mod_u32(std::uint32_t divisor) const {
+  assert(divisor != 0);
+  std::uint64_t rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    rem = ((rem << 32) | limbs_[i]) % divisor;
+  }
+  return static_cast<std::uint32_t>(rem);
 }
 
 BigUInt BigUInt::gcd(BigUInt a, BigUInt b) {

@@ -1,11 +1,12 @@
 // Arbitrary-precision unsigned integers for RSA.
 //
 // Little-endian base-2^32 limbs. Implements schoolbook multiplication,
-// Knuth Algorithm D division (needed for fast 1024-bit modular
-// exponentiation), square-and-multiply modexp, binary GCD and the
-// extended Euclidean modular inverse. Performance is adequate for the
-// paper's workload (Fig 17: hundreds of thousands of PoC verifications
-// per hour on one workstation).
+// Knuth Algorithm D division, GCD and the extended Euclidean modular
+// inverse. Modular exponentiation dispatches to the Montgomery CIOS
+// fast path (crypto/montgomery.hpp) whenever the modulus is odd — the
+// division-based square-and-multiply survives as `mod_exp_slow`, the
+// reference implementation for even moduli and for the known-answer
+// cross-checks in tests.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "util/bytes.hpp"
+#include "util/expected.hpp"
 #include "util/rng.hpp"
 
 namespace tlc::crypto {
@@ -33,9 +35,17 @@ class BigUInt {
   [[nodiscard]] static BigUInt from_bytes(const Bytes& big_endian);
   /// Minimal big-endian encoding (empty for zero).
   [[nodiscard]] Bytes to_bytes() const;
-  /// Big-endian encoding zero-padded on the left to exactly `size` bytes;
-  /// values wider than `size` are an error (asserts).
-  [[nodiscard]] Bytes to_bytes_padded(std::size_t size) const;
+  /// Big-endian encoding zero-padded on the left to exactly `size`
+  /// bytes. Errors (instead of aborting) when the value is wider than
+  /// `size` — a corrupt blob must not take down a verifier.
+  [[nodiscard]] Expected<Bytes> to_bytes_padded(std::size_t size) const;
+
+  /// Raw little-endian limbs (no trailing zero limbs; empty for zero).
+  [[nodiscard]] const std::vector<std::uint32_t>& limbs() const {
+    return limbs_;
+  }
+  /// Adopts a little-endian limb vector (trailing zeros are trimmed).
+  [[nodiscard]] static BigUInt from_limbs(std::vector<std::uint32_t> limbs);
 
   /// Uniformly random value with exactly `bits` bits (top bit set).
   [[nodiscard]] static BigUInt random_with_bits(std::size_t bits, Rng& rng);
@@ -79,14 +89,34 @@ class BigUInt {
   [[nodiscard]] BigUInt operator<<(std::size_t bits) const;
   [[nodiscard]] BigUInt operator>>(std::size_t bits) const;
 
+  /// Pre-sizes the limb buffer (hot paths that build values limb by
+  /// limb avoid incremental reallocation).
+  void reserve(std::size_t limb_capacity) { limbs_.reserve(limb_capacity); }
+
+  /// out = a * b, reusing out's buffer (no allocation once out has
+  /// capacity). out must not alias a or b.
+  static void mul_into(const BigUInt& a, const BigUInt& b, BigUInt& out);
+  /// out = a * a; same contract as mul_into.
+  static void square_into(const BigUInt& a, BigUInt& out);
+
   /// Knuth Algorithm D. Divisor must be non-zero (asserts).
   [[nodiscard]] DivMod divmod(const BigUInt& divisor) const;
   [[nodiscard]] BigUInt operator/(const BigUInt& o) const;
   [[nodiscard]] BigUInt operator%(const BigUInt& o) const;
 
-  /// (this ^ exponent) mod modulus, square-and-multiply. modulus > 0.
+  /// Remainder modulo a machine word (no allocation). divisor != 0.
+  [[nodiscard]] std::uint32_t mod_u32(std::uint32_t divisor) const;
+
+  /// (this ^ exponent) mod modulus. modulus > 0. Odd moduli run the
+  /// division-free Montgomery fast path (crypto/montgomery.hpp); even
+  /// moduli fall back to mod_exp_slow. Results are identical.
   [[nodiscard]] BigUInt mod_exp(const BigUInt& exponent,
                                 const BigUInt& modulus) const;
+
+  /// Schoolbook square-and-multiply with a full division per step —
+  /// the retained reference implementation mod_exp is checked against.
+  [[nodiscard]] BigUInt mod_exp_slow(const BigUInt& exponent,
+                                     const BigUInt& modulus) const;
 
   /// Greatest common divisor.
   [[nodiscard]] static BigUInt gcd(BigUInt a, BigUInt b);

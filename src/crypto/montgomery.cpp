@@ -1,0 +1,212 @@
+#include "crypto/montgomery.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace tlc::crypto {
+namespace {
+
+using DoubleLimb = unsigned __int128;
+
+/// -n0^{-1} mod 2^64 for odd n0, by Newton-Hensel lifting: x = n0 is
+/// an inverse mod 2^3 (odd squares are 1 mod 8), and every iteration
+/// doubles the number of correct low bits, so five reach 96 >= 64.
+std::uint64_t neg_inverse_u64(std::uint64_t n0) {
+  std::uint64_t x = n0;
+  for (int i = 0; i < 5; ++i) {
+    x *= 2u - n0 * x;
+  }
+  return ~x + 1u;
+}
+
+/// Packs base-2^32 BigUInt limbs into `k` base-2^64 words.
+MontgomeryContext::Rep pack_limbs(const std::vector<std::uint32_t>& limbs32,
+                                  std::size_t k) {
+  MontgomeryContext::Rep out(k, 0);
+  for (std::size_t i = 0; i < limbs32.size(); ++i) {
+    out[i / 2] |= static_cast<std::uint64_t>(limbs32[i]) << (32 * (i % 2));
+  }
+  return out;
+}
+
+/// Inverse of pack_limbs (trailing zero halves are fine: BigUInt
+/// normalizes on construction).
+std::vector<std::uint32_t> unpack_limbs(const MontgomeryContext::Rep& limbs64) {
+  std::vector<std::uint32_t> out(limbs64.size() * 2);
+  for (std::size_t i = 0; i < limbs64.size(); ++i) {
+    out[2 * i] = static_cast<std::uint32_t>(limbs64[i]);
+    out[2 * i + 1] = static_cast<std::uint32_t>(limbs64[i] >> 32);
+  }
+  return out;
+}
+
+}  // namespace
+
+Expected<MontgomeryContext> MontgomeryContext::create(const BigUInt& modulus) {
+  if (modulus.is_zero() || !modulus.is_odd()) {
+    return Err("montgomery: modulus must be odd and non-zero");
+  }
+  if (modulus == BigUInt{1}) {
+    return Err("montgomery: modulus must exceed 1");
+  }
+  MontgomeryContext ctx;
+  ctx.modulus_ = modulus;
+  const std::size_t k = (modulus.limbs().size() + 1) / 2;
+  ctx.n_ = pack_limbs(modulus.limbs(), k);
+  ctx.n_prime_ = neg_inverse_u64(ctx.n_[0]);
+  // R = 2^(64k). One Algorithm D division each for R mod n and
+  // R^2 mod n at construction buys a division-free inner loop forever.
+  const BigUInt r = (BigUInt{1} << (64 * k)) % modulus;
+  const BigUInt r2 = (r * r) % modulus;
+  ctx.r_mod_n_ = pack_limbs(r.limbs(), k);
+  ctx.r2_mod_n_ = pack_limbs(r2.limbs(), k);
+  return ctx;
+}
+
+MontgomeryContext::Rep MontgomeryContext::pack(const BigUInt& x) const {
+  assert(x < modulus_);
+  return pack_limbs(x.limbs(), n_.size());
+}
+
+void MontgomeryContext::mul(const Rep& a, const Rep& b, Rep& out,
+                            Rep& scratch) const {
+  const std::size_t k = n_.size();
+  assert(a.size() == k && b.size() == k);
+  // CIOS (Koc/Acar/Kaliski): interleave the multiply limbs with the
+  // reduction limbs so the running total t never exceeds k + 2 limbs.
+  scratch.assign(k + 2, 0);
+  std::uint64_t* t = scratch.data();
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint64_t ai = a[i];
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const DoubleLimb cur =
+          t[j] + static_cast<DoubleLimb>(ai) * b[j] + carry;
+      t[j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    const DoubleLimb top = static_cast<DoubleLimb>(t[k]) + carry;
+    t[k] = static_cast<std::uint64_t>(top);
+    t[k + 1] = static_cast<std::uint64_t>(top >> 64);
+
+    const std::uint64_t m = t[0] * n_prime_;
+    DoubleLimb cur = t[0] + static_cast<DoubleLimb>(m) * n_[0];
+    carry = static_cast<std::uint64_t>(cur >> 64);
+    for (std::size_t j = 1; j < k; ++j) {
+      cur = t[j] + static_cast<DoubleLimb>(m) * n_[j] + carry;
+      t[j - 1] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    cur = static_cast<DoubleLimb>(t[k]) + carry;
+    t[k - 1] = static_cast<std::uint64_t>(cur);
+    t[k] = t[k + 1] + static_cast<std::uint64_t>(cur >> 64);
+    t[k + 1] = 0;
+  }
+
+  // t is in [0, 2n): one conditional subtraction finishes the reduce.
+  bool subtract = t[k] != 0;
+  if (!subtract) {
+    subtract = true;
+    for (std::size_t i = k; i-- > 0;) {
+      if (t[i] != n_[i]) {
+        subtract = t[i] > n_[i];
+        break;
+      }
+    }
+  }
+  out.resize(k);
+  if (subtract) {
+    std::uint64_t borrow = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const DoubleLimb diff =
+          static_cast<DoubleLimb>(t[i]) - n_[i] - borrow;
+      out[i] = static_cast<std::uint64_t>(diff);
+      borrow = static_cast<std::uint64_t>(diff >> 64) & 1u;
+    }
+  } else {
+    std::copy(t, t + k, out.begin());
+  }
+}
+
+void MontgomeryContext::square(const Rep& a, Rep& out, Rep& scratch) const {
+  mul(a, a, out, scratch);
+}
+
+MontgomeryContext::Rep MontgomeryContext::to_mont(const BigUInt& x) const {
+  const Rep xr = (x < modulus_) ? pack(x) : pack(x % modulus_);
+  Rep out;
+  Rep scratch;
+  mul(xr, r2_mod_n_, out, scratch);
+  return out;
+}
+
+BigUInt MontgomeryContext::from_mont(const Rep& a) const {
+  Rep one_literal(n_.size(), 0);
+  one_literal[0] = 1;
+  Rep out;
+  Rep scratch;
+  mul(a, one_literal, out, scratch);
+  return BigUInt::from_limbs(unpack_limbs(out));
+}
+
+BigUInt MontgomeryContext::mod_exp(const BigUInt& base,
+                                   const BigUInt& exponent) const {
+  const std::size_t bits = exponent.bit_length();
+  if (bits == 0) return BigUInt{1};  // modulus > 1, so 1 mod n == 1
+  const Rep base_mont = to_mont(base);
+
+  // Window width by exponent size: squarings dominate either way, the
+  // window only trades table-build multiplies against scan multiplies.
+  std::size_t w = 1;
+  if (bits >= 512) {
+    w = 5;
+  } else if (bits >= 128) {
+    w = 4;
+  } else if (bits >= 24) {
+    w = 3;
+  } else if (bits >= 8) {
+    w = 2;
+  }
+
+  Rep scratch;
+  std::vector<Rep> table(std::size_t{1} << w);
+  table[0] = one();
+  table[1] = base_mont;
+  for (std::size_t i = 2; i < table.size(); ++i) {
+    mul(table[i - 1], base_mont, table[i], scratch);
+  }
+
+  const std::size_t windows = (bits + w - 1) / w;
+  Rep acc;
+  for (std::size_t win = windows; win-- > 0;) {
+    std::size_t digit = 0;
+    for (std::size_t bit = w; bit-- > 0;) {
+      digit = (digit << 1) | (exponent.bit(win * w + bit) ? 1u : 0u);
+    }
+    if (win + 1 == windows) {
+      // Top window holds the exponent's leading set bit, so digit != 0.
+      acc = table[digit];
+      continue;
+    }
+    for (std::size_t s = 0; s < w; ++s) square(acc, acc, scratch);
+    if (digit != 0) mul(acc, table[digit], acc, scratch);
+  }
+  return from_mont(acc);
+}
+
+BigUInt MontgomeryContext::mod_exp_sparse(const BigUInt& base,
+                                          const BigUInt& exponent) const {
+  const std::size_t bits = exponent.bit_length();
+  if (bits == 0) return BigUInt{1};
+  const Rep base_mont = to_mont(base);
+  Rep acc = base_mont;
+  Rep scratch;
+  for (std::size_t i = bits - 1; i-- > 0;) {
+    square(acc, acc, scratch);
+    if (exponent.bit(i)) mul(acc, base_mont, acc, scratch);
+  }
+  return from_mont(acc);
+}
+
+}  // namespace tlc::crypto

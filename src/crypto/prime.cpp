@@ -1,6 +1,9 @@
 #include "crypto/prime.hpp"
 
 #include <array>
+#include <cassert>
+
+#include "crypto/montgomery.hpp"
 
 namespace tlc::crypto {
 namespace {
@@ -20,13 +23,20 @@ constexpr std::array<std::uint32_t, 168> kSmallPrimes = {
     811, 821, 823, 827, 829, 839, 853, 857, 859, 863, 877, 881, 883, 887,
     907, 911, 919, 929, 937, 941, 947, 953, 967, 971, 977, 983, 991, 997};
 
-bool divisible_by_small_prime(const BigUInt& n) {
+/// Trial-division classification: IsSmallPrime when n equals a sieve
+/// entry, HasSmallFactor when one divides it, Unknown otherwise.
+/// Single-limb remainders (mod_u32) keep this allocation-free — it runs
+/// on every keygen candidate before any Miller-Rabin round.
+enum class SieveResult : std::uint8_t { Unknown, IsSmallPrime, HasSmallFactor };
+
+SieveResult sieve_check(const BigUInt& n) {
+  const bool single_limb = n.bit_length() <= 32;
+  const std::uint64_t low = n.low_u64();
   for (std::uint32_t p : kSmallPrimes) {
-    const BigUInt prime{p};
-    if (n == prime) return false;  // n IS a small prime, not divisible
-    if ((n % prime).is_zero()) return true;
+    if (single_limb && low == p) return SieveResult::IsSmallPrime;
+    if (n.mod_u32(p) == 0) return SieveResult::HasSmallFactor;
   }
-  return false;
+  return SieveResult::Unknown;
 }
 
 }  // namespace
@@ -37,10 +47,13 @@ bool is_probable_prime(const BigUInt& n, Rng& rng, std::size_t rounds) {
   if (n < two) return false;
   if (n == two) return true;
   if (!n.is_odd()) return false;
-  for (std::uint32_t p : kSmallPrimes) {
-    const BigUInt prime{p};
-    if (n == prime) return true;
-    if ((n % prime).is_zero()) return false;
+  switch (sieve_check(n)) {
+    case SieveResult::IsSmallPrime:
+      return true;
+    case SieveResult::HasSmallFactor:
+      return false;
+    case SieveResult::Unknown:
+      break;
   }
 
   // Write n - 1 = d * 2^r with d odd.
@@ -52,16 +65,27 @@ bool is_probable_prime(const BigUInt& n, Rng& rng, std::size_t rounds) {
     ++r;
   }
 
+  // One Montgomery context per candidate serves every witness round:
+  // the a^d exponentiations and the squaring chain below all run
+  // division-free. Values stay in Montgomery form through the chain
+  // (the form is a bijection, so comparing against mont(n-1) is exact).
+  auto ctx = MontgomeryContext::create(n);
+  assert(ctx);  // n is odd and > 2 here
+  const MontgomeryContext::Rep minus_one_mont = ctx->to_mont(n_minus_1);
+  MontgomeryContext::Rep x_mont;
+  MontgomeryContext::Rep scratch;
+
   const BigUInt n_minus_3 = n - BigUInt{3};
   for (std::size_t round = 0; round < rounds; ++round) {
     // Random base a in [2, n - 2].
     const BigUInt a = BigUInt::random_below(n_minus_3, rng) + two;
-    BigUInt x = a.mod_exp(d, n);
+    const BigUInt x = ctx->mod_exp(a, d);
     if (x == one || x == n_minus_1) continue;
+    x_mont = ctx->to_mont(x);
     bool composite = true;
     for (std::size_t i = 0; i + 1 < r; ++i) {
-      x = (x * x) % n;
-      if (x == n_minus_1) {
+      ctx->square(x_mont, x_mont, scratch);
+      if (x_mont == minus_one_mont) {
         composite = false;
         break;
       }
@@ -81,7 +105,7 @@ BigUInt generate_prime(std::size_t bits, Rng& rng,
     if (!candidate.is_odd()) {
       candidate = candidate + one;
     }
-    if (divisible_by_small_prime(candidate)) continue;
+    if (sieve_check(candidate) == SieveResult::HasSmallFactor) continue;
     if (require_coprime_e != 0) {
       const BigUInt p_minus_1 = candidate - one;
       if (BigUInt::gcd(p_minus_1, e) != one) continue;

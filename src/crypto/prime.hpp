@@ -2,6 +2,10 @@
 //
 // Miller-Rabin with trial division by small primes first. Rounds follow
 // FIPS 186-4 guidance (enough for the 512-bit factors of RSA-1024).
+// Each candidate gets one Montgomery context (DESIGN.md §10): the
+// witness exponentiations and squaring chains run division-free, and
+// trial division uses single-limb remainders — no BigUInt divisions at
+// all on the reject path.
 #pragma once
 
 #include <cstddef>

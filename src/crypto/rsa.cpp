@@ -1,6 +1,7 @@
 #include "crypto/rsa.hpp"
 
 #include <cassert>
+#include <utility>
 
 #include "crypto/prime.hpp"
 #include "crypto/sha256.hpp"
@@ -35,7 +36,26 @@ Expected<Bytes> emsa_pkcs1_encode(const Bytes& message, std::size_t em_len) {
   return em;
 }
 
+/// Builds a shared Montgomery context for `modulus` into `slot` if the
+/// modulus supports one (odd, > 1) and the slot is still empty.
+void build_context(const BigUInt& modulus,
+                   std::shared_ptr<const MontgomeryContext>& slot) {
+  if (slot || modulus.is_zero() || !modulus.is_odd()) return;
+  auto ctx = MontgomeryContext::create(modulus);
+  if (ctx) {
+    slot = std::make_shared<const MontgomeryContext>(std::move(*ctx));
+  }
+}
+
 }  // namespace
+
+void RsaPublicKey::precompute() { build_context(n, mont_n); }
+
+void RsaPrivateKey::precompute() {
+  build_context(p, mont_p);
+  build_context(q, mont_q);
+  build_context(n, mont_n);
+}
 
 Bytes RsaPublicKey::serialize() const {
   ByteWriter writer;
@@ -56,6 +76,9 @@ Expected<RsaPublicKey> RsaPublicKey::deserialize(const Bytes& data) {
   if (key.n.is_zero() || key.e.is_zero()) {
     return Err("rsa pubkey: zero modulus or exponent");
   }
+  // Deserialization happens at key-pinning time, never per message —
+  // pay for the Montgomery context here so every later verify is free.
+  key.precompute();
   return key;
 }
 
@@ -68,12 +91,16 @@ std::string RsaPublicKey::fingerprint_hex() const {
 
 BigUInt RsaPrivateKey::private_op(const BigUInt& m) const {
   if (p.is_zero() || q.is_zero()) {
-    return m.mod_exp(d, n);  // no CRT parameters available
+    // No CRT parameters: full-size exponentiation (cached context when
+    // the key was precomputed; mod_exp builds its own otherwise).
+    return mont_n ? mont_n->mod_exp(m, d) : m.mod_exp(d, n);
   }
-  // Garner's CRT recombination.
-  const BigUInt m1 = (m % p).mod_exp(d_p, p);
-  const BigUInt m2 = (m % q).mod_exp(d_q, q);
-  // h = q_inv * (m1 - m2) mod p  (lift m2 into p's residue ring first).
+  // CRT: two half-size fixed-window exponentiations (≈4x the work of
+  // one at half the width each), through the cached per-prime contexts.
+  const BigUInt m1 = mont_p ? mont_p->mod_exp(m, d_p) : (m % p).mod_exp(d_p, p);
+  const BigUInt m2 = mont_q ? mont_q->mod_exp(m, d_q) : (m % q).mod_exp(d_q, q);
+  // Garner's recombination: h = q_inv * (m1 - m2) mod p (lift m2 into
+  // p's residue ring first).
   const BigUInt m2_mod_p = m2 % p;
   BigUInt diff;
   if (m1 >= m2_mod_p) {
@@ -81,8 +108,11 @@ BigUInt RsaPrivateKey::private_op(const BigUInt& m) const {
   } else {
     diff = (m1 + p) - m2_mod_p;
   }
-  const BigUInt h = (q_inv * diff) % p;
-  return m2 + q * h;
+  BigUInt product;
+  BigUInt::mul_into(q_inv, diff, product);
+  const BigUInt h = product % p;
+  BigUInt::mul_into(q, h, product);
+  return m2 + product;
 }
 
 RsaKeyPair rsa_generate(std::size_t bits, Rng& rng) {
@@ -110,7 +140,8 @@ RsaKeyPair rsa_generate(std::size_t bits, Rng& rng) {
     if (!d) continue;  // gcd(e, lambda) != 1; extremely unlikely
 
     RsaKeyPair pair;
-    pair.public_key = RsaPublicKey{n, e};
+    pair.public_key.n = n;
+    pair.public_key.e = e;
     pair.private_key.n = n;
     pair.private_key.d = *d;
     pair.private_key.p = p;
@@ -120,6 +151,11 @@ RsaKeyPair rsa_generate(std::size_t bits, Rng& rng) {
     auto q_inv = q.mod_inverse(p);
     assert(q_inv);  // p, q distinct primes
     pair.private_key.q_inv = *q_inv;
+    // Warm the Montgomery caches once here so every sign/verify this
+    // key ever performs starts division-free (RsaKeyCache slots are
+    // generated once and then shared read-only across fleet workers).
+    pair.public_key.precompute();
+    pair.private_key.precompute();
     return pair;
   }
 }
@@ -130,7 +166,9 @@ Bytes rsa_sign(const RsaPrivateKey& key, const Bytes& message) {
   assert(em && "modulus below minimum signing size");
   const BigUInt m = BigUInt::from_bytes(*em);
   const BigUInt s = key.private_op(m);
-  return s.to_bytes_padded(k);
+  auto padded = s.to_bytes_padded(k);
+  assert(padded && "RSA result wider than the modulus");
+  return std::move(*padded);
 }
 
 Status rsa_verify(const RsaPublicKey& key, const Bytes& message,
@@ -143,11 +181,23 @@ Status rsa_verify(const RsaPublicKey& key, const Bytes& message,
   if (s >= key.n) {
     return Err("rsa_verify: signature out of range");
   }
-  const BigUInt m = s.mod_exp(key.e, key.n);
-  const Bytes recovered = m.to_bytes_padded(k);
+  // Public exponents are sparse (e = 65537 has two set bits), so the
+  // square-always/multiply-on-set-bits path beats a window table; an
+  // uncached key builds a throwaway context (two divisions) rather
+  // than falling back to division-per-step arithmetic.
+  BigUInt m;
+  if (key.mont_n) {
+    m = key.mont_n->mod_exp_sparse(s, key.e);
+  } else if (auto ctx = MontgomeryContext::create(key.n)) {
+    m = ctx->mod_exp_sparse(s, key.e);
+  } else {
+    m = s.mod_exp(key.e, key.n);
+  }
+  auto recovered = m.to_bytes_padded(k);
+  if (!recovered) return Err("rsa_verify: " + recovered.error());
   auto expected = emsa_pkcs1_encode(message, k);
   if (!expected) return Err(expected.error());
-  if (!constant_time_equal(recovered, *expected)) {
+  if (!constant_time_equal(*recovered, *expected)) {
     return Err("rsa_verify: digest mismatch");
   }
   return Status::Ok();
@@ -176,7 +226,8 @@ Expected<Bytes> rsa_encrypt(const RsaPublicKey& key, const Bytes& payload,
   em.insert(em.end(), payload.begin(), payload.end());
 
   const BigUInt m = BigUInt::from_bytes(em);
-  const BigUInt c = m.mod_exp(key.e, key.n);
+  const BigUInt c = key.mont_n ? key.mont_n->mod_exp_sparse(m, key.e)
+                               : m.mod_exp(key.e, key.n);
   return c.to_bytes_padded(k);
 }
 
@@ -190,7 +241,9 @@ Expected<Bytes> rsa_decrypt(const RsaPrivateKey& key, const Bytes& ciphertext) {
     return Err("rsa_decrypt: ciphertext out of range");
   }
   const BigUInt m = key.private_op(c);
-  const Bytes em = m.to_bytes_padded(k);
+  auto padded = m.to_bytes_padded(k);
+  if (!padded) return Err("rsa_decrypt: " + padded.error());
+  const Bytes& em = *padded;
   if (em.size() < 11 || em[0] != 0x00 || em[1] != 0x02) {
     return Err("rsa_decrypt: bad padding header");
   }

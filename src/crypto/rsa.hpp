@@ -11,9 +11,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 
 #include "crypto/bignum.hpp"
+#include "crypto/montgomery.hpp"
 #include "util/bytes.hpp"
 #include "util/expected.hpp"
 #include "util/rng.hpp"
@@ -25,6 +27,14 @@ namespace tlc::crypto {
 struct RsaPublicKey {
   BigUInt n;
   BigUInt e;
+  /// Cached Montgomery context for n (DESIGN.md §10). Immutable once
+  /// built, shared by copies of the key, safe to read from any thread.
+  /// Populated by rsa_generate / deserialize / precompute(); verify
+  /// falls back to a per-call context when absent.
+  std::shared_ptr<const MontgomeryContext> mont_n;
+
+  /// Builds mont_n if absent (no-op when n is unusable, e.g. zero).
+  void precompute();
 
   /// Modulus size in bytes == signature size.
   [[nodiscard]] std::size_t modulus_bytes() const {
@@ -53,6 +63,16 @@ struct RsaPrivateKey {
   BigUInt d_p;    // d mod (p-1)
   BigUInt d_q;    // d mod (q-1)
   BigUInt q_inv;  // q^-1 mod p
+
+  /// Cached half-size Montgomery contexts for the CRT sign path (and
+  /// mont_n for keys without CRT parameters). Same sharing and thread
+  /// safety story as RsaPublicKey::mont_n.
+  std::shared_ptr<const MontgomeryContext> mont_p;
+  std::shared_ptr<const MontgomeryContext> mont_q;
+  std::shared_ptr<const MontgomeryContext> mont_n;
+
+  /// Builds the missing contexts (no-op for unusable moduli).
+  void precompute();
 
   /// Raw RSA private operation m^d mod n via CRT.
   [[nodiscard]] BigUInt private_op(const BigUInt& m) const;

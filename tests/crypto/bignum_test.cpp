@@ -31,12 +31,22 @@ TEST(BigUIntTest, LeadingZeroBytesStripped) {
 
 TEST(BigUIntTest, PaddedBytes) {
   const BigUInt v{0x1234};
-  const Bytes padded = v.to_bytes_padded(8);
-  ASSERT_EQ(padded.size(), 8u);
-  EXPECT_EQ(padded[6], 0x12);
-  EXPECT_EQ(padded[7], 0x34);
-  EXPECT_EQ(padded[0], 0x00);
+  const auto padded = v.to_bytes_padded(8);
+  ASSERT_TRUE(padded);
+  ASSERT_EQ(padded->size(), 8u);
+  EXPECT_EQ((*padded)[6], 0x12);
+  EXPECT_EQ((*padded)[7], 0x34);
+  EXPECT_EQ((*padded)[0], 0x00);
   EXPECT_TRUE(BigUInt{}.to_bytes().empty());
+}
+
+TEST(BigUIntTest, PaddedBytesOverflowIsError) {
+  const BigUInt v{0x123456};  // needs 3 bytes
+  const auto too_small = v.to_bytes_padded(2);
+  ASSERT_FALSE(too_small);
+  EXPECT_NE(too_small.error().find("needs"), std::string::npos);
+  // Exact fit is not an error.
+  ASSERT_TRUE(v.to_bytes_padded(3));
 }
 
 TEST(BigUIntTest, BitLength) {

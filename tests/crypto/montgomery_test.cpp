@@ -1,0 +1,149 @@
+#include "crypto/montgomery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/bignum.hpp"
+#include "util/rng.hpp"
+
+namespace tlc::crypto {
+namespace {
+
+TEST(MontgomeryTest, RejectsEvenAndTrivialModuli) {
+  EXPECT_FALSE(MontgomeryContext::create(BigUInt{}));
+  EXPECT_FALSE(MontgomeryContext::create(BigUInt{1}));
+  EXPECT_FALSE(MontgomeryContext::create(BigUInt{65536}));
+  EXPECT_TRUE(MontgomeryContext::create(BigUInt{65537}));
+}
+
+TEST(MontgomeryTest, RoundTripIsIdentity) {
+  const BigUInt n{1000003};  // odd prime
+  auto ctx = MontgomeryContext::create(n);
+  ASSERT_TRUE(ctx);
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 65537ull, 999999ull}) {
+    const BigUInt x{v};
+    EXPECT_EQ(ctx->from_mont(ctx->to_mont(x)), x) << v;
+  }
+  // Values >= n reduce on entry.
+  EXPECT_EQ(ctx->from_mont(ctx->to_mont(BigUInt{2000007})), BigUInt{1});
+}
+
+TEST(MontgomeryTest, MulMatchesSchoolbook) {
+  const BigUInt n{999999937};
+  auto ctx = MontgomeryContext::create(n);
+  ASSERT_TRUE(ctx);
+  const BigUInt a{123456789};
+  const BigUInt b{987654321};
+  MontgomeryContext::Rep out;
+  MontgomeryContext::Rep scratch;
+  ctx->mul(ctx->to_mont(a), ctx->to_mont(b), out, scratch);
+  EXPECT_EQ(ctx->from_mont(out), (a * b) % n);
+}
+
+TEST(MontgomeryTest, MulAllowsAliasedOutput) {
+  const BigUInt n{999999937};
+  auto ctx = MontgomeryContext::create(n);
+  ASSERT_TRUE(ctx);
+  const BigUInt a{123456789};
+  MontgomeryContext::Rep acc = ctx->to_mont(a);
+  MontgomeryContext::Rep scratch;
+  ctx->mul(acc, acc, acc, scratch);  // out aliases both inputs
+  EXPECT_EQ(ctx->from_mont(acc), (a * a) % n);
+}
+
+// Known-answer: 2^90 mod (2^61 - 1), a Mersenne prime. 2^90 = 2^29 * 2^61
+// and 2^61 ≡ 1, so the answer is 2^29.
+TEST(MontgomeryTest, KnownAnswerMersenne) {
+  const BigUInt n = (BigUInt{1} << 61) - BigUInt{1};
+  auto ctx = MontgomeryContext::create(n);
+  ASSERT_TRUE(ctx);
+  EXPECT_EQ(ctx->mod_exp(BigUInt{2}, BigUInt{90}), BigUInt{1} << 29);
+  EXPECT_EQ(ctx->mod_exp_sparse(BigUInt{2}, BigUInt{90}), BigUInt{1} << 29);
+}
+
+// Known-answer: Fermat's little theorem at a 128-bit prime.
+TEST(MontgomeryTest, KnownAnswerFermat) {
+  // 2^127 - 1 is prime (Mersenne).
+  const BigUInt p = (BigUInt{1} << 127) - BigUInt{1};
+  auto ctx = MontgomeryContext::create(p);
+  ASSERT_TRUE(ctx);
+  const BigUInt a{0xdeadbeefcafebabeull};
+  EXPECT_EQ(ctx->mod_exp(a, p - BigUInt{1}), BigUInt{1});
+}
+
+TEST(MontgomeryTest, ZeroAndOneExponents) {
+  const BigUInt n{1000003};
+  auto ctx = MontgomeryContext::create(n);
+  ASSERT_TRUE(ctx);
+  const BigUInt base{424242};
+  EXPECT_EQ(ctx->mod_exp(base, BigUInt{}), BigUInt{1});
+  EXPECT_EQ(ctx->mod_exp_sparse(base, BigUInt{}), BigUInt{1});
+  EXPECT_EQ(ctx->mod_exp(base, BigUInt{1}), base);
+  EXPECT_EQ(ctx->mod_exp_sparse(base, BigUInt{1}), base);
+  EXPECT_EQ(ctx->mod_exp(BigUInt{}, BigUInt{5}), BigUInt{});
+}
+
+// The dispatch in BigUInt::mod_exp must agree with the retained
+// schoolbook reference on odd moduli of every shape.
+TEST(MontgomeryTest, ModExpMatchesSlowReference) {
+  Rng rng(20260806);
+  for (std::size_t bits : {33u, 64u, 100u, 129u, 256u}) {
+    for (int i = 0; i < 10; ++i) {
+      BigUInt n = BigUInt::random_with_bits(bits, rng);
+      if (!n.is_odd()) n = n + BigUInt{1};
+      const BigUInt base = BigUInt::random_with_bits(bits + 7, rng);
+      const BigUInt exp = BigUInt::random_with_bits(bits / 2 + 1, rng);
+      EXPECT_EQ(base.mod_exp(exp, n), base.mod_exp_slow(exp, n))
+          << bits << " bits, case " << i;
+    }
+  }
+}
+
+// Randomized cross-check at RSA sizes: >= 1000 Montgomery products
+// checked against schoolbook multiply-then-reduce over 512- and
+// 1024-bit odd moduli.
+TEST(MontgomeryTest, RandomizedCrossCheckRsaSizes) {
+  Rng rng(987654321);
+  std::size_t cases = 0;
+  for (std::size_t bits : {512u, 1024u}) {
+    for (int m = 0; m < 4; ++m) {
+      BigUInt n = BigUInt::random_with_bits(bits, rng);
+      if (!n.is_odd()) n = n + BigUInt{1};
+      auto ctx = MontgomeryContext::create(n);
+      ASSERT_TRUE(ctx);
+      MontgomeryContext::Rep out;
+      MontgomeryContext::Rep scratch;
+      for (int i = 0; i < 130; ++i) {
+        const BigUInt a = BigUInt::random_below(n, rng);
+        const BigUInt b = BigUInt::random_below(n, rng);
+        ctx->mul(ctx->to_mont(a), ctx->to_mont(b), out, scratch);
+        ASSERT_EQ(ctx->from_mont(out), (a * b) % n)
+            << bits << "-bit modulus, case " << i;
+        ++cases;
+      }
+    }
+  }
+  EXPECT_GE(cases, 1000u);
+}
+
+// Exponentiation cross-check at RSA size, sparse and windowed paths.
+TEST(MontgomeryTest, ExponentiationCrossCheckRsaSizes) {
+  Rng rng(1357924680);
+  BigUInt n = BigUInt::random_with_bits(512, rng);
+  if (!n.is_odd()) n = n + BigUInt{1};
+  auto ctx = MontgomeryContext::create(n);
+  ASSERT_TRUE(ctx);
+  for (int i = 0; i < 8; ++i) {
+    const BigUInt base = BigUInt::random_below(n, rng);
+    const BigUInt exp = BigUInt::random_with_bits(64, rng);
+    const BigUInt want = base.mod_exp_slow(exp, n);
+    EXPECT_EQ(ctx->mod_exp(base, exp), want) << "windowed, case " << i;
+    EXPECT_EQ(ctx->mod_exp_sparse(base, exp), want) << "sparse, case " << i;
+  }
+  // e = 65537, the exponent the verify path actually uses.
+  const BigUInt e{65537};
+  const BigUInt s = BigUInt::random_below(n, rng);
+  EXPECT_EQ(ctx->mod_exp_sparse(s, e), s.mod_exp_slow(e, n));
+}
+
+}  // namespace
+}  // namespace tlc::crypto

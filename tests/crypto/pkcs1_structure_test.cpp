@@ -24,7 +24,9 @@ TEST(Pkcs1StructureTest, RecoveredEncodingMatchesRfc8017) {
   // Recover EM = signature^e mod n.
   const BigUInt s = BigUInt::from_bytes(signature);
   const BigUInt m = s.mod_exp(kp.public_key.e, kp.public_key.n);
-  const Bytes em = m.to_bytes_padded(kp.public_key.modulus_bytes());
+  const auto em_padded = m.to_bytes_padded(kp.public_key.modulus_bytes());
+  ASSERT_TRUE(em_padded);
+  const Bytes& em = *em_padded;
 
   // Layout: 0x00 0x01 FF..FF 0x00 DigestInfo || H.
   ASSERT_GE(em.size(), 11u + kDigestInfoPrefix.size() + kSha256DigestSize);

@@ -65,9 +65,10 @@ TEST(RsaTest, SignatureOutOfRangeRejected) {
   const auto& kp = test_keypair();
   // A "signature" equal to the modulus is >= n and must be rejected
   // before any math.
-  const Bytes bogus = kp.public_key.n.to_bytes_padded(
-      kp.public_key.modulus_bytes());
-  EXPECT_FALSE(rsa_verify(kp.public_key, bytes_of("m"), bogus).ok());
+  const auto bogus =
+      kp.public_key.n.to_bytes_padded(kp.public_key.modulus_bytes());
+  ASSERT_TRUE(bogus);
+  EXPECT_FALSE(rsa_verify(kp.public_key, bytes_of("m"), *bogus).ok());
 }
 
 TEST(RsaTest, CrtMatchesPlainExponentiation) {

@@ -1,0 +1,21 @@
+// MUST-FLAG: raw std synchronization in crypto/ — contexts are meant
+// to be immutable and shared read-only; a mutex here hides a lazily
+// mutated cache from Clang's thread-safety analysis.
+#include <cstdint>
+#include <mutex>
+
+namespace fixture {
+
+class ContextCache {
+ public:
+  std::uint64_t get() {
+    std::scoped_lock lock(mu_);
+    return cached_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::uint64_t cached_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// MUST-PASS: the intended crypto sharing pattern — a context built
+// once, immutable afterwards, shared by const reference. No locks to
+// annotate because there is no mutation to guard.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+class Context {
+ public:
+  explicit Context(std::uint64_t modulus) : modulus_(modulus) {}
+  std::uint64_t reduce(std::uint64_t x) const { return x % modulus_; }
+
+ private:
+  const std::uint64_t modulus_;
+};
+
+std::uint64_t sum_reduced(const Context& shared,
+                          const std::vector<std::uint64_t>& xs) {
+  std::uint64_t total = 0;
+  for (std::uint64_t x : xs) total += shared.reduce(x);
+  return total;
+}
+
+}  // namespace fixture

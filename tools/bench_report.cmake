@@ -1,0 +1,96 @@
+# Normalized benchmark reports: runs the crypto microbenches and the
+# fleet scaling bench, and (re)writes BENCH_crypto.json / BENCH_fleet.json
+# at the repo root in a stable schema:
+#
+#   { "schema": "tlc-bench-v1", "generated": <stamp>, "host": <uname>,
+#     "baseline": {...}, "current": {...} }
+#
+# "baseline" is carried over from the existing committed file, so the
+# pair (baseline, current) always reads as before/after for the change
+# under review; delete the file to re-baseline. The timestamp is never
+# sampled here — it comes from TLC_BENCH_TIMESTAMP (see tlclint's
+# wallclock rule for why the repo is strict about ambient time), so
+# reruns are reproducible byte-for-byte.
+#
+# Usage (the `bench_report` target passes all of these):
+#   cmake -DBENCH_CRYPTO=<exe> -DBENCH_FLEET=<exe> -DREPO_ROOT=<dir> \
+#         -P tools/bench_report.cmake
+
+foreach(required BENCH_CRYPTO BENCH_FLEET REPO_ROOT)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "bench_report: -D${required}=... is required")
+  endif()
+endforeach()
+
+if(DEFINED ENV{TLC_BENCH_TIMESTAMP})
+  set(stamp "$ENV{TLC_BENCH_TIMESTAMP}")
+else()
+  set(stamp "unspecified")
+endif()
+cmake_host_system_information(RESULT host QUERY OS_NAME OS_PLATFORM)
+string(REPLACE ";" " " host "${host}")
+
+# Reads member `key` of the JSON in `path` into `out_var`, or "" when
+# the file or member is missing (first run, or schema drift).
+function(read_member out_var path key)
+  set(${out_var} "" PARENT_SCOPE)
+  if(EXISTS "${path}")
+    file(READ "${path}" previous)
+    string(JSON value ERROR_VARIABLE error GET "${previous}" "${key}")
+    if(error STREQUAL "NOTFOUND")
+      set(${out_var} "${value}" PARENT_SCOPE)
+    endif()
+  endif()
+endfunction()
+
+# Wraps `current` (a JSON object) in the tlc-bench-v1 envelope and
+# writes it to `path`, preserving any existing baseline.
+function(write_report path current)
+  read_member(baseline "${path}" "baseline")
+  if(baseline STREQUAL "")
+    set(baseline "${current}")  # first run: baseline == current
+  endif()
+  set(report "{}")
+  string(JSON report SET "${report}" "schema" "\"tlc-bench-v1\"")
+  string(JSON report SET "${report}" "generated" "\"${stamp}\"")
+  string(JSON report SET "${report}" "host" "\"${host}\"")
+  string(JSON report SET "${report}" "baseline" "${baseline}")
+  string(JSON report SET "${report}" "current" "${current}")
+  file(WRITE "${path}" "${report}\n")
+  message(STATUS "bench_report: wrote ${path}")
+endfunction()
+
+# --- Crypto microbenches (google-benchmark JSON) -----------------------
+execute_process(
+  COMMAND "${BENCH_CRYPTO}" --benchmark_format=json --benchmark_min_time=0.2
+  OUTPUT_VARIABLE crypto_raw
+  RESULT_VARIABLE crypto_status)
+if(NOT crypto_status EQUAL 0)
+  message(FATAL_ERROR "bench_report: bench_crypto_micro failed")
+endif()
+
+string(JSON bench_count LENGTH "${crypto_raw}" "benchmarks")
+set(crypto_current "{}")
+math(EXPR last "${bench_count} - 1")
+foreach(i RANGE ${last})
+  string(JSON name GET "${crypto_raw}" "benchmarks" ${i} "name")
+  string(JSON real_time GET "${crypto_raw}" "benchmarks" ${i} "real_time")
+  string(JSON unit GET "${crypto_raw}" "benchmarks" ${i} "time_unit")
+  set(entry "{}")
+  string(JSON entry SET "${entry}" "real_time" "${real_time}")
+  string(JSON entry SET "${entry}" "time_unit" "\"${unit}\"")
+  string(JSON crypto_current SET "${crypto_current}" "${name}" "${entry}")
+endforeach()
+write_report("${REPO_ROOT}/BENCH_crypto.json" "${crypto_current}")
+
+# --- Fleet scaling bench (self-reported JSON sidecar) ------------------
+set(fleet_sidecar "${REPO_ROOT}/build/bench_fleet_sidecar.json")
+execute_process(
+  COMMAND "${BENCH_FLEET}" "--json=${fleet_sidecar}"
+  OUTPUT_QUIET
+  RESULT_VARIABLE fleet_status)
+if(NOT fleet_status EQUAL 0)
+  message(FATAL_ERROR "bench_report: bench_fleet_scale failed (determinism?)")
+endif()
+file(READ "${fleet_sidecar}" fleet_current)
+write_report("${REPO_ROOT}/BENCH_fleet.json" "${fleet_current}")

@@ -512,7 +512,11 @@ void rule_nodiscard(const std::string& relpath,
 bool in_annotated_subsystem(const std::string& relpath) {
   return starts_with(relpath, "src/fleet/") ||
          starts_with(relpath, "src/transport/") ||
-         starts_with(relpath, "src/epc/ofcs");
+         starts_with(relpath, "src/epc/ofcs") ||
+         // Crypto contexts are shared read-only across fleet workers;
+         // any mutex appearing there signals a design change that needs
+         // the same annotation discipline as the fleet itself.
+         starts_with(relpath, "src/crypto/");
 }
 
 void rule_naked_mutex(const std::string& relpath,
