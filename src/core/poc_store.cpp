@@ -1,20 +1,66 @@
 #include "core/poc_store.hpp"
 
-#include <fstream>
-
 #include "crypto/hmac.hpp"
+#include "recovery/crc32c.hpp"
+#include "util/fileio.hpp"
+#include "util/logging.hpp"
 #include "util/serde.hpp"
 
 namespace tlc::core {
 namespace {
 
 constexpr std::uint32_t kStoreMagic = 0x544c4350;  // "TLCP"
+// v2 added the per-entry CRC32C frame that makes salvage loads
+// possible; v1 files (whole-file HMAC only) are no longer readable.
+constexpr std::uint32_t kStoreVersion = 2;
+constexpr std::size_t kTagBytes = 32;
 
 Bytes integrity_key() { return bytes_of("tlc-poc-store-integrity-v1"); }
+
+Bytes encode_entry_body(const PocStore::Entry& entry) {
+  ByteWriter w;
+  w.i64(entry.plan.t_start);
+  w.i64(entry.plan.t_end);
+  w.f64(entry.plan.c);
+  w.blob(entry.poc_wire);
+  return w.take();
+}
+
+Expected<PocStore::Entry> decode_entry_body(const Bytes& body) {
+  ByteReader r(body);
+  PocStore::Entry entry;
+  auto start = r.i64();
+  auto end = r.i64();
+  auto c = r.f64();
+  if (!start || !end || !c) return Err("poc store: truncated entry");
+  entry.plan.t_start = *start;
+  entry.plan.t_end = *end;
+  entry.plan.c = *c;
+  auto wire = r.blob();
+  if (!wire) return Err("poc store: " + wire.error());
+  if (!r.exhausted()) return Err("poc store: trailing entry bytes");
+  entry.poc_wire = std::move(*wire);
+  return entry;
+}
 
 }  // namespace
 
 void PocStore::add(const PlanRef& plan, Bytes poc_wire) {
+  if (log_ != nullptr) {
+    // Idempotence key is the cycle start: re-adding a recovered
+    // cycle's receipt after a crash is a no-op.
+    if (find_cycle(plan.t_start).has_value()) {
+      ++duplicate_ops_dropped_;
+      return;
+    }
+    const Bytes op = encode_entry_body(Entry{plan, poc_wire});
+    if (Status appended = log_->append(op); !appended.ok()) {
+      if (recovery_error_.ok()) recovery_error_ = Err(appended.error());
+      TLC_WARN("poc_store") << "journal append failed, add dropped: "
+                            << appended.error();
+      return;
+    }
+  }
   entries_.push_back(Entry{plan, std::move(poc_wire)});
 }
 
@@ -34,71 +80,147 @@ std::uint64_t PocStore::stored_bytes() const {
 Bytes PocStore::serialize() const {
   ByteWriter w;
   w.u32(kStoreMagic);
+  w.u32(kStoreVersion);
   w.u32(static_cast<std::uint32_t>(entries_.size()));
   for (const Entry& entry : entries_) {
-    w.i64(entry.plan.t_start);
-    w.i64(entry.plan.t_end);
-    w.f64(entry.plan.c);
-    w.blob(entry.poc_wire);
+    const Bytes body = encode_entry_body(entry);
+    w.u32(recovery::crc32c(body));
+    w.blob(body);
   }
-  Bytes body = w.take();
-  const Bytes tag = crypto::hmac_sha256(integrity_key(), body);
-  append(body, tag);
-  return body;
+  Bytes data = w.take();
+  const Bytes tag = crypto::hmac_sha256(integrity_key(), data);
+  append(data, tag);
+  return data;
 }
 
 Expected<PocStore> PocStore::deserialize(const Bytes& data) {
-  if (data.size() < 32) return Err("poc store: too short");
-  const Bytes body(data.begin(), data.end() - 32);
-  const Bytes tag(data.end() - 32, data.end());
+  if (data.size() < kTagBytes) return Err("poc store: too short");
+  const Bytes body(data.begin(), data.end() - kTagBytes);
+  const Bytes tag(data.end() - kTagBytes, data.end());
   if (!constant_time_equal(tag, crypto::hmac_sha256(integrity_key(), body))) {
     return Err("poc store: integrity tag mismatch");
   }
   ByteReader r(body);
   auto magic = r.u32();
   if (!magic || *magic != kStoreMagic) return Err("poc store: bad magic");
+  auto version = r.u32();
+  if (!version || *version != kStoreVersion) {
+    return Err("poc store: unsupported version");
+  }
   auto count = r.u32();
   if (!count) return Err("poc store: " + count.error());
   PocStore store;
   store.entries_.reserve(*count);
   for (std::uint32_t i = 0; i < *count; ++i) {
-    Entry entry;
-    auto start = r.i64();
-    if (!start) return Err("poc store: " + start.error());
-    entry.plan.t_start = *start;
-    auto end = r.i64();
-    if (!end) return Err("poc store: " + end.error());
-    entry.plan.t_end = *end;
-    auto c = r.f64();
-    if (!c) return Err("poc store: " + c.error());
-    entry.plan.c = *c;
-    auto wire = r.blob();
-    if (!wire) return Err("poc store: " + wire.error());
-    entry.poc_wire = std::move(*wire);
-    store.entries_.push_back(std::move(entry));
+    auto crc = r.u32();
+    if (!crc) return Err("poc store: " + crc.error());
+    auto entry_body = r.blob();
+    if (!entry_body) return Err("poc store: " + entry_body.error());
+    if (recovery::crc32c(*entry_body) != *crc) {
+      return Err("poc store: entry CRC mismatch");
+    }
+    auto entry = decode_entry_body(*entry_body);
+    if (!entry) return Err(entry.error());
+    store.entries_.push_back(std::move(*entry));
   }
   return store;
 }
 
 Status PocStore::save(const std::string& path) const {
-  const Bytes data = serialize();
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Err("poc store: cannot open " + path);
-  out.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size()));
-  if (!out) return Err("poc store: write failed");
-  return Status::Ok();
+  return util::write_file_atomic(path, serialize());
 }
 
 Expected<PocStore> PocStore::load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return Err("poc store: cannot open " + path);
-  const std::streamsize size = in.tellg();
-  in.seekg(0);
-  Bytes data(static_cast<std::size_t>(size));
-  in.read(reinterpret_cast<char*>(data.data()), size);
-  if (!in) return Err("poc store: read failed");
-  return deserialize(data);
+  auto data = util::read_file(path);
+  if (!data) return Err("poc store: " + data.error());
+  return deserialize(*data);
+}
+
+Expected<PocStore::Salvage> PocStore::load_salvage(const std::string& path) {
+  auto data = util::read_file(path);
+  if (!data) return Err("poc store: " + data.error());
+
+  Salvage salvage;
+  Bytes body = *data;
+  if (data->size() >= kTagBytes) {
+    const auto body_end =
+        data->begin() + static_cast<std::ptrdiff_t>(data->size() - kTagBytes);
+    body.assign(data->begin(), body_end);
+    const Bytes tag(body_end, data->end());
+    salvage.integrity_ok =
+        constant_time_equal(tag, crypto::hmac_sha256(integrity_key(), body));
+  }
+
+  // Headers have no redundancy to salvage from — a damaged one is
+  // still a hard error. Everything past it degrades per entry.
+  ByteReader r(body);
+  auto magic = r.u32();
+  if (!magic || *magic != kStoreMagic) return Err("poc store: bad magic");
+  auto version = r.u32();
+  if (!version || *version != kStoreVersion) {
+    return Err("poc store: unsupported version");
+  }
+  auto count = r.u32();
+  if (!count) return Err("poc store: " + count.error());
+
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto crc = r.u32();
+    auto entry_body = crc ? r.blob() : Expected<Bytes>(Err("short"));
+    if (!crc || !entry_body) {
+      // Truncated mid-entry: the frame boundary is gone, so every
+      // remaining entry is unrecoverable too.
+      salvage.entries_skipped += *count - i;
+      break;
+    }
+    if (recovery::crc32c(*entry_body) != *crc) {
+      ++salvage.entries_skipped;
+      continue;
+    }
+    auto entry = decode_entry_body(*entry_body);
+    if (!entry) {
+      ++salvage.entries_skipped;
+      continue;
+    }
+    salvage.store.entries_.push_back(std::move(*entry));
+  }
+  if (salvage.entries_skipped > 0 || !salvage.integrity_ok) {
+    TLC_WARN("poc_store") << "salvage load of " << path << ": kept "
+                          << salvage.store.size() << " entries, skipped "
+                          << salvage.entries_skipped << ", integrity "
+                          << (salvage.integrity_ok ? "ok" : "BAD");
+  }
+  return salvage;
+}
+
+Status PocStore::attach_recovery(recovery::StateLog* log) {
+  log_ = log;
+  recovery_error_ = Status::Ok();
+  duplicate_ops_dropped_ = 0;
+  if (log == nullptr) return Status::Ok();
+
+  auto recovered = log->recover();
+  if (!recovered) return Err(recovered.error());
+  entries_.clear();
+  if (recovered->snapshot.has_value()) {
+    auto store = deserialize(*recovered->snapshot);
+    if (!store) return Err(store.error());
+    entries_ = std::move(store->entries_);
+  }
+  for (const Bytes& op : recovered->ops) {
+    auto entry = decode_entry_body(op);
+    if (!entry) return Err(entry.error());
+    if (find_cycle(entry->plan.t_start).has_value()) {
+      ++duplicate_ops_dropped_;
+      continue;
+    }
+    entries_.push_back(std::move(*entry));
+  }
+  return Status::Ok();
+}
+
+Status PocStore::checkpoint() {
+  if (log_ == nullptr) return Err("poc store: checkpoint without log");
+  return log_->checkpoint(serialize());
 }
 
 }  // namespace tlc::core

@@ -4,7 +4,19 @@
 // receipt; disputes are settled later by handing entries to a public
 // verifier (§5.3.3). The store keeps (plan, PoC) pairs indexed by the
 // cycle start, and serializes to an HMAC-tagged binary file so on-disk
-// corruption is detected.
+// corruption is detected. Each entry additionally carries its own
+// CRC32C frame, which gives the load path two modes:
+//
+//  * `deserialize` / `load` — strict: any damage (tag mismatch, bad
+//    entry CRC, truncation) is a typed error and nothing is returned.
+//  * `load_salvage` — lenient: damaged entries are skipped and counted,
+//    the intact ones are returned. A device that lost one receipt to
+//    bit rot keeps the rest of its audit trail instead of losing the
+//    whole file.
+//
+// With a recovery::StateLog attached, every add() is journaled before
+// the in-memory append and entries dedupe by cycle start, so a crashed
+// device recovers its archive to the exact pre-crash state.
 #pragma once
 
 #include <optional>
@@ -12,6 +24,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "recovery/state_log.hpp"
 #include "util/bytes.hpp"
 #include "util/expected.hpp"
 
@@ -26,8 +39,13 @@ class PocStore {
     [[nodiscard]] bool operator==(const Entry& o) const = default;
   };
 
+  /// Outcome of a lenient (salvage) load; defined after the class (it
+  /// holds a PocStore by value).
+  struct Salvage;
+
   /// Appends a cycle's receipt (cycles are expected in order; lookups
-  /// are by exact cycle start).
+  /// are by exact cycle start). With recovery attached the entry is
+  /// journaled first and duplicate cycle starts are dropped.
   void add(const PlanRef& plan, Bytes poc_wire);
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
@@ -46,8 +64,44 @@ class PocStore {
   [[nodiscard]] Status save(const std::string& path) const;
   [[nodiscard]] static Expected<PocStore> load(const std::string& path);
 
+  /// Lenient load: skips (and counts) corrupt or truncated entries
+  /// instead of rejecting the file. Only unreadable files and damaged
+  /// headers are errors; the skip count is logged.
+  [[nodiscard]] static Expected<Salvage> load_salvage(const std::string& path);
+
+  // ---- Crash recovery (DESIGN.md §11.4) -----------------------------
+
+  /// Attaches `log` and recovers: restores the checkpointed store and
+  /// re-applies journaled adds (deduped by cycle start). nullptr
+  /// detaches.
+  [[nodiscard]] Status attach_recovery(recovery::StateLog* log);
+
+  /// Snapshots the store into the StateLog and rotates its journal.
+  [[nodiscard]] Status checkpoint();
+
+  /// First journal error since attach, if any (a failed append drops
+  /// the add — no apply without a durable op).
+  [[nodiscard]] const Status& recovery_error() const {
+    return recovery_error_;
+  }
+  [[nodiscard]] std::uint64_t duplicate_ops_dropped() const {
+    return duplicate_ops_dropped_;
+  }
+
  private:
   std::vector<Entry> entries_;
+  recovery::StateLog* log_ = nullptr;
+  Status recovery_error_ = Status::Ok();
+  std::uint64_t duplicate_ops_dropped_ = 0;
+};
+
+struct PocStore::Salvage {
+  PocStore store;
+  /// Entries dropped for bad CRC / truncation.
+  std::size_t entries_skipped = 0;
+  /// Whether the whole-file HMAC tag checked out (false after any
+  /// corruption, even when every entry was salvaged).
+  bool integrity_ok = false;
 };
 
 }  // namespace tlc::core

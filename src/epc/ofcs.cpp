@@ -3,11 +3,132 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/logging.hpp"
+#include "util/serde.hpp"
+
 namespace tlc::epc {
+namespace {
+
+// Journal op encoding (the OFCS StateLog payloads). CDRs get a
+// full-width codec here — the 34-byte compact wire form truncates
+// volumes to u32 and times to seconds, which would make replayed state
+// diverge from the live ledger.
+constexpr std::uint8_t kOpIngest = 1;
+constexpr std::uint8_t kOpClose = 2;
+constexpr std::uint8_t kOpSettle = 3;
+
+constexpr std::uint8_t kSnapshotVersion = 1;
+
+void write_cdr(ByteWriter& w, const ChargingDataRecord& cdr) {
+  w.u64(cdr.served_imsi.value);
+  w.u32(cdr.gateway_address);
+  w.u16(cdr.charging_id);
+  w.u32(cdr.sequence_number);
+  w.i64(cdr.time_of_first_usage);
+  w.i64(cdr.time_of_last_usage);
+  w.u64(cdr.datavolume_uplink);
+  w.u64(cdr.datavolume_downlink);
+}
+
+Expected<ChargingDataRecord> read_cdr(ByteReader& r) {
+  ChargingDataRecord cdr;
+  auto imsi = r.u64();
+  if (!imsi) return Err("ofcs: truncated cdr");
+  cdr.served_imsi.value = *imsi;
+  auto gateway = r.u32();
+  auto charging_id = r.u16();
+  auto sequence = r.u32();
+  auto first = r.i64();
+  auto last = r.i64();
+  auto uplink = r.u64();
+  auto downlink = r.u64();
+  if (!gateway || !charging_id || !sequence || !first || !last || !uplink ||
+      !downlink) {
+    return Err("ofcs: truncated cdr");
+  }
+  cdr.gateway_address = *gateway;
+  cdr.charging_id = *charging_id;
+  cdr.sequence_number = *sequence;
+  cdr.time_of_first_usage = *first;
+  cdr.time_of_last_usage = *last;
+  cdr.datavolume_uplink = *uplink;
+  cdr.datavolume_downlink = *downlink;
+  return cdr;
+}
+
+void write_line(ByteWriter& w, const BillLine& line) {
+  w.u32(line.cycle_index);
+  w.u64(line.gateway_volume);
+  w.u64(line.billed_volume);
+  w.f64(line.amount);
+  w.u8(line.throttled ? 1 : 0);
+}
+
+Expected<BillLine> read_line(ByteReader& r) {
+  BillLine line;
+  auto cycle = r.u32();
+  auto gateway = r.u64();
+  auto billed = r.u64();
+  auto amount = r.f64();
+  auto throttled = r.u8();
+  if (!cycle || !gateway || !billed || !amount || !throttled) {
+    return Err("ofcs: truncated bill line");
+  }
+  line.cycle_index = *cycle;
+  line.gateway_volume = *gateway;
+  line.billed_volume = *billed;
+  line.amount = *amount;
+  line.throttled = *throttled != 0;
+  return line;
+}
+
+Bytes encode_ingest_op(const ChargingDataRecord& cdr) {
+  ByteWriter w;
+  w.u8(kOpIngest);
+  write_cdr(w, cdr);
+  return w.take();
+}
+
+Bytes encode_close_op(Imsi imsi, const BillLine& line) {
+  ByteWriter w;
+  w.u8(kOpClose);
+  w.u64(imsi.value);
+  write_line(w, line);
+  return w.take();
+}
+
+Bytes encode_settle_op(std::uint64_t ue_id, std::uint32_t cycle_index,
+                       SettlementOutcome outcome) {
+  ByteWriter w;
+  w.u8(kOpSettle);
+  w.u64(ue_id);
+  w.u32(cycle_index);
+  w.u8(static_cast<std::uint8_t>(outcome));
+  return w.take();
+}
+
+}  // namespace
 
 Ofcs::Ofcs(charging::DataPlan plan) : plan_(plan) {}
 
 void Ofcs::ingest(const ChargingDataRecord& cdr) {
+  if (log_ != nullptr) {
+    const CdrKey key{cdr.served_imsi.value, cdr.charging_id,
+                     cdr.sequence_number};
+    if (seen_cdrs_.contains(key)) {
+      ++duplicate_ops_dropped_;
+      return;
+    }
+    if (!journal_op(encode_ingest_op(cdr))) return;
+  }
+  apply_ingest(cdr);
+}
+
+void Ofcs::apply_ingest(const ChargingDataRecord& cdr) {
+  if (log_ != nullptr) {
+    seen_cdrs_.insert(
+        CdrKey{cdr.served_imsi.value, cdr.charging_id, cdr.sequence_number});
+  }
   State& state = subscribers_[cdr.served_imsi];
   state.archive.push_back(cdr);
   state.pending_ul += cdr.datavolume_uplink;
@@ -16,29 +137,49 @@ void Ofcs::ingest(const ChargingDataRecord& cdr) {
 }
 
 BillLine Ofcs::close_cycle(Imsi imsi) {
-  State& state = subscribers_[imsi];
-  BillLine line;
-  line.cycle_index = state.next_cycle++;
-  line.gateway_volume = state.pending_ul + state.pending_dl;
-  state.pending_ul = 0;
-  state.pending_dl = 0;
+  return close_cycle(imsi, subscribers_[imsi].next_cycle);
+}
 
+BillLine Ofcs::close_cycle(Imsi imsi, std::uint32_t cycle_index) {
+  State& state = subscribers_[imsi];
+  if (cycle_index < state.next_cycle) {
+    // Already rated (post-recovery re-execution): hand back the stored
+    // line, bit for bit. Nothing is re-billed.
+    ++duplicate_ops_dropped_;
+    return state.billing.lines[cycle_index];
+  }
+
+  BillLine line;
+  line.cycle_index = state.next_cycle;
+  line.gateway_volume = state.pending_ul + state.pending_dl;
   line.billed_volume =
       hook_ ? hook_(imsi, line.cycle_index, line.gateway_volume)
             : line.gateway_volume;
   line.amount = static_cast<double>(line.billed_volume) / 1e6 *
                 plan_.price_per_mb;
-
-  state.billing.total_billed_bytes += line.billed_volume;
-  state.billing.total_amount += line.amount;
   // Quota check for "unlimited" plans: beyond the quota the subscriber
   // keeps service but is throttled (§2.1: e.g. 128 kbps after 15 GB).
-  state.billing.throttled =
-      state.billing.total_billed_bytes > plan_.quota_bytes;
-  line.throttled = state.billing.throttled;
+  line.throttled = state.billing.total_billed_bytes + line.billed_volume >
+                   plan_.quota_bytes;
 
-  state.billing.lines.push_back(line);
+  // The journaled op carries the fully-rated line (not the inputs), so
+  // replay restores the exact amount bits without re-running the hook.
+  if (log_ != nullptr && !journal_op(encode_close_op(imsi, line))) {
+    return line;
+  }
+  apply_close(imsi, line);
   return line;
+}
+
+void Ofcs::apply_close(Imsi imsi, const BillLine& line) {
+  State& state = subscribers_[imsi];
+  state.pending_ul = 0;
+  state.pending_dl = 0;
+  state.next_cycle = line.cycle_index + 1;
+  state.billing.total_billed_bytes += line.billed_volume;
+  state.billing.total_amount += line.amount;
+  state.billing.throttled = line.throttled;
+  state.billing.lines.push_back(line);
 }
 
 std::vector<Imsi> Ofcs::subscribers() const {
@@ -58,8 +199,30 @@ std::vector<std::pair<Imsi, BillLine>> Ofcs::close_cycle_all() {
   return lines;
 }
 
+std::vector<std::pair<Imsi, BillLine>> Ofcs::close_cycle_all(
+    std::uint32_t cycle_index) {
+  std::vector<std::pair<Imsi, BillLine>> lines;
+  for (Imsi imsi : subscribers()) {
+    lines.emplace_back(imsi, close_cycle(imsi, cycle_index));
+  }
+  return lines;
+}
+
 void Ofcs::record_settlement(std::uint32_t cycle_index,
-                             SettlementOutcome outcome) {
+                             SettlementOutcome outcome, std::uint64_t ue_id) {
+  if (log_ != nullptr) {
+    if (settled_.contains(SettleKey{ue_id, cycle_index})) {
+      ++duplicate_ops_dropped_;
+      return;
+    }
+    if (!journal_op(encode_settle_op(ue_id, cycle_index, outcome))) return;
+  }
+  apply_settlement(ue_id, cycle_index, outcome);
+}
+
+void Ofcs::apply_settlement(std::uint64_t ue_id, std::uint32_t cycle_index,
+                            SettlementOutcome outcome) {
+  if (log_ != nullptr) settled_.insert(SettleKey{ue_id, cycle_index});
   if (settlement_by_cycle_.size() <= cycle_index) {
     settlement_by_cycle_.resize(cycle_index + 1);
   }
@@ -120,6 +283,232 @@ const SubscriberBilling* Ofcs::billing(Imsi imsi) const {
 const std::vector<ChargingDataRecord>* Ofcs::archive(Imsi imsi) const {
   auto it = subscribers_.find(imsi);
   return it == subscribers_.end() ? nullptr : &it->second.archive;
+}
+
+// ---- Crash recovery -------------------------------------------------
+
+Status Ofcs::attach_recovery(recovery::StateLog* log) {
+  log_ = log;
+  recovery_error_ = Status::Ok();
+  duplicate_ops_dropped_ = 0;
+  if (log == nullptr) return Status::Ok();
+
+  auto recovered = log->recover();
+  if (!recovered) return Err(recovered.error());
+  if (recovered->snapshot.has_value()) {
+    if (Status restored = restore_state(*recovered->snapshot);
+        !restored.ok()) {
+      return restored;
+    }
+  }
+  // Re-apply the op suffix. Ops already folded into the snapshot (the
+  // crash-between-checkpoint-and-rotate window) are dropped by their
+  // record IDs.
+  for (const Bytes& op : recovered->ops) {
+    if (Status applied = apply_journal_op(op); !applied.ok()) return applied;
+  }
+  if (recovered->journal_stats.torn_tail()) {
+    TLC_WARN("ofcs") << "journal had a torn tail; dropped "
+                     << recovered->journal_stats.truncated_bytes
+                     << " unacknowledged bytes";
+  }
+  return Status::Ok();
+}
+
+Status Ofcs::checkpoint() {
+  if (log_ == nullptr) return Err("ofcs: checkpoint without recovery log");
+  return log_->checkpoint(serialize_state());
+}
+
+bool Ofcs::journal_op(const Bytes& op) {
+  if (Status appended = log_->append(op); !appended.ok()) {
+    // WAL discipline: no durable op, no apply. Drop the mutation and
+    // surface the failure through recovery_error().
+    if (recovery_error_.ok()) recovery_error_ = Err(appended.error());
+    TLC_WARN("ofcs") << "journal append failed, op dropped: "
+                     << appended.error();
+    return false;
+  }
+  return true;
+}
+
+Status Ofcs::apply_journal_op(const Bytes& op) {
+  ByteReader r(op);
+  auto tag = r.u8();
+  if (!tag) return Err("ofcs: empty journal op");
+  switch (*tag) {
+    case kOpIngest: {
+      auto cdr = read_cdr(r);
+      if (!cdr) return Err(cdr.error());
+      const CdrKey key{cdr->served_imsi.value, cdr->charging_id,
+                       cdr->sequence_number};
+      if (seen_cdrs_.contains(key)) {
+        ++duplicate_ops_dropped_;
+        return Status::Ok();
+      }
+      apply_ingest(*cdr);
+      return Status::Ok();
+    }
+    case kOpClose: {
+      auto imsi = r.u64();
+      if (!imsi) return Err("ofcs: truncated close op");
+      auto line = read_line(r);
+      if (!line) return Err(line.error());
+      if (line->cycle_index < subscribers_[Imsi{*imsi}].next_cycle) {
+        ++duplicate_ops_dropped_;
+        return Status::Ok();
+      }
+      apply_close(Imsi{*imsi}, *line);
+      return Status::Ok();
+    }
+    case kOpSettle: {
+      auto ue_id = r.u64();
+      auto cycle = r.u32();
+      auto outcome = r.u8();
+      if (!ue_id || !cycle || !outcome) {
+        return Err("ofcs: truncated settle op");
+      }
+      if (settled_.contains(SettleKey{*ue_id, *cycle})) {
+        ++duplicate_ops_dropped_;
+        return Status::Ok();
+      }
+      apply_settlement(*ue_id, *cycle,
+                       static_cast<SettlementOutcome>(*outcome));
+      return Status::Ok();
+    }
+    default:
+      return Err("ofcs: unknown journal op tag");
+  }
+}
+
+Bytes Ofcs::serialize_state() const {
+  ByteWriter w;
+  w.u8(kSnapshotVersion);
+  w.u64(ingested_);
+  w.u32(static_cast<std::uint32_t>(subscribers_.size()));
+  for (Imsi imsi : subscribers()) {
+    const State& state = subscribers_.at(imsi);
+    w.u64(imsi.value);
+    w.u32(static_cast<std::uint32_t>(state.archive.size()));
+    for (const ChargingDataRecord& cdr : state.archive) write_cdr(w, cdr);
+    w.u64(state.pending_ul);
+    w.u64(state.pending_dl);
+    w.u32(state.next_cycle);
+    w.u32(static_cast<std::uint32_t>(state.billing.lines.size()));
+    for (const BillLine& line : state.billing.lines) write_line(w, line);
+    w.u64(state.billing.total_billed_bytes);
+    w.f64(state.billing.total_amount);
+    w.u8(state.billing.throttled ? 1 : 0);
+  }
+  w.u32(static_cast<std::uint32_t>(settlement_by_cycle_.size()));
+  for (const SettlementCounters& counters : settlement_by_cycle_) {
+    w.u64(counters.converged);
+    w.u64(counters.retried);
+    w.u64(counters.degraded);
+    w.u64(counters.rejected_tamper);
+  }
+  w.u32(static_cast<std::uint32_t>(seen_cdrs_.size()));
+  for (const auto& [imsi, charging_id, sequence] : seen_cdrs_) {
+    w.u64(imsi);
+    w.u16(charging_id);
+    w.u32(sequence);
+  }
+  w.u32(static_cast<std::uint32_t>(settled_.size()));
+  for (const auto& [ue_id, cycle] : settled_) {
+    w.u64(ue_id);
+    w.u32(cycle);
+  }
+  return w.take();
+}
+
+Status Ofcs::restore_state(const Bytes& snapshot) {
+  subscribers_.clear();
+  ingested_ = 0;
+  settlement_by_cycle_.clear();
+  seen_cdrs_.clear();
+  settled_.clear();
+
+  ByteReader r(snapshot);
+  auto version = r.u8();
+  if (!version || *version != kSnapshotVersion) {
+    return Err("ofcs snapshot: unsupported version");
+  }
+  auto ingested = r.u64();
+  auto subscriber_count = r.u32();
+  if (!ingested || !subscriber_count) return Err("ofcs snapshot: truncated");
+  ingested_ = *ingested;
+  for (std::uint32_t i = 0; i < *subscriber_count; ++i) {
+    auto imsi = r.u64();
+    auto archive_count = r.u32();
+    if (!imsi || !archive_count) return Err("ofcs snapshot: truncated");
+    State& state = subscribers_[Imsi{*imsi}];
+    state.archive.reserve(*archive_count);
+    for (std::uint32_t j = 0; j < *archive_count; ++j) {
+      auto cdr = read_cdr(r);
+      if (!cdr) return Err(cdr.error());
+      state.archive.push_back(*cdr);
+    }
+    auto pending_ul = r.u64();
+    auto pending_dl = r.u64();
+    auto next_cycle = r.u32();
+    auto line_count = r.u32();
+    if (!pending_ul || !pending_dl || !next_cycle || !line_count) {
+      return Err("ofcs snapshot: truncated");
+    }
+    state.pending_ul = *pending_ul;
+    state.pending_dl = *pending_dl;
+    state.next_cycle = *next_cycle;
+    state.billing.lines.reserve(*line_count);
+    for (std::uint32_t j = 0; j < *line_count; ++j) {
+      auto line = read_line(r);
+      if (!line) return Err(line.error());
+      state.billing.lines.push_back(*line);
+    }
+    auto total_billed = r.u64();
+    auto total_amount = r.f64();
+    auto throttled = r.u8();
+    if (!total_billed || !total_amount || !throttled) {
+      return Err("ofcs snapshot: truncated");
+    }
+    state.billing.total_billed_bytes = *total_billed;
+    state.billing.total_amount = *total_amount;
+    state.billing.throttled = *throttled != 0;
+  }
+  auto cycle_count = r.u32();
+  if (!cycle_count) return Err("ofcs snapshot: truncated");
+  settlement_by_cycle_.resize(*cycle_count);
+  for (std::uint32_t i = 0; i < *cycle_count; ++i) {
+    auto converged = r.u64();
+    auto retried = r.u64();
+    auto degraded = r.u64();
+    auto rejected = r.u64();
+    if (!converged || !retried || !degraded || !rejected) {
+      return Err("ofcs snapshot: truncated");
+    }
+    settlement_by_cycle_[i] = SettlementCounters{*converged, *retried,
+                                                 *degraded, *rejected};
+  }
+  auto seen_count = r.u32();
+  if (!seen_count) return Err("ofcs snapshot: truncated");
+  for (std::uint32_t i = 0; i < *seen_count; ++i) {
+    auto imsi = r.u64();
+    auto charging_id = r.u16();
+    auto sequence = r.u32();
+    if (!imsi || !charging_id || !sequence) {
+      return Err("ofcs snapshot: truncated");
+    }
+    seen_cdrs_.insert(CdrKey{*imsi, *charging_id, *sequence});
+  }
+  auto settled_count = r.u32();
+  if (!settled_count) return Err("ofcs snapshot: truncated");
+  for (std::uint32_t i = 0; i < *settled_count; ++i) {
+    auto ue_id = r.u64();
+    auto cycle = r.u32();
+    if (!ue_id || !cycle) return Err("ofcs snapshot: truncated");
+    settled_.insert(SettleKey{*ue_id, *cycle});
+  }
+  if (!r.exhausted()) return Err("ofcs snapshot: trailing bytes");
+  return Status::Ok();
 }
 
 }  // namespace tlc::epc

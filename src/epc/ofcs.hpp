@@ -12,12 +12,16 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <set>
+#include <tuple>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "charging/plan.hpp"
 #include "epc/cdr.hpp"
 #include "epc/ids.hpp"
+#include "recovery/state_log.hpp"
 
 namespace tlc::epc {
 
@@ -86,19 +90,37 @@ class Ofcs {
   /// Returns the new bill line (zero-volume cycles still produce one).
   BillLine close_cycle(Imsi imsi);
 
+  /// Idempotent close: closing a cycle that is already rated returns
+  /// the stored line (exact bits — nothing is recomputed) instead of
+  /// opening a new one. This is what makes post-recovery re-execution
+  /// safe: a supervisor that replays a billing pass after a crash
+  /// cannot close the same cycle twice (the no-double-bill invariant,
+  /// DESIGN.md §11.4). `cycle_index` must not be ahead of the
+  /// subscriber's next open cycle.
+  BillLine close_cycle(Imsi imsi, std::uint32_t cycle_index);
+
   /// Closes the current cycle for every known subscriber, in ascending
   /// IMSI order (deterministic regardless of ingest order — fleet runs
   /// merge shard results concurrently). Returns one line per
   /// subscriber.
   std::vector<std::pair<Imsi, BillLine>> close_cycle_all();
 
+  /// Cycle-indexed variant (idempotent, like the two-argument
+  /// close_cycle): re-closing cycle `cycle_index` after recovery hands
+  /// back the stored lines.
+  std::vector<std::pair<Imsi, BillLine>> close_cycle_all(
+      std::uint32_t cycle_index);
+
   /// Subscribers with state, ascending IMSI order.
   [[nodiscard]] std::vector<Imsi> subscribers() const;
 
   /// Records how cycle `cycle_index` settled for one subscriber (the
-  /// fleet engine calls this once per settlement receipt).
-  void record_settlement(std::uint32_t cycle_index,
-                         SettlementOutcome outcome);
+  /// fleet engine calls this once per settlement receipt). `ue_id`
+  /// identifies the subscriber's device; with recovery attached it
+  /// forms the idempotence key (ue, cycle) — re-recording after a
+  /// crash is a no-op, so no settled cycle is counted twice.
+  void record_settlement(std::uint32_t cycle_index, SettlementOutcome outcome,
+                         std::uint64_t ue_id = 0);
 
   /// Outcome census of one cycle (zero counters past the last recorded
   /// cycle) and the all-cycle aggregate.
@@ -129,6 +151,40 @@ class Ofcs {
   [[nodiscard]] const charging::DataPlan& plan() const { return plan_; }
   [[nodiscard]] std::uint64_t cdrs_ingested() const { return ingested_; }
 
+  // ---- Crash recovery (DESIGN.md §11.4) -----------------------------
+  //
+  // With a StateLog attached the ledger follows write-ahead discipline:
+  // every mutation is journaled before it is applied, each op carries
+  // an idempotent record ID ((imsi, charging_id, seq) for CDRs,
+  // (imsi, cycle) for closes, (ue, cycle) for settlements), and replay
+  // of any op suffix over any snapshot converges on the same state —
+  // no byte billed twice, no settled cycle lost. Without one, nothing
+  // below runs and the legacy behaviour is bit-identical to before.
+
+  /// Attaches `log` and recovers: restores the last checkpoint (if
+  /// any) and re-applies the journaled op suffix. Call on a freshly
+  /// constructed Ofcs, before any ingest. nullptr detaches.
+  [[nodiscard]] Status attach_recovery(recovery::StateLog* log);
+
+  /// Snapshots the full ledger into the StateLog and rotates its
+  /// journal, bounding future replay.
+  [[nodiscard]] Status checkpoint();
+
+  /// Full-fidelity state snapshot / restore (exact double bits; used
+  /// by checkpoints and tested for round-trip identity).
+  [[nodiscard]] Bytes serialize_state() const;
+  [[nodiscard]] Status restore_state(const Bytes& snapshot);
+
+  /// First journal/apply error since attach, if any. The WAL rule is
+  /// "no apply without a durable op", so a failed append drops the
+  /// mutation and records the error here instead of half-applying.
+  [[nodiscard]] const Status& recovery_error() const {
+    return recovery_error_;
+  }
+  [[nodiscard]] std::uint64_t duplicate_ops_dropped() const {
+    return duplicate_ops_dropped_;
+  }
+
  private:
   struct State {
     std::vector<ChargingDataRecord> archive;
@@ -138,11 +194,34 @@ class Ofcs {
     SubscriberBilling billing;
   };
 
+  /// Keys: see the recovery comment above.
+  using CdrKey = std::tuple<std::uint64_t, std::uint16_t, std::uint32_t>;
+  using SettleKey = std::pair<std::uint64_t, std::uint32_t>;
+
+  void apply_ingest(const ChargingDataRecord& cdr);
+  /// Applies a fully-rated line to the subscriber (no recomputation —
+  /// replay must reproduce the exact stored doubles).
+  void apply_close(Imsi imsi, const BillLine& line);
+  void apply_settlement(std::uint64_t ue_id, std::uint32_t cycle_index,
+                        SettlementOutcome outcome);
+  [[nodiscard]] Status apply_journal_op(const Bytes& op);
+  /// Journals `op`; on I/O failure records recovery_error_ and returns
+  /// false (caller must then skip the apply).
+  [[nodiscard]] bool journal_op(const Bytes& op);
+
   charging::DataPlan plan_;
   ChargeHook hook_;
   std::unordered_map<Imsi, State> subscribers_;
   std::uint64_t ingested_ = 0;
   std::vector<SettlementCounters> settlement_by_cycle_;
+
+  recovery::StateLog* log_ = nullptr;
+  Status recovery_error_ = Status::Ok();
+  std::uint64_t duplicate_ops_dropped_ = 0;
+  /// Idempotence sets (maintained only while a StateLog is attached;
+  /// std::set so snapshots serialise deterministically).
+  std::set<CdrKey> seen_cdrs_;
+  std::set<SettleKey> settled_;
 };
 
 }  // namespace tlc::epc

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "crypto/sha256.hpp"
+#include "fleet/engine_detail.hpp"
 #include "fleet/thread_pool.hpp"
 #include "sim/rng_stream.hpp"
 #include "transport/lossy_settlement.hpp"
@@ -93,113 +94,94 @@ Bytes digest_receipts(const std::vector<core::SettlementReceipt>& receipts) {
 
 }  // namespace
 
-FleetResult run_fleet(const FleetConfig& config) {
-  FleetResult result;
-  const std::size_t per_shard = config.ues_per_shard();
-  const auto total_ues = static_cast<std::uint64_t>(std::max(0, config.ue_count));
-  if (per_shard == 0 || total_ues == 0) return result;
+namespace detail {
 
-  // Partition [0, ue_count) into contiguous shard slices. The partition
-  // depends only on (ue_count, shards) — never on the thread count.
-  struct Slice {
-    int shard_index;
-    std::uint64_t first_ue;
-    std::size_t ue_count;
-  };
-  std::vector<Slice> slices;
+std::vector<ShardSlice> partition_shards(const FleetConfig& config) {
+  std::vector<ShardSlice> slices;
+  const std::size_t per_shard = config.ues_per_shard();
+  const auto total_ues =
+      static_cast<std::uint64_t>(std::max(0, config.ue_count));
+  if (per_shard == 0 || total_ues == 0) return slices;
   for (int s = 0; s < config.shards; ++s) {
     const std::uint64_t first = static_cast<std::uint64_t>(s) * per_shard;
     if (first >= total_ues) break;
     const std::size_t count = static_cast<std::size_t>(
         std::min<std::uint64_t>(per_shard, total_ues - first));
-    slices.push_back(Slice{s, first, count});
+    slices.push_back(ShardSlice{s, first, count});
   }
+  return slices;
+}
 
-  // Run shards on the pool; each job owns one pre-allocated slot, so
-  // worker scheduling cannot reorder the merge.
-  std::vector<std::vector<UeRecord>> slots(slices.size());
-  {
-    ThreadPool pool(config.threads);
-    for (std::size_t i = 0; i < slices.size(); ++i) {
-      const Slice slice = slices[i];
-      std::vector<UeRecord>* slot = &slots[i];
-      pool.submit([&config, slice, slot] {
-        FleetShard shard(config, slice.shard_index, slice.first_ue,
-                         slice.ue_count);
-        *slot = shard.run();
-      });
-    }
-    pool.wait_idle();
-  }
+std::vector<UeRecord> run_shard_slice(const FleetConfig& config,
+                                      const ShardSlice& slice) {
+  FleetShard shard(config, slice.shard_index, slice.first_ue, slice.ue_count);
+  return shard.run();
+}
 
-  // Merge in shard order == ue_index order (slices are contiguous).
-  result.records.reserve(total_ues);
-  for (auto& slot : slots) {
-    for (UeRecord& record : slot) {
-      result.records.push_back(std::move(record));
-    }
-  }
-
-  // Fleet gap CDF inputs, appended in (ue_index, cycle) order.
-  for (const UeRecord& record : result.records) {
+void collect_gap_samples(const std::vector<UeRecord>& records,
+                         std::map<testbed::Scheme, Samples>& gap_samples) {
+  for (const UeRecord& record : records) {
     for (const auto& [scheme, outcomes] : record.outcomes) {
-      Samples& samples = result.gap_samples[scheme];
+      Samples& samples = gap_samples[scheme];
       for (const testbed::CycleOutcome& outcome : outcomes) {
         samples.add(outcome.gap_mb_per_hr);
       }
     }
   }
+}
 
-  // Batch TLC settlement over every (UE, cycle) pair.
-  std::map<std::pair<std::uint64_t, std::uint32_t>,
-           const core::SettlementReceipt*>
-      by_ue_cycle;
-  std::unique_ptr<core::RsaKeyCache> keys;
-  if (config.settle) {
-    keys = std::make_unique<core::RsaKeyCache>(
-        config.rsa_bits, config.key_cache_slots,
-        sim::stream_seed(config.seed, kKeyCacheStream));
-    core::BatchConfig batch;
-    batch.c = config.base.plan_c;
-    batch.cycle_length = config.base.cycle_length;
-    batch.first_cycle_start = 0;
-    batch.rng_salt = sim::stream_seed(config.seed, kSettleSaltStream);
+core::BatchConfig make_batch_config(const FleetConfig& config) {
+  core::BatchConfig batch;
+  batch.c = config.base.plan_c;
+  batch.cycle_length = config.base.cycle_length;
+  batch.first_cycle_start = 0;
+  batch.rng_salt = sim::stream_seed(config.seed, kSettleSaltStream);
+  return batch;
+}
 
-    std::vector<core::SettlementItem> items;
-    items.reserve(result.records.size() *
-                  static_cast<std::size_t>(config.base.cycles));
-    for (const UeRecord& record : result.records) {
-      for (const testbed::CycleMeasurements& cycle : record.cycles) {
-        core::SettlementItem item;
-        item.ue_id = record.ue_index;
-        item.edge_view = {cycle.edge_sent, cycle.edge_received};
-        item.op_view = {cycle.op_sent, cycle.op_received};
-        items.push_back(item);
-      }
-    }
-    if (config.lossy_transport) {
-      transport::LossySettler settler(batch, config.transport, *keys);
-      result.receipts = settler.settle(items, config.threads).receipts;
-    } else {
-      core::BatchSettler settler(batch, *keys);
-      result.receipts = settler.settle(items, config.threads);
-    }
-    for (const core::SettlementReceipt& receipt : result.receipts) {
-      by_ue_cycle[{receipt.ue_id, receipt.cycle}] = &receipt;
+std::uint64_t key_cache_seed(const FleetConfig& config) {
+  return sim::stream_seed(config.seed, kKeyCacheStream);
+}
+
+std::vector<core::SettlementItem> settlement_items(
+    const std::vector<UeRecord>& records, const FleetConfig& config) {
+  std::vector<core::SettlementItem> items;
+  items.reserve(records.size() * static_cast<std::size_t>(config.base.cycles));
+  for (const UeRecord& record : records) {
+    for (const testbed::CycleMeasurements& cycle : record.cycles) {
+      core::SettlementItem item;
+      item.ue_id = record.ue_index;
+      item.edge_view = {cycle.edge_sent, cycle.edge_received};
+      item.op_view = {cycle.op_sent, cycle.op_received};
+      items.push_back(item);
     }
   }
+  return items;
+}
 
-  // OFCS aggregation: synthetic gateway CDRs per (UE, cycle), rated
-  // with the TLC hook substituting each cycle's negotiated x.
+charging::DataPlan fleet_plan(const FleetConfig& config) {
   charging::DataPlan plan;
   plan.lost_data_weight_c = config.base.plan_c;
   plan.cycle_length = config.base.cycle_length;
-  epc::Ofcs ofcs(plan);
+  return plan;
+}
+
+void aggregate_fleet(const FleetConfig& config, epc::Ofcs& ofcs,
+                     FleetResult& result,
+                     const std::function<void(int cycle)>& after_cycle) {
+  std::map<std::pair<std::uint64_t, std::uint32_t>,
+           const core::SettlementReceipt*>
+      by_ue_cycle;
+  for (const core::SettlementReceipt& receipt : result.receipts) {
+    by_ue_cycle[{receipt.ue_id, receipt.cycle}] = &receipt;
+  }
+
   // Feed the settlement outcome census (§8) into the charging backend:
   // receipts are in (ue_index, cycle) input order, so the counters are
   // thread-independent by construction.
   for (const core::SettlementReceipt& receipt : result.receipts) {
-    ofcs.record_settlement(receipt.cycle, to_epc_outcome(receipt.outcome));
+    ofcs.record_settlement(receipt.cycle, to_epc_outcome(receipt.outcome),
+                           receipt.ue_id);
   }
 
   std::map<epc::Imsi, std::uint64_t> ue_by_imsi;
@@ -218,6 +200,11 @@ FleetResult run_fleet(const FleetConfig& config) {
     return receipt->second->charged;
   });
 
+  // Synthetic gateway CDRs per (UE, cycle), rated with the TLC hook
+  // substituting each cycle's negotiated x. All closes are
+  // cycle-indexed so a recovered ledger re-executes this loop as pure
+  // no-ops up to the crash point.
+  result.bills.clear();
   result.bills.reserve(static_cast<std::size_t>(config.base.cycles));
   for (int cycle = 0; cycle < config.base.cycles; ++cycle) {
     for (const UeRecord& record : result.records) {
@@ -238,19 +225,78 @@ FleetResult run_fleet(const FleetConfig& config) {
       cdr.datavolume_downlink = uplink ? 0 : m.gateway_volume;
       ofcs.ingest(cdr);
     }
-    result.bills.push_back(ofcs.close_cycle_all());
+    result.bills.push_back(
+        ofcs.close_cycle_all(static_cast<std::uint32_t>(cycle)));
+    if (after_cycle) after_cycle(cycle);
   }
   result.totals = ofcs.totals();
   result.settlement_totals = ofcs.settlement_totals();
+  result.settlement_by_cycle.clear();
   result.settlement_by_cycle.reserve(ofcs.settlement_cycles());
   for (std::size_t cycle = 0; cycle < ofcs.settlement_cycles(); ++cycle) {
     result.settlement_by_cycle.push_back(
         ofcs.settlement_counters(static_cast<std::uint32_t>(cycle)));
   }
+}
 
+void compute_digests(FleetResult& result) {
   result.measurement_digest = digest_measurements(result.records);
   result.cdf_digest = digest_cdfs(result.gap_samples);
   result.poc_digest = digest_receipts(result.receipts);
+}
+
+}  // namespace detail
+
+FleetResult run_fleet(const FleetConfig& config) {
+  FleetResult result;
+  const std::vector<detail::ShardSlice> slices =
+      detail::partition_shards(config);
+  if (slices.empty()) return result;
+
+  // Run shards on the pool; each job owns one pre-allocated slot, so
+  // worker scheduling cannot reorder the merge.
+  std::vector<std::vector<UeRecord>> slots(slices.size());
+  {
+    ThreadPool pool(config.threads);
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+      const detail::ShardSlice slice = slices[i];
+      std::vector<UeRecord>* slot = &slots[i];
+      pool.submit(
+          [&config, slice, slot] { *slot = detail::run_shard_slice(config, slice); });
+    }
+    pool.wait_idle();
+  }
+
+  // Merge in shard order == ue_index order (slices are contiguous).
+  result.records.reserve(
+      static_cast<std::size_t>(std::max(0, config.ue_count)));
+  for (auto& slot : slots) {
+    for (UeRecord& record : slot) {
+      result.records.push_back(std::move(record));
+    }
+  }
+
+  detail::collect_gap_samples(result.records, result.gap_samples);
+
+  // Batch TLC settlement over every (UE, cycle) pair.
+  if (config.settle) {
+    const core::RsaKeyCache keys(config.rsa_bits, config.key_cache_slots,
+                                 detail::key_cache_seed(config));
+    const core::BatchConfig batch = detail::make_batch_config(config);
+    const std::vector<core::SettlementItem> items =
+        detail::settlement_items(result.records, config);
+    if (config.lossy_transport) {
+      transport::LossySettler settler(batch, config.transport, keys);
+      result.receipts = settler.settle(items, config.threads).receipts;
+    } else {
+      core::BatchSettler settler(batch, keys);
+      result.receipts = settler.settle(items, config.threads);
+    }
+  }
+
+  epc::Ofcs ofcs(detail::fleet_plan(config));
+  detail::aggregate_fleet(config, ofcs, result, nullptr);
+  detail::compute_digests(result);
   return result;
 }
 

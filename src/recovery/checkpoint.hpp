@@ -1,0 +1,44 @@
+// Checkpoint (snapshot) files: the other half of snapshot + journal
+// replay.
+//
+// A checkpoint is one CRC-framed blob, replaced crash-atomically
+// (write to `path.tmp`, flush, rename). The commit point is the
+// rename: readers only ever see the previous checkpoint or the new
+// one, and a stale .tmp from a crash between write and rename is
+// simply ignored. Checkpoints bound journal replay — after a
+// checkpoint commits, the journal rotates, so recovery cost is one
+// snapshot load plus at most one checkpoint interval of ops
+// (DESIGN.md §11: the bounded-replay invariant).
+//
+//   file := u32 magic "TLCK" | u32 version (1) | u32 crc32c(payload)
+//         | u32 payload_len | payload
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "recovery/crash_plan.hpp"
+#include "util/bytes.hpp"
+#include "util/expected.hpp"
+
+namespace tlc::recovery {
+
+/// Atomically replaces the checkpoint at `path` with `snapshot`.
+/// Crash points: before the temp write, between write and rename, and
+/// after the rename (before the caller rotates its journal).
+[[nodiscard]] Status write_checkpoint(const std::string& path,
+                                      const Bytes& snapshot,
+                                      CrashPlan* plan = nullptr,
+                                      std::uint64_t scope = 0);
+
+/// Loads and validates a checkpoint. A corrupt or truncated file is a
+/// typed error — the rename protocol never produces one, so damage
+/// means the storage itself lied.
+[[nodiscard]] Expected<Bytes> read_checkpoint(const std::string& path);
+
+/// As read_checkpoint, but a missing file is `nullopt` (first boot:
+/// nothing checkpointed yet), not an error.
+[[nodiscard]] Expected<std::optional<Bytes>> read_checkpoint_if_present(
+    const std::string& path);
+
+}  // namespace tlc::recovery

@@ -1,0 +1,109 @@
+#include "recovery/crash_plan.hpp"
+
+#include "util/rng.hpp"
+
+namespace tlc::recovery {
+
+const std::vector<std::string>& crash_point_catalogue() {
+  static const std::vector<std::string> kPoints = {
+      kCrashJournalAppendPre,    kCrashJournalAppendTorn,
+      kCrashJournalAppendPost,   kCrashCheckpointPreWrite,
+      kCrashCheckpointPreRename, kCrashCheckpointPostRename,
+      kCrashShardRun,            kCrashShardWedge,
+      kCrashSettleCycle,         kCrashSettleChunkPre,
+      kCrashSettleChunkPost,
+  };
+  return kPoints;
+}
+
+CrashPlan::CrashPlan()
+    : handler_([](const CrashSite& site) {
+        if (site.kind == CrashKind::Wedge) throw WedgeException{site};
+        throw CrashException{site};
+      }) {}
+
+void CrashPlan::arm(CrashSite site) {
+  util::MutexLock lock(mu_);
+  armed_.push_back(std::move(site));
+}
+
+void CrashPlan::arm_seeded(std::uint64_t seed, int crashes,
+                           std::uint64_t scopes, std::uint64_t max_hit) {
+  Rng rng(seed);
+  const auto& catalogue = crash_point_catalogue();
+  for (int i = 0; i < crashes; ++i) {
+    CrashSite site;
+    site.point = catalogue[static_cast<std::size_t>(
+        rng.uniform_u64(catalogue.size()))];
+    site.scope = rng.uniform_u64(scopes == 0 ? 1 : scopes);
+    site.hit = rng.uniform_u64(max_hit == 0 ? 1 : max_hit);
+    site.kind =
+        site.point == kCrashShardWedge ? CrashKind::Wedge : CrashKind::Kill;
+    arm(std::move(site));
+  }
+}
+
+void CrashPlan::set_handler(Handler handler) {
+  util::MutexLock lock(mu_);
+  handler_ = std::move(handler);
+}
+
+void CrashPlan::fire(std::string_view point, std::uint64_t scope) {
+  CrashSite matched;
+  Handler handler;
+  {
+    util::MutexLock lock(mu_);
+    if (dying_) {
+      // The incarnation is already dead: don't count this boundary or
+      // consume armed sites — just kill the calling thread too.
+      matched = dying_site_;
+      handler = handler_;
+    } else {
+      const std::uint64_t count = hits_[Key{std::string(point), scope}]++;
+      if (armed_.empty()) return;
+      const CrashSite& front = armed_.front();
+      if (front.point != point || front.scope != scope || front.hit != count) {
+        return;
+      }
+      matched = front;
+      armed_.pop_front();
+      ++fired_;
+      if (matched.kind == CrashKind::Kill) {
+        dying_ = true;
+        dying_site_ = matched;
+      }
+      handler = handler_;
+    }
+  }
+  // Invoked outside the lock: the handler throws (or aborts), and a
+  // concurrent worker hitting another point must not deadlock.
+  handler(matched);
+}
+
+bool CrashPlan::pending(std::string_view point, std::uint64_t scope) const {
+  util::MutexLock lock(mu_);
+  if (dying_ || armed_.empty()) return false;
+  const CrashSite& front = armed_.front();
+  if (front.point != point || front.scope != scope) return false;
+  const auto it = hits_.find(Key{std::string(point), scope});
+  const std::uint64_t count = it == hits_.end() ? 0 : it->second;
+  return front.hit == count;
+}
+
+void CrashPlan::begin_incarnation() {
+  util::MutexLock lock(mu_);
+  hits_.clear();
+  dying_ = false;
+}
+
+int CrashPlan::crashes_fired() const {
+  util::MutexLock lock(mu_);
+  return fired_;
+}
+
+std::size_t CrashPlan::armed_remaining() const {
+  util::MutexLock lock(mu_);
+  return armed_.size();
+}
+
+}  // namespace tlc::recovery

@@ -1,0 +1,41 @@
+#include "recovery/crc32c.hpp"
+
+#include <array>
+
+namespace tlc::recovery {
+namespace {
+
+// Reflected table for the Castagnoli polynomial (0x1EDC6F41, reflected
+// 0x82F63B78), built once at first use.
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> kTable = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) != 0 ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return kTable;
+}
+
+}  // namespace
+
+std::uint32_t crc32c_extend(std::uint32_t seed, const std::uint8_t* data,
+                            std::size_t size) {
+  const auto& t = table();
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = t[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t crc32c(const Bytes& data) {
+  return crc32c_extend(0, data.data(), data.size());
+}
+
+}  // namespace tlc::recovery

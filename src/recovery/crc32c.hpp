@@ -1,0 +1,28 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) for journal and
+// checkpoint framing.
+//
+// CRC32C instead of the crypto hashes used elsewhere because frame
+// checksums guard against *accidental* corruption (torn writes, bit
+// rot) on a hot append path — 4 bytes per record and a table lookup
+// per byte, versus 32 bytes and a compression function per block for
+// SHA-256. Integrity against an *adversary* stays where it already
+// lives: the HMAC tag on the PoC store body and the RSA signatures on
+// the PoCs themselves.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace tlc::recovery {
+
+/// One-shot CRC32C of a buffer (initial state 0).
+[[nodiscard]] std::uint32_t crc32c(const Bytes& data);
+
+/// Streaming form: feed the previous return value back as `seed` to
+/// extend a checksum across multiple buffers.
+[[nodiscard]] std::uint32_t crc32c_extend(std::uint32_t seed,
+                                          const std::uint8_t* data,
+                                          std::size_t size);
+
+}  // namespace tlc::recovery

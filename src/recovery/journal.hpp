@@ -1,0 +1,96 @@
+// Write-ahead journal: length-prefixed, CRC32C-framed append log.
+//
+// The durability primitive under every piece of charging state
+// (DESIGN.md §11). An op is appended *before* it is applied in memory;
+// recovery is snapshot-load + replay of the journal suffix. The frame
+// format is deliberately minimal:
+//
+//   file   := header frame*
+//   header := u32 magic "TLCJ" | u32 version (1)
+//   frame  := u32 payload_len | u32 crc32c(payload) | payload
+//
+// (all integers big-endian, via util/serde). Replay walks frames until
+// the first one that is short, over-long or CRC-mismatched and treats
+// everything from there on as a torn tail: the valid prefix is
+// replayed, the tail length is reported, and `open` physically
+// truncates it so the next append lands on a frame boundary. A torn
+// tail is *expected* after a crash mid-append — the op it held was
+// never acknowledged, so dropping it is correct. Only an unreadable
+// file or a damaged header is a hard (typed) error; no input bytes can
+// make replay mis-apply a frame.
+//
+// Crash points (crash_plan.hpp) bracket the append: before the frame
+// (op lost), mid-frame (torn tail left behind), and after the flush
+// but before the caller's in-memory apply (the classic WAL window —
+// recovery must make the op idempotent).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "recovery/crash_plan.hpp"
+#include "util/bytes.hpp"
+#include "util/expected.hpp"
+
+namespace tlc::recovery {
+
+class Journal {
+ public:
+  struct ReplayStats {
+    std::uint64_t records = 0;
+    /// Bytes of header + intact frames.
+    std::uint64_t valid_bytes = 0;
+    /// Bytes past the valid prefix (0 on a clean file).
+    std::uint64_t truncated_bytes = 0;
+    [[nodiscard]] bool torn_tail() const { return truncated_bytes > 0; }
+  };
+
+  /// Opens (or creates) a journal for appending. An existing file is
+  /// scanned first and any torn tail is truncated away; the scan's
+  /// stats are available via `recovery_stats()`. `plan`/`scope` wire in
+  /// crash injection for every subsequent append.
+  [[nodiscard]] static Expected<Journal> open(const std::string& path,
+                                              CrashPlan* plan = nullptr,
+                                              std::uint64_t scope = 0);
+
+  /// Streams every intact record of `path` through `apply`, stopping at
+  /// the torn tail. Missing file = zero records (a journal that was
+  /// never created is an empty journal). Unreadable files and damaged
+  /// headers are typed errors.
+  [[nodiscard]] static Expected<ReplayStats> replay(
+      const std::string& path, const std::function<void(const Bytes&)>& apply);
+
+  Journal(Journal&&) = default;
+  Journal& operator=(Journal&&) = default;
+
+  /// Appends one framed record and flushes. The caller applies the op
+  /// to its in-memory state only after this returns Ok.
+  [[nodiscard]] Status append(const Bytes& payload);
+
+  /// Restarts the journal as empty (after a checkpoint made its
+  /// contents redundant).
+  [[nodiscard]] Status rotate();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t appended() const { return appended_; }
+  [[nodiscard]] const ReplayStats& recovery_stats() const {
+    return recovery_stats_;
+  }
+
+ private:
+  Journal(std::string path, CrashPlan* plan, std::uint64_t scope)
+      : path_(std::move(path)), plan_(plan), scope_(scope) {}
+
+  [[nodiscard]] Status write_raw(const std::uint8_t* data, std::size_t size);
+
+  std::string path_;
+  CrashPlan* plan_ = nullptr;
+  std::uint64_t scope_ = 0;
+  std::ofstream out_;
+  std::uint64_t appended_ = 0;
+  ReplayStats recovery_stats_;
+};
+
+}  // namespace tlc::recovery

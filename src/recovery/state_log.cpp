@@ -1,0 +1,39 @@
+#include "recovery/state_log.hpp"
+
+#include "recovery/checkpoint.hpp"
+
+namespace tlc::recovery {
+
+Expected<StateLog> StateLog::open(const std::string& dir,
+                                  const std::string& stem, CrashPlan* plan,
+                                  std::uint64_t scope) {
+  const std::string base = dir.empty() ? stem : dir + "/" + stem;
+  auto journal = Journal::open(base + ".wal", plan, scope);
+  if (!journal) return Err(journal.error());
+  return StateLog(base + ".ckpt", std::move(*journal), plan, scope);
+}
+
+Expected<StateLog::Recovered> StateLog::recover() const {
+  Recovered out;
+  auto snapshot = read_checkpoint_if_present(checkpoint_path_);
+  if (!snapshot) return Err(snapshot.error());
+  out.snapshot = std::move(*snapshot);
+  auto stats = Journal::replay(
+      journal_.path(), [&out](const Bytes& op) { out.ops.push_back(op); });
+  if (!stats) return Err(stats.error());
+  out.journal_stats = *stats;
+  return out;
+}
+
+Status StateLog::append(const Bytes& op) { return journal_.append(op); }
+
+Status StateLog::checkpoint(const Bytes& snapshot) {
+  if (Status written =
+          write_checkpoint(checkpoint_path_, snapshot, plan_, scope_);
+      !written.ok()) {
+    return written;
+  }
+  return journal_.rotate();
+}
+
+}  // namespace tlc::recovery

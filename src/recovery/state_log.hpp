@@ -1,0 +1,93 @@
+// StateLog: the snapshot + write-ahead-journal pair used by every
+// recoverable component (OFCS ledger, PoC store, settlement runner).
+//
+// A StateLog owns two files under one stem:
+//
+//   <dir>/<stem>.ckpt   latest committed snapshot (checkpoint.hpp)
+//   <dir>/<stem>.wal    ops appended since that snapshot (journal.hpp)
+//
+// The protocol is the textbook one. On every state mutation the owner
+// appends an op *first*, then applies it in memory. Periodically the
+// owner serialises its full state, calls `checkpoint()` — which
+// atomically replaces the .ckpt and then rotates the .wal — and replay
+// cost stays bounded by one checkpoint interval. On restart,
+// `recover()` hands back the snapshot (if any) plus the op suffix; the
+// owner restores the snapshot and re-applies the ops, which must be
+// idempotent because the crash window between journal-append and
+// in-memory apply means the tail op may or may not have taken effect
+// before death.
+//
+// Crash windows and why each is safe (DESIGN.md §11.4):
+//   - die before checkpoint tmp write: old .ckpt + full .wal replay
+//   - die before rename: ditto; the stale .tmp is inert
+//   - die after rename, before rotate: new .ckpt + un-rotated .wal —
+//     every op in the .wal is already folded into the snapshot, so
+//     replaying it over the snapshot must be a no-op; this is exactly
+//     the idempotence the record-ID dedupe provides
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "recovery/crash_plan.hpp"
+#include "recovery/journal.hpp"
+#include "util/bytes.hpp"
+#include "util/expected.hpp"
+
+namespace tlc::recovery {
+
+class StateLog {
+ public:
+  struct Recovered {
+    /// Last committed snapshot; nullopt on first boot.
+    std::optional<Bytes> snapshot;
+    /// Ops appended after that snapshot, in append order.
+    std::vector<Bytes> ops;
+    Journal::ReplayStats journal_stats;
+  };
+
+  /// Opens the pair, truncating any torn journal tail. Crash injection
+  /// (if `plan` is given) covers appends and checkpoints alike, keyed
+  /// by `scope`.
+  [[nodiscard]] static Expected<StateLog> open(const std::string& dir,
+                                               const std::string& stem,
+                                               CrashPlan* plan = nullptr,
+                                               std::uint64_t scope = 0);
+
+  /// Reads snapshot + op suffix for the owner to rebuild from. Corrupt
+  /// checkpoints are typed errors; a torn journal tail is not (it was
+  /// already truncated by open()).
+  [[nodiscard]] Expected<Recovered> recover() const;
+
+  /// Journals one op. Call before applying the op in memory.
+  [[nodiscard]] Status append(const Bytes& op);
+
+  /// Commits `snapshot` as the new checkpoint and rotates the journal.
+  [[nodiscard]] Status checkpoint(const Bytes& snapshot);
+
+  [[nodiscard]] const std::string& checkpoint_path() const {
+    return checkpoint_path_;
+  }
+  [[nodiscard]] const std::string& journal_path() const {
+    return journal_.path();
+  }
+  [[nodiscard]] std::uint64_t ops_since_checkpoint() const {
+    return journal_.appended();
+  }
+
+ private:
+  StateLog(std::string checkpoint_path, Journal journal, CrashPlan* plan,
+           std::uint64_t scope)
+      : checkpoint_path_(std::move(checkpoint_path)),
+        journal_(std::move(journal)),
+        plan_(plan),
+        scope_(scope) {}
+
+  std::string checkpoint_path_;
+  Journal journal_;
+  CrashPlan* plan_ = nullptr;
+  std::uint64_t scope_ = 0;
+};
+
+}  // namespace tlc::recovery

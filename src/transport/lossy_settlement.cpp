@@ -1,11 +1,14 @@
 #include "transport/lossy_settlement.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
+#include <optional>
 #include <thread>
 
 #include "sim/rng_stream.hpp"
 #include "transport/settlement_runner.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace tlc::transport {
 namespace {
@@ -69,6 +72,10 @@ LossyBatchReport LossySettler::settle(
       const core::SettlementItem& item = items[item_index];
       core::SettlementReceipt& receipt = report.receipts[item_index];
 
+      // Scoped by UE: the k-th visit of (settle-cycle, ue) is this
+      // UE's cycle k no matter how groups land on workers.
+      if (plan_ != nullptr) plan_->fire(recovery::kCrashSettleCycle, ue);
+
       if (!op->begin_cycle(item.op_view).ok() ||
           !edge->begin_cycle(item.edge_view).ok()) {
         receipt.failure_reason = "cycle could not start";
@@ -106,14 +113,39 @@ LossyBatchReport LossySettler::settle(
         static_cast<unsigned>(std::min<std::size_t>(threads, groups.size()));
     std::vector<std::thread> pool;
     pool.reserve(workers);
+    // Injected crashes must not escape a worker thread (std::terminate)
+    // — each worker catches, the rest drain at their next group, and
+    // the first crash is rethrown from the calling thread after join.
+    // CrashPlan's dying-state replication makes "first" deterministic:
+    // every worker that touches another crash point after the kill
+    // receives the same site.
+    std::atomic<bool> crashed{false};
+    util::Mutex crash_mu;
+    std::optional<recovery::CrashException> kill;
+    std::optional<recovery::WedgeException> wedge;
     for (unsigned w = 0; w < workers; ++w) {
       pool.emplace_back([&, w] {
         for (std::size_t g = w; g < groups.size(); g += workers) {
-          run_group(groups[g]);
+          if (crashed.load(std::memory_order_relaxed)) return;
+          try {
+            run_group(groups[g]);
+          } catch (const recovery::CrashException& e) {
+            crashed.store(true, std::memory_order_relaxed);
+            util::MutexLock lock(crash_mu);
+            if (!kill.has_value()) kill = e;
+            return;
+          } catch (const recovery::WedgeException& e) {
+            crashed.store(true, std::memory_order_relaxed);
+            util::MutexLock lock(crash_mu);
+            if (!wedge.has_value()) wedge = e;
+            return;
+          }
         }
       });
     }
     for (std::thread& worker : pool) worker.join();
+    if (kill.has_value()) throw *kill;
+    if (wedge.has_value()) throw *wedge;
   }
 
   // Census in input order — a pure function of the receipts.

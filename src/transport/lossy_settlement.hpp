@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/batch_settlement.hpp"
+#include "recovery/crash_plan.hpp"
 #include "transport/faulty_channel.hpp"
 #include "transport/retry.hpp"
 
@@ -50,6 +51,13 @@ class LossySettler {
   LossySettler(core::BatchConfig config, TransportConfig transport,
                const core::RsaKeyCache& keys);
 
+  /// Wires in crash injection: the settle-cycle point fires before
+  /// each (UE, cycle) negotiation, scoped by UE id so the schedule is
+  /// thread-count independent. A CrashException raised inside a worker
+  /// is caught there, the remaining workers drain, and it is rethrown
+  /// from the calling thread — the supervisor sees one clean crash.
+  void set_crash_plan(recovery::CrashPlan* plan) { plan_ = plan; }
+
   /// Settles every item; same grouping, ordering and threading rules
   /// as BatchSettler::settle.
   [[nodiscard]] LossyBatchReport settle(
@@ -60,6 +68,7 @@ class LossySettler {
   core::BatchConfig config_;
   TransportConfig transport_;
   const core::RsaKeyCache& keys_;
+  recovery::CrashPlan* plan_ = nullptr;
 };
 
 }  // namespace tlc::transport

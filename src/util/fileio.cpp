@@ -1,0 +1,61 @@
+#include "util/fileio.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace tlc::util {
+
+namespace fs = std::filesystem;
+
+Expected<Bytes> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Err("fileio: cannot open " + path);
+  const std::streamsize size = in.tellg();
+  if (size < 0) return Err("fileio: cannot stat " + path);
+  in.seekg(0);
+  Bytes data(static_cast<std::size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(data.data()), size);
+    if (!in) return Err("fileio: short read from " + path);
+  }
+  return data;
+}
+
+Status write_file(const std::string& path, const Bytes& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Err("fileio: cannot open " + path + " for writing");
+  if (!data.empty()) {
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+  }
+  out.flush();
+  if (!out) return Err("fileio: write to " + path + " failed");
+  return Status::Ok();
+}
+
+Status write_file_atomic(const std::string& path, const Bytes& data) {
+  const std::string tmp = path + ".tmp";
+  if (Status written = write_file(tmp, data); !written.ok()) return written;
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Err("fileio: rename " + tmp + " -> " + path + " failed: " +
+               ec.message());
+  }
+  return Status::Ok();
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec) && !ec;
+}
+
+Status remove_file(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  if (ec) return Err("fileio: remove " + path + " failed: " + ec.message());
+  return Status::Ok();
+}
+
+}  // namespace tlc::util

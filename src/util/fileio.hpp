@@ -1,0 +1,38 @@
+// Small file-I/O helpers shared by every durable-state component.
+//
+// All persistent artefacts in this repo (PoC stores, write-ahead
+// journals, checkpoints) funnel their raw reads and writes through
+// these four functions, for two reasons: failure surfaces as
+// Expected<>/Status instead of stream state bits, and the tlclint
+// `journal-write` rule can then reject any *other* file-write
+// primitive in the stateful subsystems — durable bytes must go through
+// an API that understands atomicity, not an ad-hoc ofstream.
+#pragma once
+
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/expected.hpp"
+
+namespace tlc::util {
+
+/// Reads a whole file. Fails on missing/unreadable paths.
+[[nodiscard]] Expected<Bytes> read_file(const std::string& path);
+
+/// Overwrites `path` with `data` in place (truncate + write). Not
+/// atomic — callers that need crash-atomicity use write_file_atomic.
+[[nodiscard]] Status write_file(const std::string& path, const Bytes& data);
+
+/// Crash-atomic replace: writes `path + ".tmp"`, flushes, then renames
+/// over `path`. A crash leaves either the old file or the new one,
+/// never a torn mix; a stale .tmp from a previous crash is ignored by
+/// readers and overwritten by the next writer.
+[[nodiscard]] Status write_file_atomic(const std::string& path,
+                                       const Bytes& data);
+
+[[nodiscard]] bool file_exists(const std::string& path);
+
+/// Removes a file if present; missing files are not an error.
+[[nodiscard]] Status remove_file(const std::string& path);
+
+}  // namespace tlc::util

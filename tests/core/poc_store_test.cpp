@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 namespace tlc::core {
 namespace {
@@ -74,6 +77,85 @@ TEST(PocStoreTest, FileRoundTrip) {
 
 TEST(PocStoreTest, LoadMissingFileFails) {
   EXPECT_FALSE(PocStore::load("/nonexistent/poc.bin"));
+}
+
+TEST(PocStoreTest, SalvageCleanFileKeepsEverything) {
+  const std::string path = ::testing::TempDir() + "/tlc_poc_salvage_clean.bin";
+  PocStore store;
+  store.add(plan_at(0), bytes_of("alpha"));
+  store.add(plan_at(kHour), bytes_of("beta"));
+  ASSERT_TRUE(store.save(path).ok());
+  auto salvage = PocStore::load_salvage(path);
+  ASSERT_TRUE(salvage);
+  EXPECT_TRUE(salvage->integrity_ok);
+  EXPECT_EQ(salvage->entries_skipped, 0u);
+  EXPECT_EQ(salvage->store.entries(), store.entries());
+  std::remove(path.c_str());
+}
+
+TEST(PocStoreTest, SalvageSkipsAndCountsCorruptEntry) {
+  const std::string path = ::testing::TempDir() + "/tlc_poc_salvage_flip.bin";
+  PocStore store;
+  store.add(plan_at(0), bytes_of("first-receipt"));
+  store.add(plan_at(kHour), bytes_of("second-receipt"));
+  store.add(plan_at(2 * kHour), bytes_of("third-receipt"));
+  ASSERT_TRUE(store.save(path).ok());
+
+  // Flip a byte inside the middle entry's payload: strict load rejects
+  // the whole file, salvage keeps the two intact receipts.
+  Bytes data = store.serialize();
+  const Bytes needle = bytes_of("second-receipt");
+  auto at = std::search(data.begin(), data.end(), needle.begin(), needle.end());
+  ASSERT_NE(at, data.end());
+  *at ^= 0x01;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+  }
+  EXPECT_FALSE(PocStore::load(path));
+  auto salvage = PocStore::load_salvage(path);
+  ASSERT_TRUE(salvage);
+  EXPECT_FALSE(salvage->integrity_ok);
+  EXPECT_EQ(salvage->entries_skipped, 1u);
+  ASSERT_EQ(salvage->store.size(), 2u);
+  EXPECT_TRUE(salvage->store.find_cycle(0).has_value());
+  EXPECT_FALSE(salvage->store.find_cycle(kHour).has_value());
+  EXPECT_TRUE(salvage->store.find_cycle(2 * kHour).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(PocStoreTest, SalvageTruncationDropsTail) {
+  const std::string path = ::testing::TempDir() + "/tlc_poc_salvage_trunc.bin";
+  PocStore store;
+  store.add(plan_at(0), bytes_of("kept"));
+  store.add(plan_at(kHour), bytes_of("lost-to-truncation"));
+  Bytes data = store.serialize();
+  data.resize(data.size() - 12);  // cuts into the last entry + HMAC tag
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+  }
+  EXPECT_FALSE(PocStore::load(path));
+  auto salvage = PocStore::load_salvage(path);
+  ASSERT_TRUE(salvage);
+  EXPECT_FALSE(salvage->integrity_ok);
+  EXPECT_EQ(salvage->entries_skipped, 1u);
+  ASSERT_EQ(salvage->store.size(), 1u);
+  EXPECT_TRUE(salvage->store.find_cycle(0).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(PocStoreTest, SalvageRejectsDamagedHeader) {
+  const std::string path = ::testing::TempDir() + "/tlc_poc_salvage_hdr.bin";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  EXPECT_FALSE(PocStore::load_salvage(path));
+  EXPECT_FALSE(PocStore::load_salvage("/nonexistent/poc.bin"));
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,159 @@
+#include "recovery/crash_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tlc::recovery {
+namespace {
+
+TEST(CrashPlanTest, UnarmedPlanNeverFires) {
+  CrashPlan plan;
+  for (int i = 0; i < 100; ++i) plan.fire(kCrashJournalAppendPre, 7);
+  EXPECT_EQ(plan.crashes_fired(), 0);
+}
+
+TEST(CrashPlanTest, FiresOnExactPointScopeHit) {
+  CrashPlan plan;
+  plan.arm({kCrashShardRun, 2, 1, CrashKind::Kill});
+  plan.fire(kCrashShardRun, 0);  // wrong scope
+  plan.fire(kCrashShardRun, 2);  // hit 0: not yet
+  EXPECT_EQ(plan.crashes_fired(), 0);
+  try {
+    plan.fire(kCrashShardRun, 2);  // hit 1: fires
+    FAIL() << "expected CrashException";
+  } catch (const CrashException& e) {
+    EXPECT_EQ(e.site.point, kCrashShardRun);
+    EXPECT_EQ(e.site.scope, 2u);
+    EXPECT_EQ(e.site.hit, 1u);
+  }
+  EXPECT_EQ(plan.crashes_fired(), 1);
+}
+
+TEST(CrashPlanTest, WedgeSitesThrowWedgeException) {
+  CrashPlan plan;
+  plan.arm({kCrashShardWedge, 0, 0, CrashKind::Wedge});
+  EXPECT_THROW(plan.fire(kCrashShardWedge, 0), WedgeException);
+  // A wedge does not put the plan in the dying state: execution
+  // continues (the watchdog restarts the shard) and later sites can
+  // still fire.
+  plan.fire(kCrashShardWedge, 0);  // armed queue is empty now
+  EXPECT_EQ(plan.crashes_fired(), 1);
+}
+
+TEST(CrashPlanTest, DyingStateReplicatesTheKill) {
+  CrashPlan plan;
+  plan.arm({kCrashJournalAppendPre, 0, 0, CrashKind::Kill});
+  plan.arm({kCrashJournalAppendPre, 1, 0, CrashKind::Kill});
+  EXPECT_THROW(plan.fire(kCrashJournalAppendPre, 0), CrashException);
+  // Dying: every subsequent fire — any point, any scope — re-throws
+  // the same site without consuming the second armed site.
+  for (int i = 0; i < 3; ++i) {
+    try {
+      plan.fire(kCrashCheckpointPreWrite, 9);
+      FAIL() << "expected replicated CrashException";
+    } catch (const CrashException& e) {
+      EXPECT_EQ(e.site.point, kCrashJournalAppendPre);
+      EXPECT_EQ(e.site.scope, 0u);
+    }
+  }
+  EXPECT_EQ(plan.crashes_fired(), 1);
+  EXPECT_EQ(plan.armed_remaining(), 1u);
+
+  // The next incarnation clears the dying state and re-counts hits
+  // from zero; the second armed site then fires normally.
+  plan.begin_incarnation();
+  EXPECT_THROW(plan.fire(kCrashJournalAppendPre, 1), CrashException);
+  EXPECT_EQ(plan.crashes_fired(), 2);
+  EXPECT_EQ(plan.armed_remaining(), 0u);
+}
+
+TEST(CrashPlanTest, HitCountersResetPerIncarnation) {
+  CrashPlan plan;
+  plan.arm({kCrashSettleCycle, 5, 2, CrashKind::Kill});
+  plan.fire(kCrashSettleCycle, 5);  // hit 0
+  plan.fire(kCrashSettleCycle, 5);  // hit 1
+  plan.begin_incarnation();
+  plan.fire(kCrashSettleCycle, 5);  // hit 0 again — no fire
+  plan.fire(kCrashSettleCycle, 5);  // hit 1
+  EXPECT_EQ(plan.crashes_fired(), 0);
+  EXPECT_THROW(plan.fire(kCrashSettleCycle, 5), CrashException);  // hit 2
+}
+
+TEST(CrashPlanTest, PendingPredictsTheNextFire) {
+  CrashPlan plan;
+  plan.arm({kCrashJournalAppendTorn, 3, 0, CrashKind::Kill});
+  EXPECT_FALSE(plan.pending(kCrashJournalAppendTorn, 0));
+  EXPECT_TRUE(plan.pending(kCrashJournalAppendTorn, 3));
+  // pending() does not consume anything.
+  EXPECT_TRUE(plan.pending(kCrashJournalAppendTorn, 3));
+  EXPECT_THROW(plan.fire(kCrashJournalAppendTorn, 3), CrashException);
+  EXPECT_FALSE(plan.pending(kCrashJournalAppendTorn, 3));  // dying
+}
+
+TEST(CrashPlanTest, SitesFireStrictlyInArmOrder) {
+  CrashPlan plan;
+  plan.arm({kCrashShardRun, 0, 0, CrashKind::Kill});
+  plan.arm({kCrashShardRun, 1, 0, CrashKind::Kill});
+  // The second site's (point, scope) is visited first — it must NOT
+  // fire while the first site is still armed.
+  plan.fire(kCrashShardRun, 1);
+  EXPECT_EQ(plan.crashes_fired(), 0);
+  EXPECT_THROW(plan.fire(kCrashShardRun, 0), CrashException);
+}
+
+TEST(CrashPlanTest, CustomHandlerReplacesThrow) {
+  CrashPlan plan;
+  std::vector<CrashSite> seen;
+  plan.set_handler([&seen](const CrashSite& site) { seen.push_back(site); });
+  plan.arm({kCrashCheckpointPreRename, 0, 0, CrashKind::Kill});
+  plan.fire(kCrashCheckpointPreRename, 0);  // handler returns: no throw
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].point, kCrashCheckpointPreRename);
+}
+
+TEST(CrashPlanTest, SeededArmingIsDeterministicAndBounded) {
+  CrashPlan a;
+  CrashPlan b;
+  a.arm_seeded(1234, 5, 8);
+  b.arm_seeded(1234, 5, 8);
+  EXPECT_EQ(a.armed_remaining(), 5u);
+  EXPECT_EQ(b.armed_remaining(), 5u);
+  // Same seed → identical schedules: drive both with the same fire
+  // sequence and check they crash at the same steps.
+  const auto& catalogue = crash_point_catalogue();
+  ASSERT_FALSE(catalogue.empty());
+  std::vector<int> fired_a;
+  std::vector<int> fired_b;
+  auto drive = [&catalogue](CrashPlan& plan, std::vector<int>& fired) {
+    int step = 0;
+    for (int round = 0; round < 4; ++round) {
+      plan.begin_incarnation();
+      for (const std::string& point : catalogue) {
+        for (std::uint64_t scope = 0; scope < 8; ++scope) {
+          for (int hit = 0; hit < 3; ++hit) {
+            ++step;
+            try {
+              plan.fire(point, scope);
+            } catch (const CrashException&) {
+              fired.push_back(step);
+            } catch (const WedgeException&) {
+              fired.push_back(-step);
+            }
+          }
+        }
+      }
+    }
+  };
+  drive(a, fired_a);
+  drive(b, fired_b);
+  EXPECT_EQ(fired_a, fired_b);
+  CrashPlan c;
+  c.arm_seeded(9999, 5, 8);
+  std::vector<int> fired_c;
+  drive(c, fired_c);
+  EXPECT_NE(fired_a, fired_c);  // different seed, different schedule
+}
+
+}  // namespace
+}  // namespace tlc::recovery

@@ -1,0 +1,148 @@
+// Corruption soak (ISSUE: journal-corruption satellite): seeded bit
+// flips and truncations over real journal files. For every damaged
+// file, replay must either hand back a valid prefix of the original
+// op sequence or fail with a typed error — never mis-apply a frame,
+// never crash. Runs under the asan preset, where "never UB" is
+// actually checked.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "recovery/journal.hpp"
+#include "util/fileio.hpp"
+#include "util/rng.hpp"
+
+namespace tlc::recovery {
+namespace {
+
+std::vector<Bytes> build_ops(Rng& rng, std::size_t count) {
+  std::vector<Bytes> ops;
+  ops.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Bytes op(rng.uniform_u64(64) + 1);
+    for (std::uint8_t& b : op) b = static_cast<std::uint8_t>(rng.next_u64());
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+/// Replays `path` and asserts the result is a valid prefix of `ops`
+/// (or a typed error). Returns the number of records recovered.
+std::size_t check_prefix_or_error(const std::string& path,
+                                  const std::vector<Bytes>& ops) {
+  std::vector<Bytes> replayed;
+  auto stats = Journal::replay(path, [&replayed](const Bytes& op) {
+    replayed.push_back(op);
+  });
+  if (!stats.has_value()) return 0;  // typed error: acceptable outcome
+  EXPECT_LE(replayed.size(), ops.size());
+  for (std::size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed[i], ops[i])
+        << "replayed record " << i << " is not the original op — "
+        << "corruption reached the apply path";
+    if (replayed[i] != ops[i]) break;
+  }
+  return replayed.size();
+}
+
+TEST(JournalCorruptionSoakTest, SeededBitFlips) {
+  const std::string path =
+      ::testing::TempDir() + "/journal_soak_bitflip.wal";
+  Rng rng(0xb17f11b5ULL);
+  std::size_t salvaged_any = 0;
+  for (int round = 0; round < 60; ++round) {
+    std::remove(path.c_str());
+    const std::vector<Bytes> ops = build_ops(rng, rng.uniform_u64(12) + 1);
+    {
+      auto journal = Journal::open(path);
+      ASSERT_TRUE(journal.has_value());
+      for (const Bytes& op : ops) ASSERT_TRUE(journal->append(op).ok());
+    }
+    auto data = util::read_file(path);
+    ASSERT_TRUE(data.has_value());
+    Bytes damaged = *data;
+    const std::size_t flips = rng.uniform_u64(4) + 1;
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t at = rng.uniform_u64(damaged.size());
+      damaged[at] ^= static_cast<std::uint8_t>(1u << rng.uniform_u64(8));
+    }
+    ASSERT_TRUE(util::write_file(path, damaged).ok());
+    salvaged_any += check_prefix_or_error(path, ops);
+  }
+  // Sanity: the soak is not vacuous — flips that landed past the first
+  // frame must have left salvageable prefixes somewhere.
+  EXPECT_GT(salvaged_any, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(JournalCorruptionSoakTest, SeededTruncations) {
+  const std::string path = ::testing::TempDir() + "/journal_soak_trunc.wal";
+  Rng rng(0x7a11c0deULL);
+  for (int round = 0; round < 60; ++round) {
+    std::remove(path.c_str());
+    const std::vector<Bytes> ops = build_ops(rng, rng.uniform_u64(12) + 1);
+    {
+      auto journal = Journal::open(path);
+      ASSERT_TRUE(journal.has_value());
+      for (const Bytes& op : ops) ASSERT_TRUE(journal->append(op).ok());
+    }
+    auto data = util::read_file(path);
+    ASSERT_TRUE(data.has_value());
+    Bytes damaged = *data;
+    damaged.resize(rng.uniform_u64(damaged.size() + 1));
+    ASSERT_TRUE(util::write_file(path, damaged).ok());
+    check_prefix_or_error(path, ops);
+
+    // Re-opening the truncated file must itself be safe, truncate the
+    // torn tail, and accept new appends that then replay cleanly.
+    auto reopened = Journal::open(path);
+    if (reopened.has_value()) {
+      ASSERT_TRUE(reopened->append(bytes_of("post-damage")).ok());
+      std::vector<Bytes> replayed;
+      auto stats = Journal::replay(path, [&replayed](const Bytes& op) {
+        replayed.push_back(op);
+      });
+      ASSERT_TRUE(stats.has_value());
+      EXPECT_FALSE(stats->torn_tail());
+      ASSERT_FALSE(replayed.empty());
+      EXPECT_EQ(replayed.back(), bytes_of("post-damage"));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JournalCorruptionSoakTest, LengthFieldFuzz) {
+  // Adversarial length prefixes: huge, zero and boundary values must
+  // not make replay allocate absurdly or read out of bounds.
+  const std::string path = ::testing::TempDir() + "/journal_soak_len.wal";
+  Rng rng(0x1e47f1e1ULL);
+  for (int round = 0; round < 40; ++round) {
+    std::remove(path.c_str());
+    const std::vector<Bytes> ops = build_ops(rng, 3);
+    {
+      auto journal = Journal::open(path);
+      ASSERT_TRUE(journal.has_value());
+      for (const Bytes& op : ops) ASSERT_TRUE(journal->append(op).ok());
+    }
+    auto data = util::read_file(path);
+    ASSERT_TRUE(data.has_value());
+    Bytes damaged = *data;
+    // Overwrite one aligned u32 with an adversarial value.
+    const std::size_t at = 8 + rng.uniform_u64(damaged.size() - 8 - 4);
+    const std::uint32_t evil =
+        round % 2 == 0 ? 0xffffffffu
+                       : static_cast<std::uint32_t>(rng.next_u64());
+    damaged[at] = static_cast<std::uint8_t>(evil >> 24);
+    damaged[at + 1] = static_cast<std::uint8_t>(evil >> 16);
+    damaged[at + 2] = static_cast<std::uint8_t>(evil >> 8);
+    damaged[at + 3] = static_cast<std::uint8_t>(evil);
+    ASSERT_TRUE(util::write_file(path, damaged).ok());
+    check_prefix_or_error(path, ops);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tlc::recovery

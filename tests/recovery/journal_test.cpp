@@ -1,0 +1,181 @@
+#include "recovery/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/fileio.hpp"
+
+namespace tlc::recovery {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<Bytes> replay_all(const std::string& path) {
+  std::vector<Bytes> ops;
+  auto stats = Journal::replay(path, [&ops](const Bytes& op) {
+    ops.push_back(op);
+  });
+  EXPECT_TRUE(stats.has_value()) << stats.error();
+  return ops;
+}
+
+TEST(JournalTest, AppendReplayRoundTrip) {
+  const std::string path = temp_path("journal_roundtrip.wal");
+  std::remove(path.c_str());
+  {
+    auto journal = Journal::open(path);
+    ASSERT_TRUE(journal.has_value()) << journal.error();
+    ASSERT_TRUE(journal->append(bytes_of("one")).ok());
+    ASSERT_TRUE(journal->append(bytes_of("two")).ok());
+    ASSERT_TRUE(journal->append(Bytes{}).ok());  // empty payloads are legal
+    EXPECT_EQ(journal->appended(), 3u);
+  }
+  const std::vector<Bytes> ops = replay_all(path);
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0], bytes_of("one"));
+  EXPECT_EQ(ops[1], bytes_of("two"));
+  EXPECT_TRUE(ops[2].empty());
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, MissingFileReplaysEmpty) {
+  const std::string path = temp_path("journal_never_created.wal");
+  std::remove(path.c_str());
+  auto stats = Journal::replay(path, [](const Bytes&) { FAIL(); });
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->records, 0u);
+  EXPECT_FALSE(stats->torn_tail());
+}
+
+TEST(JournalTest, TornTailTruncatedOnOpen) {
+  const std::string path = temp_path("journal_torn.wal");
+  std::remove(path.c_str());
+  {
+    auto journal = Journal::open(path);
+    ASSERT_TRUE(journal.has_value());
+    ASSERT_TRUE(journal->append(bytes_of("intact")).ok());
+  }
+  // Simulate a crash mid-append: half a frame of garbage at the tail.
+  auto data = util::read_file(path);
+  ASSERT_TRUE(data.has_value());
+  const std::size_t valid_size = data->size();
+  Bytes damaged = *data;
+  damaged.push_back(0x00);
+  damaged.push_back(0x00);
+  damaged.push_back(0x00);  // looks like the start of a length prefix
+  ASSERT_TRUE(util::write_file(path, damaged).ok());
+
+  // Replay reports the torn tail but returns the valid prefix.
+  std::size_t records = 0;
+  auto stats = Journal::replay(path, [&records](const Bytes&) { ++records; });
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(records, 1u);
+  EXPECT_TRUE(stats->torn_tail());
+  EXPECT_EQ(stats->valid_bytes, valid_size);
+
+  // Re-open truncates the tail; the next append lands cleanly.
+  {
+    auto journal = Journal::open(path);
+    ASSERT_TRUE(journal.has_value());
+    EXPECT_TRUE(journal->recovery_stats().torn_tail());
+    ASSERT_TRUE(journal->append(bytes_of("after")).ok());
+  }
+  const std::vector<Bytes> ops = replay_all(path);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[1], bytes_of("after"));
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, CorruptPayloadStopsReplayAtValidPrefix) {
+  const std::string path = temp_path("journal_bitflip.wal");
+  std::remove(path.c_str());
+  {
+    auto journal = Journal::open(path);
+    ASSERT_TRUE(journal.has_value());
+    ASSERT_TRUE(journal->append(bytes_of("first")).ok());
+    ASSERT_TRUE(journal->append(bytes_of("second")).ok());
+  }
+  auto data = util::read_file(path);
+  ASSERT_TRUE(data.has_value());
+  Bytes damaged = *data;
+  damaged.back() ^= 0x01;  // flips a bit in the last frame's payload
+  ASSERT_TRUE(util::write_file(path, damaged).ok());
+
+  std::vector<Bytes> ops;
+  auto stats = Journal::replay(path, [&ops](const Bytes& op) {
+    ops.push_back(op);
+  });
+  ASSERT_TRUE(stats.has_value());
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0], bytes_of("first"));
+  EXPECT_TRUE(stats->torn_tail());
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, DamagedHeaderIsTypedError) {
+  const std::string path = temp_path("journal_bad_header.wal");
+  ASSERT_TRUE(util::write_file(path, bytes_of("not a journal")).ok());
+  auto stats = Journal::replay(path, [](const Bytes&) {});
+  EXPECT_FALSE(stats.has_value());
+  EXPECT_FALSE(Journal::open(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, RotateEmptiesTheLog) {
+  const std::string path = temp_path("journal_rotate.wal");
+  std::remove(path.c_str());
+  auto journal = Journal::open(path);
+  ASSERT_TRUE(journal.has_value());
+  ASSERT_TRUE(journal->append(bytes_of("stale")).ok());
+  ASSERT_TRUE(journal->rotate().ok());
+  EXPECT_EQ(journal->appended(), 0u);
+  ASSERT_TRUE(journal->append(bytes_of("fresh")).ok());
+  const std::vector<Bytes> ops = replay_all(path);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0], bytes_of("fresh"));
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, CrashPointsFireAroundAppend) {
+  const std::string path = temp_path("journal_crash_points.wal");
+  std::remove(path.c_str());
+  CrashPlan plan;
+  plan.arm({kCrashJournalAppendPost, 0, 1, CrashKind::Kill});
+  auto journal = Journal::open(path, &plan);
+  ASSERT_TRUE(journal.has_value());
+  ASSERT_TRUE(journal->append(bytes_of("survives")).ok());
+  EXPECT_THROW((void)journal->append(bytes_of("durable-but-fatal")),
+               CrashException);
+  // The post-append crash window: the frame IS on disk even though the
+  // caller never got to apply it — replay must hand it back.
+  const std::vector<Bytes> ops = replay_all(path);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[1], bytes_of("durable-but-fatal"));
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, TornCrashPointLeavesTornTail) {
+  const std::string path = temp_path("journal_crash_torn.wal");
+  std::remove(path.c_str());
+  CrashPlan plan;
+  plan.arm({kCrashJournalAppendTorn, 0, 0, CrashKind::Kill});
+  {
+    auto journal = Journal::open(path, &plan);
+    ASSERT_TRUE(journal.has_value());
+    EXPECT_THROW((void)journal->append(bytes_of("half-written")), CrashException);
+  }
+  std::size_t records = 0;
+  auto stats = Journal::replay(path, [&records](const Bytes&) { ++records; });
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(records, 0u);
+  EXPECT_TRUE(stats->torn_tail());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tlc::recovery

@@ -1,0 +1,19 @@
+// Must-flag fixture: raw file-write primitives inside a stateful
+// subsystem. Durable bytes must go through util::fileio or the Journal
+// API — an ad-hoc stream is a torn write waiting for a crash.
+#include <fstream>
+
+namespace tlc::recovery {
+
+void bad_append(const char* path) {
+  std::ofstream out(path, std::ios::app);
+  out << "op";
+}
+
+void bad_cstdio(const char* path) {
+  std::FILE* f = fopen(path, "ab");
+  fwrite("op", 1, 2, f);
+  fprintf(f, "tail");
+}
+
+}  // namespace tlc::recovery

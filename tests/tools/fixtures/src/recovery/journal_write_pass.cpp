@@ -1,0 +1,22 @@
+// Must-pass fixture for journal-write: durable writes go through the
+// blessed primitives, reads are unrestricted, and a consciously waived
+// site carries an in-code pragma.
+#include "util/fileio.hpp"
+
+namespace tlc::recovery {
+
+[[nodiscard]] Status good_write(const std::string& path, const Bytes& data) {
+  return util::write_file_atomic(path, data);
+}
+
+[[nodiscard]] Expected<Bytes> good_read(const std::string& path) {
+  return util::read_file(path);
+}
+
+void debug_dump(const char* path, const char* text) {
+  // tlclint: allow(journal-write) debug-only dump, not durable state
+  std::ofstream out(path);
+  out << text;
+}
+
+}  // namespace tlc::recovery

@@ -512,6 +512,7 @@ void rule_nodiscard(const std::string& relpath,
 bool in_annotated_subsystem(const std::string& relpath) {
   return starts_with(relpath, "src/fleet/") ||
          starts_with(relpath, "src/transport/") ||
+         starts_with(relpath, "src/recovery/") ||
          starts_with(relpath, "src/epc/ofcs") ||
          // Crypto contexts are shared read-only across fleet workers;
          // any mutex appearing there signals a design change that needs
@@ -555,6 +556,63 @@ void rule_naked_mutex(const std::string& relpath,
   }
 }
 
+// --------------------------------------------------------------------
+// Rule: journal-write
+// --------------------------------------------------------------------
+
+/// Subsystems whose on-disk bytes are recovery-critical: every durable
+/// write must go through util::fileio or the Journal append path, both
+/// of which understand atomicity and framing. An ad-hoc ofstream here
+/// is a torn-write waiting for a crash.
+bool in_stateful_subsystem(const std::string& relpath) {
+  return starts_with(relpath, "src/recovery/") ||
+         starts_with(relpath, "src/core/") ||
+         starts_with(relpath, "src/epc/") ||
+         starts_with(relpath, "src/transport/") ||
+         starts_with(relpath, "src/fleet/");
+}
+
+void rule_journal_write(const std::string& relpath,
+                        const std::vector<std::string>& code,
+                        const Pragmas& pragmas, std::vector<Finding>& out) {
+  if (!in_stateful_subsystem(relpath)) return;
+  // The Journal implementation is the one blessed ofstream owner (its
+  // append path needs a persistent stream for frame-granular flushes).
+  if (relpath.find("src/recovery/journal.") != std::string::npos) return;
+  static const std::vector<std::string> kTokens = {"ofstream", "fstream",
+                                                   "FILE"};
+  static const std::vector<std::string> kCalls = {"fopen", "fwrite", "fputs",
+                                                  "fprintf"};
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (pragmas.allowed(i, "journal-write")) continue;
+    const std::string& line = code[i];
+    bool flagged = false;
+    for (const std::string& token : kTokens) {
+      if (!find_word(line, token).empty()) {
+        add_finding(out, "journal-write", relpath, i,
+                    "raw file-write primitive '" + token +
+                        "' in a stateful subsystem — durable bytes must go "
+                        "through util::fileio or the Journal API "
+                        "(recovery/journal.hpp), never an ad-hoc stream",
+                    code);
+        flagged = true;
+        break;
+      }
+    }
+    if (flagged) continue;
+    for (const std::string& call : kCalls) {
+      if (!find_call(line, call).empty()) {
+        add_finding(out, "journal-write", relpath, i,
+                    "call to '" + call +
+                        "()' writes files behind the recovery machinery's "
+                        "back — use util::fileio or the Journal API",
+                    code);
+        break;
+      }
+    }
+  }
+}
+
 std::string read_file(const fs::path& path) {
   std::ifstream in(path, std::ios::binary);
   std::ostringstream ss;
@@ -582,8 +640,8 @@ std::string Finding::baseline_key() const {
 
 const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
-      "wallclock", "float-money", "unordered-iter", "nodiscard-expected",
-      "naked-mutex"};
+      "wallclock",   "float-money", "unordered-iter", "nodiscard-expected",
+      "naked-mutex", "journal-write"};
   return kRules;
 }
 
@@ -623,6 +681,9 @@ std::vector<Finding> lint_file(const std::string& relpath,
   }
   if (enabled("naked-mutex")) {
     rule_naked_mutex(relpath, code, pragmas, findings);
+  }
+  if (enabled("journal-write")) {
+    rule_journal_write(relpath, code, pragmas, findings);
   }
   return findings;
 }

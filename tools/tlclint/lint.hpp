@@ -14,9 +14,14 @@
 //                      serialization or aggregation
 //   nodiscard-expected Expected<...>/Status-returning declarations must
 //                      be [[nodiscard]]
-//   naked-mutex        fleet/, transport/ and epc/ofcs* must use the
-//                      annotated util::Mutex/MutexLock/CondVar wrappers,
-//                      never raw std::mutex & friends
+//   naked-mutex        fleet/, transport/, recovery/ and epc/ofcs* must
+//                      use the annotated util::Mutex/MutexLock/CondVar
+//                      wrappers, never raw std::mutex & friends
+//   journal-write      stateful subsystems (recovery/, core/, epc/,
+//                      transport/, fleet/) must write durable bytes via
+//                      util::fileio or the Journal API, never a raw
+//                      ofstream/FILE — ad-hoc writes dodge the
+//                      crash-atomicity the recovery layer guarantees
 //
 // Suppression is two-tier: in-code pragmas for sites that are correct
 // by design (`// tlclint: allow(rule) reason` on the line or the line
