@@ -1,18 +1,24 @@
 // Fleet scaling bench: UEs/sec and settlement throughput vs worker
-// threads.
+// threads, across UE population tiers from 64 to 10k.
 //
-// Runs the same 64-UE fleet at 1/2/4/8 worker threads, reports shard
-// simulation throughput (UEs/sec), batch settlement throughput
-// ((UE,cycle) settlements/sec), speedup relative to 1 thread, and
-// asserts the determinism contract along the way: every thread count
-// must produce bit-identical measurement / CDF / PoC digests.
+// Each tier holds cell density fixed (8 UEs per shard world, so
+// population grows the shard count the way it would grow eNodeB count)
+// and runs the same fleet at 1/2/4/8 worker threads. Noise control:
+// one unrecorded warm-up run per invocation plus median-of-N sampling
+// per row — single-sample runs of the 64-UE tier swung ~16% run to
+// run, which buried real regressions. The determinism contract is
+// asserted along the way: every sample of a tier, at every thread
+// count, must produce bit-identical measurement / CDF / PoC digests.
 //
-// Speedups are bounded by the hardware the bench runs on — the core
-// count is printed so a 1-core container's flat curve reads as what it
-// is, not as a scaling bug.
+// Speedups are bounded by the hardware the bench runs on — the JSON
+// records hardware_threads so a 1-core container's flat curve reads as
+// what it is, not as a scaling bug.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "fleet/engine.hpp"
@@ -27,53 +33,46 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+// One UE population tier. Larger tiers shorten the charging cycle so
+// the simulated span stays bounded, and sample less: the long runs
+// integrate over enough events that run-to-run swing is already small.
+struct Tier {
+  int ue_count;
+  SimTime cycle_length;
+  double background_mbps;
+  int quick_samples;
+  int full_samples;
+};
+
+constexpr Tier kTiers[] = {
+    {64, 10 * kSecond, 2.0, 3, 5},
+    {1024, 2 * kSecond, 1.0, 3, 5},
+    {10240, 1 * kSecond, 1.0, 1, 3},
+};
+
 struct Row {
   unsigned threads;
-  double wall_seconds;
+  double wall_seconds;  // median of the tier's sample count
   double ues_per_second;
   double settlements_per_second;
   double speedup;
 };
 
-/// Machine-readable sidecar for the bench_report target. Deliberately
-/// timestamp-free: the report layer stamps results so reruns of the
-/// same build produce byte-comparable files.
-void write_json(const std::string& path, const fleet::FleetConfig& config,
-                const std::vector<Row>& rows, bool digests_agree) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench_fleet_scale: cannot write %s\n", path.c_str());
-    return;
-  }
-  std::fprintf(f,
-               "{\n  \"bench\": \"fleet_scale\",\n"
-               "  \"ue_count\": %d,\n  \"shards\": %d,\n"
-               "  \"rsa_bits\": %zu,\n  \"digests_identical\": %s,\n"
-               "  \"rows\": [\n",
-               config.ue_count, config.shards, config.rsa_bits,
-               digests_agree ? "true" : "false");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& row = rows[i];
-    std::fprintf(f,
-                 "    {\"threads\": %u, \"wall_seconds\": %.3f, "
-                 "\"ues_per_second\": %.1f, \"settlements_per_second\": %.1f, "
-                 "\"speedup\": %.2f}%s\n",
-                 row.threads, row.wall_seconds, row.ues_per_second,
-                 row.settlements_per_second, row.speedup,
-                 i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-}
-
-fleet::FleetConfig fleet_config(const BenchOptions& options,
-                                unsigned threads) {
+struct TierReport {
   fleet::FleetConfig config;
-  config.base.cycle_length = options.full ? 30 * kSecond : 10 * kSecond;
-  config.base.cycles = options.cycles();
-  config.base.background_mbps = 2.0;
-  config.ue_count = options.full ? 128 : 64;
-  config.shards = options.full ? 16 : 8;
+  int samples = 0;
+  bool digests_agree = true;
+  std::vector<Row> rows;
+};
+
+fleet::FleetConfig tier_config(const Tier& tier, const BenchOptions& options,
+                               unsigned threads) {
+  fleet::FleetConfig config;
+  config.base.cycle_length = tier.cycle_length;
+  config.base.cycles = 2;
+  config.base.background_mbps = tier.background_mbps;
+  config.ue_count = tier.ue_count;
+  config.shards = std::max(1, tier.ue_count / 8);
   config.threads = threads;
   config.seed = options.seed;
   config.rsa_bits = 512;
@@ -81,50 +80,120 @@ fleet::FleetConfig fleet_config(const BenchOptions& options,
   return config;
 }
 
-int run(const BenchOptions& options) {
-  print_mode(options);
-  std::printf("hardware threads available: %u\n\n",
-              std::thread::hardware_concurrency());
-  const fleet::FleetConfig probe = fleet_config(options, 1);
+/// Machine-readable sidecar for the bench_report target. Deliberately
+/// timestamp-free: the report layer stamps results so reruns of the
+/// same build produce byte-comparable files.
+void write_json(const std::string& path,
+                const std::vector<TierReport>& reports) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_fleet_scale: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"fleet_scale\",\n"
+               "  \"hardware_threads\": %u,\n  \"tiers\": [\n",
+               std::thread::hardware_concurrency());
+  for (std::size_t t = 0; t < reports.size(); ++t) {
+    const TierReport& report = reports[t];
+    std::fprintf(f,
+                 "    {\"ue_count\": %d, \"shards\": %d, \"cycles\": %d, "
+                 "\"cycle_seconds\": %.0f, \"background_mbps\": %.1f, "
+                 "\"rsa_bits\": %zu, \"samples\": %d, "
+                 "\"digests_identical\": %s,\n     \"rows\": [\n",
+                 report.config.ue_count, report.config.shards,
+                 report.config.base.cycles,
+                 to_seconds(report.config.base.cycle_length),
+                 report.config.base.background_mbps, report.config.rsa_bits,
+                 report.samples, report.digests_agree ? "true" : "false");
+    for (std::size_t i = 0; i < report.rows.size(); ++i) {
+      const Row& row = report.rows[i];
+      std::fprintf(f,
+                   "      {\"threads\": %u, \"wall_seconds\": %.3f, "
+                   "\"ues_per_second\": %.1f, "
+                   "\"settlements_per_second\": %.1f, \"speedup\": %.2f}%s\n",
+                   row.threads, row.wall_seconds, row.ues_per_second,
+                   row.settlements_per_second, row.speedup,
+                   i + 1 < report.rows.size() ? "," : "");
+    }
+    std::fprintf(f, "     ]}%s\n", t + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+TierReport run_tier(const Tier& tier, const BenchOptions& options) {
+  TierReport report;
+  report.config = tier_config(tier, options, 1);
+  report.samples = options.full ? tier.full_samples : tier.quick_samples;
+
   std::printf(
-      "fleet: %d UEs over %d shards, %d cycles x %.0fs, settle=RSA-%zu\n\n",
-      probe.ue_count, probe.shards, probe.base.cycles,
-      to_seconds(probe.base.cycle_length), probe.rsa_bits);
+      "fleet: %d UEs over %d shards, %d cycles x %.0fs, settle=RSA-%zu, "
+      "median of %d\n",
+      report.config.ue_count, report.config.shards, report.config.base.cycles,
+      to_seconds(report.config.base.cycle_length), report.config.rsa_bits,
+      report.samples);
   std::printf("%8s %12s %14s %18s %10s\n", "threads", "wall (s)", "UEs/sec",
               "settlements/sec", "speedup");
 
   std::string reference_digest;
   double reference_wall = 0.0;
-  bool digests_agree = true;
-  std::vector<Row> rows;
   for (unsigned threads : {1u, 2u, 4u, 8u}) {
-    const fleet::FleetConfig config = fleet_config(options, threads);
-    const auto start = Clock::now();
-    const fleet::FleetResult result = fleet::run_fleet(config);
-    const double wall = seconds_since(start);
+    const fleet::FleetConfig config = tier_config(tier, options, threads);
+    std::vector<double> walls;
+    std::size_t receipts = 0;
+    for (int sample = 0; sample < report.samples; ++sample) {
+      const auto start = Clock::now();
+      const fleet::FleetResult result = fleet::run_fleet(config);
+      walls.push_back(seconds_since(start));
+      receipts = result.receipts.size();
 
-    const std::string digest = to_hex(result.measurement_digest) +
-                               to_hex(result.cdf_digest) +
-                               to_hex(result.poc_digest);
-    if (reference_digest.empty()) {
-      reference_digest = digest;
+      const std::string digest = to_hex(result.measurement_digest) +
+                                 to_hex(result.cdf_digest) +
+                                 to_hex(result.poc_digest);
+      if (reference_digest.empty()) {
+        reference_digest = digest;
+      } else if (digest != reference_digest) {
+        report.digests_agree = false;
+      }
+    }
+    std::sort(walls.begin(), walls.end());
+    const double wall = walls[walls.size() / 2];
+    if (threads == 1) {
       reference_wall = wall;
-    } else if (digest != reference_digest) {
-      digests_agree = false;
     }
     const Row row{threads, wall, config.ue_count / wall,
-                  static_cast<double>(result.receipts.size()) / wall,
+                  static_cast<double>(receipts) / wall,
                   reference_wall / wall};
-    rows.push_back(row);
+    report.rows.push_back(row);
     std::printf("%8u %12.2f %14.1f %18.1f %9.2fx\n", row.threads,
                 row.wall_seconds, row.ues_per_second,
                 row.settlements_per_second, row.speedup);
   }
+  std::printf("determinism: digests %s across thread counts\n\n",
+              report.digests_agree ? "IDENTICAL" : "DIVERGED");
+  return report;
+}
 
-  std::printf("\ndeterminism: digests %s across thread counts\n",
-              digests_agree ? "IDENTICAL" : "DIVERGED");
+int run(const BenchOptions& options) {
+  print_mode(options);
+  std::printf("hardware threads available: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  // Warm-up: one unrecorded small-tier run pages in the RSA key cache,
+  // allocator arenas and code paths so tier 0's first sample is not
+  // systematically slow.
+  (void)fleet::run_fleet(tier_config(kTiers[0], options, 1));
+
+  std::vector<TierReport> reports;
+  bool digests_agree = true;
+  for (const Tier& tier : kTiers) {
+    reports.push_back(run_tier(tier, options));
+    digests_agree = digests_agree && reports.back().digests_agree;
+  }
+
   if (!options.json_path.empty()) {
-    write_json(options.json_path, probe, rows, digests_agree);
+    write_json(options.json_path, reports);
   }
   return digests_agree ? 0 : 1;
 }

@@ -1,0 +1,223 @@
+// Event-core microbenchmark: raw simulator throughput on the three hot
+// operations (schedule, fire, cancel) plus the arrival-coalescing
+// pattern the workloads use.
+//
+// Cases:
+//   schedule_fire      N one-shot events at jittered times, then run()
+//   schedule_cancel    N events scheduled then cancelled; run() drains
+//                      the disarmed slots (the lazy-deletion path)
+//   self_chain         K self-rescheduling chains (the frame-drain
+//                      shape: one live event per chain, slot churn)
+//   arrivals_unbatched one event per packet, pre-scheduled per frame
+//                      (the pre-coalescing workload shape)
+//   arrivals_batched   one self-rescheduling drain event per frame,
+//                      consuming the frame's packets chunk by chunk
+//
+// Each case reports median-of-3 events/sec (packets/sec for the arrival
+// cases, so the two shapes are directly comparable).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace tlc::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+constexpr int kSamples = 3;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Row {
+  std::string name;
+  std::uint64_t events;
+  double wall_seconds;
+  double events_per_second;
+};
+
+// Accumulator the event bodies write through so the optimizer cannot
+// delete the callbacks.
+std::uint64_t g_sink = 0;
+
+double bench_schedule_fire(std::uint64_t n, Rng& rng) {
+  sim::Simulator sim;
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const SimTime at = static_cast<SimTime>(rng.uniform_u64(1'000'000));
+    sim.schedule_at(at, [i] { g_sink += i; });
+  }
+  sim.run();
+  return seconds_since(start);
+}
+
+double bench_schedule_cancel(std::uint64_t n, Rng& rng) {
+  sim::Simulator sim;
+  std::vector<std::uint64_t> ids;
+  ids.reserve(n);
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const SimTime at = static_cast<SimTime>(rng.uniform_u64(1'000'000));
+    ids.push_back(sim.schedule_at(at, [i] { g_sink += i; }));
+  }
+  for (const std::uint64_t id : ids) {
+    sim.cancel(id);
+  }
+  sim.run();  // drains the disarmed heap entries
+  return seconds_since(start);
+}
+
+double bench_self_chain(std::uint64_t n, std::uint64_t chains) {
+  sim::Simulator sim;
+  struct Chain {
+    sim::Simulator* sim;
+    std::uint64_t remaining;
+    SimTime step;
+    void fire() {
+      g_sink += remaining;
+      if (--remaining > 0) {
+        sim->schedule_after(step, [this] { fire(); });
+      }
+    }
+  };
+  std::vector<Chain> state;
+  state.reserve(chains);
+  const auto start = Clock::now();
+  for (std::uint64_t c = 0; c < chains; ++c) {
+    state.push_back(Chain{&sim, n / chains, static_cast<SimTime>(c % 7 + 1)});
+    Chain* chain = &state.back();
+    sim.schedule_after(chain->step, [chain] { chain->fire(); });
+  }
+  sim.run();
+  return seconds_since(start);
+}
+
+constexpr std::uint64_t kPacketsPerFrame = 32;
+constexpr SimTime kPacketSpacing = 40;
+constexpr SimTime kFrameSpacing = kPacketsPerFrame * kPacketSpacing * 2;
+
+double bench_arrivals_unbatched(std::uint64_t packets) {
+  sim::Simulator sim;
+  const std::uint64_t frames = packets / kPacketsPerFrame;
+  const auto start = Clock::now();
+  for (std::uint64_t f = 0; f < frames; ++f) {
+    const SimTime frame_at = static_cast<SimTime>(f) * kFrameSpacing;
+    sim.schedule_at(frame_at, [&sim, frame_at] {
+      for (std::uint64_t p = 0; p < kPacketsPerFrame; ++p) {
+        sim.schedule_at(frame_at + static_cast<SimTime>(p) * kPacketSpacing,
+                        [p] { g_sink += p; });
+      }
+    });
+  }
+  sim.run();
+  return seconds_since(start);
+}
+
+double bench_arrivals_batched(std::uint64_t packets) {
+  sim::Simulator sim;
+  struct Drain {
+    sim::Simulator* sim;
+    std::uint64_t remaining = 0;
+    void pump() {
+      g_sink += remaining;
+      if (--remaining > 0) {
+        sim->schedule_after(kPacketSpacing, [this] { pump(); });
+      }
+    }
+  };
+  std::vector<Drain> drains;
+  const std::uint64_t frames = packets / kPacketsPerFrame;
+  drains.reserve(frames);
+  const auto start = Clock::now();
+  for (std::uint64_t f = 0; f < frames; ++f) {
+    const SimTime frame_at = static_cast<SimTime>(f) * kFrameSpacing;
+    drains.push_back(Drain{&sim});
+    Drain* drain = &drains.back();
+    sim.schedule_at(frame_at, [drain] {
+      drain->remaining = kPacketsPerFrame;
+      drain->pump();
+    });
+  }
+  sim.run();
+  return seconds_since(start);
+}
+
+template <typename Fn>
+Row sample(const std::string& name, std::uint64_t events, Fn&& body) {
+  std::vector<double> walls;
+  for (int i = 0; i < kSamples; ++i) {
+    walls.push_back(body());
+  }
+  std::sort(walls.begin(), walls.end());
+  const double wall = walls[walls.size() / 2];
+  const Row row{name, events, wall, static_cast<double>(events) / wall};
+  std::printf("%20s %14llu %10.3f %16.0f\n", row.name.c_str(),
+              static_cast<unsigned long long>(row.events), row.wall_seconds,
+              row.events_per_second);
+  return row;
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_sim_core: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"sim_core\",\n  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(f,
+                 "    {\"case\": \"%s\", \"events\": %llu, "
+                 "\"wall_seconds\": %.3f, \"events_per_second\": %.0f}%s\n",
+                 row.name.c_str(),
+                 static_cast<unsigned long long>(row.events), row.wall_seconds,
+                 row.events_per_second, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+int run(const BenchOptions& options) {
+  print_mode(options);
+  const std::uint64_t n = options.full ? 8'000'000 : 2'000'000;
+  std::printf("%20s %14s %10s %16s\n", "case", "events", "wall (s)",
+              "events/sec");
+
+  Rng rng(options.seed);
+  std::vector<Row> rows;
+  rows.push_back(sample("schedule_fire", n, [&] {
+    return bench_schedule_fire(n, rng);
+  }));
+  rows.push_back(sample("schedule_cancel", n, [&] {
+    return bench_schedule_cancel(n, rng);
+  }));
+  rows.push_back(sample("self_chain", n, [&] {
+    return bench_self_chain(n, 64);
+  }));
+  rows.push_back(sample("arrivals_unbatched", n, [&] {
+    return bench_arrivals_unbatched(n);
+  }));
+  rows.push_back(sample("arrivals_batched", n, [&] {
+    return bench_arrivals_batched(n);
+  }));
+
+  std::printf("\n(sink=%llu)\n", static_cast<unsigned long long>(g_sink));
+  if (!options.json_path.empty()) {
+    write_json(options.json_path, rows);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tlc::bench
+
+int main(int argc, char** argv) {
+  return tlc::bench::run(tlc::bench::parse_options(argc, argv));
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "sim/rng_stream.hpp"
@@ -158,21 +159,20 @@ std::vector<SettlementReceipt> BatchSettler::settle(
 
   // Group items by UE in first-appearance order; per-UE item order is
   // input order (item n of a UE = its cycle n). A deque keeps Group
-  // addresses stable for the send closures below.
+  // addresses stable for the send closures below; the side index makes
+  // grouping O(n) — deque order alone fixes the output, so the
+  // unordered lookup cannot leak into results.
   std::deque<Group> groups;
+  std::unordered_map<std::uint64_t, std::size_t> group_by_ue;
+  group_by_ue.reserve(items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
-    Group* group = nullptr;
-    for (Group& g : groups) {
-      if (g.ue_id == items[i].ue_id) {
-        group = &g;
-        break;
-      }
-    }
-    if (group == nullptr) {
+    const auto [it, inserted] =
+        group_by_ue.try_emplace(items[i].ue_id, groups.size());
+    if (inserted) {
       groups.emplace_back();
-      group = &groups.back();
-      group->ue_id = items[i].ue_id;
+      groups.back().ue_id = items[i].ue_id;
     }
+    Group* group = &groups[it->second];
     group->item_indices.push_back(i);
     receipts[i].ue_id = items[i].ue_id;
     receipts[i].cycle =

@@ -7,6 +7,12 @@ Spgw::Spgw(sim::Simulator& sim, EnodeB& enodeb, SpgwParams params)
   enodeb_.set_uplink_sink([this](Imsi imsi, const sim::Packet& packet) {
     uplink_from_enodeb(imsi, packet);
   });
+  // Fixed S1-U sink: delivery events carry the IMSI as the u64 context,
+  // keeping the per-packet capture inside the inline event buffer.
+  s1_link_.set_deliver_sink(
+      [this](const sim::Packet& delivered, std::uint64_t imsi) {
+        enodeb_.downlink_submit(Imsi{imsi}, delivered);
+      });
 }
 
 void Spgw::create_session(Imsi imsi) { sessions_[imsi].active = true; }
@@ -33,9 +39,7 @@ void Spgw::downlink_submit(Imsi imsi, const sim::Packet& packet) {
   if (session.first_usage < 0) session.first_usage = sim_.now();
   session.last_usage = sim_.now();
 
-  s1_link_.send(packet, [this, imsi](const sim::Packet& delivered) {
-    enodeb_.downlink_submit(imsi, delivered);
-  });
+  s1_link_.send(packet, imsi.value);
 }
 
 void Spgw::uplink_from_enodeb(Imsi imsi, const sim::Packet& packet) {

@@ -28,6 +28,16 @@ struct ShardSlice {
 [[nodiscard]] std::vector<ShardSlice> partition_shards(
     const FleetConfig& config);
 
+/// Everything one shard job produces. Workers fill disjoint slots —
+/// records, receipts and gap samples alike — and the engine merges the
+/// slots in shard order after the pool drains, so the parallel phase
+/// shares no mutable state at all.
+struct ShardOutcome {
+  std::vector<UeRecord> records;
+  std::vector<core::SettlementReceipt> receipts;
+  std::map<testbed::Scheme, Samples> gap_samples;
+};
+
 /// Runs one shard world to completion. Pure function of
 /// (config, slice) — a re-run after a crash reproduces the records
 /// byte for byte.

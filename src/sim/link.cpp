@@ -11,29 +11,55 @@ SimTime Link::serialization_time(std::uint32_t bytes) const {
   return from_seconds(seconds);
 }
 
+void Link::drain() const {
+  const SimTime now = sim_.now();
+  while (!in_flight_.empty() && in_flight_.front().tx_done <= now) {
+    queued_bytes_ -= std::min(queued_bytes_, in_flight_.front().size);
+    in_flight_.pop_front();
+  }
+}
+
+std::uint32_t Link::queued_bytes() const {
+  drain();
+  return queued_bytes_;
+}
+
 SimTime Link::current_delay(std::uint32_t bytes) const {
   const SimTime queue_wait = std::max<SimTime>(busy_until_ - sim_.now(), 0);
   return queue_wait + serialization_time(bytes) + params_.propagation_delay;
 }
 
-bool Link::send(const Packet& packet, DeliverFn on_deliver) {
+SimTime Link::admit(const Packet& packet) {
+  drain();
   if (queued_bytes_ + packet.size_bytes > params_.queue_limit_bytes) {
     ++dropped_;
     if (on_drop_) on_drop_(packet);
-    return false;
+    return -1;
   }
   queued_bytes_ += packet.size_bytes;
 
   const SimTime start = std::max(busy_until_, sim_.now());
   const SimTime tx_done = start + serialization_time(packet.size_bytes);
   busy_until_ = tx_done;
+  in_flight_.push_back(InFlight{tx_done, packet.size_bytes});
+  return tx_done + params_.propagation_delay;
+}
 
-  // Dequeue accounting when serialization completes ...
-  sim_.schedule_at(tx_done, [this, size = packet.size_bytes] {
-    queued_bytes_ -= std::min(queued_bytes_, size);
+bool Link::send(const Packet& packet, std::uint64_t context) {
+  const SimTime deliver_at = admit(packet);
+  if (deliver_at < 0) return false;
+  // [this, packet, context] is 48 bytes: inline in EventFn, no heap.
+  sim_.schedule_at(deliver_at, [this, packet, context] {
+    ++delivered_;
+    if (sink_) sink_(packet, context);
   });
-  // ... delivery after propagation.
-  sim_.schedule_at(tx_done + params_.propagation_delay,
+  return true;
+}
+
+bool Link::send(const Packet& packet, DeliverFn on_deliver) {
+  const SimTime deliver_at = admit(packet);
+  if (deliver_at < 0) return false;
+  sim_.schedule_at(deliver_at,
                    [this, packet, deliver = std::move(on_deliver)] {
                      ++delivered_;
                      if (deliver) deliver(packet);

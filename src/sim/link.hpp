@@ -6,9 +6,16 @@
 // the air interface behind the eNodeB scheduler. IP-layer congestion
 // loss (§3.1 cause 3) happens here: packets arriving to a full queue are
 // dropped *after* the upstream charging point saw them.
+//
+// Hot path: the owner installs one delivery sink up front and sends with
+// a u64 context (the SPGW passes the IMSI), so each packet costs exactly
+// one scheduled event with an inline 48-byte capture — no per-packet
+// std::function, no dequeue event. Queue occupancy is tracked lazily: a
+// FIFO of (tx_done, size) records drains whenever the link is observed.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 
 #include "sim/packet.hpp"
@@ -26,19 +33,28 @@ struct LinkParams {
 class Link {
  public:
   using DeliverFn = std::function<void(const Packet&)>;
+  using SinkFn = std::function<void(const Packet&, std::uint64_t context)>;
   using DropFn = std::function<void(const Packet&)>;
 
   Link(Simulator& sim, LinkParams params);
 
-  /// Enqueues `packet`; `on_deliver` fires after queueing +
-  /// serialization + propagation. Returns false (and invokes the drop
-  /// handler) when the queue is full.
+  /// Installs the fixed delivery sink used by the context overload of
+  /// send(). Set once at wiring time, before traffic flows.
+  void set_deliver_sink(SinkFn sink) { sink_ = std::move(sink); }
+
+  /// Enqueues `packet`; the fixed sink fires with (`packet`, `context`)
+  /// after queueing + serialization + propagation. Returns false (and
+  /// invokes the drop handler) when the queue is full.
+  bool send(const Packet& packet, std::uint64_t context);
+
+  /// Per-send callback variant (convenience for tests and one-off
+  /// wiring; the closure may exceed the inline event buffer).
   bool send(const Packet& packet, DeliverFn on_deliver);
 
   /// Observer for drop-tail losses (charging-gap accounting).
   void set_drop_handler(DropFn handler) { on_drop_ = std::move(handler); }
 
-  [[nodiscard]] std::uint32_t queued_bytes() const { return queued_bytes_; }
+  [[nodiscard]] std::uint32_t queued_bytes() const;
   [[nodiscard]] std::uint64_t delivered_packets() const { return delivered_; }
   [[nodiscard]] std::uint64_t dropped_packets() const { return dropped_; }
 
@@ -46,14 +62,28 @@ class Link {
   [[nodiscard]] SimTime current_delay(std::uint32_t bytes) const;
 
  private:
+  struct InFlight {
+    SimTime tx_done;
+    std::uint32_t size;
+  };
+
   [[nodiscard]] SimTime serialization_time(std::uint32_t bytes) const;
+  /// Retires in-flight entries whose serialization has completed.
+  void drain() const;
+  /// Admission + serialization bookkeeping shared by both send paths;
+  /// returns the delivery time, or -1 when the packet is dropped.
+  SimTime admit(const Packet& packet);
 
   Simulator& sim_;
   LinkParams params_;
   SimTime busy_until_ = 0;
-  std::uint32_t queued_bytes_ = 0;
+  // Admitted-but-unserialized packets, FIFO by tx_done. Drained lazily
+  // (no per-packet dequeue event), hence mutable for const observers.
+  mutable std::deque<InFlight> in_flight_;
+  mutable std::uint32_t queued_bytes_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  SinkFn sink_;
   DropFn on_drop_;
 };
 

@@ -5,30 +5,107 @@
 
 namespace tlc::sim {
 
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ == kNoSlot) {
+    // Grow by one block; block addresses are stable so slots can hold
+    // live EventFns across growth.
+    auto block = std::make_unique<Slot[]>(kSlotsPerBlock);
+    const std::uint32_t base = slot_count_;
+    for (std::size_t i = kSlotsPerBlock; i > 0; --i) {
+      block[i - 1].next_free = free_head_;
+      free_head_ = base + static_cast<std::uint32_t>(i - 1);
+    }
+    blocks_.push_back(std::move(block));
+    slot_count_ += static_cast<std::uint32_t>(kSlotsPerBlock);
+  }
+  const std::uint32_t index = free_head_;
+  free_head_ = slot_at(index).next_free;
+  return index;
+}
+
+void Simulator::release_slot(std::uint32_t index) {
+  Slot& slot = slot_at(index);
+  ++slot.generation;  // retire outstanding ids for this incarnation
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
+void Simulator::heap_push(HeapEntry entry) {
+  heap_.push_back(entry);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!entry_less(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void Simulator::heap_pop() {
+  const HeapEntry moved = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t child = first + 1; child < last; ++child) {
+      if (entry_less(heap_[child], heap_[best])) best = child;
+    }
+    if (!entry_less(heap_[best], moved)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = moved;
+}
+
 std::uint64_t Simulator::schedule_at(SimTime at, Action action) {
-  const std::uint64_t id = next_id_++;
-  queue_.push(Event{std::max(at, now_), next_seq_++, id});
-  actions_.emplace(id, std::move(action));
-  return id;
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = slot_at(index);
+  slot.action = std::move(action);
+  slot.armed = true;
+  heap_push(HeapEntry{std::max(at, now_), next_seq_++, index});
+  ++live_;
+  return (static_cast<std::uint64_t>(slot.generation) << 32) |
+         (static_cast<std::uint64_t>(index) + 1);
 }
 
 std::uint64_t Simulator::schedule_after(SimTime delay, Action action) {
   return schedule_at(now_ + std::max<SimTime>(delay, 0), std::move(action));
 }
 
-void Simulator::cancel(std::uint64_t id) { actions_.erase(id); }
+void Simulator::cancel(std::uint64_t id) {
+  const auto index_plus_one = static_cast<std::uint32_t>(id & 0xffffffffu);
+  if (index_plus_one == 0 || index_plus_one > slot_count_) return;
+  Slot& slot = slot_at(index_plus_one - 1);
+  if (!slot.armed || slot.generation != static_cast<std::uint32_t>(id >> 32)) {
+    return;  // already fired, already cancelled, or a recycled slot
+  }
+  slot.armed = false;
+  slot.action.reset();
+  --live_;
+  // The slot stays pinned until its heap entry pops; release happens there.
+}
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    const Event event = queue_.top();
-    queue_.pop();
-    auto it = actions_.find(event.id);
-    if (it == actions_.end()) {
-      continue;  // cancelled
+  while (!heap_.empty()) {
+    const HeapEntry entry = heap_.front();
+    heap_pop();
+    Slot& slot = slot_at(entry.slot);
+    if (!slot.armed) {
+      release_slot(entry.slot);  // cancelled: retire the pinned slot
+      continue;
     }
-    Action action = std::move(it->second);
-    actions_.erase(it);
-    now_ = event.at;
+    // Move the action to the stack before releasing so the slot can be
+    // reused (and this very event re-cancelled as a no-op) during invoke.
+    EventFn action = std::move(slot.action);
+    slot.armed = false;
+    release_slot(entry.slot);
+    --live_;
+    now_ = entry.at;
     ++executed_;
     action();
     return true;
@@ -36,14 +113,20 @@ bool Simulator::step() {
   return false;
 }
 
+void Simulator::drop_disarmed_heads() {
+  while (!heap_.empty() && !slot_at(heap_.front().slot).armed) {
+    const std::uint32_t slot = heap_.front().slot;
+    heap_pop();
+    release_slot(slot);
+  }
+}
+
 void Simulator::run_until(SimTime horizon) {
   for (;;) {
     // Discard cancelled events at the head so the horizon check below
     // always looks at a live event.
-    while (!queue_.empty() && actions_.find(queue_.top().id) == actions_.end()) {
-      queue_.pop();
-    }
-    if (queue_.empty() || queue_.top().at > horizon) break;
+    drop_disarmed_heads();
+    if (heap_.empty() || heap_.front().at > horizon) break;
     step();
   }
   now_ = std::max(now_, horizon);

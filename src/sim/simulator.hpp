@@ -4,20 +4,28 @@
 // scheduling order. Everything in the emulated testbed — workload packet
 // arrivals, link serialization, RRC timers, charging-cycle boundaries —
 // is an event on this queue.
+//
+// The hot path is allocation-free: callables live in slab-allocated
+// slots (EventFn keeps captures ≤48 bytes inline), the pending set is a
+// 4-ary min-heap of 24-byte POD entries, and slots recycle through a
+// free list. A slot stays pinned until its heap entry pops — cancel()
+// only disarms it — so each heap entry maps to exactly one slot
+// incarnation and generations are needed only to reject stale ids.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <memory>
+#include <vector>
 
+#include "sim/event_fn.hpp"
 #include "util/simtime.hpp"
 
 namespace tlc::sim {
 
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = EventFn;
 
   /// Current simulated time.
   [[nodiscard]] SimTime now() const { return now_; }
@@ -40,33 +48,53 @@ class Simulator {
   void run();
 
   /// Pending (non-cancelled) event count.
-  [[nodiscard]] std::size_t pending() const { return actions_.size(); }
+  [[nodiscard]] std::size_t pending() const { return live_; }
 
   /// Total events executed so far (for harness diagnostics).
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
  private:
-  struct Event {
-    SimTime at = 0;
-    std::uint64_t seq = 0;  // tie-break: FIFO at equal time
-    std::uint64_t id = 0;
-    // Reversed comparison for min-heap via std::priority_queue.
-    bool operator<(const Event& other) const {
-      if (at != other.at) return at > other.at;
-      return seq > other.seq;
-    }
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  static constexpr std::size_t kSlotsPerBlock = 512;
+
+  struct Slot {
+    EventFn action;
+    std::uint32_t generation = 0;  // bumped on release; validates cancel(id)
+    std::uint32_t next_free = kNoSlot;
+    bool armed = false;
   };
+
+  // POD heap entry; (at, seq) gives FIFO order at equal timestamps.
+  struct HeapEntry {
+    SimTime at;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  static bool entry_less(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  Slot& slot_at(std::uint32_t index) {
+    return blocks_[index / kSlotsPerBlock][index % kSlotsPerBlock];
+  }
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+  void heap_push(HeapEntry entry);
+  void heap_pop();
+  void drop_disarmed_heads();
 
   bool step();  // executes one event; false if queue empty
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event> queue_;
-  // Actions keyed by event id; cancel() erases the entry so the popped
-  // event becomes a no-op.
-  std::unordered_map<std::uint64_t, Action> actions_;
+  std::size_t live_ = 0;  // armed (schedulable) events; cancel drops this
+  std::vector<HeapEntry> heap_;
+  std::vector<std::unique_ptr<Slot[]>> blocks_;  // stable slot addresses
+  std::uint32_t slot_count_ = 0;
+  std::uint32_t free_head_ = kNoSlot;
 };
 
 }  // namespace tlc::sim

@@ -5,6 +5,7 @@
 #include <deque>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 
 #include "sim/rng_stream.hpp"
 #include "transport/settlement_runner.hpp"
@@ -30,21 +31,19 @@ LossyBatchReport LossySettler::settle(
   report.receipts.resize(items.size());
 
   // Same grouping as BatchSettler: by UE in first-appearance order,
-  // item n of a UE = its cycle n.
+  // item n of a UE = its cycle n. The side index makes grouping O(n);
+  // deque order alone fixes the output.
   std::deque<Group> groups;
+  std::unordered_map<std::uint64_t, std::size_t> group_by_ue;
+  group_by_ue.reserve(items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
-    Group* group = nullptr;
-    for (Group& g : groups) {
-      if (g.ue_id == items[i].ue_id) {
-        group = &g;
-        break;
-      }
-    }
-    if (group == nullptr) {
+    const auto [it, inserted] =
+        group_by_ue.try_emplace(items[i].ue_id, groups.size());
+    if (inserted) {
       groups.emplace_back();
-      group = &groups.back();
-      group->ue_id = items[i].ue_id;
+      groups.back().ue_id = items[i].ue_id;
     }
+    Group* group = &groups[it->second];
     group->item_indices.push_back(i);
     report.receipts[i].ue_id = items[i].ue_id;
     report.receipts[i].cycle =

@@ -29,21 +29,21 @@ void PacketSource::emit(std::uint32_t size_bytes) {
 
 void PacketSource::emit_frame(std::uint32_t total_bytes, std::uint32_t mtu,
                               SimTime spacing) {
-  SimTime delay = 0;
-  bool first = true;
-  while (total_bytes > 0) {
-    const std::uint32_t chunk = std::min(total_bytes, mtu);
-    total_bytes -= chunk;
-    if (first) {
-      emit(chunk);  // head of the frame leaves immediately
-      first = false;
-    } else {
-      delay += spacing;
-      sim_.schedule_after(delay, [this, chunk] {
-        if (running_) emit(chunk);
-      });
-    }
-  }
+  if (total_bytes == 0) return;
+  const std::uint32_t head = std::min(total_bytes, mtu);
+  emit(head);  // head of the frame leaves immediately
+  schedule_frame_drain(total_bytes - head, mtu, spacing);
+}
+
+void PacketSource::schedule_frame_drain(std::uint32_t remaining_bytes,
+                                        std::uint32_t mtu, SimTime spacing) {
+  if (remaining_bytes == 0) return;
+  // [this, remaining_bytes, mtu, spacing] is 24 bytes: inline, trivial.
+  sim_.schedule_after(spacing, [this, remaining_bytes, mtu, spacing] {
+    const std::uint32_t chunk = std::min(remaining_bytes, mtu);
+    if (running_) emit(chunk);
+    schedule_frame_drain(remaining_bytes - chunk, mtu, spacing);
+  });
 }
 
 }  // namespace tlc::workloads

@@ -52,6 +52,9 @@ class PacketSource : public TrafficSource {
   /// video frame leaves the encoder). Packets are paced `spacing`
   /// apart: the sender NIC/encoder drains the frame at line rate rather
   /// than in zero time, which matters for drop-tail queues downstream.
+  /// Implemented as a single self-rescheduling drain event per frame
+  /// rather than one pre-scheduled event per chunk, so the event heap
+  /// holds one entry per in-flight frame instead of one per packet.
   void emit_frame(std::uint32_t total_bytes, std::uint32_t mtu = 1400,
                   SimTime spacing = 120 * kMicrosecond);
 
@@ -64,6 +67,13 @@ class PacketSource : public TrafficSource {
   bool running_ = false;
 
  private:
+  /// Schedules the next chunk of an in-flight frame `spacing` from now.
+  /// Each chunk slot consumes its bytes even while the source is
+  /// stopped (emission is skipped, pacing continues), matching the
+  /// pre-scheduled per-chunk behavior for stop/restart cycles.
+  void schedule_frame_drain(std::uint32_t remaining_bytes, std::uint32_t mtu,
+                            SimTime spacing);
+
   // Per-instance, namespaced by flow: packet ids stay unique within a
   // simulation without a process-global counter (which would be a data
   // race — and a determinism leak — across concurrently running

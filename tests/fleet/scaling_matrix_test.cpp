@@ -1,0 +1,119 @@
+// Fleet scaling determinism matrix (ISSUE 6 satellite): digests and
+// bills must be byte-identical across worker thread counts, UE
+// populations and the detached vs supervised paths. The small tier
+// runs the full {1,2,4,8}-thread matrix; the 1k tier checks the
+// extremes; the 10k tier is the full-scale proof and runs when
+// TLC_SCALE_MATRIX=1 (it simulates ~10 billion UE-nanoseconds and is
+// sized for the bench/CI soak lane, not the default test wall clock).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "fleet/engine.hpp"
+#include "fleet/supervisor.hpp"
+#include "util/bytes.hpp"
+
+namespace tlc::fleet {
+namespace {
+
+FleetConfig matrix_fleet(int ue_count, unsigned threads, SimTime cycle_length) {
+  FleetConfig config;
+  config.base.cycle_length = cycle_length;
+  config.base.cycles = 2;
+  config.base.background_mbps = 1.0;
+  config.ue_count = ue_count;
+  // Fixed cell density (8 UEs per shard world): population grows the
+  // shard count, as it would grow eNodeB count, keeping per-UE cost
+  // flat instead of melting one shared S1 link.
+  config.shards = std::max(1, ue_count / 8);
+  config.threads = threads;
+  config.seed = 0x5ca1e;
+  config.rsa_bits = 512;
+  config.key_cache_slots = 4;
+  return config;
+}
+
+void expect_identical(const FleetResult& got, const FleetResult& want,
+                      const std::string& label) {
+  ASSERT_FALSE(want.measurement_digest.empty()) << label;
+  EXPECT_EQ(to_hex(got.measurement_digest), to_hex(want.measurement_digest))
+      << label;
+  EXPECT_EQ(to_hex(got.cdf_digest), to_hex(want.cdf_digest)) << label;
+  EXPECT_EQ(to_hex(got.poc_digest), to_hex(want.poc_digest)) << label;
+  EXPECT_EQ(got.totals.billed_bytes, want.totals.billed_bytes) << label;
+  EXPECT_EQ(got.totals.amount, want.totals.amount) << label;
+  ASSERT_EQ(got.bills.size(), want.bills.size()) << label;
+  for (std::size_t cycle = 0; cycle < want.bills.size(); ++cycle) {
+    ASSERT_EQ(got.bills[cycle].size(), want.bills[cycle].size()) << label;
+    for (std::size_t i = 0; i < want.bills[cycle].size(); ++i) {
+      const auto& [imsi_got, line_got] = got.bills[cycle][i];
+      const auto& [imsi_want, line_want] = want.bills[cycle][i];
+      EXPECT_EQ(imsi_got.value, imsi_want.value) << label;
+      EXPECT_EQ(line_got.billed_volume, line_want.billed_volume) << label;
+      EXPECT_EQ(line_got.amount, line_want.amount) << label;
+    }
+  }
+}
+
+FleetResult run_supervised(const FleetConfig& fleet, const std::string& tag) {
+  SupervisorConfig config;
+  config.fleet = fleet;
+  config.state_dir = ::testing::TempDir() + "/matrix_" + tag;
+  auto supervised = run_supervised_fleet(config);
+  EXPECT_TRUE(supervised.has_value())
+      << (supervised.has_value() ? "" : supervised.error());
+  return supervised.has_value() ? supervised->result : FleetResult{};
+}
+
+TEST(ScalingMatrixTest, SmallTierFullThreadMatrix) {
+  const auto cfg = [](unsigned threads) {
+    return matrix_fleet(64, threads, 5 * kSecond);
+  };
+  const FleetResult reference = run_fleet(cfg(1));
+  ASSERT_GT(reference.totals.billed_bytes, 0u);
+  for (unsigned threads : {2u, 4u, 8u}) {
+    expect_identical(run_fleet(cfg(threads)), reference,
+                     "64ue detached t" + std::to_string(threads));
+  }
+  for (unsigned threads : {1u, 8u}) {
+    expect_identical(
+        run_supervised(cfg(threads), "64ue_t" + std::to_string(threads)),
+        reference, "64ue supervised t" + std::to_string(threads));
+  }
+}
+
+TEST(ScalingMatrixTest, MidTierExtremeThreadCounts) {
+  const auto cfg = [](unsigned threads) {
+    return matrix_fleet(1024, threads, 2 * kSecond);
+  };
+  const FleetResult reference = run_fleet(cfg(1));
+  ASSERT_GT(reference.totals.billed_bytes, 0u);
+  ASSERT_EQ(reference.records.size(), 1024u);
+  expect_identical(run_fleet(cfg(8)), reference, "1024ue detached t8");
+  expect_identical(run_supervised(cfg(8), "1024ue_t8"), reference,
+                   "1024ue supervised t8");
+}
+
+TEST(ScalingMatrixTest, FullScaleTier) {
+  const char* enabled = std::getenv("TLC_SCALE_MATRIX");
+  if (enabled == nullptr || std::string(enabled) != "1") {
+    GTEST_SKIP() << "10k-UE tier runs with TLC_SCALE_MATRIX=1";
+  }
+  const auto cfg = [](unsigned threads) {
+    return matrix_fleet(10240, threads, 1 * kSecond);
+  };
+  const FleetResult reference = run_fleet(cfg(1));
+  ASSERT_EQ(reference.records.size(), 10240u);
+  ASSERT_GT(reference.totals.billed_bytes, 0u);
+  for (unsigned threads : {2u, 4u, 8u}) {
+    expect_identical(run_fleet(cfg(threads)), reference,
+                     "10240ue detached t" + std::to_string(threads));
+  }
+  expect_identical(run_supervised(cfg(8), "10240ue_t8"), reference,
+                   "10240ue supervised t8");
+}
+
+}  // namespace
+}  // namespace tlc::fleet

@@ -1,0 +1,290 @@
+// Event-core property soak (ISSUE 6 satellite): the slab/4-ary-heap
+// simulator is run differentially against a transliteration of the
+// original std::function + priority_queue engine over hundreds of
+// randomized schedule/cancel/reschedule/run_until scripts. Every
+// observable — firing order (same-timestamp FIFO included), now(),
+// pending(), executed(), cancel-after-fire no-ops, horizon clamping —
+// must match op for op. Runs under the asan preset via the `sim` label.
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tlc::sim {
+namespace {
+
+// Reference implementation: the pre-slab engine, kept byte-for-byte in
+// behavior (map-of-actions, cancel == erase, lazy head discard).
+class RefSimulator {
+ public:
+  using Action = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  std::uint64_t schedule_at(SimTime at, Action action) {
+    const std::uint64_t id = next_id_++;
+    queue_.push(Event{std::max(at, now_), next_seq_++, id});
+    actions_.emplace(id, std::move(action));
+    return id;
+  }
+
+  std::uint64_t schedule_after(SimTime delay, Action action) {
+    return schedule_at(now_ + std::max<SimTime>(delay, 0), std::move(action));
+  }
+
+  void cancel(std::uint64_t id) { actions_.erase(id); }
+
+  void run_until(SimTime horizon) {
+    for (;;) {
+      while (!queue_.empty() &&
+             actions_.find(queue_.top().id) == actions_.end()) {
+        queue_.pop();
+      }
+      if (queue_.empty() || queue_.top().at > horizon) break;
+      step();
+    }
+    now_ = std::max(now_, horizon);
+  }
+
+  void run() {
+    while (step()) {
+    }
+  }
+
+  [[nodiscard]] std::size_t pending() const { return actions_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime at = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t id = 0;
+    bool operator<(const Event& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  bool step() {
+    while (!queue_.empty()) {
+      const Event event = queue_.top();
+      queue_.pop();
+      auto it = actions_.find(event.id);
+      if (it == actions_.end()) continue;
+      Action action = std::move(it->second);
+      actions_.erase(it);
+      now_ = event.at;
+      ++executed_;
+      action();
+      return true;
+    }
+    return false;
+  }
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event> queue_;
+  std::unordered_map<std::uint64_t, Action> actions_;
+};
+
+struct Op {
+  enum Kind {
+    kScheduleChain,      // a: time, b: chain depth (0 = plain event)
+    kScheduleCanceller,  // a: time, b: victim selector at fire time
+    kCancel,             // a: handle selector
+    kCancelBogus,        // a: raw id that must be dead in both engines
+    kRunUntil,           // a: horizon
+    kRun,
+  };
+  Kind kind = kRun;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+};
+
+std::vector<Op> make_script(std::uint64_t seed) {
+  Rng rng(seed);
+  // Dense scripts hammer same-timestamp FIFO ordering; sparse scripts
+  // exercise heap shape and long horizons.
+  const bool dense = (seed % 2) == 0;
+  const std::int64_t time_range = dense ? 400 : 1'000'000;
+  const std::size_t ops = 200 + static_cast<std::size_t>(rng.uniform_u64(200));
+  std::vector<Op> script;
+  script.reserve(ops);
+  for (std::size_t i = 0; i < ops; ++i) {
+    Op op;
+    const std::uint64_t roll = rng.uniform_u64(100);
+    if (roll < 45) {
+      op.kind = Op::kScheduleChain;
+      // Occasionally in the past (negative or earlier than now):
+      // clamping must match.
+      op.a = rng.uniform_int(-50, time_range);
+      op.b = rng.uniform_u64(10) == 0 ? rng.uniform_int(1, 3) : 0;
+    } else if (roll < 55) {
+      op.kind = Op::kScheduleCanceller;
+      op.a = rng.uniform_int(0, time_range);
+      op.b = static_cast<std::int64_t>(rng.uniform_u64(1u << 20));
+    } else if (roll < 75) {
+      op.kind = Op::kCancel;
+      op.a = static_cast<std::int64_t>(rng.uniform_u64(1u << 20));
+    } else if (roll < 80) {
+      op.kind = Op::kCancelBogus;
+      // 0 is never a valid id; huge low words exceed every slot index
+      // and every sequential reference id.
+      op.a = rng.uniform_u64(2) == 0
+                 ? 0
+                 : static_cast<std::int64_t>(0x7fffffffffffffffLL);
+    } else if (roll < 97) {
+      op.kind = Op::kRunUntil;
+      op.a = rng.uniform_int(0, time_range + time_range / 2);
+    } else {
+      op.kind = Op::kRun;
+    }
+    script.push_back(op);
+  }
+  return script;
+}
+
+/// Replays `script` on `Engine`, returning the full observable trace:
+/// every fire (tag@time), every cancel-at-fire, and now/pending/
+/// executed after every op. Two engines agree iff their traces match.
+template <typename Engine>
+std::string replay(const std::vector<Op>& script) {
+  Engine sim;
+  std::vector<std::uint64_t> handles;
+  std::string log;
+
+  const std::function<std::uint64_t(SimTime, std::int64_t)> schedule_chain =
+      [&](SimTime at, std::int64_t depth) -> std::uint64_t {
+    const std::uint64_t tag = handles.size();
+    return sim.schedule_at(at, [&sim, &handles, &log, &schedule_chain, tag,
+                                depth] {
+      log += 'f';
+      log += std::to_string(tag);
+      log += '@';
+      log += std::to_string(sim.now());
+      log += ';';
+      if (depth > 0) {
+        const SimTime delta =
+            13 * depth + static_cast<SimTime>(tag % 29);
+        handles.push_back(schedule_chain(sim.now() + delta, depth - 1));
+      }
+    });
+  };
+
+  for (const Op& op : script) {
+    switch (op.kind) {
+      case Op::kScheduleChain:
+        handles.push_back(schedule_chain(op.a, op.b));
+        break;
+      case Op::kScheduleCanceller: {
+        const std::uint64_t tag = handles.size();
+        handles.push_back(sim.schedule_at(
+            op.a, [&sim, &handles, &log, tag, sel = op.b] {
+              log += 'x';
+              log += std::to_string(tag);
+              log += ';';
+              if (!handles.empty()) {
+                sim.cancel(handles[static_cast<std::size_t>(sel) %
+                                   handles.size()]);
+              }
+            }));
+        break;
+      }
+      case Op::kCancel:
+        if (!handles.empty()) {
+          sim.cancel(
+              handles[static_cast<std::size_t>(op.a) % handles.size()]);
+        }
+        break;
+      case Op::kCancelBogus:
+        sim.cancel(static_cast<std::uint64_t>(op.a));
+        break;
+      case Op::kRunUntil:
+        sim.run_until(op.a);
+        break;
+      case Op::kRun:
+        sim.run();
+        break;
+    }
+    log += 'n';
+    log += std::to_string(sim.now());
+    log += 'p';
+    log += std::to_string(sim.pending());
+    log += 'e';
+    log += std::to_string(sim.executed());
+    log += '|';
+  }
+  sim.run();
+  log += "end:n";
+  log += std::to_string(sim.now());
+  log += 'p';
+  log += std::to_string(sim.pending());
+  log += 'e';
+  log += std::to_string(sim.executed());
+  return log;
+}
+
+TEST(EventCoreSoakTest, MatchesReferenceEngineOverRandomScripts) {
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    const std::vector<Op> script = make_script(seed);
+    const std::string got = replay<Simulator>(script);
+    const std::string want = replay<RefSimulator>(script);
+    ASSERT_EQ(got, want) << "script seed " << seed;
+  }
+}
+
+TEST(EventCoreSoakTest, SlotReuseChurn) {
+  // Drive far more schedule/fire cycles than one slab block holds so
+  // every slot is recycled many times, with a persistent far-future
+  // event pinned across the whole churn.
+  Simulator sim;
+  bool far_fired = false;
+  const std::uint64_t far = sim.schedule_at(1'000'000'000, [&] {
+    far_fired = true;
+  });
+  std::uint64_t fired = 0;
+  for (int round = 0; round < 40; ++round) {
+    for (int i = 0; i < 600; ++i) {
+      sim.schedule_after(i, [&] { ++fired; });
+    }
+    sim.run_until(sim.now() + 700);
+  }
+  EXPECT_EQ(fired, 40u * 600u);
+  EXPECT_FALSE(far_fired);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.cancel(far);
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.run();
+  EXPECT_FALSE(far_fired);
+}
+
+TEST(EventCoreSoakTest, StaleIdNeverCancelsRecycledSlot) {
+  // A fired event's id must stay dead even after its slot is recycled
+  // through many generations.
+  Simulator sim;
+  std::uint64_t stale = 0;
+  sim.schedule_at(1, [] {});
+  stale = sim.schedule_at(2, [] {});
+  sim.run();
+  for (int round = 0; round < 2000; ++round) {
+    bool fired = false;
+    sim.schedule_after(1, [&] { fired = true; });
+    sim.cancel(stale);  // must never hit the recycled slot
+    sim.run();
+    ASSERT_TRUE(fired) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace tlc::sim

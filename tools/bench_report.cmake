@@ -16,7 +16,7 @@
 #   cmake -DBENCH_CRYPTO=<exe> -DBENCH_FLEET=<exe> -DREPO_ROOT=<dir> \
 #         -P tools/bench_report.cmake
 
-foreach(required BENCH_CRYPTO BENCH_FLEET REPO_ROOT)
+foreach(required BENCH_CRYPTO BENCH_FLEET BENCH_SIM REPO_ROOT)
   if(NOT DEFINED ${required})
     message(FATAL_ERROR "bench_report: -D${required}=... is required")
   endif()
@@ -82,6 +82,18 @@ foreach(i RANGE ${last})
   string(JSON crypto_current SET "${crypto_current}" "${name}" "${entry}")
 endforeach()
 write_report("${REPO_ROOT}/BENCH_crypto.json" "${crypto_current}")
+
+# --- Event-core microbench (self-reported JSON sidecar) ----------------
+set(sim_sidecar "${REPO_ROOT}/build/bench_sim_sidecar.json")
+execute_process(
+  COMMAND "${BENCH_SIM}" "--json=${sim_sidecar}"
+  OUTPUT_QUIET
+  RESULT_VARIABLE sim_status)
+if(NOT sim_status EQUAL 0)
+  message(FATAL_ERROR "bench_report: bench_sim_core failed")
+endif()
+file(READ "${sim_sidecar}" sim_current)
+write_report("${REPO_ROOT}/BENCH_sim_core.json" "${sim_current}")
 
 # --- Fleet scaling bench (self-reported JSON sidecar) ------------------
 set(fleet_sidecar "${REPO_ROOT}/build/bench_fleet_sidecar.json")

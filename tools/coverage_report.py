@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage into a per-directory report.
+
+Dependency-free replacement for gcovr: walks a --coverage build tree
+(the `coverage` CMake preset), invokes `gcov --json-format` on every
+.gcda, and merges line records across translation units (a header seen
+from many TUs gets the union of its executed lines). Only files under
+the given --filter prefixes (relative to --source-root) are reported.
+
+Usage:
+  tools/coverage_report.py --build-dir build-coverage \
+      --filter src/sim --filter src/fleet [--json coverage.json]
+
+Exit status is 0 unless --min-percent is given and the overall line
+coverage falls below it.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from collections import defaultdict
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                yield os.path.join(root, name)
+
+
+def gcov_json(gcda_path):
+    """Runs gcov in JSON mode on one .gcda; yields its file records."""
+    result = subprocess.run(
+        ["gcov", "--json-format", "--stdout", "--branch-probabilities",
+         gcda_path],
+        capture_output=True, text=True, check=False)
+    if result.returncode != 0:
+        print(f"warning: gcov failed on {gcda_path}: {result.stderr.strip()}",
+              file=sys.stderr)
+        return
+    # --stdout emits one JSON document per .gcno processed, one per line.
+    for line in result.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        yield from doc.get("files", [])
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build-coverage")
+    parser.add_argument("--source-root", default=".")
+    parser.add_argument("--filter", action="append", default=[],
+                        help="source path prefix to include (repeatable)")
+    parser.add_argument("--json", help="write machine-readable summary here")
+    parser.add_argument("--min-percent", type=float,
+                        help="fail if overall coverage is below this")
+    args = parser.parse_args()
+
+    source_root = os.path.realpath(args.source_root)
+    filters = args.filter or ["src"]
+
+    # file -> line -> max hit count across all TUs that compiled it.
+    lines_by_file = defaultdict(dict)
+    gcda_count = 0
+    for gcda in sorted(find_gcda(args.build_dir)):
+        gcda_count += 1
+        for record in gcov_json(gcda):
+            path = record.get("file", "")
+            real = os.path.realpath(
+                path if os.path.isabs(path)
+                else os.path.join(args.build_dir, path))
+            if not real.startswith(source_root + os.sep):
+                continue
+            rel = os.path.relpath(real, source_root)
+            if not any(rel == f or rel.startswith(f.rstrip("/") + "/")
+                       for f in filters):
+                continue
+            merged = lines_by_file[rel]
+            for entry in record.get("lines", []):
+                number = entry.get("line_number")
+                count = entry.get("count", 0)
+                if number is None:
+                    continue
+                merged[number] = max(merged.get(number, 0), count)
+
+    if gcda_count == 0:
+        print(f"error: no .gcda files under {args.build_dir} — "
+              "build with the `coverage` preset and run ctest first",
+              file=sys.stderr)
+        return 2
+
+    per_dir = defaultdict(lambda: [0, 0])  # dir -> [covered, total]
+    report_files = []
+    for rel in sorted(lines_by_file):
+        merged = lines_by_file[rel]
+        total = len(merged)
+        covered = sum(1 for count in merged.values() if count > 0)
+        report_files.append(
+            {"file": rel, "covered": covered, "total": total,
+             "percent": round(100.0 * covered / total, 1) if total else 0.0})
+        per_dir[os.path.dirname(rel)][0] += covered
+        per_dir[os.path.dirname(rel)][1] += total
+
+    width = max((len(f["file"]) for f in report_files), default=20)
+    print(f"{'file':<{width}}  covered/total  percent")
+    for entry in report_files:
+        print(f"{entry['file']:<{width}}  "
+              f"{entry['covered']:>7}/{entry['total']:<5}  "
+              f"{entry['percent']:6.1f}%")
+    print()
+
+    overall_covered = overall_total = 0
+    summary_dirs = {}
+    for directory in sorted(per_dir):
+        covered, total = per_dir[directory]
+        overall_covered += covered
+        overall_total += total
+        percent = 100.0 * covered / total if total else 0.0
+        summary_dirs[directory] = round(percent, 1)
+        print(f"{directory + '/':<{width}}  "
+              f"{covered:>7}/{total:<5}  {percent:6.1f}%")
+    overall = 100.0 * overall_covered / overall_total if overall_total else 0.0
+    print(f"{'TOTAL':<{width}}  "
+          f"{overall_covered:>7}/{overall_total:<5}  {overall:6.1f}%")
+
+    if args.json:
+        with open(args.json, "w") as out:
+            json.dump({"schema": "tlc-coverage-v1",
+                       "filters": filters,
+                       "directories": summary_dirs,
+                       "overall_percent": round(overall, 1),
+                       "files": report_files}, out, indent=2)
+            out.write("\n")
+        print(f"\nwrote {args.json}")
+
+    if args.min_percent is not None and overall < args.min_percent:
+        print(f"error: overall coverage {overall:.1f}% is below "
+              f"--min-percent {args.min_percent:.1f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
