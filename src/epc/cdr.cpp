@@ -39,8 +39,20 @@ std::string ChargingDataRecord::to_xml() const {
       << "  <datavolumeUplink>" << datavolume_uplink
       << "</datavolumeUplink>\n"
       << "  <datavolumeDownlink>" << datavolume_downlink
-      << "</datavolumeDownlink>\n"
-      << "</chargingRecord>";
+      << "</datavolumeDownlink>\n";
+  // Audit extension (DESIGN.md §13): rendered only when the detectors
+  // saw something, so legacy records keep their pinned byte-for-byte
+  // shape.
+  if (uncharged_uplink != 0 || uncharged_downlink != 0) {
+    out << "  <unchargedUplink>" << uncharged_uplink
+        << "</unchargedUplink>\n"
+        << "  <unchargedDownlink>" << uncharged_downlink
+        << "</unchargedDownlink>\n";
+  }
+  if (anomaly_flags != 0) {
+    out << "  <anomalyFlags>" << anomaly_flags << "</anomalyFlags>\n";
+  }
+  out << "</chargingRecord>";
   return out.str();
 }
 

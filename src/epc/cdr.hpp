@@ -18,6 +18,26 @@
 
 namespace tlc::epc {
 
+/// Per-IMSI anomaly flags raised by the gateway's bypass detectors
+/// (DESIGN.md §13) and surfaced through CDRs into the OFCS. A flag is
+/// sticky for the life of the charging session.
+enum AnomalyFlag : std::uint32_t {
+  /// Free-class (ICMP/DNS) small-packet rate exceeded the per-window
+  /// limit — the signature of a tunnel smuggling payload in uncharged
+  /// chatter.
+  kAnomalySmallPacketFlood = 1u << 0,
+  /// Mean payload entropy of free-class traffic crossed the threshold
+  /// once enough bytes accumulated — diagnostics and resolver lookups
+  /// are low-entropy; encrypted tunnel payload is not.
+  kAnomalyHighEntropyFreeClass = 1u << 1,
+  /// A zero-rated flow moved more volume per window than any sponsored
+  /// service plausibly needs (QoS-class mislabeling abuse).
+  kAnomalyZeroRatedVolume = 1u << 2,
+  /// Traffic arrived on a flow bound to a different IMSI — a free-rider
+  /// replaying another subscriber's flow identity.
+  kAnomalyFlowReplay = 1u << 3,
+};
+
 struct ChargingDataRecord {
   Imsi served_imsi;
   std::uint32_t gateway_address = 0;  // IPv4, host byte order
@@ -27,6 +47,16 @@ struct ChargingDataRecord {
   SimTime time_of_last_usage = 0;
   std::uint64_t datavolume_uplink = 0;
   std::uint64_t datavolume_downlink = 0;
+
+  /// Volume the gateway forwarded but did not charge (free-class and
+  /// zero-rated traffic) plus the detector flag union — the audit
+  /// fields of DESIGN.md §13. They ride the full-width journal codec
+  /// and XML rendering only; the legacy 34-byte compact wire form
+  /// predates them and stays pinned at 34 bytes (the fields decode as
+  /// zero from it).
+  std::uint64_t uncharged_uplink = 0;
+  std::uint64_t uncharged_downlink = 0;
+  std::uint32_t anomaly_flags = 0;
 
   [[nodiscard]] SimTime time_usage() const {
     return time_of_last_usage - time_of_first_usage;

@@ -17,7 +17,11 @@ constexpr std::uint8_t kOpIngest = 1;
 constexpr std::uint8_t kOpClose = 2;
 constexpr std::uint8_t kOpSettle = 3;
 
-constexpr std::uint8_t kSnapshotVersion = 1;
+// Version 2 extends the CDR codec with the §13 audit fields
+// (uncharged volumes + anomaly flags); journals and snapshots written
+// by version 1 are no longer readable, which is fine — supervisor state
+// directories never outlive a binary in this repo.
+constexpr std::uint8_t kSnapshotVersion = 2;
 
 void write_cdr(ByteWriter& w, const ChargingDataRecord& cdr) {
   w.u64(cdr.served_imsi.value);
@@ -28,6 +32,9 @@ void write_cdr(ByteWriter& w, const ChargingDataRecord& cdr) {
   w.i64(cdr.time_of_last_usage);
   w.u64(cdr.datavolume_uplink);
   w.u64(cdr.datavolume_downlink);
+  w.u64(cdr.uncharged_uplink);
+  w.u64(cdr.uncharged_downlink);
+  w.u32(cdr.anomaly_flags);
 }
 
 Expected<ChargingDataRecord> read_cdr(ByteReader& r) {
@@ -42,8 +49,11 @@ Expected<ChargingDataRecord> read_cdr(ByteReader& r) {
   auto last = r.i64();
   auto uplink = r.u64();
   auto downlink = r.u64();
+  auto uncharged_ul = r.u64();
+  auto uncharged_dl = r.u64();
+  auto anomaly_flags = r.u32();
   if (!gateway || !charging_id || !sequence || !first || !last || !uplink ||
-      !downlink) {
+      !downlink || !uncharged_ul || !uncharged_dl || !anomaly_flags) {
     return Err("ofcs: truncated cdr");
   }
   cdr.gateway_address = *gateway;
@@ -53,6 +63,9 @@ Expected<ChargingDataRecord> read_cdr(ByteReader& r) {
   cdr.time_of_last_usage = *last;
   cdr.datavolume_uplink = *uplink;
   cdr.datavolume_downlink = *downlink;
+  cdr.uncharged_uplink = *uncharged_ul;
+  cdr.uncharged_downlink = *uncharged_dl;
+  cdr.anomaly_flags = *anomaly_flags;
   return cdr;
 }
 
@@ -133,6 +146,8 @@ void Ofcs::apply_ingest(const ChargingDataRecord& cdr) {
   state.archive.push_back(cdr);
   state.pending_ul += cdr.datavolume_uplink;
   state.pending_dl += cdr.datavolume_downlink;
+  state.uncharged_bytes += cdr.uncharged_uplink + cdr.uncharged_downlink;
+  state.anomaly_flags |= cdr.anomaly_flags;
   ++ingested_;
 }
 
@@ -270,9 +285,21 @@ Ofcs::FleetTotals Ofcs::totals() const {
     totals.billed_bytes += state.billing.total_billed_bytes;
     totals.amount += state.billing.total_amount;
     if (state.billing.throttled) ++totals.throttled;
+    totals.uncharged_bytes += state.uncharged_bytes;
+    if (state.anomaly_flags != 0) ++totals.flagged_subscribers;
   }
   totals.settlement = settlement_totals();
   return totals;
+}
+
+std::uint64_t Ofcs::uncharged_bytes(Imsi imsi) const {
+  auto it = subscribers_.find(imsi);
+  return it == subscribers_.end() ? 0 : it->second.uncharged_bytes;
+}
+
+std::uint32_t Ofcs::anomaly_flags(Imsi imsi) const {
+  auto it = subscribers_.find(imsi);
+  return it == subscribers_.end() ? 0 : it->second.anomaly_flags;
 }
 
 const SubscriberBilling* Ofcs::billing(Imsi imsi) const {
@@ -399,6 +426,8 @@ Bytes Ofcs::serialize_state() const {
     w.u64(state.billing.total_billed_bytes);
     w.f64(state.billing.total_amount);
     w.u8(state.billing.throttled ? 1 : 0);
+    w.u64(state.uncharged_bytes);
+    w.u32(state.anomaly_flags);
   }
   w.u32(static_cast<std::uint32_t>(settlement_by_cycle_.size()));
   for (const SettlementCounters& counters : settlement_by_cycle_) {
@@ -473,6 +502,11 @@ Status Ofcs::restore_state(const Bytes& snapshot) {
     state.billing.total_billed_bytes = *total_billed;
     state.billing.total_amount = *total_amount;
     state.billing.throttled = *throttled != 0;
+    auto uncharged = r.u64();
+    auto anomaly_flags = r.u32();
+    if (!uncharged || !anomaly_flags) return Err("ofcs snapshot: truncated");
+    state.uncharged_bytes = *uncharged;
+    state.anomaly_flags = *anomaly_flags;
   }
   auto cycle_count = r.u32();
   if (!cycle_count) return Err("ofcs snapshot: truncated");

@@ -139,8 +139,18 @@ class Ofcs {
     double amount = 0.0;
     /// Settlement outcome census across all recorded cycles.
     SettlementCounters settlement;
+    /// §13 audit rollup: bytes that escaped charging (free-class +
+    /// zero-rated, from CDR uncharged fields) and subscribers with at
+    /// least one anomaly flag raised.
+    std::uint64_t uncharged_bytes = 0;
+    std::size_t flagged_subscribers = 0;
   };
   [[nodiscard]] FleetTotals totals() const;
+
+  /// §13 audit accessors: cumulative uncharged volume and the anomaly
+  /// flag union ingested for one subscriber (0 if unknown).
+  [[nodiscard]] std::uint64_t uncharged_bytes(Imsi imsi) const;
+  [[nodiscard]] std::uint32_t anomaly_flags(Imsi imsi) const;
 
   [[nodiscard]] const SubscriberBilling* billing(Imsi imsi) const;
   /// CDRs archived for a subscriber (the audit trail; unauthenticated
@@ -192,6 +202,9 @@ class Ofcs {
     std::uint64_t pending_dl = 0;
     std::uint32_t next_cycle = 0;
     SubscriberBilling billing;
+    /// §13 audit aggregates, accumulated over ingested CDRs.
+    std::uint64_t uncharged_bytes = 0;
+    std::uint32_t anomaly_flags = 0;
   };
 
   /// Keys: see the recovery comment above.

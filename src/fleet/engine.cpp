@@ -66,6 +66,33 @@ Bytes digest_measurements(const std::vector<UeRecord>& records) {
   return crypto::sha256(buf);
 }
 
+// §13: the byzantine overlay's entire observable footprint — who ran
+// which bypass, what the gateway's detectors accumulated, and the
+// uncharged volume forwarded per cycle. Kept separate from the
+// measurement digest so zero-adversary fleets hash identically to
+// pre-§13 builds.
+Bytes digest_anomalies(const std::vector<UeRecord>& records) {
+  Bytes buf;
+  for (const UeRecord& record : records) {
+    append_u64(buf, record.ue_index);
+    append_u64(buf, static_cast<std::uint64_t>(record.adversary));
+    const epc::AnomalyCounters& a = record.anomaly;
+    for (std::uint64_t v : a.protocol_bytes) append_u64(buf, v);
+    for (std::uint64_t v : a.qci_bytes) append_u64(buf, v);
+    append_u64(buf, a.free_bytes);
+    append_u64(buf, a.free_packets);
+    append_u64(buf, a.free_small_packets);
+    append_u64(buf, a.entropy_millis_sum);
+    append_u64(buf, a.zero_rated_bytes);
+    append_u64(buf, a.replayed_bytes);
+    append_u64(buf, a.replayed_packets);
+    append_u64(buf, a.flags);
+    append_u64(buf, record.uncharged_per_cycle.size());
+    for (std::uint64_t v : record.uncharged_per_cycle) append_u64(buf, v);
+  }
+  return crypto::sha256(buf);
+}
+
 Bytes digest_cdfs(const std::map<testbed::Scheme, Samples>& gap_samples) {
   Bytes buf;
   for (const auto& [scheme, samples] : gap_samples) {
@@ -230,6 +257,15 @@ void aggregate_fleet(const FleetConfig& config, epc::Ofcs& ofcs,
           static_cast<SimTime>(cycle + 1) * config.base.cycle_length;
       cdr.datavolume_uplink = uplink ? m.gateway_volume : 0;
       cdr.datavolume_downlink = uplink ? 0 : m.gateway_volume;
+      // §13 audit fields: uncharged leak for this cycle (bypass
+      // overlays are uplink by construction) plus the member's
+      // cumulative anomaly flags. Zero for honest fleets, so legacy
+      // ingest behaviour is unchanged.
+      const auto c = static_cast<std::size_t>(cycle);
+      cdr.uncharged_uplink = c < record.uncharged_per_cycle.size()
+                                 ? record.uncharged_per_cycle[c]
+                                 : 0;
+      cdr.anomaly_flags = record.anomaly.flags;
       ofcs.ingest(cdr);
     }
     result.bills.push_back(
@@ -250,6 +286,7 @@ void compute_digests(FleetResult& result) {
   result.measurement_digest = digest_measurements(result.records);
   result.cdf_digest = digest_cdfs(result.gap_samples);
   result.poc_digest = digest_receipts(result.receipts);
+  result.anomaly_digest = digest_anomalies(result.records);
 }
 
 }  // namespace detail

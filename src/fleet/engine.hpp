@@ -51,6 +51,7 @@ struct FleetResult {
   Bytes measurement_digest;  // all merged CycleMeasurements
   Bytes cdf_digest;          // per-scheme gap CDF point series
   Bytes poc_digest;          // all settlement receipts incl. PoC wire
+  Bytes anomaly_digest;      // §13 adversary kinds + gateway detectors
 };
 
 /// Runs the whole fleet: shards on `config.threads` workers, then

@@ -14,8 +14,33 @@
 
 #include "testbed/scenario.hpp"
 #include "transport/lossy_settlement.hpp"
+#include "workloads/adversarial.hpp"
 
 namespace tlc::fleet {
+
+/// Byzantine population spec (DESIGN.md §13). Whether a UE is an
+/// adversary — and which bypass it runs — is drawn from a dedicated
+/// per-member seed stream, so a zero fraction leaves every other draw
+/// in the fleet untouched and the run byte-identical to a fleet that
+/// predates this struct.
+struct AdversaryMix {
+  /// Fraction of UEs carrying a bypass overlay in [0, 1].
+  double fraction = 0.0;
+  /// Kinds drawn uniformly per adversarial UE (repeat to weight).
+  std::vector<workloads::AdversaryKind> kinds = {
+      workloads::AdversaryKind::kIcmpTunnel,
+      workloads::AdversaryKind::kDnsTunnel,
+      workloads::AdversaryKind::kZeroRatedAbuse,
+      workloads::AdversaryKind::kFreeRider,
+      workloads::AdversaryKind::kVolumeShaper};
+  /// Forwarded to SpgwParams: charge uplink flows to their bound owner
+  /// (turns free-riding into a charge on the victim).
+  bool flow_based_charging = false;
+
+  [[nodiscard]] bool enabled() const {
+    return fraction > 0.0 && !kinds.empty();
+  }
+};
 
 struct FleetConfig {
   /// Shared knobs every member inherits (cycle structure, cell
@@ -69,6 +94,10 @@ struct FleetConfig {
   /// index) — never wall clock — so lossy fleets keep the bit-identity
   /// contract at any thread count.
   transport::TransportConfig transport;
+
+  /// Byzantine population (DESIGN.md §13). Default: no adversaries,
+  /// and a run bit-identical to pre-§13 fleets.
+  AdversaryMix adversary;
 
   /// Members per shard (ceiling division; the last shard may be short).
   [[nodiscard]] std::size_t ues_per_shard() const {

@@ -26,8 +26,17 @@ constexpr std::uint64_t kUeStreamBase = 16;
 // Stream under a member's seed used for scheme evaluation draws.
 constexpr std::uint64_t kSchemeEvalStream = 0xe7a1;
 
+// Stream under a member's seed for the §13 byzantine overlay: the
+// adversary role draw and the generator's own randomness. A dedicated
+// stream — never ue.rng forks — so a zero adversary fraction consumes
+// nothing and honest runs stay byte-identical to pre-§13 fleets.
+constexpr std::uint64_t kAdversaryStream = 0xadb5;
+
 constexpr std::uint32_t kFlowBase = 100;
 constexpr std::uint32_t kBackgroundFlow = 1;
+// Overlay flows live far above the member flow range so an adversary's
+// own flow can never collide with a victim's.
+constexpr std::uint32_t kAdversaryFlowBase = 1u << 20;
 constexpr std::uint64_t kFleetImsiBase = 310170000000000ull;
 constexpr std::uint64_t kShardBackgroundImsiBase = 460110000000000ull;
 
@@ -65,6 +74,9 @@ struct FleetShard::UeCtx {
   std::unique_ptr<sim::RadioChannel> radio;
   std::unique_ptr<epc::UeDevice> device;
   std::unique_ptr<workloads::TrafficSource> source;
+  /// §13 bypass overlay riding on top of the normal app (nullptr for
+  /// honest members).
+  std::unique_ptr<workloads::TrafficSource> adversary_source;
 
   charging::RrcCounterMonitor rrc_ul{
       charging::RrcCounterMonitor::Track::Uplink};
@@ -78,6 +90,10 @@ struct FleetShard::UeCtx {
   std::unique_ptr<charging::CycleSampler> op_sent;
   std::unique_ptr<charging::CycleSampler> op_received;
   std::unique_ptr<charging::CycleSampler> gateway;
+  /// Uncharged-volume sampler (gateway's §13 leak counter at the
+  /// operator's boundary). Built only when the config has adversaries,
+  /// so honest fleets schedule no extra events and draw no extra forks.
+  std::unique_ptr<charging::CycleSampler> uncharged;
   Rng edge_clock_rng{0};
   Rng op_clock_rng{0};
 };
@@ -95,7 +111,9 @@ FleetShard::FleetShard(const FleetConfig& config, int shard_index,
       sim_, config_.base.enodeb,
       sim::stream_rng(shard_seed(), kEnodebStream));
   mme_ = std::make_unique<epc::Mme>(sim_, hss_);
-  spgw_ = std::make_unique<epc::Spgw>(sim_, *enodeb_);
+  epc::SpgwParams spgw_params;
+  spgw_params.flow_based_charging = config_.adversary.flow_based_charging;
+  spgw_ = std::make_unique<epc::Spgw>(sim_, *enodeb_, spgw_params);
   server_ = std::make_unique<testbed::EdgeServer>(sim_, *spgw_);
   spgw_->set_server_sink([this](epc::Imsi imsi, const sim::Packet& packet) {
     server_->deliver_uplink(imsi, packet);
@@ -205,6 +223,9 @@ void FleetShard::build_ue(std::uint64_t ue_index,
   hss_.provision(epc::SubscriberProfile{ue.record.imsi, "fleet-member",
                                         ue.scenario.device});
   pcrf_.install_rule(ue.flow_id, testbed::app_qci(member.app));
+  // Flow-identity binding (§13): the gateway knows which IMSI owns each
+  // member flow, which is what lets it spot free-riders replaying one.
+  spgw_->bind_flow(ue.flow_id, ue.record.imsi);
 
   // Workload source.
   const sim::Direction direction = testbed::app_direction(member.app);
@@ -245,6 +266,44 @@ void FleetShard::build_ue(std::uint64_t ue_index,
             sim_, sink, ue.flow_id, direction, qci, workloads::GamingParams{},
             ue.rng.fork());
         break;
+    }
+  }
+
+  // §13 byzantine overlay. Role and generator randomness come from a
+  // dedicated stream under the member's seed, guarded by enabled(): a
+  // zero-adversary config draws nothing extra anywhere.
+  if (config_.adversary.enabled()) {
+    Rng adv_rng = sim::stream_rng(member.seed, kAdversaryStream);
+    const double fraction =
+        std::clamp(config_.adversary.fraction, 0.0, 1.0);
+    if (adv_rng.chance(fraction)) {
+      const auto& kinds = config_.adversary.kinds;
+      ue.record.adversary = kinds[static_cast<std::size_t>(
+          adv_rng.uniform_u64(kinds.size()))];
+      const std::size_t idx = ues_.size();
+      std::uint32_t overlay_flow =
+          kAdversaryFlowBase + static_cast<std::uint32_t>(idx);
+      switch (ue.record.adversary) {
+        case workloads::AdversaryKind::kFreeRider:
+          // Replay the previous member's flow identity. The shard's
+          // first member has no one to rob and degrades to riding its
+          // own flow — no replay, no leak, trivially bounded.
+          overlay_flow =
+              kFlowBase + static_cast<std::uint32_t>(idx == 0 ? 0 : idx - 1);
+          break;
+        case workloads::AdversaryKind::kZeroRatedAbuse:
+          spgw_->set_zero_rated(overlay_flow);
+          break;
+        default:
+          spgw_->bind_flow(overlay_flow, ue.record.imsi);
+          break;
+      }
+      // Every overlay is uplink: it leaves through the device's bearer
+      // and contends for the air like any app traffic.
+      ue.adversary_source = workloads::make_adversary(
+          ue.record.adversary, sim_,
+          [raw](const sim::Packet& p) { raw->device->app_send(p); },
+          overlay_flow, adv_rng.fork());
     }
   }
 
@@ -361,6 +420,16 @@ void FleetShard::build_ue_samplers(UeCtx& ue) {
                                                         ue.rng.fork());
   ue.edge_clock_rng = ue.rng.fork();
   ue.op_clock_rng = ue.rng.fork();
+
+  // §13 leak sampler — appended strictly after every pre-existing fork
+  // so the streams above keep their exact draws, and gated so honest
+  // configs build (and schedule) nothing new at all.
+  if (config_.adversary.enabled()) {
+    const charging::UsageMonitor& uncharged = make_monitor(
+        "uncharged", [this, imsi] { return spgw_->uncharged_bytes(imsi); });
+    ue.uncharged = std::make_unique<charging::CycleSampler>(
+        sim_, uncharged, exact, ue.rng.fork());
+  }
 }
 
 void FleetShard::schedule_ue_boundaries(UeCtx& ue) {
@@ -388,6 +457,10 @@ void FleetShard::schedule_ue_boundaries(UeCtx& ue) {
     ue.op_sent->schedule_boundary(op_at);
     ue.op_received->schedule_boundary(op_at);
     ue.gateway->schedule_boundary(op_at);
+    // §13 leak sampler shares the operator's boundary (and draws its
+    // offset from its own fork, so the op_at draw sequence above is
+    // untouched).
+    if (ue.uncharged) ue.uncharged->schedule_boundary(op_at);
 
     if (config_.base.enable_counter_check) {
       sim_.schedule_at(std::max<SimTime>(op_at - kCounterCheckLead, 0),
@@ -402,7 +475,10 @@ const std::vector<UeRecord>& FleetShard::run() {
 
   for (auto& ue : ues_) schedule_ue_boundaries(*ue);
   mme_->start();
-  for (auto& ue : ues_) ue->source->start(0);
+  for (auto& ue : ues_) {
+    ue->source->start(0);
+    if (ue->adversary_source) ue->adversary_source->start(0);
+  }
   if (bg_source_) bg_source_->start(0);
 
   const SimTime horizon =
@@ -410,7 +486,10 @@ const std::vector<UeRecord>& FleetShard::run() {
       run_tail(config_.base.cycle_length);
   sim_.run_until(horizon);
 
-  for (auto& ue : ues_) ue->source->stop();
+  for (auto& ue : ues_) {
+    ue->source->stop();
+    if (ue->adversary_source) ue->adversary_source->stop();
+  }
   if (bg_source_) bg_source_->stop();
 
   records_.reserve(ues_.size());
@@ -428,6 +507,15 @@ const std::vector<UeRecord>& FleetShard::run() {
       cycle.op_received = ue.op_received->cycle_volume(idx);
       cycle.gateway_volume = ue.gateway->cycle_volume(idx);
     }
+    ue.record.uncharged_per_cycle.assign(
+        static_cast<std::size_t>(config_.base.cycles), 0);
+    if (ue.uncharged) {
+      for (int i = 0; i < config_.base.cycles; ++i) {
+        ue.record.uncharged_per_cycle[static_cast<std::size_t>(i)] =
+            ue.uncharged->cycle_volume(static_cast<std::size_t>(i));
+      }
+    }
+    ue.record.anomaly = spgw_->anomaly(ue.record.imsi);
 
     // Scheme evaluation rides the member's own seed stream, so the
     // outcome is independent of shard/thread scheduling by design.

@@ -46,6 +46,16 @@ struct UeRecord {
   /// Per-scheme evaluation of the member's cycles (gap CDF inputs),
   /// computed inside the shard so it parallelizes with the runs.
   std::map<testbed::Scheme, std::vector<testbed::CycleOutcome>> outcomes;
+
+  /// §13 byzantine overlay: which bypass this member ran (kNone for
+  /// honest members), the gateway's detector state for it, and the
+  /// uncharged volume the gateway forwarded per cycle (sampled at the
+  /// operator's boundary, like gateway_volume). These live *outside*
+  /// CycleMeasurements so the measurement digest — pinned by the
+  /// zero-adversary identity test — keeps its exact composition.
+  workloads::AdversaryKind adversary = workloads::AdversaryKind::kNone;
+  epc::AnomalyCounters anomaly;
+  std::vector<std::uint64_t> uncharged_per_cycle;
 };
 
 class FleetShard {

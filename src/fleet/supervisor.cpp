@@ -26,7 +26,10 @@ namespace {
 // re-run.
 // ---------------------------------------------------------------------
 
-constexpr std::uint8_t kShardRecordVersion = 1;
+// v2 appends the §13 byzantine fields (adversary kind, gateway anomaly
+// counters, uncharged-per-cycle samples). Old-version checkpoints are
+// rejected, which just forces a clean re-run of that shard.
+constexpr std::uint8_t kShardRecordVersion = 2;
 
 void write_record(ByteWriter& w, const UeRecord& record) {
   w.u64(record.ue_index);
@@ -60,6 +63,20 @@ void write_record(ByteWriter& w, const UeRecord& record) {
       w.u8(o.completed ? 1 : 0);
     }
   }
+  w.u8(static_cast<std::uint8_t>(record.adversary));
+  const epc::AnomalyCounters& a = record.anomaly;
+  for (std::uint64_t v : a.protocol_bytes) w.u64(v);
+  for (std::uint64_t v : a.qci_bytes) w.u64(v);
+  w.u64(a.free_bytes);
+  w.u64(a.free_packets);
+  w.u64(a.free_small_packets);
+  w.u64(a.entropy_millis_sum);
+  w.u64(a.zero_rated_bytes);
+  w.u64(a.replayed_bytes);
+  w.u64(a.replayed_packets);
+  w.u32(a.flags);
+  w.u32(static_cast<std::uint32_t>(record.uncharged_per_cycle.size()));
+  for (std::uint64_t v : record.uncharged_per_cycle) w.u64(v);
 }
 
 Expected<UeRecord> read_record(ByteReader& r) {
@@ -132,6 +149,36 @@ Expected<UeRecord> read_record(ByteReader& r) {
     }
     record.outcomes.emplace(static_cast<testbed::Scheme>(*scheme),
                             std::move(outcomes));
+  }
+
+  auto adversary = r.u8();
+  if (!adversary) return Err(adversary.error());
+  record.adversary = static_cast<workloads::AdversaryKind>(*adversary);
+  epc::AnomalyCounters& a = record.anomaly;
+  std::vector<std::uint64_t*> counter_fields;
+  for (std::uint64_t& v : a.protocol_bytes) counter_fields.push_back(&v);
+  for (std::uint64_t& v : a.qci_bytes) counter_fields.push_back(&v);
+  for (std::uint64_t* field :
+       {&a.free_bytes, &a.free_packets, &a.free_small_packets,
+        &a.entropy_millis_sum, &a.zero_rated_bytes, &a.replayed_bytes,
+        &a.replayed_packets}) {
+    counter_fields.push_back(field);
+  }
+  for (std::uint64_t* field : counter_fields) {
+    auto v = r.u64();
+    if (!v) return Err(v.error());
+    *field = *v;
+  }
+  auto flags = r.u32();
+  if (!flags) return Err(flags.error());
+  a.flags = *flags;
+  auto nuncharged = r.u32();
+  if (!nuncharged) return Err(nuncharged.error());
+  record.uncharged_per_cycle.resize(*nuncharged);
+  for (std::uint64_t& v : record.uncharged_per_cycle) {
+    auto value = r.u64();
+    if (!value) return Err(value.error());
+    v = *value;
   }
   return record;
 }

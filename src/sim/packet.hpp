@@ -2,7 +2,12 @@
 //
 // The charging problem only depends on packet identity, size, direction
 // and QoS class — payload contents never matter — so packets are a small
-// value type and the simulator moves them by copy.
+// value type and the simulator moves them by copy. The adversarial
+// suite (DESIGN.md §13) adds two shallow-classifier facts a gateway
+// can read without touching payload bytes: the transport protocol and
+// a payload-entropy estimate (what a DPI tap would compute; tunnels
+// carrying compressed/encrypted data score high, chatty plaintext
+// protocols score low).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +18,38 @@ namespace tlc::sim {
 
 /// Direction relative to the device: uplink = device -> server.
 enum class Direction : std::uint8_t { Uplink, Downlink };
+
+/// Transport protocol as the gateway's shallow classifier labels it.
+/// ICMP and DNS form the traditionally *uncharged* class — operators
+/// forward diagnostics and resolver traffic for free, which is exactly
+/// the hole Ghost-Traffic-style tunnels ride through.
+enum class Protocol : std::uint8_t {
+  kUdp = 0,
+  kTcp = 1,
+  kIcmp = 2,
+  kDns = 3,
+};
+
+inline constexpr std::size_t kProtocolCount = 4;
+
+[[nodiscard]] constexpr const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kUdp:
+      return "UDP";
+    case Protocol::kTcp:
+      return "TCP";
+    case Protocol::kIcmp:
+      return "ICMP";
+    case Protocol::kDns:
+      return "DNS";
+  }
+  return "UDP";
+}
+
+/// Protocols the legacy charging function forwards without counting.
+[[nodiscard]] constexpr bool is_free_class(Protocol p) {
+  return p == Protocol::kIcmp || p == Protocol::kDns;
+}
 
 [[nodiscard]] constexpr const char* direction_name(Direction d) {
   return d == Direction::Uplink ? "UL" : "DL";
@@ -51,6 +88,11 @@ struct Packet {
   std::uint32_t size_bytes = 0;
   Direction direction = Direction::Uplink;
   Qci qci = Qci::kQci9;
+  Protocol protocol = Protocol::kUdp;
+  /// Payload-entropy estimate in thousandths (0 = constant bytes,
+  /// 1000 = indistinguishable from random). Kept integral so every
+  /// downstream aggregate stays in exact arithmetic.
+  std::uint16_t entropy_millis = 0;
   SimTime created_at = 0;
 };
 

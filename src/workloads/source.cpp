@@ -21,6 +21,8 @@ void PacketSource::emit(std::uint32_t size_bytes) {
   packet.size_bytes = size_bytes;
   packet.direction = direction_;
   packet.qci = qci_;
+  packet.protocol = protocol_;
+  packet.entropy_millis = entropy_millis_;
   packet.created_at = sim_.now();
   ++packets_;
   bytes_ += size_bytes;

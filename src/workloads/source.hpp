@@ -65,6 +65,12 @@ class PacketSource : public TrafficSource {
   sim::Qci qci_;
   Rng rng_;
   bool running_ = false;
+  /// Shallow-classifier facts stamped onto every emitted packet.
+  /// Defaults (UDP, zero entropy) keep every pre-existing source
+  /// byte-identical; the adversarial generators override them per
+  /// packet before calling emit().
+  sim::Protocol protocol_ = sim::Protocol::kUdp;
+  std::uint16_t entropy_millis_ = 0;
 
  private:
   /// Schedules the next chunk of an in-flight frame `spacing` from now.

@@ -1,0 +1,19 @@
+// Must-flag: §13 bypass generators may only draw from their injected
+// seeded Rng stream; direct OS entropy breaks the fleet bit-identity
+// contract (and is invisible to a replay).
+#include <cstdint>
+
+namespace tlc::workloads {
+
+std::uint64_t tunnel_gap_entropy() {
+  std::uint64_t value = 0;
+  getrandom(&value, sizeof(value), 0);
+  return value ^ arc4random();
+}
+
+std::uint32_t shaper_phase() {
+  unsigned int state = 7;
+  return rand_r(&state);
+}
+
+}  // namespace tlc::workloads

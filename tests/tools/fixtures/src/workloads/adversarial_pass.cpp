@@ -1,0 +1,14 @@
+// Must-pass: generator randomness drawn exclusively from the injected
+// seeded stream — the only sanctioned source in adversarial code.
+#include <cstdint>
+
+namespace tlc::workloads {
+
+struct SeededRng {
+  std::uint64_t state = 1;
+  std::uint64_t next() { return state = state * 6364136223846793005ULL + 1; }
+};
+
+std::uint64_t tunnel_gap_jitter(SeededRng& rng) { return rng.next() % 1000; }
+
+}  // namespace tlc::workloads

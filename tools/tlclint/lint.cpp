@@ -240,6 +240,17 @@ void rule_wallclock(const std::string& relpath,
                                                   "srand"};
   static const std::vector<std::string> kHeaders = {
       "<chrono>", "<ctime>", "<time.h>", "<random>", "<sys/time.h>"};
+  // The §13 bypass generators carry a stricter contract: all their
+  // randomness must come from the injected seeded Rng stream, so the
+  // OS-entropy syscalls (which the base rule tolerates elsewhere, e.g.
+  // in tooling) are banned outright in their translation units.
+  static const std::vector<std::string> kEntropyCalls = {
+      "getrandom", "getentropy",       "arc4random", "arc4random_uniform",
+      "rand_r",    "drand48",          "lrand48",    "mrand48",
+      "random",    "arc4random_buf",
+  };
+  const bool adversarial_scope =
+      relpath.find("workloads/adversarial") != std::string::npos;
   for (std::size_t i = 0; i < code.size(); ++i) {
     if (pragmas.allowed(i, "wallclock")) continue;
     const std::string& line = code[i];
@@ -268,6 +279,21 @@ void rule_wallclock(const std::string& relpath,
       }
     }
     if (flagged) continue;
+    if (adversarial_scope) {
+      for (const std::string& call : kEntropyCalls) {
+        if (!find_call(line, call).empty()) {
+          add_finding(out, "wallclock", relpath, i,
+                      "call to '" + call +
+                          "()' draws OS entropy in an adversarial "
+                          "generator — bypass traffic must derive from its "
+                          "injected seeded Rng stream",
+                      code);
+          flagged = true;
+          break;
+        }
+      }
+      if (flagged) continue;
+    }
     if (line.find("#include") != std::string::npos) {
       for (const std::string& header : kHeaders) {
         if (line.find(header) != std::string::npos) {
