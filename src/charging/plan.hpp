@@ -33,8 +33,10 @@ struct DataPlan {
   /// 15 GB). Not exercised by the negotiation, provided for policy
   /// modelling.
   std::uint64_t quota_bytes = 15ull << 30;
-  double throttle_kbps = 128.0;
-  double price_per_mb = 0.01;
+  std::uint64_t throttle_kbps = 128;
+  /// Price in micro-currency-units per MB (10'000 = 0.01/MB). Money is
+  /// fixed-point end to end; bills divide by 1e6 only at display time.
+  std::uint64_t price_micro_per_mb = 10'000;
 
   [[nodiscard]] std::string describe() const;
 };

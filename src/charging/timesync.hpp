@@ -7,8 +7,11 @@
 // estimates offset = ((t1-t0)+(t2-t3))/2, whose error is the path
 // asymmetry; taking the round with the smallest RTT (NTP's clock
 // filter) gives the disciplined offset. The result plugs straight into
-// a ClockModel.
+// a ClockModel. All quantities are integer microseconds — floating
+// point exists only at the RNG draw edge inside the implementation.
 #pragma once
+
+#include <cstdint>
 
 #include "charging/sampler.hpp"
 #include "util/rng.hpp"
@@ -16,23 +19,23 @@
 namespace tlc::charging {
 
 struct TimeSyncParams {
-  /// The party's true clock offset before synchronization.
-  double true_offset_s = 1.5;
+  /// The party's true clock offset before synchronization (signed us).
+  std::int64_t true_offset_us = 1'500'000;
   /// Mean one-way network delay to the time server.
-  double one_way_delay_ms = 15.0;
+  std::uint64_t one_way_delay_us = 15'000;
   /// Per-leg delay jitter (asymmetry source — the NTP error floor).
-  double delay_jitter_ms = 4.0;
+  std::uint64_t delay_jitter_us = 4'000;
   /// Exchange rounds; NTP keeps the best-RTT sample.
   int rounds = 8;
 };
 
 struct TimeSyncResult {
-  /// Offset the client computed (and will correct by).
-  double estimated_offset_s = 0.0;
+  /// Offset the client computed (and will correct by), signed us.
+  std::int64_t estimated_offset_us = 0;
   /// |true - estimated| after discipline — the residual misalignment.
-  double residual_error_s = 0.0;
+  std::uint64_t residual_error_us = 0;
   /// RTT of the sample that won the clock filter.
-  double best_rtt_ms = 0.0;
+  std::uint64_t best_rtt_us = 0;
 };
 
 /// Runs the synchronization exchange.

@@ -19,8 +19,10 @@ RsaKeyCache::RsaKeyCache(std::size_t modulus_bits, std::size_t slots,
   for (std::size_t i = 0; i < slots; ++i) {
     // Slot keys derive from (seed, slot) alone so slot i survives cache
     // resizes; even/odd streams keep the two parties' keys distinct.
-    Rng edge_rng = sim::stream_rng(seed, 2 * i);
-    Rng op_rng = sim::stream_rng(seed, 2 * i + 1);
+    const std::uint64_t edge_key_stream = 2 * i;
+    const std::uint64_t op_key_stream = 2 * i + 1;
+    Rng edge_rng = sim::stream_rng(seed, edge_key_stream);
+    Rng op_rng = sim::stream_rng(seed, op_key_stream);
     edge_keys_.push_back(crypto::rsa_generate(modulus_bits, edge_rng));
     op_keys_.push_back(crypto::rsa_generate(modulus_bits, op_rng));
     // rsa_generate warms the Montgomery contexts, so the slots handed

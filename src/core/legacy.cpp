@@ -1,16 +1,16 @@
 #include "core/legacy.hpp"
 
-#include <cmath>
-
 namespace tlc::core {
 
 std::uint64_t legacy_charge(std::uint64_t gateway_cdr_volume,
                             const LegacyChargeParams& params) {
-  const double factor =
-      params.operator_selfish_factor < 0.0 ? 0.0
-                                           : params.operator_selfish_factor;
-  return static_cast<std::uint64_t>(
-      std::llround(static_cast<double>(gateway_cdr_volume) * factor));
+  // Split the multiply so volume * ppm never overflows 64 bits for any
+  // realistic CDR volume (whole quotient first, then the remainder's
+  // share, rounded half-up to match the old llround behaviour).
+  const std::uint64_t ppm = params.operator_selfish_ppm;
+  const std::uint64_t whole = gateway_cdr_volume / 1'000'000;
+  const std::uint64_t rest = gateway_cdr_volume % 1'000'000;
+  return whole * ppm + (rest * ppm + 500'000) / 1'000'000;
 }
 
 }  // namespace tlc::core

@@ -13,10 +13,12 @@
 namespace tlc::core {
 
 struct LegacyChargeParams {
-  /// 1.0 = honest operator (the §7.1 "(Honest) legacy 4G/5G" baseline);
-  /// > 1 over-claims with no bound; < 1 would model an operator
-  /// under-billing (never rational).
-  double operator_selfish_factor = 1.0;
+  /// Selfish scaling in parts-per-million: 1'000'000 = honest operator
+  /// (the §7.1 "(Honest) legacy 4G/5G" baseline); > 1e6 over-claims
+  /// with no bound; < 1e6 would model an operator under-billing (never
+  /// rational). Fixed-point so the bill never round-trips through
+  /// floating point.
+  std::uint64_t operator_selfish_ppm = 1'000'000;
 };
 
 /// The legacy bill for a cycle, given the gateway's CDR volume.

@@ -5,6 +5,12 @@
 namespace tlc::core {
 namespace {
 
+/// Wire version of the three message bodies and their signed framings.
+/// Bump on ANY field order/width change — the tools/schemas/msg_*.schema
+/// goldens pin the current layout and `ctest -L static` fails on drift.
+constexpr std::uint32_t kMessageWireVersion = 1;
+static_assert(kMessageWireVersion >= 1);
+
 void write_plan(ByteWriter& w, const PlanRef& plan) {
   w.i64(plan.t_start);
   w.i64(plan.t_end);
@@ -54,6 +60,7 @@ Expected<MessageType> peek_type(const Bytes& wire) {
 
 // --- CDR ----------------------------------------------------------------
 
+// tlclint: codec(msg_cdr_body, encode, version=kMessageWireVersion)
 Bytes encode_cdr_body(const CdrMessage& body) {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(MessageType::Cdr));
@@ -69,6 +76,7 @@ SignedCdr sign_cdr(const CdrMessage& body, const crypto::RsaPrivateKey& key) {
   return SignedCdr{body, crypto::rsa_sign(key, encode_cdr_body(body))};
 }
 
+// tlclint: codec(msg_signed_cdr, encode, version=kMessageWireVersion)
 Bytes encode_signed_cdr(const SignedCdr& cdr) {
   ByteWriter w;
   Bytes body = encode_cdr_body(cdr.body);
@@ -78,12 +86,14 @@ Bytes encode_signed_cdr(const SignedCdr& cdr) {
 }
 
 Expected<SignedCdr> decode_signed_cdr(const Bytes& wire) {
+  // tlclint: codec(msg_signed_cdr, decode, version=kMessageWireVersion)
   ByteReader outer(wire);
   auto body_bytes = outer.blob();
   if (!body_bytes) return Err("cdr: " + body_bytes.error());
   auto signature = outer.blob();
   if (!signature) return Err("cdr: " + signature.error());
 
+  // tlclint: codec(msg_cdr_body, decode, version=kMessageWireVersion)
   ByteReader r(*body_bytes);
   if (auto s = check_type(r, MessageType::Cdr, "cdr"); !s) {
     return Err(s.error());
@@ -115,6 +125,7 @@ Status verify_signed_cdr(const SignedCdr& cdr,
 
 // --- CDA ----------------------------------------------------------------
 
+// tlclint: codec(msg_cda_body, encode, version=kMessageWireVersion)
 Bytes encode_cda_body(const CdaMessage& body) {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(MessageType::Cda));
@@ -131,6 +142,7 @@ SignedCda sign_cda(const CdaMessage& body, const crypto::RsaPrivateKey& key) {
   return SignedCda{body, crypto::rsa_sign(key, encode_cda_body(body))};
 }
 
+// tlclint: codec(msg_signed_cda, encode, version=kMessageWireVersion)
 Bytes encode_signed_cda(const SignedCda& cda) {
   ByteWriter w;
   w.blob(encode_cda_body(cda.body));
@@ -139,12 +151,14 @@ Bytes encode_signed_cda(const SignedCda& cda) {
 }
 
 Expected<SignedCda> decode_signed_cda(const Bytes& wire) {
+  // tlclint: codec(msg_signed_cda, decode, version=kMessageWireVersion)
   ByteReader outer(wire);
   auto body_bytes = outer.blob();
   if (!body_bytes) return Err("cda: " + body_bytes.error());
   auto signature = outer.blob();
   if (!signature) return Err("cda: " + signature.error());
 
+  // tlclint: codec(msg_cda_body, decode, version=kMessageWireVersion)
   ByteReader r(*body_bytes);
   if (auto s = check_type(r, MessageType::Cda, "cda"); !s) {
     return Err(s.error());
@@ -179,6 +193,7 @@ Status verify_signed_cda(const SignedCda& cda,
 
 // --- PoC ----------------------------------------------------------------
 
+// tlclint: codec(msg_poc_body, encode, version=kMessageWireVersion)
 Bytes encode_poc_body(const PocMessage& body) {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(MessageType::Poc));
@@ -200,6 +215,7 @@ SignedPoc sign_poc(const PocMessage& body, const crypto::RsaPrivateKey& key,
   return poc;
 }
 
+// tlclint: codec(msg_signed_poc, encode, version=kMessageWireVersion)
 Bytes encode_signed_poc(const SignedPoc& poc) {
   ByteWriter w;
   w.blob(encode_poc_body(poc.body));
@@ -210,6 +226,7 @@ Bytes encode_signed_poc(const SignedPoc& poc) {
 }
 
 Expected<SignedPoc> decode_signed_poc(const Bytes& wire) {
+  // tlclint: codec(msg_signed_poc, decode, version=kMessageWireVersion)
   ByteReader outer(wire);
   auto body_bytes = outer.blob();
   if (!body_bytes) return Err("poc: " + body_bytes.error());
@@ -220,6 +237,7 @@ Expected<SignedPoc> decode_signed_poc(const Bytes& wire) {
   auto nonce_o = outer.u64();
   if (!nonce_o) return Err("poc: " + nonce_o.error());
 
+  // tlclint: codec(msg_poc_body, decode, version=kMessageWireVersion)
   ByteReader r(*body_bytes);
   if (auto s = check_type(r, MessageType::Poc, "poc"); !s) {
     return Err(s.error());

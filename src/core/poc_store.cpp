@@ -17,6 +17,7 @@ constexpr std::size_t kTagBytes = 32;
 
 Bytes integrity_key() { return bytes_of("tlc-poc-store-integrity-v1"); }
 
+// tlclint: codec(poc_entry, encode, version=kStoreVersion)
 Bytes encode_entry_body(const PocStore::Entry& entry) {
   ByteWriter w;
   w.i64(entry.plan.t_start);
@@ -26,6 +27,7 @@ Bytes encode_entry_body(const PocStore::Entry& entry) {
   return w.take();
 }
 
+// tlclint: codec(poc_entry, decode, version=kStoreVersion)
 Expected<PocStore::Entry> decode_entry_body(const Bytes& body) {
   ByteReader r(body);
   PocStore::Entry entry;
@@ -77,6 +79,7 @@ std::uint64_t PocStore::stored_bytes() const {
   return total;
 }
 
+// tlclint: codec(poc_archive, encode, version=kStoreVersion)
 Bytes PocStore::serialize() const {
   ByteWriter w;
   w.u32(kStoreMagic);
@@ -93,6 +96,7 @@ Bytes PocStore::serialize() const {
   return data;
 }
 
+// tlclint: codec(poc_archive, decode, version=kStoreVersion)
 Expected<PocStore> PocStore::deserialize(const Bytes& data) {
   if (data.size() < kTagBytes) return Err("poc store: too short");
   const Bytes body(data.begin(), data.end() - kTagBytes);
@@ -136,6 +140,7 @@ Expected<PocStore> PocStore::load(const std::string& path) {
   return deserialize(*data);
 }
 
+// tlclint: codec(poc_archive, decode, version=kStoreVersion)
 Expected<PocStore::Salvage> PocStore::load_salvage(const std::string& path) {
   auto data = util::read_file(path);
   if (!data) return Err("poc store: " + data.error());

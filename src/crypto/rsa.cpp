@@ -57,6 +57,7 @@ void RsaPrivateKey::precompute() {
   build_context(n, mont_n);
 }
 
+// tlclint: codec(rsa_public_key, encode)
 Bytes RsaPublicKey::serialize() const {
   ByteWriter writer;
   writer.blob(n.to_bytes());
@@ -64,6 +65,7 @@ Bytes RsaPublicKey::serialize() const {
   return writer.take();
 }
 
+// tlclint: codec(rsa_public_key, decode)
 Expected<RsaPublicKey> RsaPublicKey::deserialize(const Bytes& data) {
   ByteReader reader(data);
   auto n_bytes = reader.blob();

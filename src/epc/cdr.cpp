@@ -14,6 +14,12 @@ std::uint32_t seconds_u32(SimTime t) {
   return static_cast<std::uint32_t>(t / kSecond);
 }
 
+/// Wire version of the 34-byte compact encoding. Bump on any field
+/// order/width change — tools/schemas/epc_cdr_compact.schema pins the
+/// layout and `ctest -L static` fails on drift.
+constexpr std::uint32_t kCdrCompactVersion = 1;
+static_assert(kCdrCompactVersion >= 1);
+
 }  // namespace
 
 std::string format_ipv4(std::uint32_t address) {
@@ -56,6 +62,7 @@ std::string ChargingDataRecord::to_xml() const {
   return out.str();
 }
 
+// tlclint: codec(epc_cdr_compact, encode, version=kCdrCompactVersion)
 Bytes ChargingDataRecord::encode_compact() const {
   // 8 (imsi) + 4 (gw) + 2 (charging id) + 4 (seq) + 4 (first) + 4 (last)
   // + 4 (ul) + 4 (dl) = 34 bytes.
@@ -71,6 +78,7 @@ Bytes ChargingDataRecord::encode_compact() const {
   return w.take();
 }
 
+// tlclint: codec(epc_cdr_compact, decode, version=kCdrCompactVersion)
 Expected<ChargingDataRecord> ChargingDataRecord::decode_compact(
     const Bytes& data) {
   if (data.size() != 34) {

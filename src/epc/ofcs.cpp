@@ -21,8 +21,10 @@ constexpr std::uint8_t kOpSettle = 3;
 // (uncharged volumes + anomaly flags); journals and snapshots written
 // by version 1 are no longer readable, which is fine — supervisor state
 // directories never outlive a binary in this repo.
-constexpr std::uint8_t kSnapshotVersion = 2;
+// v3: bill amounts moved from f64 currency units to u64 micro-units.
+constexpr std::uint8_t kSnapshotVersion = 3;
 
+// tlclint: codec(ofcs_cdr_full, encode, version=kSnapshotVersion)
 void write_cdr(ByteWriter& w, const ChargingDataRecord& cdr) {
   w.u64(cdr.served_imsi.value);
   w.u32(cdr.gateway_address);
@@ -37,6 +39,7 @@ void write_cdr(ByteWriter& w, const ChargingDataRecord& cdr) {
   w.u32(cdr.anomaly_flags);
 }
 
+// tlclint: codec(ofcs_cdr_full, decode, version=kSnapshotVersion)
 Expected<ChargingDataRecord> read_cdr(ByteReader& r) {
   ChargingDataRecord cdr;
   auto imsi = r.u64();
@@ -69,20 +72,22 @@ Expected<ChargingDataRecord> read_cdr(ByteReader& r) {
   return cdr;
 }
 
+// tlclint: codec(ofcs_bill_line, encode, version=kSnapshotVersion)
 void write_line(ByteWriter& w, const BillLine& line) {
   w.u32(line.cycle_index);
   w.u64(line.gateway_volume);
   w.u64(line.billed_volume);
-  w.f64(line.amount);
+  w.u64(line.amount_micro);
   w.u8(line.throttled ? 1 : 0);
 }
 
+// tlclint: codec(ofcs_bill_line, decode, version=kSnapshotVersion)
 Expected<BillLine> read_line(ByteReader& r) {
   BillLine line;
   auto cycle = r.u32();
   auto gateway = r.u64();
   auto billed = r.u64();
-  auto amount = r.f64();
+  auto amount = r.u64();
   auto throttled = r.u8();
   if (!cycle || !gateway || !billed || !amount || !throttled) {
     return Err("ofcs: truncated bill line");
@@ -90,11 +95,12 @@ Expected<BillLine> read_line(ByteReader& r) {
   line.cycle_index = *cycle;
   line.gateway_volume = *gateway;
   line.billed_volume = *billed;
-  line.amount = *amount;
+  line.amount_micro = *amount;
   line.throttled = *throttled != 0;
   return line;
 }
 
+// tlclint: codec(ofcs_op_ingest, encode, version=kSnapshotVersion)
 Bytes encode_ingest_op(const ChargingDataRecord& cdr) {
   ByteWriter w;
   w.u8(kOpIngest);
@@ -102,6 +108,7 @@ Bytes encode_ingest_op(const ChargingDataRecord& cdr) {
   return w.take();
 }
 
+// tlclint: codec(ofcs_op_close, encode, version=kSnapshotVersion)
 Bytes encode_close_op(Imsi imsi, const BillLine& line) {
   ByteWriter w;
   w.u8(kOpClose);
@@ -110,6 +117,7 @@ Bytes encode_close_op(Imsi imsi, const BillLine& line) {
   return w.take();
 }
 
+// tlclint: codec(ofcs_op_settle, encode, version=kSnapshotVersion)
 Bytes encode_settle_op(std::uint64_t ue_id, std::uint32_t cycle_index,
                        SettlementOutcome outcome) {
   ByteWriter w;
@@ -170,8 +178,10 @@ BillLine Ofcs::close_cycle(Imsi imsi, std::uint32_t cycle_index) {
   line.billed_volume =
       hook_ ? hook_(imsi, line.cycle_index, line.gateway_volume)
             : line.gateway_volume;
-  line.amount = static_cast<double>(line.billed_volume) / 1e6 *
-                plan_.price_per_mb;
+  // Fixed-point rating: bytes x micro-price per MB, floor division at
+  // the final step only (no float round-trip anywhere in the bill).
+  line.amount_micro =
+      line.billed_volume * plan_.price_micro_per_mb / 1'000'000;
   // Quota check for "unlimited" plans: beyond the quota the subscriber
   // keeps service but is throttled (§2.1: e.g. 128 kbps after 15 GB).
   line.throttled = state.billing.total_billed_bytes + line.billed_volume >
@@ -192,7 +202,7 @@ void Ofcs::apply_close(Imsi imsi, const BillLine& line) {
   state.pending_dl = 0;
   state.next_cycle = line.cycle_index + 1;
   state.billing.total_billed_bytes += line.billed_volume;
-  state.billing.total_amount += line.amount;
+  state.billing.total_amount_micro += line.amount_micro;
   state.billing.throttled = line.throttled;
   state.billing.lines.push_back(line);
 }
@@ -277,13 +287,13 @@ SettlementCounters Ofcs::settlement_totals() const {
 Ofcs::FleetTotals Ofcs::totals() const {
   FleetTotals totals;
   totals.subscribers = subscribers_.size();
-  // Ascending-IMSI accumulation keeps the floating-point sum bit-stable
-  // across runs (unordered_map iteration order is not part of the
-  // fleet determinism contract).
+  // Ascending-IMSI accumulation keeps the rollup order-stable across
+  // runs (unordered_map iteration order is not part of the fleet
+  // determinism contract); integer micro-units make the sum exact.
   for (Imsi imsi : subscribers()) {
     const State& state = subscribers_.at(imsi);
     totals.billed_bytes += state.billing.total_billed_bytes;
-    totals.amount += state.billing.total_amount;
+    totals.amount_micro += state.billing.total_amount_micro;
     if (state.billing.throttled) ++totals.throttled;
     totals.uncharged_bytes += state.uncharged_bytes;
     if (state.anomaly_flags != 0) ++totals.flagged_subscribers;
@@ -359,6 +369,9 @@ bool Ofcs::journal_op(const Bytes& op) {
   return true;
 }
 
+// Switch-multiplexed replay decoder: each branch's layout is pinned by
+// the encode-only ofcs_op_* schemas, so no single codec shape fits here.
+// tlclint: allow(schema-coverage) multiplexed decoder, see ofcs_op_* schemas
 Status Ofcs::apply_journal_op(const Bytes& op) {
   ByteReader r(op);
   auto tag = r.u8();
@@ -408,6 +421,7 @@ Status Ofcs::apply_journal_op(const Bytes& op) {
   }
 }
 
+// tlclint: codec(ofcs_snapshot, encode, version=kSnapshotVersion)
 Bytes Ofcs::serialize_state() const {
   ByteWriter w;
   w.u8(kSnapshotVersion);
@@ -424,7 +438,7 @@ Bytes Ofcs::serialize_state() const {
     w.u32(static_cast<std::uint32_t>(state.billing.lines.size()));
     for (const BillLine& line : state.billing.lines) write_line(w, line);
     w.u64(state.billing.total_billed_bytes);
-    w.f64(state.billing.total_amount);
+    w.u64(state.billing.total_amount_micro);
     w.u8(state.billing.throttled ? 1 : 0);
     w.u64(state.uncharged_bytes);
     w.u32(state.anomaly_flags);
@@ -450,6 +464,7 @@ Bytes Ofcs::serialize_state() const {
   return w.take();
 }
 
+// tlclint: codec(ofcs_snapshot, decode, version=kSnapshotVersion)
 Status Ofcs::restore_state(const Bytes& snapshot) {
   subscribers_.clear();
   ingested_ = 0;
@@ -494,13 +509,13 @@ Status Ofcs::restore_state(const Bytes& snapshot) {
       state.billing.lines.push_back(*line);
     }
     auto total_billed = r.u64();
-    auto total_amount = r.f64();
+    auto total_amount = r.u64();
     auto throttled = r.u8();
     if (!total_billed || !total_amount || !throttled) {
       return Err("ofcs snapshot: truncated");
     }
     state.billing.total_billed_bytes = *total_billed;
-    state.billing.total_amount = *total_amount;
+    state.billing.total_amount_micro = *total_amount;
     state.billing.throttled = *throttled != 0;
     auto uncharged = r.u64();
     auto anomaly_flags = r.u32();

@@ -57,14 +57,14 @@ struct BillLine {
   /// Volume actually billed (equals gateway_volume in legacy mode; the
   /// TLC hook substitutes the negotiated x).
   std::uint64_t billed_volume = 0;
-  double amount = 0.0;  // currency units
+  std::uint64_t amount_micro = 0;  // micro currency units (1e-6)
   bool throttled = false;
 };
 
 struct SubscriberBilling {
   std::vector<BillLine> lines;
   std::uint64_t total_billed_bytes = 0;
-  double total_amount = 0.0;
+  std::uint64_t total_amount_micro = 0;
   /// Whether the subscriber is currently speed-limited (quota hit).
   bool throttled = false;
 };
@@ -136,7 +136,7 @@ class Ofcs {
     std::size_t subscribers = 0;
     std::size_t throttled = 0;  // currently speed-limited
     std::uint64_t billed_bytes = 0;
-    double amount = 0.0;
+    std::uint64_t amount_micro = 0;
     /// Settlement outcome census across all recorded cycles.
     SettlementCounters settlement;
     /// §13 audit rollup: bytes that escaped charging (free-class +

@@ -4,6 +4,7 @@
 
 namespace tlc::epc {
 
+// tlclint: codec(rrc_counter_check, encode)
 Bytes RrcCounterCheck::encode() const {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(RrcMessageType::CounterCheck));
@@ -11,6 +12,7 @@ Bytes RrcCounterCheck::encode() const {
   return w.take();
 }
 
+// tlclint: codec(rrc_counter_check, decode)
 Expected<RrcCounterCheck> RrcCounterCheck::decode(const Bytes& wire) {
   ByteReader r(wire);
   auto type = r.u8();
@@ -24,6 +26,7 @@ Expected<RrcCounterCheck> RrcCounterCheck::decode(const Bytes& wire) {
   return RrcCounterCheck{*id};
 }
 
+// tlclint: codec(rrc_counter_check_response, encode)
 Bytes RrcCounterCheckResponse::encode() const {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(RrcMessageType::CounterCheckResponse));
@@ -33,6 +36,7 @@ Bytes RrcCounterCheckResponse::encode() const {
   return w.take();
 }
 
+// tlclint: codec(rrc_counter_check_response, decode)
 Expected<RrcCounterCheckResponse> RrcCounterCheckResponse::decode(
     const Bytes& wire) {
   ByteReader r(wire);

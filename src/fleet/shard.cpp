@@ -174,8 +174,8 @@ FleetShard::FleetShard(const FleetConfig& config, int shard_index,
 }
 
 std::uint64_t FleetShard::shard_seed() const {
-  return sim::stream_seed(config_.seed,
-                          static_cast<std::uint64_t>(shard_index_));
+  const auto shard_stream = static_cast<std::uint64_t>(shard_index_);
+  return sim::stream_seed(config_.seed, shard_stream);
 }
 
 void FleetShard::build_ue(std::uint64_t ue_index,

@@ -183,6 +183,7 @@ Expected<UeRecord> read_record(ByteReader& r) {
   return record;
 }
 
+// tlclint: codec(fleet_shard_checkpoint, encode, version=kShardRecordVersion)
 Bytes encode_shard_records(const std::vector<UeRecord>& records) {
   ByteWriter w;
   w.u8(kShardRecordVersion);
@@ -191,6 +192,7 @@ Bytes encode_shard_records(const std::vector<UeRecord>& records) {
   return w.take();
 }
 
+// tlclint: codec(fleet_shard_checkpoint, decode, version=kShardRecordVersion)
 Expected<std::vector<UeRecord>> decode_shard_records(const Bytes& data) {
   ByteReader r(data);
   auto version = r.u8();

@@ -19,6 +19,7 @@ Status write_checkpoint(const std::string& path, const Bytes& snapshot,
                         CrashPlan* plan, std::uint64_t scope) {
   if (plan != nullptr) plan->fire(kCrashCheckpointPreWrite, scope);
 
+  // tlclint: codec(recovery_checkpoint, encode, version=kCheckpointVersion)
   ByteWriter w;
   w.u32(kCheckpointMagic);
   w.u32(kCheckpointVersion);
@@ -50,6 +51,7 @@ Expected<Bytes> read_checkpoint(const std::string& path) {
   if (data->size() < kCheckpointHeaderBytes) {
     return Err("checkpoint: truncated header in " + path);
   }
+  // tlclint: codec(recovery_checkpoint, decode, version=kCheckpointVersion)
   ByteReader r(*data);
   const auto magic = r.u32();
   const auto version = r.u32();

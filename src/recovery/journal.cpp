@@ -17,6 +17,7 @@ constexpr std::size_t kFrameOverhead = 8;  // len + crc
 /// corruption, not a real record.
 constexpr std::uint32_t kMaxPayload = 1u << 30;
 
+// tlclint: codec(journal_header, encode, version=kJournalVersion)
 Bytes header_bytes() {
   ByteWriter w;
   w.u32(kJournalMagic);
@@ -35,6 +36,7 @@ Expected<Journal::ReplayStats> scan(
     return Err("journal: truncated header (" + std::to_string(data.size()) +
                " bytes)");
   }
+  // tlclint: codec(journal_header, decode, version=kJournalVersion)
   ByteReader header(data);
   const auto magic = header.u32();
   const auto version = header.u32();
@@ -122,6 +124,9 @@ Status Journal::append(const Bytes& payload) {
   if (payload.size() > kMaxPayload) return Err("journal: payload too large");
   if (plan_ != nullptr) plan_->fire(kCrashJournalAppendPre, scope_);
 
+  // Encode-only codec: scan() decodes the frame prefix with manual
+  // byte shifts so a torn tail can never throw mid-parse.
+  // tlclint: codec(journal_frame, encode, version=kJournalVersion)
   ByteWriter w;
   w.u32(static_cast<std::uint32_t>(payload.size()));
   w.u32(crc32c(payload));

@@ -49,8 +49,9 @@ void FaultyChannel::send(Dir dir, const Bytes& wire, std::uint64_t now) {
   ++l.stats.submitted;
   // The whole schedule of message n comes from its own stream: pure in
   // (seed, dir, n), untouched by other messages or the other lane.
-  Rng rng = sim::stream_rng(
-      sim::stream_seed(seed_, static_cast<std::uint64_t>(dir)), l.next_msg++);
+  const auto dir_stream = static_cast<std::uint64_t>(dir);
+  Rng rng = sim::stream_rng(sim::stream_seed(seed_, dir_stream),
+                            l.next_msg_stream++);
   if (rng.chance(l.profile.drop)) {
     ++l.stats.dropped;
     return;

@@ -89,7 +89,7 @@ class FaultyChannel {
   };
   struct Lane {
     FaultProfile profile;
-    std::uint64_t next_msg = 0;  // per-direction message index
+    std::uint64_t next_msg_stream = 0;  // per-direction message stream index
     std::uint64_t next_seq = 0;
     std::vector<InFlight> queue;
     Stats stats;

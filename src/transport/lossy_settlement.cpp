@@ -60,10 +60,14 @@ LossyBatchReport LossySettler::settle(
                                        /*tolerate_faults=*/true);
     // Fault schedules and retry jitter derive from (seed, ue, ...):
     // the group is a pure function of its inputs wherever it runs.
+    // Even/odd streams split the per-UE index space between the two
+    // consumers.
+    const std::uint64_t fault_stream = 2 * ue;
+    const std::uint64_t jitter_stream = 2 * ue + 1;
     FaultyChannel channel(transport_.to_edge, transport_.to_operator,
-                          sim::stream_seed(transport_.seed, 2 * ue));
+                          sim::stream_seed(transport_.seed, fault_stream));
     const std::uint64_t jitter_root =
-        sim::stream_seed(transport_.seed, 2 * ue + 1);
+        sim::stream_seed(transport_.seed, jitter_stream);
     std::uint64_t now = 0;
 
     for (std::size_t slot = 0; slot < group.item_indices.size(); ++slot) {
@@ -85,8 +89,9 @@ LossyBatchReport LossySettler::settle(
       // not replay into this one.
       channel.drain();
 
+      const std::uint64_t slot_stream = slot;
       SettlementRunner runner(*edge, *op, channel, transport_.retry,
-                              sim::stream_seed(jitter_root, slot), now);
+                              sim::stream_seed(jitter_root, slot_stream), now);
       CycleRunResult result = runner.run_cycle(
           keys_.edge_key(ue).public_key, keys_.operator_key(ue).public_key);
       now = runner.now() + 1;

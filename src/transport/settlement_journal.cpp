@@ -4,6 +4,13 @@
 
 namespace tlc::transport {
 
+/// Wire version of the receipt and chunk records below. Bump on any
+/// field order/width change — tools/schemas/settlement_*.schema pins
+/// the layout and `ctest -L static` fails on drift.
+constexpr std::uint32_t kSettlementWireVersion = 1;
+static_assert(kSettlementWireVersion >= 1);
+
+// tlclint: codec(settlement_receipt, encode, version=kSettlementWireVersion)
 void write_receipt(ByteWriter& w, const core::SettlementReceipt& receipt) {
   w.u64(receipt.ue_id);
   w.u32(receipt.cycle);
@@ -16,6 +23,7 @@ void write_receipt(ByteWriter& w, const core::SettlementReceipt& receipt) {
   w.str(receipt.failure_reason);
 }
 
+// tlclint: codec(settlement_receipt, decode, version=kSettlementWireVersion)
 Expected<core::SettlementReceipt> read_receipt(ByteReader& r) {
   core::SettlementReceipt receipt;
   auto ue_id = r.u64();
@@ -59,6 +67,7 @@ Expected<SettlementJournal> SettlementJournal::open(const std::string& path,
   Status decode_error = Status::Ok();
   auto stats = recovery::Journal::replay(path, [&](const Bytes& record) {
     if (!decode_error.ok()) return;
+    // tlclint: codec(settlement_chunk, decode, version=kSettlementWireVersion)
     ByteReader r(record);
     auto chunk_index = r.u32();
     auto count = r.u32();
@@ -90,6 +99,7 @@ Status SettlementJournal::record_chunk(
     std::uint32_t chunk_index,
     const std::vector<core::SettlementReceipt>& receipts) {
   if (plan_ != nullptr) plan_->fire(recovery::kCrashSettleChunkPre, scope_);
+  // tlclint: codec(settlement_chunk, encode, version=kSettlementWireVersion)
   ByteWriter w;
   w.u32(chunk_index);
   w.u32(static_cast<std::uint32_t>(receipts.size()));

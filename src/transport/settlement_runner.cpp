@@ -6,6 +6,14 @@
 #include "sim/rng_stream.hpp"
 
 namespace tlc::transport {
+namespace {
+
+/// Per-cycle jitter index space: stream 0 drives the edge endpoint's
+/// retry jitter, stream 1 the operator's.
+constexpr std::uint64_t kEdgeJitterStream = 0;
+constexpr std::uint64_t kOpJitterStream = 1;
+
+}  // namespace
 
 SettlementRunner::SettlementRunner(core::TlcSession& edge,
                                    core::TlcSession& op,
@@ -16,11 +24,11 @@ SettlementRunner::SettlementRunner(core::TlcSession& edge,
       op_(op),
       channel_(channel),
       policy_(policy),
-      edge_driver_(edge, policy, sim::stream_rng(jitter_seed, 0),
+      edge_driver_(edge, policy, sim::stream_rng(jitter_seed, kEdgeJitterStream),
                    [this](const Bytes& wire) {
                      channel_.send(FaultyChannel::Dir::ToOperator, wire, now_);
                    }),
-      op_driver_(op, policy, sim::stream_rng(jitter_seed, 1),
+      op_driver_(op, policy, sim::stream_rng(jitter_seed, kOpJitterStream),
                  [this](const Bytes& wire) {
                    channel_.send(FaultyChannel::Dir::ToEdge, wire, now_);
                  }),

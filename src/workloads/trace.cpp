@@ -24,6 +24,7 @@ SimTime Trace::duration() const {
   return entries.empty() ? 0 : entries.back().offset;
 }
 
+// tlclint: codec(workload_trace, encode)
 Bytes Trace::serialize() const {
   ByteWriter w;
   w.u32(kTraceMagic);
@@ -41,6 +42,7 @@ Bytes Trace::serialize() const {
   return body;
 }
 
+// tlclint: codec(workload_trace, decode)
 Expected<Trace> Trace::deserialize(const Bytes& data) {
   if (data.size() < 32) return Err("trace: too short");
   const Bytes body(data.begin(), data.end() - 32);

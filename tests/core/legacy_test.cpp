@@ -13,15 +13,17 @@ TEST(LegacyTest, SelfishOverclaimIsUnbounded) {
   // §3.1: "the selfish charging volume can be unbounded" — nothing in
   // legacy 4G/5G constrains the factor.
   LegacyChargeParams selfish;
-  selfish.operator_selfish_factor = 100.0;
+  selfish.operator_selfish_ppm = 100'000'000;  // 100x
   EXPECT_EQ(legacy_charge(1000, selfish), 100000u);
-  selfish.operator_selfish_factor = 1e6;
+  selfish.operator_selfish_ppm = 1'000'000'000'000;  // 1e6x
   EXPECT_EQ(legacy_charge(1000, selfish), 1000000000u);
 }
 
-TEST(LegacyTest, NegativeFactorClampsToZero) {
+TEST(LegacyTest, FractionalPpmRoundsHalfUp) {
   LegacyChargeParams params;
-  params.operator_selfish_factor = -1.0;
+  params.operator_selfish_ppm = 1'500'000;  // 1.5x
+  EXPECT_EQ(legacy_charge(3, params), 5u);  // 4.5 rounds up
+  params.operator_selfish_ppm = 0;
   EXPECT_EQ(legacy_charge(1000, params), 0u);
 }
 

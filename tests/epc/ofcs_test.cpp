@@ -19,7 +19,7 @@ ChargingDataRecord cdr_of(std::uint64_t ul, std::uint64_t dl,
 
 charging::DataPlan test_plan() {
   charging::DataPlan plan;
-  plan.price_per_mb = 0.01;
+  plan.price_micro_per_mb = 10'000;  // 0.01/MB
   plan.quota_bytes = 10 * 1000 * 1000;  // 10 MB quota for easy testing
   return plan;
 }
@@ -39,7 +39,7 @@ TEST(OfcsTest, RatesBillAmount) {
   Ofcs ofcs(test_plan());
   ofcs.ingest(cdr_of(0, 2000000));  // 2 MB
   const BillLine line = ofcs.close_cycle(kUe);
-  EXPECT_NEAR(line.amount, 0.02, 1e-9);
+  EXPECT_EQ(line.amount_micro, 20'000u);  // 0.02 in micro-units
 }
 
 TEST(OfcsTest, CyclesAreIndependent) {
@@ -56,7 +56,7 @@ TEST(OfcsTest, EmptyCycleBillsZero) {
   Ofcs ofcs(test_plan());
   const BillLine line = ofcs.close_cycle(kUe);
   EXPECT_EQ(line.gateway_volume, 0u);
-  EXPECT_EQ(line.amount, 0.0);
+  EXPECT_EQ(line.amount_micro, 0u);
 }
 
 TEST(OfcsTest, QuotaTriggersThrottle) {
@@ -83,7 +83,7 @@ TEST(OfcsTest, TlcHookOverridesBilledVolume) {
   const BillLine line = ofcs.close_cycle(kUe);
   EXPECT_EQ(line.gateway_volume, 2000u);
   EXPECT_EQ(line.billed_volume, 1600u);
-  EXPECT_NEAR(line.amount, 1600.0 / 1e6 * 0.01, 1e-12);
+  EXPECT_EQ(line.amount_micro, 16u);  // 1600 B * 10000 / 1e6
 }
 
 TEST(OfcsTest, ArchiveKeepsAllCdrs) {
@@ -114,7 +114,7 @@ TEST(OfcsTest, BillingAccumulatesAcrossCycles) {
   ASSERT_NE(billing, nullptr);
   EXPECT_EQ(billing->lines.size(), 2u);
   EXPECT_EQ(billing->total_billed_bytes, 3000000u);
-  EXPECT_NEAR(billing->total_amount, 0.03, 1e-9);
+  EXPECT_EQ(billing->total_amount_micro, 30'000u);
 }
 
 }  // namespace

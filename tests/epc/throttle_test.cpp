@@ -92,7 +92,7 @@ TEST_F(ThrottleFixture, OfcsQuotaDrivesThrottle) {
   // the throttle at the scheduler.
   charging::DataPlan plan;
   plan.quota_bytes = 1000000;  // 1 MB quota
-  plan.throttle_kbps = 128.0;
+  plan.throttle_kbps = 128;
   Ofcs ofcs(plan);
 
   ChargingDataRecord cdr;
@@ -101,7 +101,7 @@ TEST_F(ThrottleFixture, OfcsQuotaDrivesThrottle) {
   ofcs.ingest(cdr);
   const BillLine line = ofcs.close_cycle(Imsi{1});
   ASSERT_TRUE(line.throttled);
-  enodeb.set_rate_limit(Imsi{1}, plan.throttle_kbps * 1000.0);
+  enodeb.set_rate_limit(Imsi{1}, static_cast<double>(plan.throttle_kbps) * 1000.0);
 
   offer(1000.0, 20);
   sim.run_until(20 * kSecond);

@@ -97,12 +97,12 @@ TEST_F(FleetDeterminismTest, BillsAndTotalsIdentical) {
       EXPECT_EQ(imsi_a.value, imsi_b.value);
       EXPECT_EQ(line_a.billed_volume, line_b.billed_volume);
       EXPECT_EQ(line_a.gateway_volume, line_b.gateway_volume);
-      EXPECT_EQ(line_a.amount, line_b.amount);
+      EXPECT_EQ(line_a.amount_micro, line_b.amount_micro);
     }
   }
   EXPECT_EQ(r1_->totals.subscribers, 32u);
   EXPECT_EQ(r1_->totals.billed_bytes, r8_->totals.billed_bytes);
-  EXPECT_EQ(r1_->totals.amount, r8_->totals.amount);
+  EXPECT_EQ(r1_->totals.amount_micro, r8_->totals.amount_micro);
 }
 
 TEST_F(FleetDeterminismTest, FleetActuallyCarriedTraffic) {

@@ -43,7 +43,7 @@ void expect_identical(const FleetResult& got, const FleetResult& want,
   EXPECT_EQ(to_hex(got.cdf_digest), to_hex(want.cdf_digest)) << label;
   EXPECT_EQ(to_hex(got.poc_digest), to_hex(want.poc_digest)) << label;
   EXPECT_EQ(got.totals.billed_bytes, want.totals.billed_bytes) << label;
-  EXPECT_EQ(got.totals.amount, want.totals.amount) << label;
+  EXPECT_EQ(got.totals.amount_micro, want.totals.amount_micro) << label;
   ASSERT_EQ(got.bills.size(), want.bills.size()) << label;
   for (std::size_t cycle = 0; cycle < want.bills.size(); ++cycle) {
     ASSERT_EQ(got.bills[cycle].size(), want.bills[cycle].size()) << label;
@@ -52,7 +52,7 @@ void expect_identical(const FleetResult& got, const FleetResult& want,
       const auto& [imsi_want, line_want] = want.bills[cycle][i];
       EXPECT_EQ(imsi_got.value, imsi_want.value) << label;
       EXPECT_EQ(line_got.billed_volume, line_want.billed_volume) << label;
-      EXPECT_EQ(line_got.amount, line_want.amount) << label;
+      EXPECT_EQ(line_got.amount_micro, line_want.amount_micro) << label;
     }
   }
 }

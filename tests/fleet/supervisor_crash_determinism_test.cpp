@@ -46,7 +46,7 @@ void expect_identical(const FleetResult& got, const FleetResult& want,
   EXPECT_EQ(to_hex(got.cdf_digest), to_hex(want.cdf_digest)) << label;
   EXPECT_EQ(to_hex(got.poc_digest), to_hex(want.poc_digest)) << label;
   EXPECT_EQ(got.totals.billed_bytes, want.totals.billed_bytes) << label;
-  EXPECT_EQ(got.totals.amount, want.totals.amount) << label;
+  EXPECT_EQ(got.totals.amount_micro, want.totals.amount_micro) << label;
   EXPECT_EQ(got.totals.subscribers, want.totals.subscribers) << label;
   EXPECT_EQ(got.settlement_totals, want.settlement_totals) << label;
   ASSERT_EQ(got.bills.size(), want.bills.size()) << label;
@@ -58,7 +58,7 @@ void expect_identical(const FleetResult& got, const FleetResult& want,
       EXPECT_EQ(imsi_got.value, imsi_want.value) << label;
       EXPECT_EQ(line_got.billed_volume, line_want.billed_volume)
           << label << " cycle " << cycle << " imsi " << imsi_want.value;
-      EXPECT_EQ(line_got.amount, line_want.amount) << label;
+      EXPECT_EQ(line_got.amount_micro, line_want.amount_micro) << label;
       EXPECT_EQ(line_got.throttled, line_want.throttled) << label;
     }
   }

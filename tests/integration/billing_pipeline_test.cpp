@@ -82,7 +82,7 @@ TEST_F(BillingPipelineFixture, TlcHookChangesTheBill) {
   // Feed the gateway CDR into the OFCS twice: once legacy, once with the
   // TLC policy installed.
   charging::DataPlan plan;
-  plan.price_per_mb = 0.01;
+  plan.price_micro_per_mb = 10'000;  // 0.01/MB
 
   epc::Ofcs legacy_ofcs(plan);
   auto cdr = testbed.spgw().generate_cdr(testbed.app_imsi());
@@ -105,7 +105,7 @@ TEST_F(BillingPipelineFixture, TlcHookChangesTheBill) {
   EXPECT_GT(legacy_line.billed_volume, tlc_line.billed_volume);
   EXPECT_LT(charging::gap_ratio(tlc_line.billed_volume, expected),
             charging::gap_ratio(legacy_line.billed_volume, expected));
-  EXPECT_LT(tlc_line.amount, legacy_line.amount);
+  EXPECT_LT(tlc_line.amount_micro, legacy_line.amount_micro);
 
   // And the bill is backed by a receipt any third party can check.
   core::PublicVerifier verifier;

@@ -22,7 +22,7 @@ namespace {
 
 charging::DataPlan test_plan() {
   charging::DataPlan plan;
-  plan.price_per_mb = 0.01;
+  plan.price_micro_per_mb = 10'000;  // 0.01/MB
   plan.quota_bytes = 10 * 1000 * 1000;
   return plan;
 }
@@ -131,7 +131,7 @@ TEST(OfcsRecoveryTest, SerializeRestoreRoundTripIsExact) {
   ASSERT_TRUE(restored.restore_state(state).ok());
   EXPECT_EQ(restored.serialize_state(), state);
   EXPECT_EQ(restored.totals().billed_bytes, ofcs.totals().billed_bytes);
-  EXPECT_EQ(restored.totals().amount, ofcs.totals().amount);
+  EXPECT_EQ(restored.totals().amount_micro, ofcs.totals().amount_micro);
   EXPECT_EQ(restored.settlement_totals(), ofcs.settlement_totals());
 }
 
@@ -206,7 +206,7 @@ TEST(OfcsRecoveryTest, DetachedLegacyBehaviourUnchanged) {
   ASSERT_TRUE(journaled.attach_recovery(&*log).ok());
   drive(journaled);
   EXPECT_EQ(plain.totals().billed_bytes, journaled.totals().billed_bytes);
-  EXPECT_EQ(plain.totals().amount, journaled.totals().amount);
+  EXPECT_EQ(plain.totals().amount_micro, journaled.totals().amount_micro);
   EXPECT_EQ(plain.settlement_totals(), journaled.settlement_totals());
   const BillLine* line = nullptr;
   const SubscriberBilling* billing = plain.billing(kUeA);
@@ -216,7 +216,7 @@ TEST(OfcsRecoveryTest, DetachedLegacyBehaviourUnchanged) {
   const SubscriberBilling* recovered_billing = journaled.billing(kUeA);
   ASSERT_NE(recovered_billing, nullptr);
   EXPECT_EQ(recovered_billing->lines[1].billed_volume, line->billed_volume);
-  EXPECT_EQ(recovered_billing->lines[1].amount, line->amount);
+  EXPECT_EQ(recovered_billing->lines[1].amount_micro, line->amount_micro);
   wipe(dir, "ofcs_legacy");
 }
 

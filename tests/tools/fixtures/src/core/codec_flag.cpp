@@ -1,0 +1,56 @@
+// MUST-FLAG: the three schema failure modes.
+//  1. encode_orphan uses serde with no codec pragma -> schema-coverage.
+//  2. fixture_skewed's decode reads the fields in a different order
+//     than encode writes them -> schema-asymmetry.
+//  3. fixture_drifted's golden under schemas/ pins the old u32 width;
+//     the encoder below writes u64 without bumping kDriftedVersion
+//     -> schema-drift (wire layout changed without a version bump).
+#include "util/bytes.hpp"
+
+namespace fixture {
+
+constexpr std::uint32_t kDriftedVersion = 1;
+
+Bytes encode_orphan(std::uint64_t id) {
+  ByteWriter w;
+  w.u64(id);
+  return w.take();
+}
+
+// tlclint: codec(fixture_skewed, encode)
+Bytes encode_skewed(std::uint64_t id, std::uint32_t volume) {
+  ByteWriter w;
+  w.u64(id);
+  w.u32(volume);
+  return w.take();
+}
+
+// tlclint: codec(fixture_skewed, decode)
+bool decode_skewed(const Bytes& wire, std::uint64_t& id,
+                   std::uint32_t& volume) {
+  ByteReader r(wire);
+  auto got_volume = r.u32();
+  auto got_id = r.u64();
+  if (!got_id || !got_volume) return false;
+  id = *got_id;
+  volume = *got_volume;
+  return true;
+}
+
+// tlclint: codec(fixture_drifted, encode, version=kDriftedVersion)
+Bytes encode_drifted(std::uint64_t count) {
+  ByteWriter w;
+  w.u64(count);
+  return w.take();
+}
+
+// tlclint: codec(fixture_drifted, decode, version=kDriftedVersion)
+bool decode_drifted(const Bytes& wire, std::uint64_t& count) {
+  ByteReader r(wire);
+  auto got = r.u64();
+  if (!got) return false;
+  count = *got;
+  return true;
+}
+
+}  // namespace fixture

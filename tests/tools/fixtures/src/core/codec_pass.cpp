@@ -1,0 +1,30 @@
+// MUST-PASS: an annotated, symmetric codec whose golden is pinned
+// under fixtures' schemas/ — encode and decode walk the same field
+// sequence, and the extracted layout matches the golden.
+#include "util/bytes.hpp"
+
+namespace fixture {
+
+constexpr std::uint32_t kRecordVersion = 1;
+
+// tlclint: codec(fixture_record, encode, version=kRecordVersion)
+Bytes encode_record(std::uint64_t id, std::uint32_t volume) {
+  ByteWriter w;
+  w.u64(id);
+  w.u32(volume);
+  return w.take();
+}
+
+// tlclint: codec(fixture_record, decode, version=kRecordVersion)
+bool decode_record(const Bytes& wire, std::uint64_t& id,
+                   std::uint32_t& volume) {
+  ByteReader r(wire);
+  auto got_id = r.u64();
+  auto got_volume = r.u32();
+  if (!got_id || !got_volume) return false;
+  id = *got_id;
+  volume = *got_volume;
+  return true;
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// MUST-FLAG: a lock-order cycle (ingest nests ledger_a_mu -> ledger_b_mu,
+// settle nests them the other way round) plus a naked .lock()/.unlock()
+// pair that bypasses MutexLock and so hides from -Wthread-safety and
+// the lock-order graph alike.
+#include "util/thread_annotations.hpp"
+
+namespace fixture {
+
+struct Ledger {
+  util::Mutex ledger_a_mu;
+  util::Mutex ledger_b_mu;
+  int value = 0;
+
+  void ingest() {
+    MutexLock a_lock(ledger_a_mu);
+    MutexLock b_lock(ledger_b_mu);
+    ++value;
+  }
+
+  void settle() {
+    MutexLock b_lock(ledger_b_mu);
+    MutexLock a_lock(ledger_a_mu);
+    --value;
+  }
+
+  void poke() {
+    ledger_a_mu.lock();
+    ++value;
+    ledger_a_mu.unlock();
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// MUST-PASS: lock-order discipline. Both paths acquire state_mu before
+// totals_mu, so the acquisition graph stays acyclic, and every
+// acquisition goes through MutexLock (nothing naked).
+#include "util/thread_annotations.hpp"
+
+namespace fixture {
+
+struct Shard {
+  util::Mutex state_mu;
+  util::Mutex totals_mu;
+  int state = 0;
+  int totals = 0;
+
+  void merge() {
+    MutexLock state_lock(state_mu);
+    MutexLock totals_lock(totals_mu);
+    totals += state;
+  }
+
+  void publish() {
+    MutexLock state_lock(state_mu);
+    MutexLock totals_lock(totals_mu);
+    ++totals;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// MUST-FLAG: stream draws without a named owner — a bare literal
+// index, an anonymous arithmetic expression, and a k...Stream constant
+// that is declared nowhere in the analyzed tree.
+#include <cstdint>
+
+#include "sim/rng_stream.hpp"
+
+namespace fixture {
+
+std::uint64_t draw(std::uint64_t seed, std::uint64_t ue) {
+  const std::uint64_t a = sim::stream_seed(seed, 3);
+  const std::uint64_t b = sim::stream_seed(seed, 2 * ue + 1);
+  return a ^ b ^ sim::stream_seed(seed, kPhantomStream);
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// MUST-PASS: seed-stream discipline. Every stream index is bound to a
+// named owner: a k...Stream constant declared in this TU, or a
+// *_stream local derived from the subscriber id.
+#include <cstdint>
+
+#include "sim/rng_stream.hpp"
+
+namespace fixture {
+
+constexpr std::uint64_t kRetryJitterStream = 7;
+
+std::uint64_t draw(std::uint64_t seed, std::uint64_t ue) {
+  const std::uint64_t fault_stream = 2 * ue;
+  const std::uint64_t jitter = sim::stream_seed(seed, kRetryJitterStream);
+  return jitter ^ sim::stream_seed(seed, fault_stream);
+}
+
+}  // namespace fixture

@@ -8,9 +8,13 @@
 # Usage:
 #   cmake -DTLCLINT=<binary> -DFIXTURES=<dir> -DGOLDEN=<file>
 #         -P run_golden.cmake
+#
+# The fixtures' own schema goldens live under ${FIXTURES}/schemas so
+# the drift rule runs against a pinned (deliberately stale) registry.
 
 execute_process(
-  COMMAND ${TLCLINT} --root ${FIXTURES} ${FIXTURES}
+  COMMAND ${TLCLINT} --root ${FIXTURES} --schemas-dir ${FIXTURES}/schemas
+          ${FIXTURES}
   OUTPUT_VARIABLE actual
   ERROR_VARIABLE stderr_text
   RESULT_VARIABLE code)
@@ -27,7 +31,7 @@ if(NOT actual STREQUAL expected)
   message(FATAL_ERROR
     "tlclint fixture output diverged from golden.txt.\n"
     "If the change is intentional, regenerate with:\n"
-    "  tlclint --root tests/tools/fixtures tests/tools/fixtures "
+    "  tlclint --root tests/tools/fixtures --schemas-dir tests/tools/fixtures/schemas tests/tools/fixtures "
     "> tests/tools/golden.txt\n"
     "--- expected ---\n${expected}\n--- actual ---\n${actual}")
 endif()

@@ -1,0 +1,86 @@
+# Mutation harness for the wire-schema drift checker.
+#
+# Copies a real codec TU into a scratch tree, applies one encoder
+# mutation (widened field, changed kind, or renamed/reordered
+# same-width field), and asserts the schema-drift rule fails against
+# the committed goldens in tools/schemas with the expected diagnostic.
+# The unmutated control run must exit 0, proving the harness would not
+# pass mutants through a broken setup.
+#
+# Usage:
+#   cmake -DTLCLINT=<binary> -DREPO=<repo root> -DSCRATCH=<dir>
+#         -P run_schema_mutation.cmake
+
+function(lint_mutant case_name file old new expect_code expect_text)
+  set(tree ${SCRATCH}/${case_name})
+  file(REMOVE_RECURSE ${tree})
+  get_filename_component(dir ${file} DIRECTORY)
+  file(MAKE_DIRECTORY ${tree}/${dir})
+  file(READ ${REPO}/${file} content)
+  if(NOT old STREQUAL "")
+    string(FIND "${content}" "${old}" at)
+    if(at EQUAL -1)
+      message(FATAL_ERROR
+        "${case_name}: mutation anchor not found in ${file}: ${old}")
+    endif()
+    string(REPLACE "${old}" "${new}" content "${content}")
+  endif()
+  file(WRITE ${tree}/${file} "${content}")
+  execute_process(
+    COMMAND ${TLCLINT} --root ${tree} --schemas-dir ${REPO}/tools/schemas
+            --rule schema-drift ${tree}/${file}
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL ${expect_code})
+    message(FATAL_ERROR
+      "${case_name}: expected exit ${expect_code}, got ${code}\n${out}${err}")
+  endif()
+  if(NOT expect_text STREQUAL "" AND NOT out MATCHES "${expect_text}")
+    message(FATAL_ERROR
+      "${case_name}: diagnostic missing '${expect_text}'\n${out}")
+  endif()
+  message(STATUS "${case_name}: ok")
+endfunction()
+
+# Control: the pristine TU must lint clean against the goldens.
+lint_mutant(control_cdr_compact src/epc/cdr.cpp "" "" 0 "")
+
+# Widened field: u16 -> u64 shifts every later field.
+lint_mutant(widen_cdr_charging_id src/epc/cdr.cpp
+  "w.u16(charging_id);" "w.u64(charging_id);"
+  1 "WIRE LAYOUT CHANGED")
+
+# Changed kind on a flag byte.
+lint_mutant(widen_receipt_completed src/transport/settlement_journal.cpp
+  "w.u8(receipt.completed ? 1 : 0);" "w.u32(receipt.completed ? 1 : 0);"
+  1 "WIRE LAYOUT CHANGED")
+
+# Same-width reorder/rename: the layout hash cannot see it, the golden
+# text comparison must.
+lint_mutant(rename_msg_seq src/core/messages.cpp
+  "w.u64(body.seq);" "w.u64(body.nonce);"
+  1 "golden is stale")
+
+# Widened enum byte inside the shard checkpoint record helper.
+lint_mutant(widen_shard_app src/fleet/supervisor.cpp
+  "w.u8(static_cast<std::uint8_t>(record.member.app));"
+  "w.u16(static_cast<std::uint16_t>(record.member.app));"
+  1 "WIRE LAYOUT CHANGED")
+
+# Widened CRC in the journal frame prefix.
+lint_mutant(widen_journal_crc src/recovery/journal.cpp
+  "w.u32(crc32c(payload));" "w.u64(crc32c(payload));"
+  1 "WIRE LAYOUT CHANGED")
+
+# Widened checkpoint magic.
+lint_mutant(widen_checkpoint_magic src/recovery/checkpoint.cpp
+  "w.u32(kCheckpointMagic);" "w.u64(kCheckpointMagic);"
+  1 "WIRE LAYOUT CHANGED")
+
+# Widened cycle counter in the OFCS snapshot.
+lint_mutant(widen_ofcs_next_cycle src/epc/ofcs.cpp
+  "w.u32(state.next_cycle);" "w.u64(state.next_cycle);"
+  1 "WIRE LAYOUT CHANGED")
+
+message(STATUS "schema mutation suite: all mutants caught")

@@ -7,206 +7,15 @@
 #include <set>
 #include <sstream>
 
+#include "locks.hpp"
+#include "model.hpp"
+#include "schema.hpp"
+#include "streams.hpp"
+
 namespace tlclint {
 namespace {
 
 namespace fs = std::filesystem;
-
-bool is_ident(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-std::string trim(const std::string& s) {
-  std::size_t b = s.find_first_not_of(" \t");
-  if (b == std::string::npos) return "";
-  std::size_t e = s.find_last_not_of(" \t");
-  return s.substr(b, e - b + 1);
-}
-
-std::string normalize(const std::string& s) {
-  std::string out;
-  bool in_space = true;
-  for (char c : s) {
-    if (c == ' ' || c == '\t') {
-      if (!in_space) out.push_back(' ');
-      in_space = true;
-    } else {
-      out.push_back(c);
-      in_space = false;
-    }
-  }
-  while (!out.empty() && out.back() == ' ') out.pop_back();
-  return out;
-}
-
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string current;
-  for (char c : text) {
-    if (c == '\n') {
-      if (!current.empty() && current.back() == '\r') current.pop_back();
-      lines.push_back(std::move(current));
-      current.clear();
-    } else {
-      current.push_back(c);
-    }
-  }
-  if (!current.empty()) lines.push_back(std::move(current));
-  return lines;
-}
-
-/// Replaces comment and string/char-literal *contents* with spaces so
-/// token scans cannot match inside them. Line structure is preserved.
-/// (Raw string literals are treated as plain strings — good enough for
-/// this codebase, which has none.)
-std::vector<std::string> strip_comments_and_strings(
-    const std::vector<std::string>& lines) {
-  std::vector<std::string> out;
-  out.reserve(lines.size());
-  bool in_block_comment = false;
-  for (const std::string& line : lines) {
-    std::string code(line.size(), ' ');
-    for (std::size_t i = 0; i < line.size();) {
-      if (in_block_comment) {
-        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-          in_block_comment = false;
-          i += 2;
-        } else {
-          ++i;
-        }
-        continue;
-      }
-      char c = line[i];
-      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
-      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-        in_block_comment = true;
-        i += 2;
-        continue;
-      }
-      if (c == '"' || c == '\'') {
-        const char quote = c;
-        code[i] = quote;
-        ++i;
-        while (i < line.size()) {
-          if (line[i] == '\\') {
-            i += 2;
-            continue;
-          }
-          if (line[i] == quote) {
-            code[i] = quote;
-            ++i;
-            break;
-          }
-          ++i;
-        }
-        continue;
-      }
-      code[i] = c;
-      ++i;
-    }
-    out.push_back(std::move(code));
-  }
-  return out;
-}
-
-/// Per-line pragma state parsed from the *raw* lines. An allow on line
-/// N covers findings on N and N+1, so a pragma comment can sit on its
-/// own line above the site it blesses.
-class Pragmas {
- public:
-  explicit Pragmas(const std::vector<std::string>& raw_lines) {
-    for (std::size_t i = 0; i < raw_lines.size(); ++i) {
-      const std::string& line = raw_lines[i];
-      const std::size_t at = line.find("tlclint:");
-      if (at == std::string::npos) continue;
-      const std::string directive = line.substr(at + 8);
-      if (directive.find("ordered") != std::string::npos) {
-        allow_[i].insert("unordered-iter");
-      }
-      std::size_t pos = 0;
-      while ((pos = directive.find("allow(", pos)) != std::string::npos) {
-        const std::size_t close = directive.find(')', pos);
-        if (close == std::string::npos) break;
-        std::string inside = directive.substr(pos + 6, close - pos - 6);
-        std::stringstream ss(inside);
-        std::string rule;
-        while (std::getline(ss, rule, ',')) {
-          rule = trim(rule);
-          if (!rule.empty()) allow_[i].insert(rule);
-        }
-        pos = close + 1;
-      }
-    }
-  }
-
-  [[nodiscard]] bool allowed(std::size_t line_index,
-                             const std::string& rule) const {
-    return allows(line_index, rule) ||
-           (line_index > 0 && allows(line_index - 1, rule));
-  }
-
- private:
-  [[nodiscard]] bool allows(std::size_t index, const std::string& rule) const {
-    auto it = allow_.find(index);
-    return it != allow_.end() &&
-           (it->second.count(rule) != 0 || it->second.count("*") != 0);
-  }
-
-  std::map<std::size_t, std::set<std::string>> allow_;
-};
-
-/// Finds `token` as a whole word: the characters around the match must
-/// not extend the identifier (namespace qualification like
-/// `std::chrono::system_clock` still matches).
-std::vector<std::size_t> find_word(const std::string& code,
-                                   const std::string& token) {
-  std::vector<std::size_t> hits;
-  std::size_t pos = 0;
-  while ((pos = code.find(token, pos)) != std::string::npos) {
-    const bool start_ok = pos == 0 || !is_ident(code[pos - 1]);
-    const std::size_t end = pos + token.size();
-    const bool end_ok = end >= code.size() || !is_ident(code[end]);
-    if (start_ok && end_ok) hits.push_back(pos);
-    pos = end;
-  }
-  return hits;
-}
-
-/// Finds `name(` used as a C-library call: bare or std::-qualified, not
-/// a member access (`.time(` / `->time(`) and not another namespace's
-/// function (`mylib::time(`).
-std::vector<std::size_t> find_call(const std::string& code,
-                                   const std::string& name) {
-  std::vector<std::size_t> hits;
-  std::size_t pos = 0;
-  while ((pos = code.find(name, pos)) != std::string::npos) {
-    const std::size_t end = pos + name.size();
-    if (end >= code.size() || code[end] != '(') {
-      pos = end;
-      continue;
-    }
-    if (pos > 0 && is_ident(code[pos - 1])) {
-      pos = end;
-      continue;
-    }
-    bool qualified_ok = true;
-    if (pos >= 1 && (code[pos - 1] == '.' ))
-      qualified_ok = false;
-    if (pos >= 2 && code[pos - 2] == '-' && code[pos - 1] == '>')
-      qualified_ok = false;
-    if (pos >= 2 && code[pos - 1] == ':' && code[pos - 2] == ':') {
-      // Only std::time etc. count as the C/chrono function.
-      qualified_ok = pos >= 5 && code.compare(pos - 5, 5, "std::") == 0;
-    }
-    if (qualified_ok) hits.push_back(pos);
-    pos = end;
-  }
-  return hits;
-}
-
-bool starts_with(const std::string& s, const std::string& prefix) {
-  return s.compare(0, prefix.size(), prefix) == 0;
-}
 
 void add_finding(std::vector<Finding>& out, const std::string& rule,
                  const std::string& relpath, std::size_t line_index,
@@ -217,7 +26,7 @@ void add_finding(std::vector<Finding>& out, const std::string& rule,
   f.file = relpath;
   f.line = static_cast<int>(line_index) + 1;
   f.message = message;
-  f.snippet = normalize(code_lines[line_index]);
+  f.snippet = normalize_ws(code_lines[line_index]);
   out.push_back(std::move(f));
 }
 
@@ -374,14 +183,16 @@ std::set<std::string> unordered_names(const std::vector<std::string>& code) {
           ++i;
         }
         if (joined.compare(i, 5, "const") == 0 &&
-            (i + 5 >= joined.size() || !is_ident(joined[i + 5]))) {
+            (i + 5 >= joined.size() || !is_ident_char(joined[i + 5]))) {
           i += 5;
           continue;
         }
         break;
       }
       std::string name;
-      while (i < joined.size() && is_ident(joined[i])) name += joined[i++];
+      while (i < joined.size() && is_ident_char(joined[i])) {
+        name += joined[i++];
+      }
       if (!name.empty() &&
           std::isdigit(static_cast<unsigned char>(name[0])) == 0) {
         names.insert(name);
@@ -441,7 +252,7 @@ void rule_unordered_iter(const std::string& relpath,
       if (!hit) {
         std::string ident;
         for (std::size_t k = 0; k <= range.size(); ++k) {
-          if (k < range.size() && is_ident(range[k])) {
+          if (k < range.size() && is_ident_char(range[k])) {
             ident += range[k];
           } else {
             if (!ident.empty() && names.count(ident) != 0) {
@@ -508,7 +319,7 @@ void rule_nodiscard(const std::string& relpath,
       if (k >= s.size()) continue;  // type wraps to next line; rare
       rest = trim(s.substr(k));
     } else if (starts_with(s, "Status") &&
-               (s.size() == 6 || !is_ident(s[6]))) {
+               (s.size() == 6 || !is_ident_char(s[6]))) {
       rest = trim(s.substr(6));
     } else {
       continue;
@@ -517,7 +328,7 @@ void rule_nodiscard(const std::string& relpath,
     // (`Status(...)`) and out-of-line definitions (`Foo::bar(`).
     std::string ident;
     std::size_t k = 0;
-    while (k < rest.size() && is_ident(rest[k])) ident += rest[k++];
+    while (k < rest.size() && is_ident_char(rest[k])) ident += rest[k++];
     if (ident.empty() || k >= rest.size() || rest[k] != '(') continue;
     const bool annotated =
         raw[i].find("[[nodiscard]]") != std::string::npos ||
@@ -639,6 +450,82 @@ void rule_journal_write(const std::string& relpath,
   }
 }
 
+// --------------------------------------------------------------------
+// Pass drivers
+// --------------------------------------------------------------------
+
+bool rule_enabled(const Options& options, const std::string& rule) {
+  return options.rules.empty() ||
+         std::find(options.rules.begin(), options.rules.end(), rule) !=
+             options.rules.end();
+}
+
+/// Per-line rules over one file (pass two, file-local part).
+std::vector<Finding> lint_lines(const std::string& relpath,
+                                const std::vector<std::string>& raw,
+                                const std::vector<std::string>& code,
+                                const Pragmas& pragmas,
+                                const std::set<std::string>& unordered,
+                                const Options& options) {
+  std::vector<Finding> findings;
+  if (rule_enabled(options, "wallclock")) {
+    rule_wallclock(relpath, code, pragmas, findings);
+  }
+  if (rule_enabled(options, "float-money")) {
+    rule_float_money(relpath, code, pragmas, findings);
+  }
+  if (rule_enabled(options, "unordered-iter")) {
+    rule_unordered_iter(relpath, code, unordered, pragmas, findings);
+  }
+  if (rule_enabled(options, "nodiscard-expected")) {
+    rule_nodiscard(relpath, raw, code, pragmas, findings);
+  }
+  if (rule_enabled(options, "naked-mutex")) {
+    rule_naked_mutex(relpath, code, pragmas, findings);
+  }
+  if (rule_enabled(options, "journal-write")) {
+    rule_journal_write(relpath, code, pragmas, findings);
+  }
+  return findings;
+}
+
+/// Cross-TU rules over the whole model. `context_files` were loaded
+/// only to resolve symbols (sibling headers of linted .cpp files);
+/// findings inside them are dropped. `complete_model` enables the
+/// orphan-golden check (meaningless on partial models).
+void run_semantic(const SourceModel& model, const Options& options,
+                  bool complete_model,
+                  const std::set<std::string>& context_files,
+                  std::vector<Finding>& out) {
+  std::vector<Finding> sem;
+  const bool want_schema = rule_enabled(options, "schema-coverage") ||
+                           rule_enabled(options, "schema-asymmetry") ||
+                           rule_enabled(options, "schema-drift");
+  if (want_schema) {
+    const SchemaAnalysis analysis = extract_schemas(model, sem);
+    if (rule_enabled(options, "schema-asymmetry")) {
+      check_asymmetry(analysis, sem);
+    }
+    if (rule_enabled(options, "schema-drift") &&
+        !options.schemas_dir.empty()) {
+      check_drift(analysis, options.schemas_dir, options.root, complete_model,
+                  sem);
+    }
+  }
+  if (rule_enabled(options, "lock-cycle") ||
+      rule_enabled(options, "lock-discipline")) {
+    check_locks(model, sem);
+  }
+  if (rule_enabled(options, "seed-stream")) {
+    check_streams(model, sem);
+  }
+  for (Finding& f : sem) {
+    if (!rule_enabled(options, f.rule)) continue;
+    if (context_files.count(f.file) != 0) continue;
+    out.push_back(std::move(f));
+  }
+}
+
 std::string read_file(const fs::path& path) {
   std::ifstream in(path, std::ios::binary);
   std::ostringstream ss;
@@ -658,69 +545,26 @@ std::string to_relpath(const fs::path& path, const fs::path& root) {
   return s;
 }
 
-}  // namespace
+struct LoadedTree {
+  SourceModel model;
+  /// Relpaths the caller asked to lint, in walk order.
+  std::vector<std::string> requested;
+  /// Relpaths loaded only as symbol context (sibling headers).
+  std::set<std::string> context;
+  /// True when any input path was a directory — the model then covers
+  /// a whole subtree and completeness checks make sense.
+  bool complete = false;
+};
 
-std::string Finding::baseline_key() const {
-  return rule + "|" + file + "|" + snippet;
-}
-
-const std::vector<std::string>& all_rules() {
-  static const std::vector<std::string> kRules = {
-      "wallclock",   "float-money", "unordered-iter", "nodiscard-expected",
-      "naked-mutex", "journal-write"};
-  return kRules;
-}
-
-std::vector<Finding> lint_file(const std::string& relpath,
-                               const std::string& contents,
-                               const std::string& sibling_header,
-                               const Options& options) {
-  const std::vector<std::string> raw = split_lines(contents);
-  const std::vector<std::string> code = strip_comments_and_strings(raw);
-  const Pragmas pragmas(raw);
-
-  std::set<std::string> names = unordered_names(code);
-  if (!sibling_header.empty()) {
-    const auto header_code =
-        strip_comments_and_strings(split_lines(sibling_header));
-    for (const std::string& name : unordered_names(header_code)) {
-      names.insert(name);
-    }
-  }
-
-  const auto enabled = [&options](const char* rule) {
-    return options.rules.empty() ||
-           std::find(options.rules.begin(), options.rules.end(), rule) !=
-               options.rules.end();
-  };
-
-  std::vector<Finding> findings;
-  if (enabled("wallclock")) rule_wallclock(relpath, code, pragmas, findings);
-  if (enabled("float-money")) {
-    rule_float_money(relpath, code, pragmas, findings);
-  }
-  if (enabled("unordered-iter")) {
-    rule_unordered_iter(relpath, code, names, pragmas, findings);
-  }
-  if (enabled("nodiscard-expected")) {
-    rule_nodiscard(relpath, raw, code, pragmas, findings);
-  }
-  if (enabled("naked-mutex")) {
-    rule_naked_mutex(relpath, code, pragmas, findings);
-  }
-  if (enabled("journal-write")) {
-    rule_journal_write(relpath, code, pragmas, findings);
-  }
-  return findings;
-}
-
-std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
-                                const Options& options) {
+LoadedTree load_tree(const std::vector<std::string>& paths,
+                     const Options& options) {
   const fs::path root = fs::path(options.root);
+  LoadedTree tree;
   std::vector<fs::path> files;
   for (const std::string& p : paths) {
     const fs::path path(p);
     if (fs::is_directory(path)) {
+      tree.complete = true;
       for (const auto& entry : fs::recursive_directory_iterator(path)) {
         if (entry.is_regular_file() && lintable_extension(entry.path())) {
           files.push_back(entry.path());
@@ -733,25 +577,115 @@ std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  std::vector<Finding> findings;
+  std::set<std::string> loaded;
   for (const fs::path& file : files) {
-    std::string sibling;
-    if (file.extension() == ".cpp" || file.extension() == ".cc") {
-      fs::path header = file;
-      header.replace_extension(".hpp");
-      if (fs::exists(header)) sibling = read_file(header);
-    }
-    const std::vector<Finding> file_findings =
-        lint_file(to_relpath(file, root), read_file(file), sibling, options);
-    findings.insert(findings.end(), file_findings.begin(),
-                    file_findings.end());
+    const std::string rel = to_relpath(file, root);
+    if (!loaded.insert(rel).second) continue;
+    tree.model.add_file(rel, read_file(file));
+    tree.requested.push_back(rel);
   }
+  // Sibling headers of linted .cpp files join the model as context:
+  // member declarations, version constants and mutex declarations live
+  // there even when only the .cpp was requested.
+  for (const fs::path& file : files) {
+    if (file.extension() != ".cpp" && file.extension() != ".cc") continue;
+    fs::path header = file;
+    header.replace_extension(".hpp");
+    if (!fs::exists(header)) continue;
+    const std::string rel = to_relpath(header, root);
+    if (!loaded.insert(rel).second) continue;
+    tree.model.add_file(rel, read_file(header));
+    tree.context.insert(rel);
+  }
+  tree.model.finalize();
+  return tree;
+}
+
+}  // namespace
+
+std::string Finding::baseline_key() const {
+  return rule + "|" + file + "|" + snippet;
+}
+
+const std::vector<std::string>& all_rules() {
+  static const std::vector<std::string> kRules = {
+      "wallclock",       "float-money",      "unordered-iter",
+      "nodiscard-expected", "naked-mutex",   "journal-write",
+      "schema-coverage", "schema-asymmetry", "schema-drift",
+      "lock-cycle",      "lock-discipline",  "seed-stream"};
+  return kRules;
+}
+
+std::vector<Finding> lint_file(const std::string& relpath,
+                               const std::string& contents,
+                               const std::string& sibling_header,
+                               const Options& options) {
+  SourceModel model;
+  model.add_file(relpath, contents);
+  std::set<std::string> context;
+  if (!sibling_header.empty()) {
+    const SourceFile* f = model.file(relpath);
+    const std::string sibling_rel = f->stem() + ".hpp";
+    model.add_file(sibling_rel, sibling_header);
+    context.insert(sibling_rel);
+  }
+  model.finalize();
+
+  const SourceFile& sf = *model.file(relpath);
+  std::set<std::string> names = unordered_names(sf.code);
+  if (!sibling_header.empty()) {
+    for (const std::string& name :
+         unordered_names(model.file(sf.stem() + ".hpp")->code)) {
+      names.insert(name);
+    }
+  }
+  std::vector<Finding> findings =
+      lint_lines(relpath, sf.raw, sf.code, sf.pragmas, names, options);
+  run_semantic(model, options, /*complete_model=*/false, context, findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.file, a.line, a.rule) <
                      std::tie(b.file, b.line, b.rule);
             });
   return findings;
+}
+
+std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
+                                const Options& options) {
+  const LoadedTree tree = load_tree(paths, options);
+
+  std::vector<Finding> findings;
+  for (const std::string& rel : tree.requested) {
+    const SourceFile& sf = *tree.model.file(rel);
+    std::set<std::string> names = unordered_names(sf.code);
+    for (const SourceFile* sib : tree.model.stem_group(sf.stem())) {
+      if (sib == &sf) continue;
+      for (const std::string& name : unordered_names(sib->code)) {
+        names.insert(name);
+      }
+    }
+    const std::vector<Finding> file_findings =
+        lint_lines(rel, sf.raw, sf.code, sf.pragmas, names, options);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  run_semantic(tree.model, options, tree.complete, tree.context, findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings;
+}
+
+int write_schema_goldens(const std::vector<std::string>& paths,
+                         const Options& options,
+                         const std::string& schemas_dir, bool force,
+                         std::string& log) {
+  const LoadedTree tree = load_tree(paths, options);
+  std::vector<Finding> scratch;
+  const SchemaAnalysis analysis = extract_schemas(tree.model, scratch);
+  return write_schemas(analysis, schemas_dir, force, log);
 }
 
 std::map<std::string, int> load_baseline(const std::string& path,

@@ -1,0 +1,370 @@
+#include "locks.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace tlclint {
+namespace {
+
+bool lock_scope_file(const SourceFile& f) {
+  return starts_with(f.relpath, "src/") &&
+         f.relpath.find("util/thread_annotations") == std::string::npos;
+}
+
+struct MutexDecl {
+  std::string id;    // "<stem>::<name>"
+  std::string name;  // declared variable name
+  std::string stem;
+  std::string file;
+  std::size_t line = 0;
+};
+
+std::string ident_after(const std::string& line, std::size_t i) {
+  while (i < line.size() &&
+         (line[i] == ' ' || line[i] == '\t' || line[i] == '&' ||
+          line[i] == '*')) {
+    ++i;
+  }
+  std::string name;
+  while (i < line.size() && is_ident_char(line[i])) name.push_back(line[i++]);
+  if (!name.empty() && std::isdigit(static_cast<unsigned char>(name[0]))) {
+    return "";
+  }
+  return name;
+}
+
+/// Last identifier of an expression like `shard->state_.mu_`.
+std::string last_ident(const std::string& expr) {
+  std::string name;
+  std::string current;
+  for (char c : expr) {
+    if (is_ident_char(c)) {
+      current.push_back(c);
+    } else {
+      if (!current.empty()) name = current;
+      current.clear();
+    }
+  }
+  if (!current.empty()) name = current;
+  return name;
+}
+
+std::vector<MutexDecl> collect_mutexes(const SourceModel& model) {
+  std::vector<MutexDecl> decls;
+  for (const SourceFile& f : model.files()) {
+    if (!lock_scope_file(f)) continue;
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      for (std::size_t pos : find_word(f.code[i], "Mutex")) {
+        const std::string name = ident_after(f.code[i], pos + 5);
+        if (name.empty()) continue;
+        MutexDecl d;
+        d.name = name;
+        d.stem = f.stem();
+        d.id = d.stem + "::" + name;
+        d.file = f.relpath;
+        d.line = i;
+        decls.push_back(std::move(d));
+      }
+    }
+  }
+  return decls;
+}
+
+struct MutexIndex {
+  // name -> decls with that name; stem+name -> id.
+  std::map<std::string, std::vector<const MutexDecl*>> by_name;
+  std::map<std::string, std::string> by_stem_name;
+
+  /// Resolution: same stem group first, then a model-wide unique name;
+  /// ambiguous or unknown names stay unresolved (no edge, no finding).
+  [[nodiscard]] std::string resolve(const std::string& stem,
+                                    const std::string& name) const {
+    auto it = by_stem_name.find(stem + "::" + name);
+    if (it != by_stem_name.end()) return it->second;
+    auto nit = by_name.find(name);
+    if (nit != by_name.end() && nit->second.size() == 1) {
+      return nit->second[0]->id;
+    }
+    return "";
+  }
+};
+
+struct Site {
+  std::string file;
+  std::size_t line = 0;
+};
+
+struct CallSite {
+  std::string callee;
+  std::vector<std::string> held;  // mutex ids live at the call
+  Site site;
+};
+
+/// Per-function facts from one scope-tracked body scan.
+struct FnFacts {
+  std::set<std::string> direct_acquires;
+  std::vector<CallSite> calls;
+  // Nesting edges observed directly in this body.
+  std::vector<std::tuple<std::string, std::string, Site>> edges;
+};
+
+FnFacts scan_function(const SourceFile& f, const FunctionDef& fn,
+                      const MutexIndex& index,
+                      const std::set<std::string>& fn_names) {
+  FnFacts facts;
+  const std::string& t = f.joined;
+  struct Held {
+    std::string id;
+    int depth;
+  };
+  std::vector<Held> active;
+  int depth = 0;
+  std::size_t i = fn.body_begin;
+  while (i < fn.body_end) {
+    const char c = t[i];
+    if (c == '{') {
+      ++depth;
+      ++i;
+      continue;
+    }
+    if (c == '}') {
+      --depth;
+      while (!active.empty() && active.back().depth > depth) {
+        active.pop_back();
+      }
+      ++i;
+      continue;
+    }
+    if (!is_ident_char(c)) {
+      ++i;
+      continue;
+    }
+    const std::size_t b = i;
+    while (i < fn.body_end && is_ident_char(t[i])) ++i;
+    if (b > 0 && is_ident_char(t[b - 1])) continue;
+    const std::string word = t.substr(b, i - b);
+    std::size_t j = i;
+    while (j < fn.body_end && (t[j] == ' ' || t[j] == '\t' || t[j] == '\n')) {
+      ++j;
+    }
+    if (word == "MutexLock") {
+      // `MutexLock <var>(<expr>)` — the expression names the mutex.
+      std::size_t k = j;
+      while (k < fn.body_end && is_ident_char(t[k])) ++k;
+      while (k < fn.body_end && (t[k] == ' ' || t[k] == '\t')) ++k;
+      if (k >= fn.body_end || t[k] != '(') continue;
+      int pd = 0;
+      std::size_t close = k;
+      while (close < fn.body_end) {
+        if (t[close] == '(') ++pd;
+        if (t[close] == ')') {
+          --pd;
+          if (pd == 0) break;
+        }
+        ++close;
+      }
+      std::string expr = t.substr(k + 1, close - k - 1);
+      const std::size_t comma = expr.find(',');
+      if (comma != std::string::npos) expr = expr.substr(0, comma);
+      const std::string mutex_name = last_ident(expr);
+      const std::string id = index.resolve(f.stem(), mutex_name);
+      i = close < fn.body_end ? close + 1 : fn.body_end;
+      if (id.empty()) continue;
+      const Site site{f.relpath, f.line_of(b)};
+      for (const Held& h : active) {
+        facts.edges.emplace_back(h.id, id, site);
+      }
+      facts.direct_acquires.insert(id);
+      active.push_back({id, depth});
+      continue;
+    }
+    if (j < fn.body_end && t[j] == '(' && fn_names.count(word) != 0) {
+      CallSite call;
+      call.callee = word;
+      for (const Held& h : active) call.held.push_back(h.id);
+      call.site = {f.relpath, f.line_of(b)};
+      facts.calls.push_back(std::move(call));
+    }
+  }
+  return facts;
+}
+
+}  // namespace
+
+void check_locks(const SourceModel& model, std::vector<Finding>& findings) {
+  const std::vector<MutexDecl> decls = collect_mutexes(model);
+  if (decls.empty()) return;
+  MutexIndex index;
+  for (const MutexDecl& d : decls) {
+    index.by_name[d.name].push_back(&d);
+    index.by_stem_name[d.stem + "::" + d.name] = d.id;
+  }
+
+  // lock-discipline: naked lock()/unlock() on a resolved util::Mutex.
+  static const std::vector<std::string> kNaked = {".lock(", ".try_lock(",
+                                                 ".unlock("};
+  for (const SourceFile& f : model.files()) {
+    if (!lock_scope_file(f)) continue;
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      const std::string& line = f.code[i];
+      for (const std::string& pat : kNaked) {
+        std::size_t pos = 0;
+        while ((pos = line.find(pat, pos)) != std::string::npos) {
+          std::size_t vb = pos;
+          while (vb > 0 && is_ident_char(line[vb - 1])) --vb;
+          const std::string var = line.substr(vb, pos - vb);
+          pos += pat.size();
+          if (var.empty()) continue;
+          if (index.resolve(f.stem(), var).empty()) continue;
+          if (f.pragmas.allowed(i, "lock-discipline")) continue;
+          Finding fnd;
+          fnd.rule = "lock-discipline";
+          fnd.file = f.relpath;
+          fnd.line = static_cast<int>(i) + 1;
+          fnd.message =
+              "naked '" + pat.substr(1) +
+              ")' on util::Mutex '" + var +
+              "' — acquire through MutexLock so -Wthread-safety and the "
+              "lock-order graph both see it";
+          fnd.snippet = normalize_ws(line);
+          findings.push_back(std::move(fnd));
+        }
+      }
+    }
+  }
+
+  // Function facts + may-acquire fixpoint over the call graph.
+  std::set<std::string> fn_names;
+  for (const SourceFile& f : model.files()) {
+    if (!lock_scope_file(f)) continue;
+    for (const FunctionDef& fn : f.functions) fn_names.insert(fn.name);
+  }
+  struct Keyed {
+    const SourceFile* file;
+    const FunctionDef* fn;
+    FnFacts facts;
+  };
+  std::vector<Keyed> all;
+  std::map<std::string, std::vector<std::size_t>> by_fn_name;
+  for (const SourceFile& f : model.files()) {
+    if (!lock_scope_file(f)) continue;
+    for (const FunctionDef& fn : f.functions) {
+      Keyed k{&f, &fn, scan_function(f, fn, index, fn_names)};
+      by_fn_name[fn.name].push_back(all.size());
+      all.push_back(std::move(k));
+    }
+  }
+  std::vector<std::set<std::string>> may_acquire(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    may_acquire[i] = all[i].facts.direct_acquires;
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      for (const CallSite& call : all[i].facts.calls) {
+        auto it = by_fn_name.find(call.callee);
+        if (it == by_fn_name.end()) continue;
+        for (std::size_t callee : it->second) {
+          for (const std::string& m : may_acquire[callee]) {
+            if (may_acquire[i].insert(m).second) changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Edge set: direct nesting + held-across-call transitive edges.
+  std::map<std::pair<std::string, std::string>, Site> edges;
+  const auto add_edge = [&edges](const std::string& from,
+                                 const std::string& to, const Site& site) {
+    edges.emplace(std::make_pair(from, to), site);
+  };
+  for (const Keyed& k : all) {
+    for (const auto& [from, to, site] : k.facts.edges) {
+      add_edge(from, to, site);
+    }
+  }
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (const CallSite& call : all[i].facts.calls) {
+      if (call.held.empty()) continue;
+      auto it = by_fn_name.find(call.callee);
+      if (it == by_fn_name.end()) continue;
+      std::set<std::string> acquired;
+      for (std::size_t callee : it->second) {
+        acquired.insert(may_acquire[callee].begin(),
+                        may_acquire[callee].end());
+      }
+      for (const std::string& from : call.held) {
+        for (const std::string& to : acquired) {
+          add_edge(from, to, call.site);
+        }
+      }
+    }
+  }
+
+  // Cycle detection over the deterministic (sorted-map) edge set.
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [e, site] : edges) {
+    (void)site;
+    adj[e.first].push_back(e.second);
+  }
+  std::set<std::string> reported;
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  const std::function<void(const std::string&)> dfs =
+      [&](const std::string& node) {
+        color[node] = 1;
+        stack.push_back(node);
+        for (const std::string& next : adj[node]) {
+          if (color[next] == 1) {
+            // Back edge: the cycle is the stack suffix from `next`.
+            auto at = std::find(stack.begin(), stack.end(), next);
+            std::vector<std::string> cycle(at, stack.end());
+            // Canonical rotation for dedup.
+            auto min_it = std::min_element(cycle.begin(), cycle.end());
+            std::rotate(cycle.begin(), min_it, cycle.end());
+            std::string key;
+            std::string pretty;
+            for (const std::string& n : cycle) {
+              key += n + ";";
+              pretty += n + " -> ";
+            }
+            pretty += cycle.front();
+            if (reported.insert(key).second) {
+              const Site& site = edges.at({node, next});
+              const SourceFile* sf = model.file(site.file);
+              if (sf != nullptr &&
+                  sf->pragmas.allowed(site.line, "lock-cycle")) {
+                continue;
+              }
+              Finding fnd;
+              fnd.rule = "lock-cycle";
+              fnd.file = site.file;
+              fnd.line = static_cast<int>(site.line) + 1;
+              fnd.message =
+                  "lock acquisition cycle: " + pretty +
+                  " — impose a global order or split the critical section";
+              fnd.snippet =
+                  sf != nullptr && site.line < sf->code.size()
+                      ? normalize_ws(sf->code[site.line])
+                      : "";
+              findings.push_back(std::move(fnd));
+            }
+          } else if (color[next] == 0) {
+            dfs(next);
+          }
+        }
+        stack.pop_back();
+        color[node] = 2;
+      };
+  for (const auto& [node, nexts] : adj) {
+    (void)nexts;
+    if (color[node] == 0) dfs(node);
+  }
+}
+
+}  // namespace tlclint

@@ -1,0 +1,39 @@
+// Lock-order analysis (ISSUE 8 tentpole, rule family 2).
+//
+// Clang's -Wthread-safety proves that annotated mutexes guard what
+// they claim, but it does not see a *global* acquisition order. This
+// pass rebuilds one from the model:
+//
+//   nodes   `util::Mutex` declarations, keyed `<stem>::<name>` so a
+//           mutex named in a header and locked in its .cpp is one node
+//   edges   A -> B when a MutexLock of B happens (textually, scope-
+//           tracked) while a MutexLock of A is live — directly, or
+//           transitively through the name-resolved call graph (a call
+//           made under A to a function whose may-acquire set contains
+//           B adds A -> B at the call site)
+//
+// Two rules:
+//
+//   lock-cycle       any cycle in the edge set, including the length-1
+//                    self-deadlock of re-acquiring a held mutex
+//   lock-discipline  naked `.lock()` / `.try_lock()` / `.unlock()` on
+//                    a resolved util::Mutex — bypassing MutexLock
+//                    blinds both -Wthread-safety and this graph
+//
+// The may-acquire sets are a fixpoint over the call graph, so an edge
+// through three layers of helpers is still found; unresolvable callees
+// (function pointers, std:: calls) are conservatively ignored.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+#include "model.hpp"
+
+namespace tlclint {
+
+/// Runs both lock rules over every `src/` file in the model.
+void check_locks(const SourceModel& model, std::vector<Finding>& findings);
+
+}  // namespace tlclint

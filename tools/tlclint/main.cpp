@@ -1,11 +1,14 @@
 // tlclint CLI. See lint.hpp for the rule catalogue.
 //
 //   tlclint [--root DIR] [--baseline FILE] [--write-baseline FILE]
+//           [--schemas-dir DIR] [--write-schemas DIR] [--force-schemas]
 //           [--rule NAME]... [--list-rules] PATH...
 //
 // Findings go to stdout as `file:line: [rule] message`; the summary
 // goes to stderr so golden tests can diff stdout alone. Exit 0 when no
-// (new) findings, 1 when findings remain, 2 on usage/IO errors.
+// (new) findings, 1 when findings remain, 2 on usage/IO errors —
+// including a refused --write-schemas (layout change without a version
+// bump needs --force-schemas).
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -19,7 +22,9 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: tlclint [--root DIR] [--baseline FILE]\n"
-      "               [--write-baseline FILE] [--rule NAME]... PATH...\n"
+      "               [--write-baseline FILE] [--schemas-dir DIR]\n"
+      "               [--write-schemas DIR] [--force-schemas]\n"
+      "               [--rule NAME]... PATH...\n"
       "       tlclint --list-rules\n");
   return 2;
 }
@@ -29,6 +34,8 @@ int usage() {
 int main(int argc, char** argv) {
   tlclint::Options options;
   std::string write_baseline;
+  std::string write_schemas;
+  bool force_schemas = false;
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -52,6 +59,16 @@ int main(int argc, char** argv) {
       const char* v = next("--write-baseline");
       if (!v) return usage();
       write_baseline = v;
+    } else if (arg == "--schemas-dir") {
+      const char* v = next("--schemas-dir");
+      if (!v) return usage();
+      options.schemas_dir = v;
+    } else if (arg == "--write-schemas") {
+      const char* v = next("--write-schemas");
+      if (!v) return usage();
+      write_schemas = v;
+    } else if (arg == "--force-schemas") {
+      force_schemas = true;
     } else if (arg == "--rule") {
       const char* v = next("--rule");
       if (!v) return usage();
@@ -72,6 +89,15 @@ int main(int argc, char** argv) {
     }
   }
   if (paths.empty()) return usage();
+
+  if (!write_schemas.empty()) {
+    std::string log;
+    const int rc = tlclint::write_schema_goldens(paths, options,
+                                                 write_schemas, force_schemas,
+                                                 log);
+    std::fprintf(stderr, "%s", log.c_str());
+    return rc;
+  }
 
   const std::vector<tlclint::Finding> all =
       tlclint::lint_paths(paths, options);

@@ -1,0 +1,468 @@
+#include "model.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace tlclint {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+std::string normalize_ws(const std::string& s) {
+  std::string out;
+  bool in_space = true;
+  for (char c : s) {
+    if (c == ' ' || c == '\t' || c == '\n') {
+      if (!in_space) out.push_back(' ');
+      in_space = true;
+    } else {
+      out.push_back(c);
+      in_space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      if (!current.empty() && current.back() == '\r') current.pop_back();
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(std::move(current));
+  return lines;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+// (Raw string literals are treated as plain strings — good enough for
+// this codebase, which has none.)
+std::vector<std::string> strip_comments_and_strings(
+    const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  bool in_block_comment = false;
+  for (const std::string& line : lines) {
+    std::string code(line.size(), ' ');
+    for (std::size_t i = 0; i < line.size();) {
+      if (in_block_comment) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block_comment = false;
+          i += 2;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        code[i] = quote;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) {
+            code[i] = quote;
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      code[i] = c;
+      ++i;
+    }
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+std::vector<std::size_t> find_word(const std::string& code,
+                                   const std::string& token) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    const bool start_ok = pos == 0 || !is_ident_char(code[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool end_ok = end >= code.size() || !is_ident_char(code[end]);
+    if (start_ok && end_ok) hits.push_back(pos);
+    pos = end;
+  }
+  return hits;
+}
+
+std::vector<std::size_t> find_call(const std::string& code,
+                                   const std::string& name) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string::npos) {
+    const std::size_t end = pos + name.size();
+    if (end >= code.size() || code[end] != '(') {
+      pos = end;
+      continue;
+    }
+    if (pos > 0 && is_ident_char(code[pos - 1])) {
+      pos = end;
+      continue;
+    }
+    bool qualified_ok = true;
+    if (pos >= 1 && (code[pos - 1] == '.')) qualified_ok = false;
+    if (pos >= 2 && code[pos - 2] == '-' && code[pos - 1] == '>')
+      qualified_ok = false;
+    if (pos >= 2 && code[pos - 1] == ':' && code[pos - 2] == ':') {
+      // Only std::time etc. count as the C/chrono function.
+      qualified_ok = pos >= 5 && code.compare(pos - 5, 5, "std::") == 0;
+    }
+    if (qualified_ok) hits.push_back(pos);
+    pos = end;
+  }
+  return hits;
+}
+
+Pragmas::Pragmas(const std::vector<std::string>& raw_lines) {
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    const std::string& line = raw_lines[i];
+    const std::size_t at = line.find("tlclint:");
+    if (at == std::string::npos) continue;
+    const std::string directive = line.substr(at + 8);
+    if (directive.find("ordered") != std::string::npos) {
+      allow_[i].insert("unordered-iter");
+    }
+    std::size_t pos = 0;
+    while ((pos = directive.find("allow(", pos)) != std::string::npos) {
+      const std::size_t close = directive.find(')', pos);
+      if (close == std::string::npos) break;
+      std::string inside = directive.substr(pos + 6, close - pos - 6);
+      std::stringstream ss(inside);
+      std::string rule;
+      while (std::getline(ss, rule, ',')) {
+        rule = trim(rule);
+        if (!rule.empty()) allow_[i].insert(rule);
+      }
+      pos = close + 1;
+    }
+  }
+}
+
+bool Pragmas::allowed(std::size_t line_index, const std::string& rule) const {
+  return allows(line_index, rule) ||
+         (line_index > 0 && allows(line_index - 1, rule));
+}
+
+bool Pragmas::allows(std::size_t index, const std::string& rule) const {
+  auto it = allow_.find(index);
+  return it != allow_.end() &&
+         (it->second.count(rule) != 0 || it->second.count("*") != 0);
+}
+
+std::size_t SourceFile::line_of(std::size_t offset) const {
+  auto it = std::upper_bound(line_starts.begin(), line_starts.end(), offset);
+  if (it == line_starts.begin()) return 0;
+  return static_cast<std::size_t>(it - line_starts.begin()) - 1;
+}
+
+std::string SourceFile::stem() const {
+  const std::size_t dot = relpath.rfind('.');
+  const std::size_t slash = relpath.rfind('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return relpath;
+  }
+  return relpath.substr(0, dot);
+}
+
+namespace {
+
+enum class HeadKind { kContainer, kFunction, kData };
+
+/// A statement head is everything between the previous statement
+/// boundary and an opening '{'. At container scope it is either a
+/// namespace/class/struct/enum/union, a function definition, or an
+/// aggregate initializer; we only need to tell those three apart.
+HeadKind classify_head(std::string head) {
+  head = trim(head);
+  for (bool stripped = true; stripped;) {
+    stripped = false;
+    for (const char* spec : {"public:", "private:", "protected:"}) {
+      if (starts_with(head, spec)) {
+        head = trim(head.substr(std::string(spec).size()));
+        stripped = true;
+      }
+    }
+  }
+  if (head.empty()) return HeadKind::kData;
+  if (!head.empty() && head.back() == '=') return HeadKind::kData;
+  // Container keywords at angle/paren depth zero (so `template <class
+  // T>` and macro arguments do not misfire).
+  int angle = 0;
+  int paren = 0;
+  std::string word;
+  bool saw_operator = false;
+  std::size_t first_paren = std::string::npos;
+  for (std::size_t i = 0; i <= head.size(); ++i) {
+    const char c = i < head.size() ? head[i] : ' ';
+    if (is_ident_char(c)) {
+      word.push_back(c);
+      continue;
+    }
+    if (angle == 0 && paren == 0 && !word.empty()) {
+      if (word == "namespace" || word == "class" || word == "struct" ||
+          word == "union" || word == "enum") {
+        return HeadKind::kContainer;
+      }
+      if (word == "operator") saw_operator = true;
+    }
+    word.clear();
+    if (c == '<') ++angle;
+    if (c == '>' && angle > 0) --angle;
+    if (c == '(') {
+      if (angle == 0 && paren == 0 && first_paren == std::string::npos) {
+        first_paren = i;
+      }
+      ++paren;
+    }
+    if (c == ')' && paren > 0) --paren;
+  }
+  if (saw_operator) return HeadKind::kFunction;
+  if (first_paren == std::string::npos) return HeadKind::kData;
+  // The token (possibly ::-qualified) immediately before the first
+  // top-level '(' is the candidate function name.
+  std::size_t e = first_paren;
+  while (e > 0 && (head[e - 1] == ' ')) --e;
+  std::size_t b = e;
+  while (b > 0 && (is_ident_char(head[b - 1]) || head[b - 1] == ':')) --b;
+  const std::string name = head.substr(b, e - b);
+  if (name.empty()) return HeadKind::kData;
+  const std::string last =
+      name.rfind(':') == std::string::npos
+          ? name
+          : name.substr(name.rfind(':') + 1);
+  if (last == "if" || last == "for" || last == "while" || last == "switch" ||
+      last == "catch" || last == "return" || last.empty()) {
+    return HeadKind::kData;
+  }
+  return HeadKind::kFunction;
+}
+
+/// Extracts `name` / `qualified` from a function head.
+void head_names(const std::string& head, std::string& name,
+                std::string& qualified) {
+  int angle = 0;
+  std::size_t first_paren = std::string::npos;
+  const std::size_t op = head.find("operator");
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    const char c = head[i];
+    if (c == '<') ++angle;
+    if (c == '>' && angle > 0) --angle;
+    if (c == '(' && angle == 0) {
+      // `operator()` / `operator<<`: the paren may belong to the
+      // operator token itself; take the first '(' after it.
+      if (op != std::string::npos && i >= op && i < op + 8) continue;
+      first_paren = i;
+      break;
+    }
+  }
+  if (first_paren == std::string::npos) {
+    name = qualified = normalize_ws(head);
+    return;
+  }
+  std::size_t e = first_paren;
+  while (e > 0 && head[e - 1] == ' ') --e;
+  std::size_t b = e;
+  while (b > 0 && (is_ident_char(head[b - 1]) || head[b - 1] == ':')) --b;
+  qualified = head.substr(b, e - b);
+  const std::size_t colon = qualified.rfind(':');
+  name = colon == std::string::npos ? qualified : qualified.substr(colon + 1);
+  if (op != std::string::npos && op < first_paren) {
+    qualified = normalize_ws(head.substr(op, first_paren - op));
+    name = qualified;
+  }
+}
+
+bool preprocessor_line(const std::string& line) {
+  const std::string t = trim(line);
+  return !t.empty() && t[0] == '#';
+}
+
+/// Single forward pass over the joined code text: tracks brace nesting,
+/// records function bodies found at container scope (file, namespace,
+/// class) and fast-forwards over them so lambdas and local types inside
+/// bodies never masquerade as top-level definitions.
+void scan_functions(SourceFile& f) {
+  const std::string& t = f.joined;
+  std::vector<HeadKind> stack;
+  std::size_t stmt_start = 0;
+  std::size_t line_start = 0;
+  std::size_t i = 0;
+  while (i < t.size()) {
+    const char c = t[i];
+    if (c == '\n') {
+      if (preprocessor_line(t.substr(line_start, i - line_start))) {
+        stmt_start = i + 1;
+      }
+      line_start = i + 1;
+      ++i;
+      continue;
+    }
+    if (c == ';') {
+      stmt_start = i + 1;
+      ++i;
+      continue;
+    }
+    if (c == '}') {
+      if (!stack.empty()) stack.pop_back();
+      stmt_start = i + 1;
+      ++i;
+      continue;
+    }
+    if (c != '{') {
+      ++i;
+      continue;
+    }
+    const std::string head =
+        normalize_ws(t.substr(stmt_start, i - stmt_start));
+    const bool container_ctx =
+        stack.empty() || stack.back() == HeadKind::kContainer;
+    const HeadKind kind = classify_head(head);
+    if (container_ctx && kind == HeadKind::kFunction) {
+      FunctionDef fn;
+      fn.head = head;
+      head_names(head, fn.name, fn.qualified);
+      // First non-space char of the head anchors the pragma line.
+      std::size_t hb = stmt_start;
+      while (hb < i && (t[hb] == ' ' || t[hb] == '\t' || t[hb] == '\n')) ++hb;
+      fn.head_line = f.line_of(hb);
+      fn.body_begin = i + 1;
+      int depth = 1;
+      std::size_t j = i + 1;
+      while (j < t.size() && depth > 0) {
+        if (t[j] == '{') ++depth;
+        if (t[j] == '}') --depth;
+        ++j;
+      }
+      fn.body_end = depth == 0 ? j - 1 : t.size();
+      const std::size_t body_end = fn.body_end;
+      f.functions.push_back(std::move(fn));
+      i = body_end < t.size() ? body_end + 1 : t.size();
+      stmt_start = i;
+      continue;
+    }
+    stack.push_back(kind);
+    stmt_start = i + 1;
+    ++i;
+  }
+}
+
+void parse_includes(SourceFile& f) {
+  for (const std::string& line : f.raw) {
+    const std::string t = trim(line);
+    if (!starts_with(t, "#include")) continue;
+    const std::size_t q1 = t.find('"');
+    if (q1 == std::string::npos) continue;
+    const std::size_t q2 = t.find('"', q1 + 1);
+    if (q2 == std::string::npos) continue;
+    f.includes.push_back(t.substr(q1 + 1, q2 - q1 - 1));
+  }
+}
+
+}  // namespace
+
+void SourceModel::add_file(const std::string& relpath,
+                           const std::string& contents) {
+  SourceFile f;
+  f.relpath = relpath;
+  f.raw = split_lines(contents);
+  f.code = strip_comments_and_strings(f.raw);
+  f.pragmas = Pragmas(f.raw);
+  parse_includes(f);
+  f.joined.clear();
+  for (const std::string& line : f.code) {
+    f.line_starts.push_back(f.joined.size());
+    f.joined += line;
+    f.joined.push_back('\n');
+  }
+  scan_functions(f);
+  by_path_[relpath] = files_.size();
+  by_stem_[f.stem()].push_back(files_.size());
+  files_.push_back(std::move(f));
+}
+
+void SourceModel::finalize() {
+  functions_by_name_.clear();
+  for (std::size_t fi = 0; fi < files_.size(); ++fi) {
+    for (std::size_t gi = 0; gi < files_[fi].functions.size(); ++gi) {
+      functions_by_name_[files_[fi].functions[gi].name].push_back({fi, gi});
+    }
+  }
+}
+
+const SourceFile* SourceModel::file(const std::string& relpath) const {
+  auto it = by_path_.find(relpath);
+  return it == by_path_.end() ? nullptr : &files_[it->second];
+}
+
+std::vector<const SourceFile*> SourceModel::stem_group(
+    const std::string& stem) const {
+  std::vector<const SourceFile*> out;
+  auto it = by_stem_.find(stem);
+  if (it == by_stem_.end()) return out;
+  for (std::size_t idx : it->second) out.push_back(&files_[idx]);
+  return out;
+}
+
+std::vector<std::pair<const SourceFile*, const FunctionDef*>>
+SourceModel::functions_named(const std::string& name) const {
+  std::vector<std::pair<const SourceFile*, const FunctionDef*>> out;
+  auto it = functions_by_name_.find(name);
+  if (it == functions_by_name_.end()) return out;
+  for (const auto& [fi, gi] : it->second) {
+    out.push_back({&files_[fi], &files_[fi].functions[gi]});
+  }
+  return out;
+}
+
+bool SourceModel::directly_includes(const std::string& from,
+                                    const std::string& header_suffix) const {
+  const SourceFile* f = file(from);
+  if (f == nullptr) return false;
+  for (const std::string& inc : f->includes) {
+    if (inc == header_suffix) return true;
+    if (inc.size() > header_suffix.size() &&
+        inc.compare(inc.size() - header_suffix.size() - 1, 1, "/") == 0 &&
+        inc.compare(inc.size() - header_suffix.size(), header_suffix.size(),
+                    header_suffix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace tlclint

@@ -1,0 +1,127 @@
+// tlclint cross-TU source model (ISSUE 8).
+//
+// v1 linted one file at a time; the v2 semantic passes (wire-schema
+// extraction, lock-order analysis, seed-stream discipline) need to see
+// the whole tree at once: helper functions taking ByteWriter&/
+// ByteReader& are spliced into their callers' schemas, lock acquisition
+// edges cross functions and files, and stream-constant ownership is a
+// property of the include graph. The model is still token-level — no
+// libclang, no preprocessor — built in one pass over every file and
+// shared by all rules:
+//
+//   SourceFile   raw + comment/string-stripped lines, pragma table,
+//                `#include "..."` targets
+//   FunctionDef  brace-matched function bodies with a char-offset →
+//                line map, so in-body scans (serde ops, MutexLock
+//                scopes, loop depth) stay cheap and precise
+//
+// The model deliberately ignores templates, overload sets and the
+// preprocessor: functions are keyed by name, which is exactly the
+// fidelity the checked codebase needs and the fixture corpus pins.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tlclint {
+
+[[nodiscard]] bool is_ident_char(char c);
+[[nodiscard]] std::string trim(const std::string& s);
+[[nodiscard]] std::string normalize_ws(const std::string& s);
+[[nodiscard]] std::vector<std::string> split_lines(const std::string& text);
+[[nodiscard]] bool starts_with(const std::string& s,
+                               const std::string& prefix);
+
+/// Replaces comment and string/char-literal *contents* with spaces so
+/// token scans cannot match inside them. Line structure is preserved.
+[[nodiscard]] std::vector<std::string> strip_comments_and_strings(
+    const std::vector<std::string>& lines);
+
+/// Whole-word token search (namespace qualification still matches).
+[[nodiscard]] std::vector<std::size_t> find_word(const std::string& code,
+                                                 const std::string& token);
+
+/// `name(` used as a free (or std::-qualified) call, not a member.
+[[nodiscard]] std::vector<std::size_t> find_call(const std::string& code,
+                                                 const std::string& name);
+
+/// Per-line suppression pragmas parsed from the raw lines. An allow on
+/// line N covers findings on N and N+1.
+class Pragmas {
+ public:
+  Pragmas() = default;
+  explicit Pragmas(const std::vector<std::string>& raw_lines);
+
+  [[nodiscard]] bool allowed(std::size_t line_index,
+                             const std::string& rule) const;
+
+ private:
+  [[nodiscard]] bool allows(std::size_t index, const std::string& rule) const;
+
+  std::map<std::size_t, std::set<std::string>> allow_;
+};
+
+/// One function definition: name, signature head and the half-open
+/// char range of its body inside the file's joined code text.
+struct FunctionDef {
+  std::string name;       // unqualified, e.g. "encode_compact"
+  std::string qualified;  // e.g. "ChargingDataRecord::encode_compact"
+  std::string head;       // whitespace-normalized signature text
+  std::size_t head_line = 0;  // 0-based line of the opening brace's stmt
+  std::size_t body_begin = 0;  // char offset just past the opening '{'
+  std::size_t body_end = 0;    // char offset of the matching '}'
+};
+
+struct SourceFile {
+  std::string relpath;  // root-relative, forward slashes
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+  Pragmas pragmas;
+  /// Project-relative include targets, as written ("util/serde.hpp").
+  std::vector<std::string> includes;
+  /// All code lines joined with '\n' (so offsets map back to lines).
+  std::string joined;
+  /// joined[i] belongs to raw[line_of(i)].
+  std::vector<std::size_t> line_starts;
+  std::vector<FunctionDef> functions;
+
+  [[nodiscard]] std::size_t line_of(std::size_t offset) const;
+  /// "src/epc/cdr" for "src/epc/cdr.cpp" — the sibling-pair key.
+  [[nodiscard]] std::string stem() const;
+};
+
+/// The whole analyzed tree. Files added once, then finalize() scans
+/// functions and the include graph; lookups are by relpath or stem.
+class SourceModel {
+ public:
+  void add_file(const std::string& relpath, const std::string& contents);
+  void finalize();
+
+  [[nodiscard]] const std::vector<SourceFile>& files() const {
+    return files_;
+  }
+  [[nodiscard]] const SourceFile* file(const std::string& relpath) const;
+  /// All files sharing a stem (a .cpp and its sibling .hpp).
+  [[nodiscard]] std::vector<const SourceFile*> stem_group(
+      const std::string& stem) const;
+  /// Functions with this unqualified name anywhere in the model.
+  [[nodiscard]] std::vector<std::pair<const SourceFile*, const FunctionDef*>>
+  functions_named(const std::string& name) const;
+  /// True when `from` has an `#include "..."` whose target path ends
+  /// with `header_suffix` (include paths are project-relative, so the
+  /// suffix match tolerates different root spellings).
+  [[nodiscard]] bool directly_includes(const std::string& from,
+                                       const std::string& header_suffix) const;
+
+ private:
+  std::vector<SourceFile> files_;
+  std::map<std::string, std::size_t> by_path_;
+  std::map<std::string, std::vector<std::size_t>> by_stem_;
+  std::map<std::string, std::vector<std::pair<std::size_t, std::size_t>>>
+      functions_by_name_;
+};
+
+}  // namespace tlclint

@@ -1,0 +1,181 @@
+#include "streams.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace tlclint {
+namespace {
+
+bool stream_scope_file(const SourceFile& f) {
+  return starts_with(f.relpath, "src/") &&
+         !starts_with(f.relpath, "src/sim/");
+}
+
+bool contains_stream(const std::string& ident) {
+  std::string lower;
+  for (char c : ident) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return lower.find("stream") != std::string::npos;
+}
+
+bool constant_style(const std::string& ident) {
+  return ident.size() >= 2 && ident[0] == 'k' &&
+         std::isupper(static_cast<unsigned char>(ident[1])) != 0;
+}
+
+std::vector<std::string> idents_in(const std::string& expr) {
+  std::vector<std::string> out;
+  std::string current;
+  for (std::size_t i = 0; i <= expr.size(); ++i) {
+    const char c = i < expr.size() ? expr[i] : ' ';
+    if (is_ident_char(c)) {
+      current.push_back(c);
+    } else {
+      if (!current.empty() &&
+          std::isdigit(static_cast<unsigned char>(current[0])) == 0) {
+        out.push_back(current);
+      }
+      current.clear();
+    }
+  }
+  return out;
+}
+
+/// Is `ident` declared (assigned a value) anywhere in `f`?
+bool declares(const SourceFile& f, const std::string& ident) {
+  for (const std::string& line : f.code) {
+    const auto hits = find_word(line, ident);
+    if (hits.empty()) continue;
+    if (line.find('=', hits[0] + ident.size()) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Constant-style stream tokens must be owned by the calling TU: the
+/// declaration lives in the TU, its sibling header, or a header the TU
+/// directly includes.
+enum class Ownership { kOwned, kForeign, kUnknown };
+
+Ownership constant_ownership(const SourceModel& model, const SourceFile& f,
+                             const std::string& ident,
+                             std::string& declared_in) {
+  for (const SourceFile* g : model.stem_group(f.stem())) {
+    if (declares(*g, ident)) return Ownership::kOwned;
+  }
+  bool found = false;
+  for (const SourceFile& g : model.files()) {
+    if (!declares(g, ident)) continue;
+    found = true;
+    declared_in = g.relpath;
+    for (const std::string& inc : f.includes) {
+      if (g.relpath == inc ||
+          (g.relpath.size() > inc.size() + 1 &&
+           g.relpath.compare(g.relpath.size() - inc.size() - 1, 1, "/") ==
+               0 &&
+           g.relpath.compare(g.relpath.size() - inc.size(), inc.size(),
+                             inc) == 0)) {
+        return Ownership::kOwned;
+      }
+    }
+  }
+  return found ? Ownership::kForeign : Ownership::kUnknown;
+}
+
+std::string last_top_level_arg(const std::string& args) {
+  int depth = 0;
+  std::size_t last_comma = std::string::npos;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const char c = args[i];
+    if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+    if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+    if (c == ',' && depth == 0) last_comma = i;
+  }
+  if (last_comma == std::string::npos) return trim(args);
+  return trim(args.substr(last_comma + 1));
+}
+
+}  // namespace
+
+void check_streams(const SourceModel& model, std::vector<Finding>& findings) {
+  for (const SourceFile& f : model.files()) {
+    if (!stream_scope_file(f)) continue;
+    const std::string& t = f.joined;
+    for (const char* call : {"stream_seed", "stream_rng"}) {
+      const std::string name(call);
+      std::size_t pos = 0;
+      while ((pos = t.find(name, pos)) != std::string::npos) {
+        const std::size_t word_end = pos + name.size();
+        const bool start_ok = pos == 0 || !is_ident_char(t[pos - 1]);
+        const bool end_ok =
+            word_end < t.size() && !is_ident_char(t[word_end]);
+        const std::size_t at = pos;
+        pos = word_end;
+        if (!start_ok || !end_ok) continue;
+        std::size_t open = word_end;
+        while (open < t.size() && (t[open] == ' ' || t[open] == '\n')) {
+          ++open;
+        }
+        if (open >= t.size() || t[open] != '(') continue;
+        int depth = 0;
+        std::size_t close = open;
+        while (close < t.size()) {
+          if (t[close] == '(') ++depth;
+          if (t[close] == ')') {
+            --depth;
+            if (depth == 0) break;
+          }
+          ++close;
+        }
+        const std::string arg = last_top_level_arg(
+            normalize_ws(t.substr(open + 1, close - open - 1)));
+        const std::size_t line = f.line_of(at);
+        if (f.pragmas.allowed(line, "seed-stream")) continue;
+
+        std::vector<std::string> stream_tokens;
+        for (const std::string& ident : idents_in(arg)) {
+          if (contains_stream(ident)) stream_tokens.push_back(ident);
+        }
+        const auto report = [&](const std::string& message) {
+          Finding fnd;
+          fnd.rule = "seed-stream";
+          fnd.file = f.relpath;
+          fnd.line = static_cast<int>(line) + 1;
+          fnd.message = message;
+          fnd.snippet =
+              line < f.code.size() ? normalize_ws(f.code[line]) : "";
+          findings.push_back(std::move(fnd));
+        };
+        if (stream_tokens.empty()) {
+          report("stream index '" + arg + "' passed to " + name +
+                 "() has no named stream token — bind it to a "
+                 "k...Stream constant or a *_stream local so the index "
+                 "space has an owner");
+          continue;
+        }
+        for (const std::string& token : stream_tokens) {
+          if (!constant_style(token)) continue;
+          std::string declared_in;
+          const Ownership own =
+              constant_ownership(model, f, token, declared_in);
+          if (own == Ownership::kForeign) {
+            report("stream constant '" + token + "' is declared in " +
+                   declared_in +
+                   " but drawn here without including it — a stream used "
+                   "outside its declared owner");
+          } else if (own == Ownership::kUnknown) {
+            report("stream constant '" + token +
+                   "' has no visible declaration in the analyzed tree — "
+                   "declare it next to the stream's owner");
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tlclint

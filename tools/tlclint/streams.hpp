@@ -1,0 +1,31 @@
+// Seed-stream discipline (ISSUE 8 tentpole, rule family 3).
+//
+// Every decorrelated RNG stream in the fleet is an argument to
+// sim::stream_seed / sim::stream_rng. Determinism bugs of the
+// Mme::poll() class happen when a stream index is an anonymous
+// arithmetic expression (`2 * ue + 1`) or a repurposed counter: nobody
+// owns the index space, so two sites can silently collide or an
+// iteration-order change can silently reassign streams.
+//
+// The rule: the *last* argument of every stream_seed/stream_rng call
+// outside src/sim/ must contain a named stream token — an identifier
+// whose name contains "stream" (kAdversaryStream, member_stream,
+// slot_stream...). For constant-style tokens (leading 'k') the
+// declaration must live in the calling TU, its sibling header, or a
+// header the TU directly includes: a stream constant used outside its
+// declared owner is exactly the cross-owner draw this rule exists to
+// catch. Locals and parameters (lowercase names) are accepted
+// wherever they appear — their provenance is the owner's signature.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+#include "model.hpp"
+
+namespace tlclint {
+
+void check_streams(const SourceModel& model, std::vector<Finding>& findings);
+
+}  // namespace tlclint
