@@ -10,6 +10,7 @@
 #include "crypto/montgomery.hpp"
 #include "crypto/rsa.hpp"
 #include "crypto/sha256.hpp"
+#include "crypto/sha256_batch.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -45,6 +46,28 @@ void BM_Sha256(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+// The batched front end under auto-dispatch (§16): N independent
+// 64-byte messages per call — the Merkle leaf/node shape. Compare
+// against BM_Sha256/64 for the multi-lane win.
+void BM_Sha256Batch(benchmark::State& state) {
+  Rng rng(2);
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<Bytes> inputs;
+  inputs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) inputs.push_back(rng.bytes(64));
+  std::vector<const std::uint8_t*> ptrs(count);
+  std::vector<std::size_t> lens(count, 64);
+  for (std::size_t i = 0; i < count; ++i) ptrs[i] = inputs[i].data();
+  std::vector<std::uint8_t> out(count * 32);
+  for (auto _ : state) {
+    crypto::sha256_batch(ptrs.data(), lens.data(), count, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 64);
+}
+BENCHMARK(BM_Sha256Batch)->Arg(64)->Arg(1024);
 
 // The primitive under everything below: one CIOS Montgomery multiply
 // at the modulus width sign/verify use.

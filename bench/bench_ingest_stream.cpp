@@ -1,0 +1,198 @@
+// Streaming-ingest throughput (DESIGN.md §16): what one RSA signature
+// per Merkle batch buys over one signature per CDR.
+//
+// Cases (per batch size 64 / 256 / 1024):
+//   per_record_sign   the legacy path's unit cost — canonical encode +
+//                     RSA-1024 sign per CDR (BM_CdrEncodeSign's shape)
+//   merkle_scalar     StreamingIngest with the SHA-256 kernel pinned to
+//                     the scalar reference
+//   merkle_simd       StreamingIngest under auto-dispatch (SHA-NI /
+//                     AVX2 eight-lane where the host has them)
+//
+// Reported per row: µs per CDR, CDRs/s, and the speedup over the
+// per-record baseline. The acceptance bar for §16 is >= 100x at batch
+// 1024 on the simd row; bench_report freshes these numbers into
+// BENCH_ingest.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "charging/ingest.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256_batch.hpp"
+#include "epc/cdr.hpp"
+#include "util/rng.hpp"
+
+namespace tlc::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+constexpr int kSamples = 3;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Row {
+  std::string name;
+  std::uint64_t batch_size;
+  std::string kernel;
+  std::uint64_t cdrs;
+  double wall_seconds;
+  double us_per_cdr;
+  double cdrs_per_second;
+  double speedup_vs_per_record;
+};
+
+epc::ChargingDataRecord make_cdr(std::uint32_t i) {
+  epc::ChargingDataRecord cdr;
+  cdr.served_imsi.value = 262420000000000ULL + i;
+  cdr.gateway_address = 0x0a000001;
+  cdr.charging_id = static_cast<std::uint16_t>(i);
+  cdr.sequence_number = i;
+  cdr.time_of_first_usage = static_cast<SimTime>(i) * kSecond;
+  cdr.time_of_last_usage = static_cast<SimTime>(i + 1) * kSecond;
+  cdr.datavolume_uplink = 1000ULL * i;
+  cdr.datavolume_downlink = 2000ULL * i;
+  return cdr;
+}
+
+const crypto::RsaKeyPair& signing_key() {
+  // RSA-1024: parity with the paper's prototype and BM_RsaSign1024.
+  static const crypto::RsaKeyPair* kKey = [] {
+    Rng rng(0xb47c4);
+    return new crypto::RsaKeyPair(crypto::rsa_generate(1024, rng));
+  }();
+  return *kKey;
+}
+
+/// Legacy unit cost: canonical encode + one RSA signature per CDR.
+double bench_per_record(std::uint64_t count) {
+  const auto start = Clock::now();
+  std::size_t sink = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Bytes wire =
+        charging::encode_cdr_leaf(make_cdr(static_cast<std::uint32_t>(i)));
+    sink += crypto::rsa_sign(signing_key().private_key, wire).size();
+  }
+  if (sink == 0) std::printf("impossible\n");
+  return seconds_since(start);
+}
+
+/// Streaming pipeline: encode, Merkle, one signature per sealed batch.
+double bench_streaming(std::uint64_t count, std::uint64_t batch_size) {
+  charging::IngestConfig config;
+  config.batch_size = batch_size;
+  config.retain_batches = false;
+  charging::StreamingIngest ingest(config, &signing_key().private_key,
+                                   nullptr);
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ingest.submit(make_cdr(static_cast<std::uint32_t>(i)));
+  }
+  ingest.flush();
+  const double wall = seconds_since(start);
+  if (ingest.batches_sealed() != (count + batch_size - 1) / batch_size) {
+    std::printf("bench_ingest_stream: unexpected batch count\n");
+  }
+  return wall;
+}
+
+template <typename Fn>
+Row sample(const std::string& name, std::uint64_t batch_size,
+           const std::string& kernel, std::uint64_t cdrs, double baseline_us,
+           Fn&& body) {
+  std::vector<double> walls;
+  for (int i = 0; i < kSamples; ++i) walls.push_back(body());
+  std::sort(walls.begin(), walls.end());
+  const double wall = walls[walls.size() / 2];
+  Row row;
+  row.name = name;
+  row.batch_size = batch_size;
+  row.kernel = kernel;
+  row.cdrs = cdrs;
+  row.wall_seconds = wall;
+  row.us_per_cdr = wall * 1e6 / static_cast<double>(cdrs);
+  row.cdrs_per_second = static_cast<double>(cdrs) / wall;
+  row.speedup_vs_per_record =
+      baseline_us > 0 ? baseline_us / row.us_per_cdr : 1.0;
+  std::printf("%18s %6llu %10s %8llu %10.4f %10.2f %12.0f %9.1fx\n",
+              row.name.c_str(),
+              static_cast<unsigned long long>(row.batch_size),
+              row.kernel.c_str(), static_cast<unsigned long long>(row.cdrs),
+              row.wall_seconds, row.us_per_cdr, row.cdrs_per_second,
+              row.speedup_vs_per_record);
+  return row;
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_ingest_stream: cannot write %s\n",
+                 path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"ingest_stream\",\n  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(
+        f,
+        "    {\"case\": \"%s\", \"batch_size\": %llu, \"kernel\": \"%s\", "
+        "\"cdrs\": %llu, \"wall_seconds\": %.6f, \"us_per_cdr\": %.3f, "
+        "\"cdrs_per_second\": %.0f, \"speedup_vs_per_record\": %.1f}%s\n",
+        row.name.c_str(), static_cast<unsigned long long>(row.batch_size),
+        row.kernel.c_str(), static_cast<unsigned long long>(row.cdrs),
+        row.wall_seconds, row.us_per_cdr, row.cdrs_per_second,
+        row.speedup_vs_per_record, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+int run(const BenchOptions& options) {
+  print_mode(options);
+  std::printf("%18s %6s %10s %8s %10s %10s %12s %10s\n", "case", "batch",
+              "kernel", "cdrs", "wall (s)", "us/cdr", "cdrs/sec", "speedup");
+
+  std::vector<Row> rows;
+
+  // Baseline: per-record signing. 256 signatures is plenty to pin the
+  // ~273µs unit cost (1024 under --full).
+  const std::uint64_t baseline_count = options.full ? 1024 : 256;
+  rows.push_back(sample("per_record_sign", 1, "rsa-1024", baseline_count, 0,
+                        [&] { return bench_per_record(baseline_count); }));
+  const double baseline_us = rows.front().us_per_cdr;
+  rows.front().speedup_vs_per_record = 1.0;
+
+  for (std::uint64_t batch : {64ULL, 256ULL, 1024ULL}) {
+    // Enough CDRs for several sealed batches per run.
+    const std::uint64_t cdrs = batch * (options.full ? 64 : 16);
+
+    if (crypto::sha256_force_kernel(crypto::Sha256Kernel::Scalar)) {
+      rows.push_back(sample("merkle_scalar", batch, "scalar", cdrs,
+                            baseline_us,
+                            [&] { return bench_streaming(cdrs, batch); }));
+    }
+    crypto::sha256_reset_kernel();
+    rows.push_back(sample(
+        "merkle_simd", batch,
+        crypto::sha256_kernel_name(crypto::sha256_batch_kernel()), cdrs,
+        baseline_us, [&] { return bench_streaming(cdrs, batch); }));
+  }
+
+  if (!options.json_path.empty()) {
+    write_json(options.json_path, rows);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tlc::bench
+
+int main(int argc, char** argv) {
+  return tlc::bench::run(tlc::bench::parse_options(argc, argv));
+}

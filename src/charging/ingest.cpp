@@ -1,0 +1,289 @@
+#include "charging/ingest.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/serde.hpp"
+
+namespace tlc::charging {
+namespace {
+
+/// Wire version for every streaming-ingest artifact (leaf, commitment,
+/// batch PoC, inclusion proof). Bump together: a verifier that cannot
+/// parse the commitment cannot check any proof against it.
+constexpr std::uint8_t kBatchWireVersion = 1;
+
+constexpr std::size_t kCdrLeafSize = 70;
+constexpr std::size_t kRootSize = 32;
+
+}  // namespace
+
+// tlclint: codec(charging_cdr_leaf, encode, version=kBatchWireVersion)
+Bytes encode_cdr_leaf(const epc::ChargingDataRecord& cdr) {
+  // Full-width, field-for-field the OFCS journal layout: 8 (imsi) +
+  // 4 (gw) + 2 (charging id) + 4 (seq) + 8 (first) + 8 (last) + 8 (ul)
+  // + 8 (dl) + 8 (uncharged ul) + 8 (uncharged dl) + 4 (flags) = 70.
+  ByteWriter w;
+  w.u64(cdr.served_imsi.value);
+  w.u32(cdr.gateway_address);
+  w.u16(cdr.charging_id);
+  w.u32(cdr.sequence_number);
+  w.i64(cdr.time_of_first_usage);
+  w.i64(cdr.time_of_last_usage);
+  w.u64(cdr.datavolume_uplink);
+  w.u64(cdr.datavolume_downlink);
+  w.u64(cdr.uncharged_uplink);
+  w.u64(cdr.uncharged_downlink);
+  w.u32(cdr.anomaly_flags);
+  return w.take();
+}
+
+// tlclint: codec(charging_cdr_leaf, decode, version=kBatchWireVersion)
+Expected<epc::ChargingDataRecord> decode_cdr_leaf(const Bytes& wire) {
+  if (wire.size() != kCdrLeafSize) return Err("cdr leaf: wrong size");
+  ByteReader r(wire);
+  epc::ChargingDataRecord cdr;
+  auto imsi = r.u64();
+  auto gateway = r.u32();
+  auto charging_id = r.u16();
+  auto sequence = r.u32();
+  auto first = r.i64();
+  auto last = r.i64();
+  auto uplink = r.u64();
+  auto downlink = r.u64();
+  auto uncharged_ul = r.u64();
+  auto uncharged_dl = r.u64();
+  auto anomaly_flags = r.u32();
+  if (!imsi || !gateway || !charging_id || !sequence || !first || !last ||
+      !uplink || !downlink || !uncharged_ul || !uncharged_dl ||
+      !anomaly_flags) {
+    return Err("cdr leaf: truncated");
+  }
+  cdr.served_imsi.value = *imsi;
+  cdr.gateway_address = *gateway;
+  cdr.charging_id = *charging_id;
+  cdr.sequence_number = *sequence;
+  cdr.time_of_first_usage = *first;
+  cdr.time_of_last_usage = *last;
+  cdr.datavolume_uplink = *uplink;
+  cdr.datavolume_downlink = *downlink;
+  cdr.uncharged_uplink = *uncharged_ul;
+  cdr.uncharged_downlink = *uncharged_dl;
+  cdr.anomaly_flags = *anomaly_flags;
+  return cdr;
+}
+
+// tlclint: codec(charging_batch_commitment, encode, version=kBatchWireVersion)
+Bytes encode_batch_commitment(const BatchPoc& poc) {
+  // Signing leaf_count next to the root is what closes the
+  // odd-duplication root ambiguity (see crypto/merkle.hpp); batch_seq
+  // prevents replaying one batch's signature for another.
+  ByteWriter w;
+  w.u8(kBatchWireVersion);
+  w.u64(poc.batch_seq);
+  w.u32(poc.leaf_count);
+  w.i64(poc.first_usage);
+  w.i64(poc.last_usage);
+  w.blob(Bytes(poc.root.begin(), poc.root.end()));
+  return w.take();
+}
+
+// tlclint: codec(charging_batch_poc, encode, version=kBatchWireVersion)
+Bytes encode_batch_poc(const BatchPoc& poc) {
+  ByteWriter w;
+  w.u8(kBatchWireVersion);
+  w.u64(poc.batch_seq);
+  w.u32(poc.leaf_count);
+  w.i64(poc.first_usage);
+  w.i64(poc.last_usage);
+  w.blob(Bytes(poc.root.begin(), poc.root.end()));
+  w.blob(poc.signature);
+  return w.take();
+}
+
+// tlclint: codec(charging_batch_poc, decode, version=kBatchWireVersion)
+Expected<BatchPoc> decode_batch_poc(const Bytes& wire) {
+  ByteReader r(wire);
+  auto version = r.u8();
+  if (!version) return Err("batch poc: truncated");
+  if (*version != kBatchWireVersion) return Err("batch poc: bad version");
+  auto batch_seq = r.u64();
+  auto leaf_count = r.u32();
+  auto first = r.i64();
+  auto last = r.i64();
+  auto root = r.blob();
+  auto signature = r.blob();
+  if (!batch_seq || !leaf_count || !first || !last || !root || !signature) {
+    return Err("batch poc: truncated");
+  }
+  if (root->size() != kRootSize) return Err("batch poc: bad root size");
+  if (!r.exhausted()) return Err("batch poc: trailing bytes");
+  BatchPoc poc;
+  poc.batch_seq = *batch_seq;
+  poc.leaf_count = *leaf_count;
+  poc.first_usage = *first;
+  poc.last_usage = *last;
+  std::copy(root->begin(), root->end(), poc.root.begin());
+  poc.signature = std::move(*signature);
+  return poc;
+}
+
+// tlclint: codec(charging_inclusion_proof, encode, version=kBatchWireVersion)
+Bytes encode_inclusion_proof(const InclusionProof& proof) {
+  ByteWriter w;
+  w.u8(kBatchWireVersion);
+  w.u64(proof.batch_seq);
+  w.u32(proof.merkle.leaf_index);
+  w.u32(proof.merkle.leaf_count);
+  w.u32(static_cast<std::uint32_t>(proof.merkle.path.size()));
+  for (const crypto::MerkleHash& hash : proof.merkle.path) {
+    w.blob(Bytes(hash.begin(), hash.end()));
+  }
+  return w.take();
+}
+
+// tlclint: codec(charging_inclusion_proof, decode, version=kBatchWireVersion)
+Expected<InclusionProof> decode_inclusion_proof(const Bytes& wire) {
+  ByteReader r(wire);
+  auto version = r.u8();
+  if (!version) return Err("inclusion proof: truncated");
+  if (*version != kBatchWireVersion) {
+    return Err("inclusion proof: bad version");
+  }
+  auto batch_seq = r.u64();
+  auto leaf_index = r.u32();
+  auto leaf_count = r.u32();
+  auto depth = r.u32();
+  if (!batch_seq || !leaf_index || !leaf_count || !depth) {
+    return Err("inclusion proof: truncated");
+  }
+  // A 32-bit leaf count caps real depth at 32; anything larger is a
+  // forged header, rejected before allocating.
+  if (*depth > 64) return Err("inclusion proof: depth implausible");
+  InclusionProof proof;
+  proof.batch_seq = *batch_seq;
+  proof.merkle.leaf_index = *leaf_index;
+  proof.merkle.leaf_count = *leaf_count;
+  proof.merkle.path.reserve(*depth);
+  for (std::uint32_t i = 0; i < *depth; ++i) {
+    auto hash = r.blob();
+    if (!hash) return Err("inclusion proof: truncated path");
+    if (hash->size() != kRootSize) {
+      return Err("inclusion proof: bad path hash size");
+    }
+    crypto::MerkleHash node;
+    std::copy(hash->begin(), hash->end(), node.begin());
+    proof.merkle.path.push_back(node);
+  }
+  if (!r.exhausted()) return Err("inclusion proof: trailing bytes");
+  return proof;
+}
+
+Status verify_batch_poc(const BatchPoc& poc,
+                        const crypto::RsaPublicKey& key) {
+  if (poc.leaf_count == 0) return Err("batch poc: empty batch");
+  return crypto::rsa_verify(key, encode_batch_commitment(poc),
+                            poc.signature);
+}
+
+Status verify_cdr_inclusion(const BatchPoc& poc,
+                            const epc::ChargingDataRecord& cdr,
+                            const InclusionProof& proof) {
+  if (proof.batch_seq != poc.batch_seq) {
+    return Err("inclusion: batch sequence mismatch");
+  }
+  if (proof.merkle.leaf_count != poc.leaf_count) {
+    return Err("inclusion: leaf count mismatch");
+  }
+  return crypto::merkle_verify(poc.root, encode_cdr_leaf(cdr), proof.merkle);
+}
+
+StreamingIngest::StreamingIngest(IngestConfig config,
+                                 const crypto::RsaPrivateKey* signing_key,
+                                 epc::Ofcs* sink, BatchSink on_sealed)
+    : config_(config),
+      key_(signing_key),
+      sink_(sink),
+      on_sealed_(std::move(on_sealed)) {
+  if (config_.batch_size == 0) config_.batch_size = 1;
+  pending_leaves_.reserve(config_.batch_size);
+}
+
+void StreamingIngest::submit(const epc::ChargingDataRecord& cdr) {
+  // Billing first: the ledger never waits on (or depends on) a seal.
+  if (sink_ != nullptr) sink_->ingest(cdr);
+
+  Bytes leaf = encode_cdr_leaf(cdr);
+  leaf_bytes_hashed_ += leaf.size();
+  if (pending_leaves_.empty()) {
+    pending_first_ = cdr.time_of_first_usage;
+    pending_last_ = cdr.time_of_last_usage;
+  } else {
+    pending_first_ = std::min(pending_first_, cdr.time_of_first_usage);
+    pending_last_ = std::max(pending_last_, cdr.time_of_last_usage);
+  }
+  pending_leaves_.push_back(std::move(leaf));
+  ++submitted_;
+  if (pending_leaves_.size() >= config_.batch_size) seal();
+}
+
+void StreamingIngest::flush() { seal(); }
+
+void StreamingIngest::seal() {
+  if (pending_leaves_.empty()) return;
+
+  crypto::MerkleTree tree = crypto::MerkleTree::build(pending_leaves_);
+  BatchPoc poc;
+  poc.batch_seq = next_seq_++;
+  poc.leaf_count = tree.leaf_count();
+  poc.first_usage = pending_first_;
+  poc.last_usage = pending_last_;
+  poc.root = tree.root();
+  if (key_ != nullptr) {
+    poc.signature = crypto::rsa_sign(*key_, encode_batch_commitment(poc));
+  }
+
+  const Bytes wire = encode_batch_poc(poc);
+  if (on_sealed_) on_sealed_(poc, wire);
+  batches_.push_back(std::move(poc));
+  if (config_.retain_batches) {
+    sealed_.push_back(Sealed{std::move(tree), std::move(pending_leaves_)});
+  }
+  pending_leaves_.clear();  // valid-but-unspecified after the move above
+  pending_leaves_.reserve(config_.batch_size);
+  pending_first_ = 0;
+  pending_last_ = 0;
+}
+
+Expected<InclusionProof> StreamingIngest::prove(
+    std::size_t batch_index, std::uint32_t leaf_index) const {
+  if (!config_.retain_batches) {
+    return Err("ingest: batches not retained");
+  }
+  if (batch_index >= sealed_.size()) {
+    return Err("ingest: batch index out of range");
+  }
+  auto merkle = sealed_[batch_index].tree.proof(leaf_index);
+  if (!merkle) return Err(merkle.error());
+  InclusionProof proof;
+  proof.batch_seq = batches_[batch_index].batch_seq;
+  proof.merkle = std::move(*merkle);
+  return proof;
+}
+
+Expected<Bytes> StreamingIngest::leaf_wire(std::size_t batch_index,
+                                           std::uint32_t leaf_index) const {
+  if (!config_.retain_batches) {
+    return Err("ingest: batches not retained");
+  }
+  if (batch_index >= sealed_.size()) {
+    return Err("ingest: batch index out of range");
+  }
+  const std::vector<Bytes>& leaves = sealed_[batch_index].leaves;
+  if (leaf_index >= leaves.size()) {
+    return Err("ingest: leaf index out of range");
+  }
+  return leaves[leaf_index];
+}
+
+}  // namespace tlc::charging

@@ -1,0 +1,174 @@
+// Streaming CDR ingest: micro-batched Merkle-aggregated PoC
+// (DESIGN.md §16).
+//
+// The per-record PoC path signs every charging record individually —
+// ~273µs of RSA per CDR (BM_RsaSign1024), capping a core at ~3.6k
+// signed CDRs/s. This pipeline collapses the per-record cost to
+// hashing: CDRs stream in, each canonical 70-byte leaf wire is hashed
+// into a Merkle tree (multi-lane SHA-256, crypto/sha256_batch), and
+// **one** RSA signature per micro-batch covers the tree root plus the
+// leaf count and batch sequence number. A verifier checks the batch
+// signature once, then per-CDR inclusion by a log-depth hash path.
+//
+// Pipeline stages per submitted CDR:
+//   1. encode the canonical leaf wire (full-width, never the lossy
+//      34-byte compact form — billing proofs must cover exact volumes)
+//   2. forward the CDR unchanged to the OFCS sink (bills are
+//      byte-identical with the pipeline on or off — proven by test)
+//   3. buffer the leaf; at batch_size leaves, seal: build the Merkle
+//      tree, sign the commitment, emit a BatchPoc
+//
+// Fallback semantics: the pipeline is a *front* — the OFCS ledger and
+// the per-record PoC path (core/messages, core/poc_store) are
+// untouched and remain the reference. Disabling streaming (or a seal
+// failure) degrades to exactly the legacy behaviour; nothing about
+// billing ever depends on a batch having sealed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "crypto/merkle.hpp"
+#include "crypto/rsa.hpp"
+#include "epc/cdr.hpp"
+#include "epc/ofcs.hpp"
+#include "util/bytes.hpp"
+#include "util/expected.hpp"
+
+namespace tlc::charging {
+
+/// Canonical full-width CDR leaf wire (70 bytes). This — not the lossy
+/// compact form — is what gets hashed into the tree, so an inclusion
+/// proof pins every field the bill depends on.
+[[nodiscard]] Bytes encode_cdr_leaf(const epc::ChargingDataRecord& cdr);
+[[nodiscard]] Expected<epc::ChargingDataRecord> decode_cdr_leaf(
+    const Bytes& wire);
+
+/// One sealed micro-batch's proof of charging: the signed commitment
+/// (root, leaf count, sequence, time range) every inclusion proof
+/// anchors to.
+struct BatchPoc {
+  std::uint64_t batch_seq = 0;
+  std::uint32_t leaf_count = 0;
+  SimTime first_usage = 0;  // min time_of_first_usage over the batch
+  SimTime last_usage = 0;   // max time_of_last_usage over the batch
+  crypto::MerkleHash root = {};
+  Bytes signature;  // RSA over encode_batch_commitment(*this)
+
+  [[nodiscard]] bool operator==(const BatchPoc& o) const = default;
+};
+
+/// The exact bytes the batch signature covers (everything but the
+/// signature itself).
+[[nodiscard]] Bytes encode_batch_commitment(const BatchPoc& poc);
+
+[[nodiscard]] Bytes encode_batch_poc(const BatchPoc& poc);
+[[nodiscard]] Expected<BatchPoc> decode_batch_poc(const Bytes& wire);
+
+/// Per-CDR inclusion proof against a BatchPoc.
+struct InclusionProof {
+  std::uint64_t batch_seq = 0;
+  crypto::MerkleProof merkle;
+
+  [[nodiscard]] bool operator==(const InclusionProof& o) const = default;
+};
+
+[[nodiscard]] Bytes encode_inclusion_proof(const InclusionProof& proof);
+[[nodiscard]] Expected<InclusionProof> decode_inclusion_proof(
+    const Bytes& wire);
+
+// ---- Verifier side ----------------------------------------------------
+
+/// Checks the batch signature over the commitment. One RSA verify
+/// amortized over every record in the batch.
+[[nodiscard]] Status verify_batch_poc(const BatchPoc& poc,
+                                      const crypto::RsaPublicKey& key);
+
+/// Checks that `cdr` is the `proof.merkle.leaf_index`-th record of the
+/// batch `poc` commits to: binds batch_seq and leaf_count, then walks
+/// the hash path. No signature work — call verify_batch_poc once per
+/// batch beforehand.
+[[nodiscard]] Status verify_cdr_inclusion(const BatchPoc& poc,
+                                          const epc::ChargingDataRecord& cdr,
+                                          const InclusionProof& proof);
+
+// ---- The pipeline -----------------------------------------------------
+
+struct IngestConfig {
+  /// Leaves per micro-batch; larger batches amortize the signature
+  /// further (bench: 64/256/1024).
+  std::size_t batch_size = 256;
+  /// Keep sealed batches' trees and leaf wires in memory so proofs can
+  /// be produced later. Fleet-scale streams turn this off: the BatchPoc
+  /// (and whatever the sink archived) is the durable artifact.
+  bool retain_batches = true;
+};
+
+class StreamingIngest {
+ public:
+  /// `signing_key` must outlive the pipeline. `sink` (nullable)
+  /// receives every CDR unchanged, before batching. `on_sealed`
+  /// (nullable) fires per sealed batch with the encoded BatchPoc wire —
+  /// the PocStore archive hook, kept as a callback so the charging
+  /// layer stays independent of the core library.
+  using BatchSink = std::function<void(const BatchPoc&, const Bytes& wire)>;
+
+  StreamingIngest(IngestConfig config,
+                  const crypto::RsaPrivateKey* signing_key, epc::Ofcs* sink,
+                  BatchSink on_sealed = nullptr);
+
+  /// Forwards to the OFCS sink and buffers the canonical leaf. Seals a
+  /// batch every config.batch_size submissions.
+  void submit(const epc::ChargingDataRecord& cdr);
+
+  /// Seals the current partial batch (no-op when empty). Call at end
+  /// of cycle so every ingested CDR is covered by some BatchPoc.
+  void flush();
+
+  /// Sealed batch commitments, in seal order.
+  [[nodiscard]] const std::vector<BatchPoc>& batches() const {
+    return batches_;
+  }
+
+  /// Inclusion proof for leaf `leaf_index` of sealed batch
+  /// `batch_index` (requires config.retain_batches).
+  [[nodiscard]] Expected<InclusionProof> prove(std::size_t batch_index,
+                                               std::uint32_t leaf_index) const;
+
+  /// The retained canonical leaf wire (requires config.retain_batches).
+  [[nodiscard]] Expected<Bytes> leaf_wire(std::size_t batch_index,
+                                          std::uint32_t leaf_index) const;
+
+  [[nodiscard]] std::uint64_t cdrs_submitted() const { return submitted_; }
+  [[nodiscard]] std::uint64_t batches_sealed() const {
+    return static_cast<std::uint64_t>(batches_.size());
+  }
+  [[nodiscard]] std::uint64_t leaf_bytes_hashed() const {
+    return leaf_bytes_hashed_;
+  }
+
+ private:
+  struct Sealed {
+    crypto::MerkleTree tree;
+    std::vector<Bytes> leaves;
+  };
+
+  void seal();
+
+  IngestConfig config_;
+  const crypto::RsaPrivateKey* key_;
+  epc::Ofcs* sink_;
+  BatchSink on_sealed_;
+
+  std::vector<Bytes> pending_leaves_;
+  SimTime pending_first_ = 0;
+  SimTime pending_last_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t leaf_bytes_hashed_ = 0;
+  std::vector<BatchPoc> batches_;
+  std::vector<Sealed> sealed_;  // parallel to batches_ when retained
+};
+
+}  // namespace tlc::charging

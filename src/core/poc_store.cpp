@@ -12,7 +12,9 @@ namespace {
 constexpr std::uint32_t kStoreMagic = 0x544c4350;  // "TLCP"
 // v2 added the per-entry CRC32C frame that makes salvage loads
 // possible; v1 files (whole-file HMAC only) are no longer readable.
-constexpr std::uint32_t kStoreVersion = 2;
+// v3 prefixed each entry with its PocKind so the archive can hold
+// streaming-ingest batch PoCs (DESIGN.md §16) next to cycle receipts.
+constexpr std::uint32_t kStoreVersion = 3;
 constexpr std::size_t kTagBytes = 32;
 
 Bytes integrity_key() { return bytes_of("tlc-poc-store-integrity-v1"); }
@@ -20,6 +22,7 @@ Bytes integrity_key() { return bytes_of("tlc-poc-store-integrity-v1"); }
 // tlclint: codec(poc_entry, encode, version=kStoreVersion)
 Bytes encode_entry_body(const PocStore::Entry& entry) {
   ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(entry.kind));
   w.i64(entry.plan.t_start);
   w.i64(entry.plan.t_end);
   w.f64(entry.plan.c);
@@ -31,10 +34,15 @@ Bytes encode_entry_body(const PocStore::Entry& entry) {
 Expected<PocStore::Entry> decode_entry_body(const Bytes& body) {
   ByteReader r(body);
   PocStore::Entry entry;
+  auto kind = r.u8();
   auto start = r.i64();
   auto end = r.i64();
   auto c = r.f64();
-  if (!start || !end || !c) return Err("poc store: truncated entry");
+  if (!kind || !start || !end || !c) return Err("poc store: truncated entry");
+  if (*kind > static_cast<std::uint8_t>(PocKind::Batch)) {
+    return Err("poc store: unknown entry kind");
+  }
+  entry.kind = static_cast<PocKind>(*kind);
   entry.plan.t_start = *start;
   entry.plan.t_end = *end;
   entry.plan.c = *c;
@@ -48,14 +56,18 @@ Expected<PocStore::Entry> decode_entry_body(const Bytes& body) {
 }  // namespace
 
 void PocStore::add(const PlanRef& plan, Bytes poc_wire) {
+  add(PocKind::Cycle, plan, std::move(poc_wire));
+}
+
+void PocStore::add(PocKind kind, const PlanRef& plan, Bytes poc_wire) {
   if (log_ != nullptr) {
-    // Idempotence key is the cycle start: re-adding a recovered
-    // cycle's receipt after a crash is a no-op.
-    if (find_cycle(plan.t_start).has_value()) {
+    // Idempotence key is (kind, cycle start / batch seq): re-adding a
+    // recovered receipt after a crash is a no-op.
+    if (find(kind, plan.t_start).has_value()) {
       ++duplicate_ops_dropped_;
       return;
     }
-    const Bytes op = encode_entry_body(Entry{plan, poc_wire});
+    const Bytes op = encode_entry_body(Entry{kind, plan, poc_wire});
     if (Status appended = log_->append(op); !appended.ok()) {
       if (recovery_error_.ok()) recovery_error_ = Err(appended.error());
       TLC_WARN("poc_store") << "journal append failed, add dropped: "
@@ -63,12 +75,17 @@ void PocStore::add(const PlanRef& plan, Bytes poc_wire) {
       return;
     }
   }
-  entries_.push_back(Entry{plan, std::move(poc_wire)});
+  entries_.push_back(Entry{kind, plan, std::move(poc_wire)});
 }
 
 std::optional<PocStore::Entry> PocStore::find_cycle(SimTime t_start) const {
+  return find(PocKind::Cycle, t_start);
+}
+
+std::optional<PocStore::Entry> PocStore::find(PocKind kind,
+                                              SimTime t_start) const {
   for (const Entry& entry : entries_) {
-    if (entry.plan.t_start == t_start) return entry;
+    if (entry.kind == kind && entry.plan.t_start == t_start) return entry;
   }
   return std::nullopt;
 }
@@ -214,7 +231,7 @@ Status PocStore::attach_recovery(recovery::StateLog* log) {
   for (const Bytes& op : recovered->ops) {
     auto entry = decode_entry_body(op);
     if (!entry) return Err(entry.error());
-    if (find_cycle(entry->plan.t_start).has_value()) {
+    if (find(entry->kind, entry->plan.t_start).has_value()) {
       ++duplicate_ops_dropped_;
       continue;
     }

@@ -30,9 +30,15 @@
 
 namespace tlc::core {
 
+/// What a stored receipt proves. Cycle entries are the classic §5.3.2
+/// per-cycle PoC; Batch entries hold a streaming-ingest Merkle batch
+/// PoC (DESIGN.md §16) whose one signature covers many CDRs.
+enum class PocKind : std::uint8_t { Cycle = 0, Batch = 1 };
+
 class PocStore {
  public:
   struct Entry {
+    PocKind kind = PocKind::Cycle;
     PlanRef plan;
     Bytes poc_wire;
 
@@ -48,12 +54,22 @@ class PocStore {
   /// journaled first and duplicate cycle starts are dropped.
   void add(const PlanRef& plan, Bytes poc_wire);
 
+  /// Appends a receipt of an explicit kind. The dedupe/lookup key is
+  /// (kind, plan.t_start); for Batch entries callers pass the batch
+  /// sequence number as t_start — it is the batch's identity, the time
+  /// range lives inside the PoC wire itself.
+  void add(PocKind kind, const PlanRef& plan, Bytes poc_wire);
+
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
   [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
 
   /// The receipt for the cycle starting at `t_start`, if archived.
+  /// (Cycle entries only — batch receipts don't shadow cycle lookups.)
   [[nodiscard]] std::optional<Entry> find_cycle(SimTime t_start) const;
+
+  /// Kind-explicit lookup by (kind, t_start).
+  [[nodiscard]] std::optional<Entry> find(PocKind kind, SimTime t_start) const;
 
   /// Total archived bytes (the paper: 796 B/PoC, "marginal").
   [[nodiscard]] std::uint64_t stored_bytes() const;

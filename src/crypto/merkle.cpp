@@ -1,0 +1,160 @@
+#include "crypto/merkle.hpp"
+
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+#include "crypto/sha256_batch.hpp"
+
+namespace tlc::crypto {
+namespace {
+
+constexpr std::size_t kNodeInputSize = 1 + 32 + 32;
+
+/// Hashes one level's pairs into the next level. `nodes` has `count`
+/// hashes; odd counts duplicate the trailing node as its own sibling.
+std::vector<MerkleHash> fold_level(const std::vector<MerkleHash>& nodes) {
+  const std::size_t pairs = (nodes.size() + 1) / 2;
+  // Pack 0x01 || left || right per pair; equal-length inputs keep the
+  // multi-lane kernel engaged for the whole level.
+  std::vector<std::uint8_t> scratch(pairs * kNodeInputSize);
+  std::vector<const std::uint8_t*> ptrs(pairs);
+  std::vector<std::size_t> lens(pairs, kNodeInputSize);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    std::uint8_t* in = scratch.data() + p * kNodeInputSize;
+    const MerkleHash& left = nodes[2 * p];
+    const MerkleHash& right =
+        (2 * p + 1 < nodes.size()) ? nodes[2 * p + 1] : nodes[2 * p];
+    in[0] = kMerkleNodeDomain;
+    std::memcpy(in + 1, left.data(), 32);
+    std::memcpy(in + 33, right.data(), 32);
+    ptrs[p] = in;
+  }
+  std::vector<MerkleHash> parents(pairs);
+  sha256_batch(ptrs.data(), lens.data(), pairs,
+               reinterpret_cast<std::uint8_t*>(parents.data()));
+  return parents;
+}
+
+MerkleHash hash_node(const MerkleHash& left, const MerkleHash& right) {
+  std::uint8_t in[kNodeInputSize];
+  in[0] = kMerkleNodeDomain;
+  std::memcpy(in + 1, left.data(), 32);
+  std::memcpy(in + 33, right.data(), 32);
+  const std::uint8_t* ptr = in;
+  const std::size_t len = kNodeInputSize;
+  MerkleHash out;
+  sha256_batch(&ptr, &len, 1, out.data());
+  return out;
+}
+
+}  // namespace
+
+MerkleHash merkle_leaf_hash(const std::uint8_t* data, std::size_t len) {
+  std::vector<std::uint8_t> in(1 + len);
+  in[0] = kMerkleLeafDomain;
+  std::memcpy(in.data() + 1, data, len);
+  const std::uint8_t* ptr = in.data();
+  const std::size_t total = in.size();
+  MerkleHash out;
+  sha256_batch(&ptr, &total, 1, out.data());
+  return out;
+}
+
+MerkleHash merkle_leaf_hash(const Bytes& data) {
+  return merkle_leaf_hash(data.data(), data.size());
+}
+
+std::size_t merkle_proof_depth(std::uint32_t leaf_count) {
+  std::size_t depth = 0;
+  std::size_t width = leaf_count;
+  while (width > 1) {
+    width = (width + 1) / 2;
+    ++depth;
+  }
+  return depth;
+}
+
+MerkleTree MerkleTree::build(const std::vector<Bytes>& leaves) {
+  std::vector<const std::uint8_t*> ptrs(leaves.size());
+  std::vector<std::size_t> lens(leaves.size());
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    ptrs[i] = leaves[i].data();
+    lens[i] = leaves[i].size();
+  }
+  return build(ptrs.data(), lens.data(), leaves.size());
+}
+
+MerkleTree MerkleTree::build(const std::uint8_t* const* leaves,
+                             const std::size_t* lens, std::size_t count) {
+  MerkleTree tree;
+  tree.leaf_count_ = static_cast<std::uint32_t>(count);
+  if (count == 0) return tree;
+
+  // Domain-prefixed leaf inputs, packed contiguously so equal-length
+  // leaves (the CDR case) ride the wide kernel.
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < count; ++i) total += 1 + lens[i];
+  std::vector<std::uint8_t> scratch(total);
+  std::vector<const std::uint8_t*> ptrs(count);
+  std::vector<std::size_t> prefixed_lens(count);
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint8_t* in = scratch.data() + offset;
+    in[0] = kMerkleLeafDomain;
+    std::memcpy(in + 1, leaves[i], lens[i]);
+    ptrs[i] = in;
+    prefixed_lens[i] = 1 + lens[i];
+    offset += 1 + lens[i];
+  }
+
+  std::vector<MerkleHash> level(count);
+  sha256_batch(ptrs.data(), prefixed_lens.data(), count,
+               reinterpret_cast<std::uint8_t*>(level.data()));
+
+  tree.levels_.push_back(std::move(level));
+  while (tree.levels_.back().size() > 1) {
+    tree.levels_.push_back(fold_level(tree.levels_.back()));
+  }
+  tree.root_ = tree.levels_.back().front();
+  return tree;
+}
+
+Expected<MerkleProof> MerkleTree::proof(std::uint32_t index) const {
+  if (index >= leaf_count_) return Err("merkle: proof index out of range");
+  MerkleProof proof;
+  proof.leaf_index = index;
+  proof.leaf_count = leaf_count_;
+  std::size_t node = index;
+  // Every level except the root contributes one sibling; the last node
+  // of an odd level is its own sibling (the duplication rule).
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const std::vector<MerkleHash>& nodes = levels_[lvl];
+    const std::size_t sibling = (node % 2 == 0) ? node + 1 : node - 1;
+    proof.path.push_back(sibling < nodes.size() ? nodes[sibling]
+                                                : nodes[node]);
+    node /= 2;
+  }
+  return proof;
+}
+
+Status merkle_verify(const MerkleHash& root, const Bytes& leaf,
+                     const MerkleProof& proof) {
+  if (proof.leaf_count == 0) return Err("merkle: empty tree has no proofs");
+  if (proof.leaf_index >= proof.leaf_count) {
+    return Err("merkle: leaf index out of range");
+  }
+  if (proof.path.size() != merkle_proof_depth(proof.leaf_count)) {
+    return Err("merkle: proof depth mismatch");
+  }
+  MerkleHash node = merkle_leaf_hash(leaf);
+  std::size_t index = proof.leaf_index;
+  for (const MerkleHash& sibling : proof.path) {
+    node = (index % 2 == 0) ? hash_node(node, sibling)
+                            : hash_node(sibling, node);
+    index /= 2;
+  }
+  if (node != root) return Err("merkle: root mismatch");
+  return Status::Ok();
+}
+
+}  // namespace tlc::crypto

@@ -1,0 +1,89 @@
+// Merkle tree over micro-batch leaves (DESIGN.md §16).
+//
+// The streaming ingest path amortizes one RSA signature over a batch of
+// CDRs by signing the root of a binary hash tree built from the
+// canonical CDR wires. A verifier then checks a log-depth inclusion
+// proof (a handful of ~1µs hashes) instead of a ~270µs signature per
+// record.
+//
+// Pinned construction rules (wire compatibility depends on these):
+//   * leaf hash  = SHA-256(0x00 || leaf bytes)
+//   * node hash  = SHA-256(0x01 || left || right)
+//   * odd node count at any level: the last node is duplicated as its
+//     own sibling (CVE-2012-2459-style root ambiguity between n and
+//     n+duplicated leaves is closed by signing the leaf count next to
+//     the root — see charging::BatchPoc — never by the tree itself)
+//   * a level of one node is the root; duplication never applies to it
+//   * the empty tree has the all-zero root and no proofs
+//
+// The leaf/node domain separation makes a second-preimage splice (a
+// node pair presented as a leaf) produce a different hash, so proofs
+// cannot be shortened.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/expected.hpp"
+
+namespace tlc::crypto {
+
+using MerkleHash = std::array<std::uint8_t, 32>;
+
+inline constexpr std::uint8_t kMerkleLeafDomain = 0x00;
+inline constexpr std::uint8_t kMerkleNodeDomain = 0x01;
+
+/// SHA-256(0x00 || data) — the leaf hashing rule, exposed for
+/// verifiers that receive raw leaf bytes.
+[[nodiscard]] MerkleHash merkle_leaf_hash(const std::uint8_t* data,
+                                          std::size_t len);
+[[nodiscard]] MerkleHash merkle_leaf_hash(const Bytes& data);
+
+/// Sibling path from the leaf level up; the root is never included.
+struct MerkleProof {
+  std::uint32_t leaf_index = 0;
+  std::uint32_t leaf_count = 0;
+  std::vector<MerkleHash> path;
+
+  [[nodiscard]] bool operator==(const MerkleProof& o) const = default;
+};
+
+/// Number of sibling hashes a proof needs for `leaf_count` leaves.
+[[nodiscard]] std::size_t merkle_proof_depth(std::uint32_t leaf_count);
+
+class MerkleTree {
+ public:
+  /// Hashes each leaf (domain-separated) with the batched multi-lane
+  /// SHA-256 and folds the levels. Deterministic for any kernel.
+  [[nodiscard]] static MerkleTree build(const std::vector<Bytes>& leaves);
+
+  /// Same, from pointer/length pairs (no per-leaf Bytes needed on the
+  /// hot path).
+  [[nodiscard]] static MerkleTree build(const std::uint8_t* const* leaves,
+                                        const std::size_t* lens,
+                                        std::size_t count);
+
+  /// All-zero for the empty tree.
+  [[nodiscard]] const MerkleHash& root() const { return root_; }
+  [[nodiscard]] std::uint32_t leaf_count() const { return leaf_count_; }
+  [[nodiscard]] bool empty() const { return leaf_count_ == 0; }
+
+  /// Inclusion proof for leaf `index` (< leaf_count).
+  [[nodiscard]] Expected<MerkleProof> proof(std::uint32_t index) const;
+
+ private:
+  /// levels_[0] = leaf hashes, levels_.back() = the single root node.
+  std::vector<std::vector<MerkleHash>> levels_;
+  MerkleHash root_ = {};
+  std::uint32_t leaf_count_ = 0;
+};
+
+/// Recomputes the root from `leaf` bytes and the sibling path; Ok iff
+/// it matches `root`, the index is in range and the path has exactly
+/// the depth `leaf_count` demands.
+[[nodiscard]] Status merkle_verify(const MerkleHash& root, const Bytes& leaf,
+                                   const MerkleProof& proof);
+
+}  // namespace tlc::crypto

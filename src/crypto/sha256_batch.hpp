@@ -1,0 +1,59 @@
+// Batched SHA-256 for the streaming ingest hot path (DESIGN.md §16).
+//
+// The per-message `Sha256` class costs ~1µs per 64-byte input, almost
+// all of it in the compression rounds. Hashing a micro-batch of CDR
+// leaves one at a time leaves 8-wide vector units idle, so this module
+// adds a batch-oriented front end with runtime kernel dispatch:
+//
+//   * Scalar  — the existing `Sha256` class, one message at a time.
+//               Always available; the reference the other kernels are
+//               soaked against (bit-identical by test, not by trust).
+//   * ShaNi   — x86 SHA extensions, one message at a time but ~10x
+//               cheaper per block than scalar rounds.
+//   * Avx2x8  — eight-way interleaved compression: eight equal-length
+//               messages ride one register file, one SHA-256 round is
+//               computed for all eight lanes per instruction sequence.
+//
+// Dispatch picks the best kernel the host supports; equal-length runs
+// of eight go through the wide kernel, stragglers and mixed-length
+// inputs fall back to the best single-message kernel. All kernels
+// produce FIPS 180-4 SHA-256 — the digests are identical regardless of
+// the path taken, which is what lets Merkle roots built on any host
+// match bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace tlc::crypto {
+
+enum class Sha256Kernel : std::uint8_t { Scalar = 0, ShaNi = 1, Avx2x8 = 2 };
+
+/// Human-readable kernel name ("scalar", "sha-ni", "avx2-x8").
+[[nodiscard]] const char* sha256_kernel_name(Sha256Kernel kernel);
+
+/// The kernel batch hashing currently uses (after dispatch or a force).
+[[nodiscard]] Sha256Kernel sha256_batch_kernel();
+
+/// True when the host can run `kernel` at all.
+[[nodiscard]] bool sha256_kernel_available(Sha256Kernel kernel);
+
+/// Test/bench hook: pin batch hashing to one kernel. Returns false
+/// (and changes nothing) when the host lacks it.
+[[nodiscard]] bool sha256_force_kernel(Sha256Kernel kernel);
+
+/// Back to auto-dispatch (the default).
+void sha256_reset_kernel();
+
+/// Hashes `count` independent messages: `inputs[i]` is `lens[i]` bytes,
+/// digest `i` is written to `out + 32 * i`. Kernels are chosen per run:
+/// aligned groups of eight equal-length messages take the wide path.
+void sha256_batch(const std::uint8_t* const* inputs, const std::size_t* lens,
+                  std::size_t count, std::uint8_t* out);
+
+/// Convenience wrapper over byte vectors.
+[[nodiscard]] std::vector<Bytes> sha256_batch(const std::vector<Bytes>& inputs);
+
+}  // namespace tlc::crypto

@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "charging/ingest.hpp"
+#include "crypto/rsa.hpp"
 #include "crypto/sha256.hpp"
 #include "fleet/engine_detail.hpp"
 #include "fleet/thread_pool.hpp"
@@ -35,6 +37,7 @@ epc::SettlementOutcome to_epc_outcome(core::SettleOutcome outcome) {
 // integers).
 constexpr std::uint64_t kKeyCacheStream = 0x6b657963ULL;    // "keyc"
 constexpr std::uint64_t kSettleSaltStream = 0x73616c74ULL;  // "salt"
+constexpr std::uint64_t kIngestKeyStream = 0x696e6773ULL;   // "ings"
 
 constexpr std::uint32_t kGatewayAddress = 0x0a000001;  // 10.0.0.1
 
@@ -116,6 +119,16 @@ Bytes digest_receipts(const std::vector<core::SettlementReceipt>& receipts) {
     append_u64(buf, static_cast<std::uint64_t>(receipt.rounds));
     append_u64(buf, receipt.poc_wire.size());
     append(buf, receipt.poc_wire);
+  }
+  return crypto::sha256(buf);
+}
+
+Bytes digest_ingest(const std::vector<charging::BatchPoc>& batches) {
+  Bytes buf;
+  for (const charging::BatchPoc& poc : batches) {
+    const Bytes wire = charging::encode_batch_poc(poc);
+    append_u64(buf, wire.size());
+    append(buf, wire);
   }
   return crypto::sha256(buf);
 }
@@ -234,6 +247,24 @@ void aggregate_fleet(const FleetConfig& config, epc::Ofcs& ofcs,
     return receipt->charged;
   });
 
+  // Streaming front (§16): one ingest key per fleet, derived from its
+  // own seed stream so enabling streaming perturbs no other draw. The
+  // pipeline forwards every CDR to the OFCS before batching, so the
+  // ledger below is byte-identical with streaming on or off; the
+  // batches themselves are a pure function of the serial CDR stream.
+  std::unique_ptr<charging::StreamingIngest> streaming;
+  crypto::RsaKeyPair ingest_key;
+  if (config.streaming_ingest) {
+    Rng rng(sim::stream_seed(config.seed, kIngestKeyStream));
+    ingest_key = crypto::rsa_generate(config.rsa_bits, rng);
+    result.ingest_key = ingest_key.public_key;
+    charging::IngestConfig ingest_config;
+    ingest_config.batch_size = config.ingest_batch_size;
+    ingest_config.retain_batches = false;  // the BatchPoc is the artifact
+    streaming = std::make_unique<charging::StreamingIngest>(
+        ingest_config, &ingest_key.private_key, &ofcs);
+  }
+
   // Synthetic gateway CDRs per (UE, cycle), rated with the TLC hook
   // substituting each cycle's negotiated x. All closes are
   // cycle-indexed so a recovered ledger re-executes this loop as pure
@@ -266,12 +297,22 @@ void aggregate_fleet(const FleetConfig& config, epc::Ofcs& ofcs,
                                  ? record.uncharged_per_cycle[c]
                                  : 0;
       cdr.anomaly_flags = record.anomaly.flags;
-      ofcs.ingest(cdr);
+      if (streaming != nullptr) {
+        streaming->submit(cdr);
+      } else {
+        ofcs.ingest(cdr);
+      }
     }
+    // Seal the partial batch at the cycle edge so every batch PoC's
+    // time range stays within one cycle (and batch boundaries never
+    // depend on how many cycles follow).
+    if (streaming != nullptr) streaming->flush();
     result.bills.push_back(
         ofcs.close_cycle_all(static_cast<std::uint32_t>(cycle)));
     if (after_cycle) after_cycle(cycle);
   }
+  result.ingest_batches =
+      streaming != nullptr ? streaming->batches() : std::vector<charging::BatchPoc>{};
   result.totals = ofcs.totals();
   result.settlement_totals = ofcs.settlement_totals();
   result.settlement_by_cycle.clear();
@@ -287,6 +328,7 @@ void compute_digests(FleetResult& result) {
   result.cdf_digest = digest_cdfs(result.gap_samples);
   result.poc_digest = digest_receipts(result.receipts);
   result.anomaly_digest = digest_anomalies(result.records);
+  result.ingest_digest = digest_ingest(result.ingest_batches);
 }
 
 }  // namespace detail

@@ -15,6 +15,7 @@
 #include <map>
 #include <vector>
 
+#include "charging/ingest.hpp"
 #include "core/batch_settlement.hpp"
 #include "epc/ofcs.hpp"
 #include "fleet/fleet_config.hpp"
@@ -47,11 +48,21 @@ struct FleetResult {
   std::vector<epc::SettlementCounters> settlement_by_cycle;
   epc::SettlementCounters settlement_totals;
 
+  /// Streaming ingest artifacts (DESIGN.md §16): sealed batch PoCs in
+  /// seal order. Empty when config.streaming_ingest is off. A pure
+  /// function of the CDR stream, so bit-identical across thread counts
+  /// like everything else here.
+  std::vector<charging::BatchPoc> ingest_batches;
+  /// Verification key for the batch signatures (derived from its own
+  /// seed stream). Zero-valued when streaming is off.
+  crypto::RsaPublicKey ingest_key;
+
   /// SHA-256 digests for bit-identity assertions.
   Bytes measurement_digest;  // all merged CycleMeasurements
   Bytes cdf_digest;          // per-scheme gap CDF point series
   Bytes poc_digest;          // all settlement receipts incl. PoC wire
   Bytes anomaly_digest;      // §13 adversary kinds + gateway detectors
+  Bytes ingest_digest;       // §16 batch PoC wires, seal order
 };
 
 /// Runs the whole fleet: shards on `config.threads` workers, then

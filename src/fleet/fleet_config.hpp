@@ -99,6 +99,16 @@ struct FleetConfig {
   /// and a run bit-identical to pre-§13 fleets.
   AdversaryMix adversary;
 
+  /// Streaming ingest front (DESIGN.md §16): route the synthetic
+  /// gateway CDRs through charging::StreamingIngest, sealing one
+  /// Merkle-aggregated batch PoC per ingest_batch_size records instead
+  /// of paying a signature per record. Bills, totals and every digest
+  /// except ingest_digest are byte-identical with this on or off — the
+  /// front forwards each CDR to the OFCS unchanged before batching.
+  bool streaming_ingest = false;
+  /// CDR leaves per sealed batch (bench points: 64 / 256 / 1024).
+  std::size_t ingest_batch_size = 256;
+
   /// Members per shard (ceiling division; the last shard may be short).
   [[nodiscard]] std::size_t ues_per_shard() const {
     if (shards <= 0 || ue_count <= 0) return 0;

@@ -1,0 +1,335 @@
+// Streaming ingest pipeline (DESIGN.md §16): wire codecs, batching,
+// signature amortization, inclusion proofs — and the load-bearing
+// invariant that the OFCS ledger cannot tell the streaming front from
+// direct ingest.
+#include "charging/ingest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/poc_store.hpp"
+#include "crypto/rsa.hpp"
+#include "epc/ofcs.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace tlc::charging {
+namespace {
+
+epc::ChargingDataRecord make_cdr(std::uint32_t i) {
+  epc::ChargingDataRecord cdr;
+  cdr.served_imsi.value = 262420000000000ULL + i;
+  cdr.gateway_address = 0x0a000001;
+  cdr.charging_id = static_cast<std::uint16_t>(i);
+  cdr.sequence_number = i;
+  cdr.time_of_first_usage = static_cast<SimTime>(i) * kSecond;
+  cdr.time_of_last_usage = static_cast<SimTime>(i + 2) * kSecond;
+  cdr.datavolume_uplink = 5000ULL + i;
+  cdr.datavolume_downlink = 100ULL * i;
+  cdr.uncharged_uplink = i % 7;
+  cdr.uncharged_downlink = i % 11;
+  cdr.anomaly_flags = i % 4;
+  return cdr;
+}
+
+const crypto::RsaKeyPair& test_key() {
+  static const crypto::RsaKeyPair* kKey = [] {
+    Rng rng(0x1076e57);
+    return new crypto::RsaKeyPair(crypto::rsa_generate(512, rng));
+  }();
+  return *kKey;
+}
+
+charging::DataPlan test_plan() {
+  charging::DataPlan plan;
+  plan.cycle_length = kHour;
+  return plan;
+}
+
+TEST(IngestCodecTest, CdrLeafRoundTripIs70Bytes) {
+  const epc::ChargingDataRecord cdr = make_cdr(42);
+  const Bytes wire = encode_cdr_leaf(cdr);
+  EXPECT_EQ(wire.size(), 70u);
+  auto decoded = decode_cdr_leaf(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, cdr);
+}
+
+TEST(IngestCodecTest, CdrLeafRejectsWrongSize) {
+  Bytes wire = encode_cdr_leaf(make_cdr(1));
+  wire.pop_back();
+  EXPECT_FALSE(decode_cdr_leaf(wire).has_value());
+  wire.push_back(0);
+  wire.push_back(0);
+  EXPECT_FALSE(decode_cdr_leaf(wire).has_value());
+}
+
+BatchPoc sample_poc() {
+  BatchPoc poc;
+  poc.batch_seq = 7;
+  poc.leaf_count = 256;
+  poc.first_usage = 3 * kSecond;
+  poc.last_usage = 90 * kSecond;
+  for (std::size_t i = 0; i < poc.root.size(); ++i) {
+    poc.root[i] = static_cast<std::uint8_t>(i * 5 + 1);
+  }
+  poc.signature = bytes_of("not a real signature");
+  return poc;
+}
+
+TEST(IngestCodecTest, BatchPocRoundTrip) {
+  const BatchPoc poc = sample_poc();
+  auto decoded = decode_batch_poc(encode_batch_poc(poc));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, poc);
+}
+
+TEST(IngestCodecTest, BatchPocRejectsDamage) {
+  const Bytes wire = encode_batch_poc(sample_poc());
+
+  Bytes bad_version = wire;
+  bad_version[0] = 0x7f;
+  EXPECT_FALSE(decode_batch_poc(bad_version).has_value());
+
+  Bytes truncated(wire.begin(), wire.end() - 1);
+  EXPECT_FALSE(decode_batch_poc(truncated).has_value());
+
+  Bytes trailing = wire;
+  trailing.push_back(0);
+  EXPECT_FALSE(decode_batch_poc(trailing).has_value());
+}
+
+TEST(IngestCodecTest, CommitmentExcludesTheSignature) {
+  BatchPoc poc = sample_poc();
+  const Bytes commitment = encode_batch_commitment(poc);
+  poc.signature = bytes_of("different");
+  EXPECT_EQ(encode_batch_commitment(poc), commitment);
+  poc.leaf_count ^= 1;
+  EXPECT_NE(encode_batch_commitment(poc), commitment);
+}
+
+TEST(IngestCodecTest, InclusionProofRoundTrip) {
+  InclusionProof proof;
+  proof.batch_seq = 9;
+  proof.merkle.leaf_index = 3;
+  proof.merkle.leaf_count = 8;
+  for (int level = 0; level < 3; ++level) {
+    crypto::MerkleHash hash{};
+    hash[0] = static_cast<std::uint8_t>(level + 1);
+    proof.merkle.path.push_back(hash);
+  }
+  auto decoded = decode_inclusion_proof(encode_inclusion_proof(proof));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, proof);
+
+  Bytes wire = encode_inclusion_proof(proof);
+  Bytes truncated(wire.begin(), wire.end() - 8);
+  EXPECT_FALSE(decode_inclusion_proof(truncated).has_value());
+  wire.push_back(0xee);
+  EXPECT_FALSE(decode_inclusion_proof(wire).has_value());
+}
+
+TEST(IngestPipelineTest, SealsAtBatchSizeAndOnFlush) {
+  IngestConfig config;
+  config.batch_size = 4;
+  StreamingIngest ingest(config, &test_key().private_key, nullptr);
+
+  for (std::uint32_t i = 0; i < 10; ++i) ingest.submit(make_cdr(i));
+  EXPECT_EQ(ingest.batches_sealed(), 2u);  // 4 + 4 sealed, 2 pending
+  ingest.flush();
+  ASSERT_EQ(ingest.batches_sealed(), 3u);
+  ingest.flush();  // empty flush is a no-op
+  EXPECT_EQ(ingest.batches_sealed(), 3u);
+  EXPECT_EQ(ingest.cdrs_submitted(), 10u);
+
+  const std::vector<BatchPoc>& batches = ingest.batches();
+  EXPECT_EQ(batches[0].leaf_count, 4u);
+  EXPECT_EQ(batches[1].leaf_count, 4u);
+  EXPECT_EQ(batches[2].leaf_count, 2u);
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    EXPECT_EQ(batches[b].batch_seq, b);
+  }
+  // Batch time ranges span their members' usage windows.
+  EXPECT_EQ(batches[0].first_usage, 0);
+  EXPECT_EQ(batches[0].last_usage, 5 * kSecond);
+}
+
+TEST(IngestPipelineTest, BatchSignatureVerifiesAndBindsTheCommitment) {
+  IngestConfig config;
+  config.batch_size = 8;
+  StreamingIngest ingest(config, &test_key().private_key, nullptr);
+  for (std::uint32_t i = 0; i < 8; ++i) ingest.submit(make_cdr(i));
+  ASSERT_EQ(ingest.batches_sealed(), 1u);
+
+  const BatchPoc& poc = ingest.batches()[0];
+  EXPECT_TRUE(verify_batch_poc(poc, test_key().public_key).ok());
+
+  // Any commitment field change kills the signature.
+  BatchPoc tampered = poc;
+  tampered.leaf_count = 7;
+  EXPECT_FALSE(verify_batch_poc(tampered, test_key().public_key).ok());
+  tampered = poc;
+  tampered.root[0] ^= 1;
+  EXPECT_FALSE(verify_batch_poc(tampered, test_key().public_key).ok());
+  tampered = poc;
+  tampered.batch_seq += 1;
+  EXPECT_FALSE(verify_batch_poc(tampered, test_key().public_key).ok());
+}
+
+TEST(IngestPipelineTest, InclusionProofsCoverEveryCdr) {
+  IngestConfig config;
+  config.batch_size = 5;  // odd: duplication rule in play
+  StreamingIngest ingest(config, &test_key().private_key, nullptr);
+  std::vector<epc::ChargingDataRecord> cdrs;
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    cdrs.push_back(make_cdr(i));
+    ingest.submit(cdrs.back());
+  }
+  ingest.flush();
+  ASSERT_EQ(ingest.batches_sealed(), 3u);
+
+  for (std::size_t b = 0; b < 3; ++b) {
+    const BatchPoc& poc = ingest.batches()[b];
+    ASSERT_TRUE(verify_batch_poc(poc, test_key().public_key).ok());
+    for (std::uint32_t i = 0; i < poc.leaf_count; ++i) {
+      auto proof = ingest.prove(b, i);
+      ASSERT_TRUE(proof.has_value()) << "batch " << b << " leaf " << i;
+      const epc::ChargingDataRecord& cdr = cdrs[b * 5 + i];
+      EXPECT_TRUE(verify_cdr_inclusion(poc, cdr, *proof).ok())
+          << "batch " << b << " leaf " << i;
+    }
+  }
+}
+
+TEST(IngestPipelineTest, InclusionRejectsEveryTamperCase) {
+  IngestConfig config;
+  config.batch_size = 8;
+  StreamingIngest ingest(config, &test_key().private_key, nullptr);
+  std::vector<epc::ChargingDataRecord> cdrs;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    cdrs.push_back(make_cdr(i));
+    ingest.submit(cdrs.back());
+  }
+  const BatchPoc& poc = ingest.batches()[0];
+  auto proof = ingest.prove(0, 3);
+  ASSERT_TRUE(proof.has_value());
+
+  // A CDR with one inflated volume field.
+  epc::ChargingDataRecord inflated = cdrs[3];
+  inflated.datavolume_uplink += 1;
+  EXPECT_FALSE(verify_cdr_inclusion(poc, inflated, *proof).ok());
+
+  // The right CDR under the wrong index.
+  InclusionProof moved = *proof;
+  moved.merkle.leaf_index = 2;
+  EXPECT_FALSE(verify_cdr_inclusion(poc, cdrs[3], moved).ok());
+
+  // A proof replayed against another batch.
+  InclusionProof replayed = *proof;
+  replayed.batch_seq = poc.batch_seq + 1;
+  EXPECT_FALSE(verify_cdr_inclusion(poc, cdrs[3], replayed).ok());
+
+  // A count that disagrees with the commitment.
+  InclusionProof resized = *proof;
+  resized.merkle.leaf_count = 4;
+  EXPECT_FALSE(verify_cdr_inclusion(poc, cdrs[3], resized).ok());
+
+  // A tampered sibling hash.
+  InclusionProof bad_path = *proof;
+  ASSERT_FALSE(bad_path.merkle.path.empty());
+  bad_path.merkle.path[0][0] ^= 0x40;
+  EXPECT_FALSE(verify_cdr_inclusion(poc, cdrs[3], bad_path).ok());
+
+  // The honest case still passes after all that.
+  EXPECT_TRUE(verify_cdr_inclusion(poc, cdrs[3], *proof).ok());
+}
+
+TEST(IngestPipelineTest, OfcsLedgerIsIdenticalToDirectIngest) {
+  epc::Ofcs direct(test_plan());
+  epc::Ofcs streamed(test_plan());
+  IngestConfig config;
+  config.batch_size = 3;
+  StreamingIngest ingest(config, &test_key().private_key, &streamed);
+
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    direct.ingest(make_cdr(i));
+    ingest.submit(make_cdr(i));
+  }
+  ingest.flush();
+  // Same subscribers, same pending volumes, same bills: the serialized
+  // ledgers match byte for byte.
+  EXPECT_EQ(direct.serialize_state(), streamed.serialize_state());
+}
+
+TEST(IngestPipelineTest, UnretainedBatchesRefuseProofs) {
+  IngestConfig config;
+  config.batch_size = 4;
+  config.retain_batches = false;
+  StreamingIngest ingest(config, &test_key().private_key, nullptr);
+  for (std::uint32_t i = 0; i < 4; ++i) ingest.submit(make_cdr(i));
+  EXPECT_EQ(ingest.batches_sealed(), 1u);
+  EXPECT_FALSE(ingest.prove(0, 0).has_value());
+  EXPECT_FALSE(ingest.leaf_wire(0, 0).has_value());
+}
+
+TEST(IngestPipelineTest, LeafWireMatchesTheCanonicalEncoding) {
+  IngestConfig config;
+  config.batch_size = 4;
+  StreamingIngest ingest(config, &test_key().private_key, nullptr);
+  for (std::uint32_t i = 0; i < 4; ++i) ingest.submit(make_cdr(i));
+  auto wire = ingest.leaf_wire(0, 2);
+  ASSERT_TRUE(wire.has_value());
+  EXPECT_EQ(*wire, encode_cdr_leaf(make_cdr(2)));
+  EXPECT_FALSE(ingest.leaf_wire(0, 4).has_value());
+  EXPECT_FALSE(ingest.leaf_wire(1, 0).has_value());
+}
+
+TEST(IngestPipelineTest, SealedBatchesArchiveIntoThePocStore) {
+  core::PocStore store;
+  IngestConfig config;
+  config.batch_size = 4;
+  StreamingIngest ingest(
+      config, &test_key().private_key, nullptr,
+      [&store](const BatchPoc& poc, const Bytes& wire) {
+        core::PlanRef plan;
+        plan.t_start = static_cast<SimTime>(poc.batch_seq);
+        plan.t_end = poc.last_usage;
+        store.add(core::PocKind::Batch, plan, wire);
+      });
+  for (std::uint32_t i = 0; i < 9; ++i) ingest.submit(make_cdr(i));
+  ingest.flush();
+  ASSERT_EQ(store.size(), 3u);
+
+  // The archive round-trips (v3 wire with the kind byte) and the
+  // stored wires decode back into verifiable batch PoCs.
+  auto reloaded = core::PocStore::deserialize(store.serialize());
+  ASSERT_TRUE(reloaded.has_value());
+  for (std::uint64_t seq = 0; seq < 3; ++seq) {
+    auto entry = reloaded->find(core::PocKind::Batch,
+                                static_cast<SimTime>(seq));
+    ASSERT_TRUE(entry.has_value()) << "batch " << seq;
+    EXPECT_EQ(entry->kind, core::PocKind::Batch);
+    auto poc = decode_batch_poc(entry->poc_wire);
+    ASSERT_TRUE(poc.has_value());
+    EXPECT_EQ(poc->batch_seq, seq);
+    EXPECT_TRUE(verify_batch_poc(*poc, test_key().public_key).ok());
+  }
+  // Batch entries never shadow cycle lookups.
+  EXPECT_FALSE(reloaded->find_cycle(0).has_value());
+}
+
+TEST(IngestPipelineTest, UnsignedPipelineSealsWithEmptySignature) {
+  IngestConfig config;
+  config.batch_size = 2;
+  StreamingIngest ingest(config, nullptr, nullptr);
+  ingest.submit(make_cdr(0));
+  ingest.submit(make_cdr(1));
+  ASSERT_EQ(ingest.batches_sealed(), 1u);
+  EXPECT_TRUE(ingest.batches()[0].signature.empty());
+  EXPECT_FALSE(
+      verify_batch_poc(ingest.batches()[0], test_key().public_key).ok());
+}
+
+}  // namespace
+}  // namespace tlc::charging

@@ -1,0 +1,130 @@
+// Streaming ingest under the fleet determinism contract (§16): turning
+// the Merkle-batched front on must not move a byte of billing output,
+// and the batch artifacts themselves must be bit-identical at any
+// thread count — they are a pure function of the FleetConfig like
+// everything else in a FleetResult.
+#include <gtest/gtest.h>
+
+#include "charging/ingest.hpp"
+#include "fleet/engine.hpp"
+#include "util/bytes.hpp"
+
+namespace tlc::fleet {
+namespace {
+
+FleetConfig streaming_fleet(unsigned threads) {
+  FleetConfig config;
+  config.base.cycle_length = 15 * kSecond;
+  config.base.cycles = 2;
+  config.base.background_mbps = 2.0;
+  config.ue_count = 24;
+  config.shards = 6;
+  config.threads = threads;
+  config.seed = 0x57e4;
+  config.rsa_bits = 512;
+  config.key_cache_slots = 4;
+  config.streaming_ingest = true;
+  config.ingest_batch_size = 16;
+  return config;
+}
+
+class StreamingIngestIdentityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    r1_ = new FleetResult(run_fleet(streaming_fleet(1)));
+    r2_ = new FleetResult(run_fleet(streaming_fleet(2)));
+    r4_ = new FleetResult(run_fleet(streaming_fleet(4)));
+  }
+  static void TearDownTestSuite() {
+    delete r1_;
+    delete r2_;
+    delete r4_;
+    r1_ = r2_ = r4_ = nullptr;
+  }
+
+  static FleetResult* r1_;
+  static FleetResult* r2_;
+  static FleetResult* r4_;
+};
+
+FleetResult* StreamingIngestIdentityTest::r1_ = nullptr;
+FleetResult* StreamingIngestIdentityTest::r2_ = nullptr;
+FleetResult* StreamingIngestIdentityTest::r4_ = nullptr;
+
+TEST_F(StreamingIngestIdentityTest, DigestsIdenticalAcrossThreadCounts) {
+  EXPECT_EQ(r1_->measurement_digest, r2_->measurement_digest);
+  EXPECT_EQ(r1_->measurement_digest, r4_->measurement_digest);
+  EXPECT_EQ(r1_->cdf_digest, r2_->cdf_digest);
+  EXPECT_EQ(r1_->cdf_digest, r4_->cdf_digest);
+  EXPECT_EQ(r1_->poc_digest, r2_->poc_digest);
+  EXPECT_EQ(r1_->poc_digest, r4_->poc_digest);
+  EXPECT_EQ(r1_->ingest_digest, r2_->ingest_digest);
+  EXPECT_EQ(r1_->ingest_digest, r4_->ingest_digest);
+  EXPECT_FALSE(r1_->ingest_digest.empty());
+}
+
+TEST_F(StreamingIngestIdentityTest, BatchesIdenticalAcrossThreadCounts) {
+  ASSERT_FALSE(r1_->ingest_batches.empty());
+  EXPECT_EQ(r1_->ingest_batches, r2_->ingest_batches);
+  EXPECT_EQ(r1_->ingest_batches, r4_->ingest_batches);
+}
+
+void expect_bills_equal(const FleetResult& a, const FleetResult& b) {
+  ASSERT_EQ(a.bills.size(), b.bills.size());
+  for (std::size_t cycle = 0; cycle < a.bills.size(); ++cycle) {
+    ASSERT_EQ(a.bills[cycle].size(), b.bills[cycle].size());
+    for (std::size_t i = 0; i < a.bills[cycle].size(); ++i) {
+      const auto& [imsi_a, line_a] = a.bills[cycle][i];
+      const auto& [imsi_b, line_b] = b.bills[cycle][i];
+      EXPECT_EQ(imsi_a.value, imsi_b.value);
+      EXPECT_EQ(line_a.gateway_volume, line_b.gateway_volume);
+      EXPECT_EQ(line_a.billed_volume, line_b.billed_volume);
+      EXPECT_EQ(line_a.amount_micro, line_b.amount_micro);
+      EXPECT_EQ(line_a.throttled, line_b.throttled);
+    }
+  }
+}
+
+TEST_F(StreamingIngestIdentityTest, BillsIdenticalAcrossThreadCounts) {
+  expect_bills_equal(*r1_, *r2_);
+  expect_bills_equal(*r1_, *r4_);
+}
+
+TEST_F(StreamingIngestIdentityTest, StreamingDoesNotMoveBillingOutput) {
+  FleetConfig off = streaming_fleet(2);
+  off.streaming_ingest = false;
+  const FleetResult plain = run_fleet(off);
+
+  // Bills, totals and every pre-§16 digest match the per-record path
+  // byte for byte; only the ingest artifacts differ (absent vs filled).
+  EXPECT_EQ(plain.measurement_digest, r2_->measurement_digest);
+  EXPECT_EQ(plain.cdf_digest, r2_->cdf_digest);
+  EXPECT_EQ(plain.poc_digest, r2_->poc_digest);
+  EXPECT_EQ(plain.anomaly_digest, r2_->anomaly_digest);
+  expect_bills_equal(plain, *r2_);
+  EXPECT_EQ(plain.totals.billed_bytes, r2_->totals.billed_bytes);
+  EXPECT_EQ(plain.totals.amount_micro, r2_->totals.amount_micro);
+  EXPECT_TRUE(plain.ingest_batches.empty());
+  EXPECT_NE(plain.ingest_digest, r2_->ingest_digest);
+}
+
+TEST_F(StreamingIngestIdentityTest, EveryBatchSignatureVerifies) {
+  ASSERT_FALSE(r1_->ingest_batches.empty());
+  std::uint64_t covered = 0;
+  for (const charging::BatchPoc& poc : r1_->ingest_batches) {
+    EXPECT_TRUE(charging::verify_batch_poc(poc, r1_->ingest_key).ok())
+        << "batch " << poc.batch_seq;
+    covered += poc.leaf_count;
+  }
+  // Batches cover exactly the synthesized (UE, cycle) CDR stream.
+  EXPECT_EQ(covered, 24u * 2u);
+  // Cycle-edge flushes: no batch spans a cycle boundary.
+  for (const charging::BatchPoc& poc : r1_->ingest_batches) {
+    EXPECT_EQ(poc.first_usage / (15 * kSecond),
+              (poc.last_usage - 1) / (15 * kSecond))
+        << "batch " << poc.batch_seq;
+  }
+}
+
+}  // namespace
+}  // namespace tlc::fleet

@@ -83,4 +83,28 @@ lint_mutant(widen_ofcs_next_cycle src/epc/ofcs.cpp
   "w.u32(state.next_cycle);" "w.u64(state.next_cycle);"
   1 "WIRE LAYOUT CHANGED")
 
+# --- Streaming-ingest codecs (DESIGN.md §16) ---------------------------
+
+# Control: the pristine ingest TU must lint clean against the goldens.
+lint_mutant(control_ingest src/charging/ingest.cpp "" "" 0 "")
+
+# Widened charging id shifts every later Merkle-leaf field — and would
+# silently change every leaf hash and batch root.
+lint_mutant(widen_ingest_leaf_charging_id src/charging/ingest.cpp
+  "w.u16(cdr.charging_id);" "w.u32(cdr.charging_id);"
+  1 "WIRE LAYOUT CHANGED")
+
+# Widened leaf count hits both the signed commitment and the batch PoC
+# wire (the count is what closes the odd-leaf ambiguity, so drift here
+# is a security bug, not just a decode bug).
+lint_mutant(widen_batch_poc_leaf_count src/charging/ingest.cpp
+  "w.u32(poc.leaf_count);" "w.u64(poc.leaf_count);"
+  1 "WIRE LAYOUT CHANGED")
+
+# Same-width rename in the inclusion proof: layout hash can't see it,
+# the golden text must.
+lint_mutant(rename_inclusion_leaf_index src/charging/ingest.cpp
+  "w.u32(proof.merkle.leaf_index);" "w.u32(proof.merkle.slot_index);"
+  1 "golden is stale")
+
 message(STATUS "schema mutation suite: all mutants caught")

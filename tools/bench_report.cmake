@@ -16,7 +16,7 @@
 #   cmake -DBENCH_CRYPTO=<exe> -DBENCH_FLEET=<exe> -DREPO_ROOT=<dir> \
 #         -P tools/bench_report.cmake
 
-foreach(required BENCH_CRYPTO BENCH_FLEET BENCH_SIM REPO_ROOT)
+foreach(required BENCH_CRYPTO BENCH_FLEET BENCH_SIM BENCH_INGEST REPO_ROOT)
   if(NOT DEFINED ${required})
     message(FATAL_ERROR "bench_report: -D${required}=... is required")
   endif()
@@ -94,6 +94,18 @@ if(NOT sim_status EQUAL 0)
 endif()
 file(READ "${sim_sidecar}" sim_current)
 write_report("${REPO_ROOT}/BENCH_sim_core.json" "${sim_current}")
+
+# --- Streaming ingest bench (self-reported JSON sidecar) ---------------
+set(ingest_sidecar "${REPO_ROOT}/build/bench_ingest_sidecar.json")
+execute_process(
+  COMMAND "${BENCH_INGEST}" "--json=${ingest_sidecar}"
+  OUTPUT_QUIET
+  RESULT_VARIABLE ingest_status)
+if(NOT ingest_status EQUAL 0)
+  message(FATAL_ERROR "bench_report: bench_ingest_stream failed")
+endif()
+file(READ "${ingest_sidecar}" ingest_current)
+write_report("${REPO_ROOT}/BENCH_ingest.json" "${ingest_current}")
 
 # --- Fleet scaling bench (self-reported JSON sidecar) ------------------
 set(fleet_sidecar "${REPO_ROOT}/build/bench_fleet_sidecar.json")
