@@ -1,0 +1,277 @@
+// Network-coded settlement transport (DESIGN.md §17): what rateless
+// RLNC buys over stop-and-wait on a lossy edge link.
+//
+// Sweep: drop rate {0, 5, 10, 20, 35, 50}% x generation size
+// {16, 32, 64}. Each cell drives the same sealed-batch-sized payload
+// through the same FaultyChannel twice:
+//   rlnc            CodedTransfer/CodedReceiver — systematic burst,
+//                   coded top-ups, one ACK per generation
+//   stop_and_wait   one chunk in flight at a time, per-chunk ACK,
+//                   fixed retransmit timeout equal to the coded path's
+//                   ack_timeout_ticks (no backoff — deliberately
+//                   generous to the baseline)
+//
+// Reported per row: virtual ticks to converge (the channel clock —
+// how long the link is occupied), wire bytes, CPU wall, and the
+// stop-and-wait/rlnc tick ratio. The §17 acceptance bar: rlnc
+// converges in less link time than stop-and-wait at every drop rate
+// >= 10% and stays within 1.5x at 0%; bench_report freshes these
+// numbers into BENCH_transport.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/rng_stream.hpp"
+#include "transport/coded_session.hpp"
+#include "transport/faulty_channel.hpp"
+#include "transport/rlnc.hpp"
+#include "transport/transport_config.hpp"
+#include "util/rng.hpp"
+
+namespace tlc::bench {
+namespace {
+
+using transport::FaultProfile;
+using transport::FaultyChannel;
+using Dir = transport::FaultyChannel::Dir;
+
+using Clock = std::chrono::steady_clock;
+constexpr int kSamples = 3;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+constexpr std::uint16_t kChunkBytes = 64;
+constexpr std::uint64_t kAckTimeoutTicks = 32;  // both disciplines
+constexpr std::uint64_t kTickBudget = 1ULL << 22;
+
+struct RunStats {
+  bool delivered = false;
+  std::uint64_t ticks = 0;
+  std::uint64_t wire_bytes = 0;
+};
+
+FaultProfile drop_profile(double drop) {
+  FaultProfile profile;
+  profile.drop = drop;
+  return profile;
+}
+
+RunStats run_rlnc(std::uint16_t generation_size, double drop,
+                  const Bytes& payload, std::uint64_t channel_seed,
+                  std::uint64_t coeff_seed) {
+  transport::CodedConfig config;
+  config.generation_size = generation_size;
+  config.chunk_bytes = kChunkBytes;
+  config.ack_timeout_ticks = kAckTimeoutTicks;
+  config.max_ticks = kTickBudget;
+  FaultyChannel channel(drop_profile(drop), drop_profile(drop), channel_seed);
+  transport::CodedReceiver receiver(config);
+  transport::CodedTransfer transfer(config, channel, /*transfer_id=*/1,
+                                    payload, coeff_seed);
+  const transport::TransferOutcome outcome = transfer.run(receiver);
+  RunStats stats;
+  stats.delivered = outcome.delivered;
+  stats.ticks = outcome.end_tick;
+  stats.wire_bytes = outcome.counters.bytes_on_wire;
+  if (outcome.delivered) {
+    const auto decoded = receiver.payload();
+    if (!decoded.has_value() || decoded.value() != payload) {
+      std::printf("bench_transport_coded: decode mismatch\n");
+      stats.delivered = false;
+    }
+  }
+  return stats;
+}
+
+/// Stop-and-wait baseline over the identical channel model: 4-byte
+/// sequence header + chunk, one frame outstanding, resend on a fixed
+/// timeout, 4-byte ACK per chunk. Drop-only profiles keep frames
+/// intact, so no CRC is needed to make the comparison fair.
+RunStats run_stop_and_wait(double drop, const Bytes& payload,
+                           std::uint64_t channel_seed) {
+  FaultyChannel channel(drop_profile(drop), drop_profile(drop), channel_seed);
+  const std::vector<Bytes> chunks =
+      transport::chunk_payload(payload, kChunkBytes);
+  RunStats stats;
+  std::uint64_t now = 0;
+  for (std::uint32_t index = 0; index < chunks.size(); ++index) {
+    Bytes frame;
+    frame.reserve(4 + chunks[index].size());
+    frame.push_back(static_cast<std::uint8_t>(index >> 24));
+    frame.push_back(static_cast<std::uint8_t>(index >> 16));
+    frame.push_back(static_cast<std::uint8_t>(index >> 8));
+    frame.push_back(static_cast<std::uint8_t>(index));
+    frame.insert(frame.end(), chunks[index].begin(), chunks[index].end());
+
+    bool acked = false;
+    std::uint64_t deadline = now;  // first send is immediate
+    while (!acked) {
+      if (now >= deadline) {
+        channel.send(Dir::ToOperator, frame, now);
+        stats.wire_bytes += frame.size();
+        deadline = now + kAckTimeoutTicks;
+      }
+      for (const Bytes& wire : channel.deliver_due(Dir::ToOperator, now)) {
+        if (wire.size() < 4) continue;
+        // Receiver acks whatever sequence it sees (duplicates included
+        // — the sender filters stale ACKs below).
+        const Bytes ack(wire.begin(), wire.begin() + 4);
+        channel.send(Dir::ToEdge, ack, now);
+        stats.wire_bytes += ack.size();
+      }
+      for (const Bytes& wire : channel.deliver_due(Dir::ToEdge, now)) {
+        if (wire.size() == 4 &&
+            (static_cast<std::uint32_t>(wire[0]) << 24 |
+             static_cast<std::uint32_t>(wire[1]) << 16 |
+             static_cast<std::uint32_t>(wire[2]) << 8 |
+             static_cast<std::uint32_t>(wire[3])) == index) {
+          acked = true;
+        }
+      }
+      if (acked) break;
+      const std::uint64_t due = channel.earliest_due();
+      const std::uint64_t next =
+          due == FaultyChannel::kIdle ? deadline : std::min(due, deadline);
+      now = std::max(now + 1, next);
+      if (now > kTickBudget) {
+        stats.ticks = now;
+        return stats;  // delivered stays false
+      }
+    }
+  }
+  stats.delivered = true;
+  stats.ticks = now;
+  return stats;
+}
+
+struct Row {
+  int drop_pct = 0;
+  std::uint16_t generation_size = 0;
+  std::uint64_t chunks = 0;
+  RunStats rlnc;
+  RunStats saw;
+  double rlnc_wall = 0;
+  double saw_wall = 0;
+  double tick_ratio = 0;  // stop-and-wait ticks / rlnc ticks
+};
+
+template <typename Fn>
+double median_wall(Fn&& body) {
+  std::vector<double> walls;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto start = Clock::now();
+    body();
+    walls.push_back(seconds_since(start));
+  }
+  std::sort(walls.begin(), walls.end());
+  return walls[walls.size() / 2];
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_transport_coded: cannot write %s\n",
+                 path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"transport_coded\",\n  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(
+        f,
+        "    {\"drop_pct\": %d, \"generation_size\": %u, \"chunks\": %llu, "
+        "\"rlnc_ticks\": %llu, \"saw_ticks\": %llu, \"tick_ratio\": %.2f, "
+        "\"rlnc_wire_bytes\": %llu, \"saw_wire_bytes\": %llu, "
+        "\"rlnc_wall_seconds\": %.6f, \"saw_wall_seconds\": %.6f, "
+        "\"rlnc_delivered\": %s, \"saw_delivered\": %s}%s\n",
+        row.drop_pct, row.generation_size,
+        static_cast<unsigned long long>(row.chunks),
+        static_cast<unsigned long long>(row.rlnc.ticks),
+        static_cast<unsigned long long>(row.saw.ticks), row.tick_ratio,
+        static_cast<unsigned long long>(row.rlnc.wire_bytes),
+        static_cast<unsigned long long>(row.saw.wire_bytes), row.rlnc_wall,
+        row.saw_wall, row.rlnc.delivered ? "true" : "false",
+        row.saw.delivered ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+int run(const BenchOptions& options) {
+  print_mode(options);
+
+  // Sealed-batch-sized payload: ~8 KiB quick (a small UE group's
+  // receipts), ~32 KiB under --full.
+  Rng payload_rng = sim::stream_rng(options.seed, 0x7c0ded);
+  const Bytes payload = payload_rng.bytes(options.full ? 32768 : 8192);
+  const std::uint64_t chunk_count =
+      (payload.size() + kChunkBytes - 1) / kChunkBytes;
+
+  std::printf("payload: %zu bytes (%llu chunks of %u)\n", payload.size(),
+              static_cast<unsigned long long>(chunk_count), kChunkBytes);
+  std::printf("%6s %5s %12s %12s %7s %12s %12s\n", "drop%", "gen",
+              "rlnc ticks", "saw ticks", "ratio", "rlnc bytes", "saw bytes");
+
+  std::vector<Row> rows;
+  bool bar_met = true;
+  for (const int drop_pct : {0, 5, 10, 20, 35, 50}) {
+    const double drop = drop_pct / 100.0;
+    const std::uint64_t channel_seed = sim::stream_seed(
+        options.seed, 0xc4a7ULL + static_cast<std::uint64_t>(drop_pct));
+    for (const std::uint16_t gen :
+         {std::uint16_t{16}, std::uint16_t{32}, std::uint16_t{64}}) {
+      Row row;
+      row.drop_pct = drop_pct;
+      row.generation_size = gen;
+      row.chunks = chunk_count;
+      const std::uint64_t coeff_seed =
+          sim::stream_seed(options.seed, transport::kCodedCoeffStream);
+      row.rlnc_wall = median_wall([&] {
+        row.rlnc = run_rlnc(gen, drop, payload, channel_seed, coeff_seed);
+      });
+      row.saw_wall = median_wall(
+          [&] { row.saw = run_stop_and_wait(drop, payload, channel_seed); });
+      row.tick_ratio = row.rlnc.ticks > 0
+                           ? static_cast<double>(row.saw.ticks) /
+                                 static_cast<double>(row.rlnc.ticks)
+                           : 0.0;
+      std::printf("%6d %5u %12llu %12llu %6.2fx %12llu %12llu\n", drop_pct,
+                  gen, static_cast<unsigned long long>(row.rlnc.ticks),
+                  static_cast<unsigned long long>(row.saw.ticks),
+                  row.tick_ratio,
+                  static_cast<unsigned long long>(row.rlnc.wire_bytes),
+                  static_cast<unsigned long long>(row.saw.wire_bytes));
+      // §17 acceptance: decisive win past 10% loss, never worse than
+      // 1.5x the baseline on a clean link.
+      if (drop_pct >= 10 && row.tick_ratio <= 1.0) bar_met = false;
+      if (drop_pct == 0 && row.saw.ticks > 0 &&
+          static_cast<double>(row.rlnc.ticks) >
+              1.5 * static_cast<double>(row.saw.ticks)) {
+        bar_met = false;
+      }
+      if (!row.rlnc.delivered || !row.saw.delivered) bar_met = false;
+      rows.push_back(row);
+    }
+  }
+
+  std::printf("acceptance (rlnc wins >=10%% drop, within 1.5x at 0%%): %s\n",
+              bar_met ? "MET" : "MISSED");
+  if (!options.json_path.empty()) {
+    write_json(options.json_path, rows);
+  }
+  return bar_met ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tlc::bench
+
+int main(int argc, char** argv) {
+  return tlc::bench::run(tlc::bench::parse_options(argc, argv));
+}

@@ -13,6 +13,7 @@
 #include "fleet/engine_detail.hpp"
 #include "fleet/thread_pool.hpp"
 #include "sim/rng_stream.hpp"
+#include "transport/coded_session.hpp"
 #include "transport/lossy_settlement.hpp"
 
 namespace tlc::fleet {
@@ -368,7 +369,14 @@ FleetResult run_fleet(const FleetConfig& config) {
         if (key_cache != nullptr) {
           const std::vector<core::SettlementItem> items =
               detail::settlement_items(slot->records, config);
-          if (config.lossy_transport) {
+          if (config.lossy_transport &&
+              config.transport.coding == transport::Coding::Rlnc) {
+            transport::CodedSettler settler(batch, config.transport,
+                                            *key_cache);
+            transport::LossyBatchReport report = settler.settle(items, 1);
+            slot->receipts = std::move(report.receipts);
+            slot->coded = report.coded;
+          } else if (config.lossy_transport) {
             transport::LossySettler settler(batch, config.transport,
                                             *key_cache);
             slot->receipts = settler.settle(items, 1).receipts;
@@ -397,6 +405,7 @@ FleetResult run_fleet(const FleetConfig& config) {
     for (const auto& [scheme, samples] : slot.gap_samples) {
       result.gap_samples[scheme].add_all(samples.values());
     }
+    result.coded_totals += slot.coded;
   }
 
   epc::Ofcs ofcs(detail::fleet_plan(config));

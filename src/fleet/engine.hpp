@@ -48,6 +48,12 @@ struct FleetResult {
   std::vector<epc::SettlementCounters> settlement_by_cycle;
   epc::SettlementCounters settlement_totals;
 
+  /// Coded-transport census (§17), summed over shards in merge order.
+  /// All-zero unless config.lossy_transport is on and
+  /// config.transport.coding selects RLNC; bit-identical across
+  /// thread counts like every other field here.
+  transport::CodedCounters coded_totals;
+
   /// Streaming ingest artifacts (DESIGN.md §16): sealed batch PoCs in
   /// seal order. Empty when config.streaming_ingest is off. A pure
   /// function of the CDR stream, so bit-identical across thread counts

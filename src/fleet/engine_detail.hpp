@@ -36,6 +36,7 @@ struct ShardOutcome {
   std::vector<UeRecord> records;
   std::vector<core::SettlementReceipt> receipts;
   std::map<testbed::Scheme, Samples> gap_samples;
+  transport::CodedCounters coded;
 };
 
 /// Runs one shard world to completion. Pure function of

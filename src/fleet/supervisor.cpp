@@ -11,6 +11,7 @@
 #include "fleet/thread_pool.hpp"
 #include "recovery/checkpoint.hpp"
 #include "recovery/state_log.hpp"
+#include "transport/coded_session.hpp"
 #include "transport/lossy_settlement.hpp"
 #include "transport/settlement_journal.hpp"
 #include "util/fileio.hpp"
@@ -386,8 +387,10 @@ Status run_settle_phase(const SupervisorConfig& config,
     const auto recovered =
         journal->recovered().find(static_cast<std::uint32_t>(chunk_index));
     if (recovered != journal->recovered().end()) {
-      result.receipts.insert(result.receipts.end(), recovered->second.begin(),
-                             recovered->second.end());
+      result.receipts.insert(result.receipts.end(),
+                             recovered->second.receipts.begin(),
+                             recovered->second.receipts.end());
+      result.coded_totals += recovered->second.coded;
       continue;
     }
     const auto [begin, end] = chunks[chunk_index];
@@ -395,7 +398,16 @@ Status run_settle_phase(const SupervisorConfig& config,
         items.begin() + static_cast<std::ptrdiff_t>(begin),
         items.begin() + static_cast<std::ptrdiff_t>(end));
     std::vector<core::SettlementReceipt> receipts;
-    if (config.fleet.lossy_transport) {
+    transport::CodedCounters coded;
+    if (config.fleet.lossy_transport &&
+        config.fleet.transport.coding == transport::Coding::Rlnc) {
+      transport::CodedSettler settler(batch, config.fleet.transport, keys);
+      settler.set_crash_plan(config.plan);
+      transport::LossyBatchReport report =
+          settler.settle(chunk_items, config.fleet.threads);
+      receipts = std::move(report.receipts);
+      coded = report.coded;
+    } else if (config.fleet.lossy_transport) {
       transport::LossySettler settler(batch, config.fleet.transport, keys);
       settler.set_crash_plan(config.plan);
       receipts =
@@ -415,10 +427,11 @@ Status run_settle_phase(const SupervisorConfig& config,
       receipts = settler.settle(chunk_items, config.fleet.threads);
     }
     Status journaled = journal->record_chunk(
-        static_cast<std::uint32_t>(chunk_index), receipts);
+        static_cast<std::uint32_t>(chunk_index), receipts, coded);
     if (!journaled.ok()) return journaled;
     result.receipts.insert(result.receipts.end(), receipts.begin(),
                            receipts.end());
+    result.coded_totals += coded;
   }
   return Status::Ok();
 }

@@ -11,7 +11,8 @@ const std::vector<std::string>& crash_point_catalogue() {
       kCrashCheckpointPreRename, kCrashCheckpointPostRename,
       kCrashShardRun,            kCrashShardWedge,
       kCrashSettleCycle,         kCrashSettleChunkPre,
-      kCrashSettleChunkPost,
+      kCrashSettleChunkPost,     kCrashCodedPacketPre,
+      kCrashCodedPacketPost,
   };
   return kPoints;
 }

@@ -64,6 +64,13 @@ inline constexpr const char* kCrashSettleCycle = "settle-cycle";
 inline constexpr const char* kCrashSettleChunkPre = "settle-chunk-pre";
 /// Settlement chunk journaled, before the supervisor consumes it.
 inline constexpr const char* kCrashSettleChunkPost = "settle-chunk-post";
+/// Coded receiver holds an innovative packet it has not journaled yet
+/// (§17.4): the packet dies with the process and its rank must be
+/// re-earned by the resumed incarnation.
+inline constexpr const char* kCrashCodedPacketPre = "coded-packet-pre";
+/// Innovative packet journaled: the resumed incarnation replays it and
+/// resumes the generation at the journaled rank.
+inline constexpr const char* kCrashCodedPacketPost = "coded-packet-post";
 
 /// Every instrumented point, for seeded plan generation.
 [[nodiscard]] const std::vector<std::string>& crash_point_catalogue();

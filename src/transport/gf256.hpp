@@ -1,0 +1,47 @@
+// GF(2^8) field arithmetic for the RLNC codec (§17).
+//
+// The field is GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1) — the 0x11d
+// Reed-Solomon polynomial, under which x (= 2) generates the whole
+// multiplicative group, so one log/exp table pair covers every
+// nonzero product. Two table layers:
+//
+//   log/exp   512 + 256 bytes; powers the inverse and the reference
+//             path, and builds the layer below.
+//   mul table 64 KiB full a×b matrix; `mul_row(c)` hands the decoder
+//             the 256-entry row of c so the hot axpy loop is one load
+//             + one XOR per byte with no log/exp indirection.
+//
+// Tables are built once on first use (thread-safe magic static) and
+// are pure compile-time-determined data — no seeds, no allocation
+// after construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tlc::transport::gf256 {
+
+/// x^8 + x^4 + x^3 + x^2 + 1.
+inline constexpr std::uint16_t kPolynomial = 0x11d;
+
+/// a × b in the field. 0 absorbs as usual.
+[[nodiscard]] std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+
+/// Multiplicative inverse of a (a != 0; inv(0) returns 0 defensively).
+[[nodiscard]] std::uint8_t inv(std::uint8_t a);
+
+/// a / b == a × inv(b). b == 0 returns 0 defensively.
+[[nodiscard]] std::uint8_t div(std::uint8_t a, std::uint8_t b);
+
+/// The 256-entry row {c×0, c×1, ..., c×255} of the full mul table.
+[[nodiscard]] const std::uint8_t* mul_row(std::uint8_t c);
+
+/// dst[i] ^= c × src[i] for i in [0, n): the row operation of the
+/// decoder's Gaussian elimination and the encoder's combine loop.
+void axpy(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+          std::uint8_t c);
+
+/// dst[i] = c × dst[i] (row scaling; c != 0 for a useful result).
+void scale(std::uint8_t* dst, std::size_t n, std::uint8_t c);
+
+}  // namespace tlc::transport::gf256

@@ -1,0 +1,129 @@
+// Shared per-UE-group execution scaffold for the transport settlers.
+//
+// Both the stop-and-wait LossySettler and the RLNC CodedSettler settle
+// a batch the same way: group items by UE in first-appearance order,
+// run each group as a pure function of its inputs on a static
+// round-robin worker partition, and census the receipts at the end.
+// This header holds that scaffold — grouping, the crash-exception
+// capture/rethrow dance, and the outcome census — so the two settlers
+// differ only in what happens inside one group.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/batch_settlement.hpp"
+#include "recovery/crash_plan.hpp"
+#include "transport/lossy_settlement.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace tlc::transport::detail {
+
+struct UeGroup {
+  std::uint64_t ue_id = 0;
+  std::vector<std::size_t> item_indices;  // into the input vector
+};
+
+/// Groups items by UE in first-appearance order and pre-fills each
+/// receipt slot's (ue_id, cycle). The side index makes grouping O(n);
+/// deque order alone fixes the output.
+inline std::deque<UeGroup> group_by_ue(
+    const std::vector<core::SettlementItem>& items,
+    std::vector<core::SettlementReceipt>& receipts) {
+  std::deque<UeGroup> groups;
+  std::unordered_map<std::uint64_t, std::size_t> group_by_id;
+  group_by_id.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto [it, inserted] =
+        group_by_id.try_emplace(items[i].ue_id, groups.size());
+    if (inserted) {
+      groups.emplace_back();
+      groups.back().ue_id = items[i].ue_id;
+    }
+    UeGroup* group = &groups[it->second];
+    group->item_indices.push_back(i);
+    receipts[i].ue_id = items[i].ue_id;
+    receipts[i].cycle =
+        static_cast<std::uint32_t>(group->item_indices.size() - 1);
+  }
+  return groups;
+}
+
+/// Runs `run_group(group, group_index)` over every group. With more
+/// than one thread, groups land on workers in a static round-robin
+/// partition: each group is fully local to one worker and writes only
+/// its own slots, so results never depend on the worker count.
+/// Injected crashes must not escape a worker thread (std::terminate)
+/// — each worker catches, the rest drain at their next group, and the
+/// first crash is rethrown from the calling thread after join.
+/// CrashPlan's dying-state replication makes "first" deterministic.
+inline void run_groups(
+    const std::deque<UeGroup>& groups, unsigned threads,
+    const std::function<void(const UeGroup&, std::size_t)>& run_group) {
+  if (threads <= 1 || groups.size() <= 1) {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      run_group(groups[g], g);
+    }
+    return;
+  }
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads, groups.size()));
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  std::atomic<bool> crashed{false};
+  util::Mutex crash_mu;
+  std::optional<recovery::CrashException> kill;
+  std::optional<recovery::WedgeException> wedge;
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      for (std::size_t g = w; g < groups.size(); g += workers) {
+        if (crashed.load(std::memory_order_relaxed)) return;
+        try {
+          run_group(groups[g], g);
+        } catch (const recovery::CrashException& e) {
+          crashed.store(true, std::memory_order_relaxed);
+          util::MutexLock lock(crash_mu);
+          if (!kill.has_value()) kill = e;
+          return;
+        } catch (const recovery::WedgeException& e) {
+          crashed.store(true, std::memory_order_relaxed);
+          util::MutexLock lock(crash_mu);
+          if (!wedge.has_value()) wedge = e;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+  if (kill.has_value()) throw *kill;
+  if (wedge.has_value()) throw *wedge;
+}
+
+/// Fills the per-outcome census from the receipts, in input order — a
+/// pure function of the receipts.
+inline void fill_census(LossyBatchReport& report) {
+  for (const core::SettlementReceipt& receipt : report.receipts) {
+    switch (receipt.outcome) {
+      case core::SettleOutcome::Converged:
+        ++report.converged;
+        break;
+      case core::SettleOutcome::Retried:
+        ++report.retried;
+        break;
+      case core::SettleOutcome::Degraded:
+        ++report.degraded;
+        break;
+      case core::SettleOutcome::RejectedTamper:
+        ++report.rejected_tamper;
+        break;
+    }
+  }
+}
+
+}  // namespace tlc::transport::detail

@@ -1,25 +1,12 @@
 #include "transport/lossy_settlement.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <deque>
-#include <optional>
-#include <thread>
-#include <unordered_map>
 
 #include "sim/rng_stream.hpp"
+#include "transport/group_runner.hpp"
 #include "transport/settlement_runner.hpp"
-#include "util/thread_annotations.hpp"
 
 namespace tlc::transport {
-namespace {
-
-struct Group {
-  std::uint64_t ue_id = 0;
-  std::vector<std::size_t> item_indices;  // into the input vector
-};
-
-}  // namespace
 
 LossySettler::LossySettler(core::BatchConfig config, TransportConfig transport,
                            const core::RsaKeyCache& keys)
@@ -31,26 +18,11 @@ LossyBatchReport LossySettler::settle(
   report.receipts.resize(items.size());
 
   // Same grouping as BatchSettler: by UE in first-appearance order,
-  // item n of a UE = its cycle n. The side index makes grouping O(n);
-  // deque order alone fixes the output.
-  std::deque<Group> groups;
-  std::unordered_map<std::uint64_t, std::size_t> group_by_ue;
-  group_by_ue.reserve(items.size());
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    const auto [it, inserted] =
-        group_by_ue.try_emplace(items[i].ue_id, groups.size());
-    if (inserted) {
-      groups.emplace_back();
-      groups.back().ue_id = items[i].ue_id;
-    }
-    Group* group = &groups[it->second];
-    group->item_indices.push_back(i);
-    report.receipts[i].ue_id = items[i].ue_id;
-    report.receipts[i].cycle =
-        static_cast<std::uint32_t>(group->item_indices.size() - 1);
-  }
+  // item n of a UE = its cycle n.
+  const std::deque<detail::UeGroup> groups =
+      detail::group_by_ue(items, report.receipts);
 
-  auto run_group = [&](const Group& group) {
+  auto run_group = [&](const detail::UeGroup& group, std::size_t) {
     const std::uint64_t ue = group.ue_id;
     auto edge = core::make_batch_session(config_, keys_, ue,
                                          core::PartyRole::EdgeVendor,
@@ -107,68 +79,8 @@ LossyBatchReport LossySettler::settle(
     }
   };
 
-  if (threads <= 1 || groups.size() <= 1) {
-    for (const Group& group : groups) run_group(group);
-  } else {
-    // Static round-robin partition: each group is fully local to one
-    // worker and writes only its own receipt slots, so results never
-    // depend on the worker count.
-    const unsigned workers =
-        static_cast<unsigned>(std::min<std::size_t>(threads, groups.size()));
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    // Injected crashes must not escape a worker thread (std::terminate)
-    // — each worker catches, the rest drain at their next group, and
-    // the first crash is rethrown from the calling thread after join.
-    // CrashPlan's dying-state replication makes "first" deterministic:
-    // every worker that touches another crash point after the kill
-    // receives the same site.
-    std::atomic<bool> crashed{false};
-    util::Mutex crash_mu;
-    std::optional<recovery::CrashException> kill;
-    std::optional<recovery::WedgeException> wedge;
-    for (unsigned w = 0; w < workers; ++w) {
-      pool.emplace_back([&, w] {
-        for (std::size_t g = w; g < groups.size(); g += workers) {
-          if (crashed.load(std::memory_order_relaxed)) return;
-          try {
-            run_group(groups[g]);
-          } catch (const recovery::CrashException& e) {
-            crashed.store(true, std::memory_order_relaxed);
-            util::MutexLock lock(crash_mu);
-            if (!kill.has_value()) kill = e;
-            return;
-          } catch (const recovery::WedgeException& e) {
-            crashed.store(true, std::memory_order_relaxed);
-            util::MutexLock lock(crash_mu);
-            if (!wedge.has_value()) wedge = e;
-            return;
-          }
-        }
-      });
-    }
-    for (std::thread& worker : pool) worker.join();
-    if (kill.has_value()) throw *kill;
-    if (wedge.has_value()) throw *wedge;
-  }
-
-  // Census in input order — a pure function of the receipts.
-  for (const core::SettlementReceipt& receipt : report.receipts) {
-    switch (receipt.outcome) {
-      case core::SettleOutcome::Converged:
-        ++report.converged;
-        break;
-      case core::SettleOutcome::Retried:
-        ++report.retried;
-        break;
-      case core::SettleOutcome::Degraded:
-        ++report.degraded;
-        break;
-      case core::SettleOutcome::RejectedTamper:
-        ++report.rejected_tamper;
-        break;
-    }
-  }
+  detail::run_groups(groups, threads, run_group);
+  detail::fill_census(report);
   return report;
 }
 

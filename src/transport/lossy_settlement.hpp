@@ -23,26 +23,20 @@
 #include "recovery/crash_plan.hpp"
 #include "transport/faulty_channel.hpp"
 #include "transport/retry.hpp"
+#include "transport/transport_config.hpp"
 
 namespace tlc::transport {
 
-/// Everything that shapes the lossy transport between the parties.
-struct TransportConfig {
-  FaultProfile to_edge;
-  FaultProfile to_operator;
-  RetryPolicy retry;
-  /// Root seed for fault schedules and retry jitter (independent of
-  /// the protocol-level rng_salt).
-  std::uint64_t seed = 0x10557;
-};
-
-/// Receipts plus the per-outcome census (§8 settlement counters).
+/// Receipts plus the per-outcome census (§8 settlement counters) and
+/// the coded-path census (§17; all-zero from LossySettler itself and
+/// whenever TransportConfig::coding is off).
 struct LossyBatchReport {
   std::vector<core::SettlementReceipt> receipts;
   std::size_t converged = 0;
   std::size_t retried = 0;
   std::size_t degraded = 0;
   std::size_t rejected_tamper = 0;
+  CodedCounters coded;
 };
 
 class LossySettler {

@@ -1,0 +1,121 @@
+#include "transport/rlnc.hpp"
+
+#include <algorithm>
+
+#include "transport/gf256.hpp"
+
+namespace tlc::transport {
+
+std::vector<Bytes> chunk_payload(const Bytes& payload,
+                                 std::size_t chunk_bytes) {
+  std::vector<Bytes> chunks;
+  if (chunk_bytes == 0) return chunks;
+  const std::size_t count =
+      payload.empty() ? 1 : (payload.size() + chunk_bytes - 1) / chunk_bytes;
+  chunks.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Bytes chunk(chunk_bytes, 0);
+    const std::size_t begin = i * chunk_bytes;
+    const std::size_t n =
+        std::min(chunk_bytes, payload.size() > begin ? payload.size() - begin
+                                                     : 0);
+    std::copy_n(payload.begin() + static_cast<std::ptrdiff_t>(begin), n,
+                chunk.begin());
+    chunks.push_back(std::move(chunk));
+  }
+  return chunks;
+}
+
+GenerationEncoder::GenerationEncoder(std::vector<Bytes> chunks)
+    : chunks_(std::move(chunks)) {}
+
+CodedSymbol GenerationEncoder::systematic(std::uint16_t index) const {
+  CodedSymbol symbol;
+  symbol.coefficients.assign(chunks_.size(), 0);
+  symbol.coefficients[index] = 1;
+  symbol.body = chunks_[index];
+  return symbol;
+}
+
+CodedSymbol GenerationEncoder::coded(Rng& rng) const {
+  CodedSymbol symbol;
+  symbol.coefficients = rng.bytes(chunks_.size());
+  const bool all_zero =
+      std::all_of(symbol.coefficients.begin(), symbol.coefficients.end(),
+                  [](std::uint8_t c) { return c == 0; });
+  if (all_zero) symbol.coefficients.back() = 1;
+  symbol.body.assign(chunks_.front().size(), 0);
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    gf256::axpy(symbol.body.data(), chunks_[i].data(), symbol.body.size(),
+                symbol.coefficients[i]);
+  }
+  return symbol;
+}
+
+GenerationDecoder::GenerationDecoder(std::uint16_t generation_size,
+                                     std::uint16_t chunk_bytes)
+    : generation_size_(generation_size), chunk_bytes_(chunk_bytes) {
+  rows_.reserve(generation_size);
+}
+
+bool GenerationDecoder::add(const CodedSymbol& symbol) {
+  if (symbol.coefficients.size() != generation_size_ ||
+      symbol.body.size() != chunk_bytes_ || complete()) {
+    return false;
+  }
+  Bytes coeffs = symbol.coefficients;
+  Bytes body = symbol.body;
+
+  // Forward-reduce against the rows held so far (sorted by pivot).
+  for (const Row& row : rows_) {
+    const std::uint8_t factor = coeffs[row.pivot];
+    if (factor == 0) continue;
+    gf256::axpy(coeffs.data(), row.coefficients.data(), coeffs.size(),
+                factor);
+    gf256::axpy(body.data(), row.body.data(), body.size(), factor);
+  }
+
+  const auto pivot_it =
+      std::find_if(coeffs.begin(), coeffs.end(),
+                   [](std::uint8_t c) { return c != 0; });
+  if (pivot_it == coeffs.end()) return false;  // linearly dependent
+  const std::uint16_t pivot =
+      static_cast<std::uint16_t>(pivot_it - coeffs.begin());
+
+  // Normalize the pivot to 1.
+  const std::uint8_t scale = gf256::inv(coeffs[pivot]);
+  gf256::scale(coeffs.data(), coeffs.size(), scale);
+  gf256::scale(body.data(), body.size(), scale);
+
+  // Back-substitute into the existing rows so the set stays in
+  // reduced row-echelon form and full rank reads out directly.
+  for (Row& row : rows_) {
+    const std::uint8_t factor = row.coefficients[pivot];
+    if (factor == 0) continue;
+    gf256::axpy(row.coefficients.data(), coeffs.data(),
+                row.coefficients.size(), factor);
+    gf256::axpy(row.body.data(), body.data(), row.body.size(), factor);
+  }
+
+  Row row;
+  row.coefficients = std::move(coeffs);
+  row.body = std::move(body);
+  row.pivot = pivot;
+  rows_.insert(std::upper_bound(rows_.begin(), rows_.end(), row,
+                                [](const Row& a, const Row& b) {
+                                  return a.pivot < b.pivot;
+                                }),
+               std::move(row));
+  ++rank_;
+  return true;
+}
+
+std::vector<Bytes> GenerationDecoder::chunks() const {
+  std::vector<Bytes> out;
+  if (!complete()) return out;
+  out.reserve(rows_.size());
+  for (const Row& row : rows_) out.push_back(row.body);
+  return out;
+}
+
+}  // namespace tlc::transport

@@ -1,0 +1,99 @@
+// Generation-based random linear network coding over GF(2^8) (§17).
+//
+// A generation is `generation_size` fixed-width chunks of the sealed
+// settlement batch. The encoder emits symbols — (coefficient vector,
+// body) pairs — either systematically (unit vector e_i, chunk i) or
+// coded (seeded random coefficients, body = Σ c_i × chunk_i). The
+// decoder runs incremental Gauss–Jordan elimination: each added
+// symbol is reduced against the rows held so far, rejected as
+// linearly dependent when its coefficients cancel to zero, otherwise
+// normalized, back-substituted and kept. Rank `generation_size` means
+// the row set is the identity matrix and the chunks read out
+// directly; the decoder never emits plaintext below full rank.
+//
+// Determinism: the encoder draws coefficients from the caller's Rng
+// only — typically a per-(group, generation) stream off the named
+// coefficient seed stream (coded_session.hpp) — so a generation's
+// coded symbols are a pure function of (payload, seed) wherever and
+// whenever they are produced.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace tlc::transport {
+
+/// One RLNC symbol: the coding vector and the combined body.
+struct CodedSymbol {
+  Bytes coefficients;  // generation_size entries
+  Bytes body;          // chunk_bytes entries
+};
+
+/// Splits `payload` into chunks of `chunk_bytes`, zero-padding the
+/// tail chunk. Returns at least one chunk (all-zero for an empty
+/// payload) so every generation has a well-defined size.
+[[nodiscard]] std::vector<Bytes> chunk_payload(const Bytes& payload,
+                                               std::size_t chunk_bytes);
+
+class GenerationEncoder {
+ public:
+  /// `chunks` must be non-empty and uniform in size (chunk_payload's
+  /// output, possibly a generation-sized slice of it).
+  explicit GenerationEncoder(std::vector<Bytes> chunks);
+
+  [[nodiscard]] std::uint16_t generation_size() const {
+    return static_cast<std::uint16_t>(chunks_.size());
+  }
+  [[nodiscard]] std::uint16_t chunk_bytes() const {
+    return static_cast<std::uint16_t>(chunks_.front().size());
+  }
+
+  /// Systematic symbol i: unit coefficients, body = chunk i verbatim.
+  [[nodiscard]] CodedSymbol systematic(std::uint16_t index) const;
+
+  /// Random-combination symbol with coefficients drawn from `rng`.
+  /// An all-zero draw (probability 256^-g) is patched to e_last so
+  /// every emitted symbol spans at least one dimension.
+  [[nodiscard]] CodedSymbol coded(Rng& rng) const;
+
+ private:
+  std::vector<Bytes> chunks_;
+};
+
+class GenerationDecoder {
+ public:
+  GenerationDecoder(std::uint16_t generation_size, std::uint16_t chunk_bytes);
+
+  /// Reduces the symbol into the row set. Returns true when it was
+  /// innovative (rank grew), false when linearly dependent on symbols
+  /// already held. Symbols with mismatched widths are rejected as
+  /// dependent (defensive; the session layer CRC-screens first).
+  bool add(const CodedSymbol& symbol);
+
+  [[nodiscard]] std::uint16_t rank() const { return rank_; }
+  [[nodiscard]] std::uint16_t generation_size() const {
+    return generation_size_;
+  }
+  [[nodiscard]] bool complete() const { return rank_ == generation_size_; }
+
+  /// The decoded chunks, pivot order == chunk order. Only meaningful
+  /// when complete() — below full rank it returns an empty vector.
+  [[nodiscard]] std::vector<Bytes> chunks() const;
+
+ private:
+  struct Row {
+    Bytes coefficients;
+    Bytes body;
+    std::uint16_t pivot = 0;
+  };
+
+  std::uint16_t generation_size_;
+  std::uint16_t chunk_bytes_;
+  std::uint16_t rank_ = 0;
+  std::vector<Row> rows_;  // kept sorted by pivot column
+};
+
+}  // namespace tlc::transport

@@ -6,8 +6,9 @@ namespace tlc::transport {
 
 /// Wire version of the receipt and chunk records below. Bump on any
 /// field order/width change — tools/schemas/settlement_*.schema pins
-/// the layout and `ctest -L static` fails on drift.
-constexpr std::uint32_t kSettlementWireVersion = 1;
+/// the layout and `ctest -L static` fails on drift. v2 appended the
+/// coded-path counters to the chunk record (§17).
+constexpr std::uint32_t kSettlementWireVersion = 2;
 static_assert(kSettlementWireVersion >= 1);
 
 // tlclint: codec(settlement_receipt, encode, version=kSettlementWireVersion)
@@ -75,20 +76,46 @@ Expected<SettlementJournal> SettlementJournal::open(const std::string& path,
       decode_error = Err("settlement journal: truncated chunk record");
       return;
     }
-    std::vector<core::SettlementReceipt> receipts;
-    receipts.reserve(*count);
+    RecoveredChunk chunk;
+    chunk.receipts.reserve(*count);
     for (std::uint32_t i = 0; i < *count; ++i) {
       auto receipt = read_receipt(r);
       if (!receipt) {
         decode_error = Err(receipt.error());
         return;
       }
-      receipts.push_back(std::move(*receipt));
+      chunk.receipts.push_back(std::move(*receipt));
     }
+    auto generations = r.u64();
+    auto generations_decoded = r.u64();
+    auto packets_sent = r.u64();
+    auto packets_delivered = r.u64();
+    auto packets_dependent = r.u64();
+    auto packets_corrupt = r.u64();
+    auto acks_sent = r.u64();
+    auto cycles_coded = r.u64();
+    auto fallbacks = r.u64();
+    auto bytes_on_wire = r.u64();
+    if (!generations || !generations_decoded || !packets_sent ||
+        !packets_delivered || !packets_dependent || !packets_corrupt ||
+        !acks_sent || !cycles_coded || !fallbacks || !bytes_on_wire) {
+      decode_error = Err("settlement journal: truncated coded counters");
+      return;
+    }
+    chunk.coded.generations = *generations;
+    chunk.coded.generations_decoded = *generations_decoded;
+    chunk.coded.packets_sent = *packets_sent;
+    chunk.coded.packets_delivered = *packets_delivered;
+    chunk.coded.packets_dependent = *packets_dependent;
+    chunk.coded.packets_corrupt = *packets_corrupt;
+    chunk.coded.acks_sent = *acks_sent;
+    chunk.coded.cycles_coded = *cycles_coded;
+    chunk.coded.fallbacks = *fallbacks;
+    chunk.coded.bytes_on_wire = *bytes_on_wire;
     // Duplicate chunk records (post-append crash, chunk re-recorded by
     // an over-cautious caller) are idempotent: the receipts are
     // identical by the purity argument, keep the first.
-    settlement.recovered_.emplace(*chunk_index, std::move(receipts));
+    settlement.recovered_.emplace(*chunk_index, std::move(chunk));
   });
   if (!stats) return Err(stats.error());
   if (!decode_error.ok()) return Err(decode_error.error());
@@ -97,7 +124,8 @@ Expected<SettlementJournal> SettlementJournal::open(const std::string& path,
 
 Status SettlementJournal::record_chunk(
     std::uint32_t chunk_index,
-    const std::vector<core::SettlementReceipt>& receipts) {
+    const std::vector<core::SettlementReceipt>& receipts,
+    const CodedCounters& coded) {
   if (plan_ != nullptr) plan_->fire(recovery::kCrashSettleChunkPre, scope_);
   // tlclint: codec(settlement_chunk, encode, version=kSettlementWireVersion)
   ByteWriter w;
@@ -106,6 +134,16 @@ Status SettlementJournal::record_chunk(
   for (const core::SettlementReceipt& receipt : receipts) {
     write_receipt(w, receipt);
   }
+  w.u64(coded.generations);
+  w.u64(coded.generations_decoded);
+  w.u64(coded.packets_sent);
+  w.u64(coded.packets_delivered);
+  w.u64(coded.packets_dependent);
+  w.u64(coded.packets_corrupt);
+  w.u64(coded.acks_sent);
+  w.u64(coded.cycles_coded);
+  w.u64(coded.fallbacks);
+  w.u64(coded.bytes_on_wire);
   if (Status appended = journal_.append(w.data()); !appended.ok()) {
     return appended;
   }

@@ -21,6 +21,7 @@
 #include "core/batch_settlement.hpp"
 #include "recovery/crash_plan.hpp"
 #include "recovery/journal.hpp"
+#include "transport/transport_config.hpp"
 #include "util/expected.hpp"
 #include "util/serde.hpp"
 
@@ -31,6 +32,15 @@ namespace tlc::transport {
 void write_receipt(ByteWriter& w, const core::SettlementReceipt& receipt);
 [[nodiscard]] Expected<core::SettlementReceipt> read_receipt(ByteReader& r);
 
+/// One journaled settlement chunk: the receipts plus the coded-path
+/// census the chunk's transfers accumulated (all-zero when the chunk
+/// settled stop-and-wait or in-process). Splicing the counters back
+/// keeps supervised coded runs byte-identical to detached ones.
+struct RecoveredChunk {
+  std::vector<core::SettlementReceipt> receipts;
+  CodedCounters coded;
+};
+
 class SettlementJournal {
  public:
   /// Opens `path`, replaying any chunks a previous incarnation left
@@ -40,9 +50,8 @@ class SettlementJournal {
       std::uint64_t scope = 0);
 
   /// Chunks recovered at open, keyed by chunk index.
-  [[nodiscard]] const std::map<std::uint32_t,
-                               std::vector<core::SettlementReceipt>>&
-  recovered() const {
+  [[nodiscard]] const std::map<std::uint32_t, RecoveredChunk>& recovered()
+      const {
     return recovered_;
   }
 
@@ -51,7 +60,8 @@ class SettlementJournal {
   /// work durable, replay must not double-count it).
   [[nodiscard]] Status record_chunk(
       std::uint32_t chunk_index,
-      const std::vector<core::SettlementReceipt>& receipts);
+      const std::vector<core::SettlementReceipt>& receipts,
+      const CodedCounters& coded = CodedCounters{});
 
   /// Empties the journal once the pass's receipts are consumed
   /// downstream (the OFCS ledger journals its own ops from here on).
@@ -65,7 +75,7 @@ class SettlementJournal {
   recovery::Journal journal_;
   recovery::CrashPlan* plan_ = nullptr;
   std::uint64_t scope_ = 0;
-  std::map<std::uint32_t, std::vector<core::SettlementReceipt>> recovered_;
+  std::map<std::uint32_t, RecoveredChunk> recovered_;
 };
 
 }  // namespace tlc::transport

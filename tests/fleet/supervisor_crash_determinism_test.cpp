@@ -37,6 +37,16 @@ FleetConfig soak_fleet(unsigned threads, bool lossy) {
   return config;
 }
 
+/// The §17 axis: same faults, but receipts ride the RLNC-coded
+/// transfer, so crash plans can also land on the coded-packet points.
+FleetConfig coded_soak_fleet(unsigned threads) {
+  FleetConfig config = soak_fleet(threads, true);
+  config.transport.coding = transport::Coding::Rlnc;
+  config.transport.coded.generation_size = 8;
+  config.transport.coded.chunk_bytes = 48;
+  return config;
+}
+
 /// Full bit-identity check between a supervised result and the
 /// crash-free reference.
 void expect_identical(const FleetResult& got, const FleetResult& want,
@@ -49,6 +59,7 @@ void expect_identical(const FleetResult& got, const FleetResult& want,
   EXPECT_EQ(got.totals.amount_micro, want.totals.amount_micro) << label;
   EXPECT_EQ(got.totals.subscribers, want.totals.subscribers) << label;
   EXPECT_EQ(got.settlement_totals, want.settlement_totals) << label;
+  EXPECT_TRUE(got.coded_totals == want.coded_totals) << label;
   ASSERT_EQ(got.bills.size(), want.bills.size()) << label;
   for (std::size_t cycle = 0; cycle < want.bills.size(); ++cycle) {
     ASSERT_EQ(got.bills[cycle].size(), want.bills[cycle].size()) << label;
@@ -75,19 +86,23 @@ class SupervisorCrashDeterminismTest : public ::testing::Test {
   static void SetUpTestSuite() {
     lossless_ = new FleetResult(run_fleet(soak_fleet(4, false)));
     lossy_ = new FleetResult(run_fleet(soak_fleet(4, true)));
+    coded_ = new FleetResult(run_fleet(coded_soak_fleet(4)));
   }
   static void TearDownTestSuite() {
     delete lossless_;
     delete lossy_;
-    lossless_ = lossy_ = nullptr;
+    delete coded_;
+    lossless_ = lossy_ = coded_ = nullptr;
   }
 
   static FleetResult* lossless_;
   static FleetResult* lossy_;
+  static FleetResult* coded_;
 };
 
 FleetResult* SupervisorCrashDeterminismTest::lossless_ = nullptr;
 FleetResult* SupervisorCrashDeterminismTest::lossy_ = nullptr;
+FleetResult* SupervisorCrashDeterminismTest::coded_ = nullptr;
 
 TEST_F(SupervisorCrashDeterminismTest, CrashFreeSupervisedRunMatchesRunFleet) {
   SupervisorConfig config;
@@ -153,6 +168,48 @@ TEST_F(SupervisorCrashDeterminismTest, SeededPlansLossyTransport) {
         << "seed " << seed << ": " << supervised.error();
     expect_identical(supervised->result, *lossy_,
                      "lossy seed " + std::to_string(seed));
+  }
+}
+
+TEST_F(SupervisorCrashDeterminismTest, SeededPlansCodedTransport) {
+  // The coded-transport plan axis: seeded kills and wedges can now
+  // also land on the coded-packet points, and the supervised result
+  // must still replay bit-identically — coded census included.
+  for (std::uint64_t seed = 101; seed <= 115; ++seed) {
+    recovery::CrashPlan plan;
+    plan.arm_seeded(seed, /*crashes=*/2, /*scopes=*/6, /*max_hit=*/3);
+    SupervisorConfig config;
+    config.fleet = coded_soak_fleet(4);
+    config.state_dir = state_dir_for("coded", seed);
+    config.plan = &plan;
+    auto supervised = run_supervised_fleet(config);
+    ASSERT_TRUE(supervised.has_value())
+        << "seed " << seed << ": " << supervised.error();
+    expect_identical(supervised->result, *coded_,
+                     "coded seed " + std::to_string(seed));
+  }
+  // The reference itself must have exercised the coded path.
+  EXPECT_GT(coded_->coded_totals.cycles_coded, 0u);
+}
+
+TEST_F(SupervisorCrashDeterminismTest, KillAtCodedPacketPointsConverges) {
+  // Direct hits on the §17.4 points: the receiving endpoint dies
+  // around a coded packet's journal append, the incarnation restarts,
+  // and the re-settled chunk splices in bit-identically.
+  std::uint64_t tag = 300;
+  for (const char* point :
+       {recovery::kCrashCodedPacketPre, recovery::kCrashCodedPacketPost}) {
+    recovery::CrashPlan plan;
+    plan.arm({point, /*scope=*/1, /*hit=*/2, recovery::CrashKind::Kill});
+    SupervisorConfig config;
+    config.fleet = coded_soak_fleet(2);
+    config.state_dir = state_dir_for("coded_point", tag++);
+    config.plan = &plan;
+    auto supervised = run_supervised_fleet(config);
+    ASSERT_TRUE(supervised.has_value()) << point << ": " << supervised.error();
+    expect_identical(supervised->result, *coded_, point);
+    EXPECT_EQ(supervised->stats.crashes, 1) << point;
+    EXPECT_EQ(supervised->stats.incarnations, 2) << point;
   }
 }
 

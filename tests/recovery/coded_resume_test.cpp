@@ -1,0 +1,301 @@
+// Coded-transport crash recovery (§17.4 satellite): a receiving
+// endpoint killed mid-generation at the coded-packet crash points must
+// resume from its journal at exactly the journaled rank — pre-append
+// kills lose the in-flight packet (its rank is re-earned), post-append
+// kills keep it — and the resumed transfer converges without the
+// sender re-supplying dimensions the journal already holds.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "recovery/crash_plan.hpp"
+#include "recovery/journal.hpp"
+#include "sim/rng_stream.hpp"
+#include "transport/coded_session.hpp"
+#include "transport/rlnc.hpp"
+#include "util/rng.hpp"
+
+namespace tlc::transport {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+constexpr std::uint16_t kGenSize = 8;
+constexpr std::uint16_t kChunkBytes = 32;
+
+CodedConfig small_config() {
+  CodedConfig config;
+  config.generation_size = kGenSize;
+  config.chunk_bytes = kChunkBytes;
+  return config;
+}
+
+Bytes test_payload(std::size_t bytes, std::uint64_t seed) {
+  Rng rng = sim::stream_rng(seed, 0);
+  return rng.bytes(bytes);
+}
+
+/// Encodes chunk i of the payload's single generation as wire bytes.
+Bytes systematic_wire(const Bytes& payload, std::uint16_t index) {
+  const std::vector<Bytes> chunks = chunk_payload(payload, kChunkBytes);
+  GenerationEncoder encoder(chunks);
+  const CodedSymbol symbol = encoder.systematic(index);
+  CodedPacket packet;
+  packet.transfer_id = 0x7e57;
+  packet.generation = 0;
+  packet.generation_size = static_cast<std::uint16_t>(chunks.size());
+  packet.chunk_bytes = kChunkBytes;
+  packet.payload_len = static_cast<std::uint32_t>(payload.size());
+  packet.coefficients = symbol.coefficients;
+  packet.body = symbol.body;
+  return encode_coded_packet(packet);
+}
+
+/// A coded (random-combination) packet for the same generation.
+Bytes coded_wire(const Bytes& payload, Rng& coeff_rng) {
+  const std::vector<Bytes> chunks = chunk_payload(payload, kChunkBytes);
+  GenerationEncoder encoder(chunks);
+  const CodedSymbol symbol = encoder.coded(coeff_rng);
+  CodedPacket packet;
+  packet.transfer_id = 0x7e57;
+  packet.generation = 0;
+  packet.generation_size = static_cast<std::uint16_t>(chunks.size());
+  packet.chunk_bytes = kChunkBytes;
+  packet.payload_len = static_cast<std::uint32_t>(payload.size());
+  packet.coefficients = symbol.coefficients;
+  packet.body = symbol.body;
+  return encode_coded_packet(packet);
+}
+
+/// Replays every journaled packet into a fresh receiver (the resumed
+/// incarnation's boot sequence).
+std::uint64_t restore_from_journal(const std::string& path,
+                                   CodedReceiver& receiver) {
+  std::uint64_t records = 0;
+  auto stats = recovery::Journal::replay(path, [&](const Bytes& wire) {
+    receiver.restore(wire);
+    ++records;
+  });
+  EXPECT_TRUE(stats.has_value()) << stats.error();
+  return records;
+}
+
+TEST(CodedResumeTest, JournaledRankSurvivesARestart) {
+  const std::string path = temp_path("coded_resume_rank.wal");
+  std::remove(path.c_str());
+  const Bytes payload = test_payload(kGenSize * kChunkBytes - 5, 0x11);
+
+  // First incarnation: journal attached, four of eight dimensions in.
+  {
+    auto journal = recovery::Journal::open(path);
+    ASSERT_TRUE(journal.has_value()) << journal.error();
+    CodedReceiver receiver(small_config());
+    receiver.attach_journal(&*journal);
+    for (std::uint16_t i = 0; i < 4; ++i) {
+      const auto intake = receiver.on_wire(systematic_wire(payload, i));
+      EXPECT_EQ(intake.kind, CodedReceiver::Intake::Kind::Innovative) << i;
+    }
+    EXPECT_EQ(receiver.rank(0), 4);
+  }  // receiver destroyed: the crash
+
+  // Second incarnation: replay rebuilds rank 4 without the sender.
+  CodedReceiver resumed(small_config());
+  EXPECT_EQ(restore_from_journal(path, resumed), 4u);
+  EXPECT_EQ(resumed.rank(0), 4);
+  EXPECT_FALSE(resumed.complete());
+
+  // Re-delivered (already-journaled) dimensions are dependent — the
+  // resumed endpoint does not need or re-count them...
+  EXPECT_EQ(resumed.on_wire(systematic_wire(payload, 2)).kind,
+            CodedReceiver::Intake::Kind::Dependent);
+  // ...and exactly the four missing dimensions finish the decode.
+  for (std::uint16_t i = 4; i < kGenSize; ++i) {
+    EXPECT_EQ(resumed.on_wire(systematic_wire(payload, i)).kind,
+              CodedReceiver::Intake::Kind::Innovative)
+        << i;
+  }
+  ASSERT_TRUE(resumed.complete());
+  auto decoded = resumed.payload();
+  ASSERT_TRUE(decoded.has_value()) << decoded.error();
+  EXPECT_EQ(*decoded, payload);
+  std::remove(path.c_str());
+}
+
+TEST(CodedResumeTest, ResumedReceiverCompletesFromCodedPacketsOnly) {
+  // The rateless property composed with recovery: the second
+  // incarnation never sees a systematic packet, only fresh random
+  // combinations, and still converges in (missing rank) innovative
+  // deliveries.
+  const std::string path = temp_path("coded_resume_coded.wal");
+  std::remove(path.c_str());
+  const Bytes payload = test_payload(kGenSize * kChunkBytes, 0x22);
+  {
+    auto journal = recovery::Journal::open(path);
+    ASSERT_TRUE(journal.has_value()) << journal.error();
+    CodedReceiver receiver(small_config());
+    receiver.attach_journal(&*journal);
+    for (std::uint16_t i = 0; i < 5; ++i) {
+      (void)receiver.on_wire(systematic_wire(payload, i));
+    }
+  }
+  CodedReceiver resumed(small_config());
+  restore_from_journal(path, resumed);
+  ASSERT_EQ(resumed.rank(0), 5);
+
+  Rng coeff_rng = sim::stream_rng(0xc0ef, 0);
+  int innovative = 0;
+  int fed = 0;
+  while (!resumed.complete() && fed < 32) {
+    if (resumed.on_wire(coded_wire(payload, coeff_rng)).kind ==
+        CodedReceiver::Intake::Kind::Innovative) {
+      ++innovative;
+    }
+    ++fed;
+  }
+  ASSERT_TRUE(resumed.complete());
+  // Only the missing dimensions were innovative; the journaled rank
+  // was never re-received.
+  EXPECT_EQ(innovative, kGenSize - 5);
+  auto decoded = resumed.payload();
+  ASSERT_TRUE(decoded.has_value()) << decoded.error();
+  EXPECT_EQ(*decoded, payload);
+  std::remove(path.c_str());
+}
+
+TEST(CodedResumeTest, PreAppendKillLosesExactlyTheInFlightPacket) {
+  // kCrashCodedPacketPre fires before the journal append: the packet
+  // that triggered the crash dies with the process, so the journal
+  // holds `hit` records and the resumed rank is `hit`.
+  const std::string path = temp_path("coded_resume_pre.wal");
+  std::remove(path.c_str());
+  const Bytes payload = test_payload(kGenSize * kChunkBytes, 0x33);
+
+  recovery::CrashPlan plan;
+  plan.arm({recovery::kCrashCodedPacketPre, /*scope=*/9, /*hit=*/2,
+            recovery::CrashKind::Kill});
+  {
+    auto journal = recovery::Journal::open(path);
+    ASSERT_TRUE(journal.has_value()) << journal.error();
+    CodedReceiver receiver(small_config());
+    receiver.attach_journal(&*journal);
+    receiver.set_crash_plan(&plan, 9);
+    bool crashed = false;
+    try {
+      for (std::uint16_t i = 0; i < kGenSize; ++i) {
+        (void)receiver.on_wire(systematic_wire(payload, i));
+      }
+    } catch (const recovery::CrashException& e) {
+      crashed = true;
+      EXPECT_EQ(e.site.point, recovery::kCrashCodedPacketPre);
+    }
+    ASSERT_TRUE(crashed);
+  }
+  CodedReceiver resumed(small_config());
+  EXPECT_EQ(restore_from_journal(path, resumed), 2u);
+  EXPECT_EQ(resumed.rank(0), 2);
+  std::remove(path.c_str());
+}
+
+TEST(CodedResumeTest, PostAppendKillKeepsTheInFlightPacket) {
+  // kCrashCodedPacketPost fires after the append: the triggering
+  // packet is durable, the journal holds `hit + 1` records.
+  const std::string path = temp_path("coded_resume_post.wal");
+  std::remove(path.c_str());
+  const Bytes payload = test_payload(kGenSize * kChunkBytes, 0x44);
+
+  recovery::CrashPlan plan;
+  plan.arm({recovery::kCrashCodedPacketPost, /*scope=*/9, /*hit=*/2,
+            recovery::CrashKind::Kill});
+  {
+    auto journal = recovery::Journal::open(path);
+    ASSERT_TRUE(journal.has_value()) << journal.error();
+    CodedReceiver receiver(small_config());
+    receiver.attach_journal(&*journal);
+    receiver.set_crash_plan(&plan, 9);
+    try {
+      for (std::uint16_t i = 0; i < kGenSize; ++i) {
+        (void)receiver.on_wire(systematic_wire(payload, i));
+      }
+      FAIL() << "plan never fired";
+    } catch (const recovery::CrashException&) {
+    }
+  }
+  CodedReceiver resumed(small_config());
+  EXPECT_EQ(restore_from_journal(path, resumed), 3u);
+  EXPECT_EQ(resumed.rank(0), 3);
+  std::remove(path.c_str());
+}
+
+TEST(CodedResumeTest, KilledTransferResumesAndConvergesEndToEnd) {
+  // Full compose: a real CodedTransfer drives the receiver over a
+  // lossy channel, the armed plan kills the endpoint mid-generation,
+  // and the resumed incarnation (journal replay + a fresh transfer
+  // incarnation from the sender) converges to the exact payload.
+  const std::string path = temp_path("coded_resume_e2e.wal");
+  std::remove(path.c_str());
+  CodedConfig config = small_config();
+  const Bytes payload = test_payload(3 * kGenSize * kChunkBytes - 17, 0x55);
+
+  FaultProfile lossy;
+  lossy.drop = 0.2;
+  recovery::CrashPlan plan;
+  plan.arm({recovery::kCrashCodedPacketPost, /*scope=*/0, /*hit=*/10,
+            recovery::CrashKind::Kill});
+
+  // Incarnation 1: dies mid-transfer with 11 packets journaled.
+  {
+    auto journal = recovery::Journal::open(path);
+    ASSERT_TRUE(journal.has_value()) << journal.error();
+    CodedReceiver receiver(config);
+    receiver.attach_journal(&*journal);
+    receiver.set_crash_plan(&plan, 0);
+    FaultyChannel channel(lossy, lossy, sim::stream_seed(0xe2e, 1));
+    CodedTransfer transfer(config, channel, 0x7e57, payload,
+                           sim::stream_seed(0xe2e, 2));
+    bool crashed = false;
+    try {
+      (void)transfer.run(receiver);
+    } catch (const recovery::CrashException&) {
+      crashed = true;
+    }
+    ASSERT_TRUE(crashed);
+  }
+
+  // Incarnation 2: replay, then a fresh transfer (new channel
+  // association, new coefficient stream — the sender also restarted).
+  auto journal = recovery::Journal::open(path);
+  ASSERT_TRUE(journal.has_value()) << journal.error();
+  CodedReceiver resumed(config);
+  const std::uint64_t journaled = restore_from_journal(path, resumed);
+  EXPECT_EQ(journaled, 11u);
+  std::uint16_t restored_rank = 0;
+  for (std::uint32_t g = 0; g < resumed.generation_count(); ++g) {
+    restored_rank = static_cast<std::uint16_t>(restored_rank + resumed.rank(g));
+  }
+  EXPECT_EQ(restored_rank, 11);
+  resumed.attach_journal(&*journal);
+
+  FaultyChannel channel(lossy, lossy, sim::stream_seed(0xe2e, 3));
+  CodedTransfer retry(config, channel, 0x7e57, payload,
+                      sim::stream_seed(0xe2e, 4));
+  const TransferOutcome outcome = retry.run(resumed);
+  ASSERT_TRUE(outcome.delivered);
+  auto decoded = resumed.payload();
+  ASSERT_TRUE(decoded.has_value()) << decoded.error();
+  EXPECT_EQ(*decoded, payload);
+  // The journaled rank was not re-earned: the retry needed fewer
+  // innovative deliveries than the full transfer rank.
+  const std::uint64_t full_rank =
+      (payload.size() + kChunkBytes - 1) / kChunkBytes;
+  EXPECT_EQ(outcome.counters.packets_delivered -
+                outcome.counters.packets_dependent,
+            full_rank - restored_rank);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tlc::transport

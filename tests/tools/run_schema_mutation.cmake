@@ -11,6 +11,9 @@
 #   cmake -DTLCLINT=<binary> -DREPO=<repo root> -DSCRATCH=<dir>
 #         -P run_schema_mutation.cmake
 
+# Extra arguments are support TUs copied unmutated into the scratch
+# tree and linted alongside — needed when the mutated codec inlines a
+# helper (e.g. write_receipt) that lives in another file.
 function(lint_mutant case_name file old new expect_code expect_text)
   set(tree ${SCRATCH}/${case_name})
   file(REMOVE_RECURSE ${tree})
@@ -26,9 +29,16 @@ function(lint_mutant case_name file old new expect_code expect_text)
     string(REPLACE "${old}" "${new}" content "${content}")
   endif()
   file(WRITE ${tree}/${file} "${content}")
+  set(paths ${tree}/${file})
+  foreach(support ${ARGN})
+    get_filename_component(support_dir ${support} DIRECTORY)
+    file(MAKE_DIRECTORY ${tree}/${support_dir})
+    file(COPY ${REPO}/${support} DESTINATION ${tree}/${support_dir})
+    list(APPEND paths ${tree}/${support})
+  endforeach()
   execute_process(
     COMMAND ${TLCLINT} --root ${tree} --schemas-dir ${REPO}/tools/schemas
-            --rule schema-drift ${tree}/${file}
+            --rule schema-drift ${paths}
     OUTPUT_VARIABLE out
     ERROR_VARIABLE err
     RESULT_VARIABLE code)
@@ -106,5 +116,38 @@ lint_mutant(widen_batch_poc_leaf_count src/charging/ingest.cpp
 lint_mutant(rename_inclusion_leaf_index src/charging/ingest.cpp
   "w.u32(proof.merkle.leaf_index);" "w.u32(proof.merkle.slot_index);"
   1 "golden is stale")
+
+# --- Network-coded transport codecs (DESIGN.md §17) --------------------
+
+# The sealed-batch codec inlines write_receipt/read_receipt from the
+# journal TU, so every coded-session case lints both files together.
+set(coded_support src/transport/settlement_journal.cpp)
+
+# Control: the pristine coded-session TU must lint clean.
+lint_mutant(control_coded_session src/transport/coded_session.cpp "" "" 0 ""
+  ${coded_support})
+
+# Widened generation size shifts the chunk width and every field after
+# it — the receiver would misparse the coefficient vector as body.
+lint_mutant(widen_coded_generation_size src/transport/coded_session.cpp
+  "w.u16(packet.generation_size);" "w.u32(packet.generation_size);"
+  1 "WIRE LAYOUT CHANGED" ${coded_support})
+
+# Widened ack rank changes where the CRC sits in the ack frame.
+lint_mutant(widen_ack_rank src/transport/coded_session.cpp
+  "w.u16(ack.rank);" "w.u32(ack.rank);"
+  1 "WIRE LAYOUT CHANGED" ${coded_support})
+
+# Same-width swap of generation for transfer id: the layout hash is
+# blind to it, the golden text comparison is not.
+lint_mutant(rename_coded_generation src/transport/coded_session.cpp
+  "w.u32(packet.generation);" "w.u32(packet.sequence);"
+  1 "golden is stale" ${coded_support})
+
+# Widened coded counter inside the v2 chunk record: the appended coded
+# census must stay ten fixed u64s or journaled chunks stop splicing.
+lint_mutant(widen_chunk_coded_counter src/transport/settlement_journal.cpp
+  "w.u64(coded.cycles_coded);" "w.u32(static_cast<std::uint32_t>(coded.cycles_coded));"
+  1 "WIRE LAYOUT CHANGED")
 
 message(STATUS "schema mutation suite: all mutants caught")

@@ -1,0 +1,121 @@
+// Fleet runs over the RLNC-coded transport (§17): thread-count
+// bit-identity with faults injected, zero-rate equality with the
+// lossless path, and the coding=Off guarantee — the coded subsystem
+// must be invisible (all-zero census, byte-identical digests) unless
+// explicitly switched on.
+#include <gtest/gtest.h>
+
+#include "fleet/engine.hpp"
+
+namespace tlc::fleet {
+namespace {
+
+FleetConfig small_fleet(unsigned threads) {
+  FleetConfig config;
+  config.base.cycle_length = 15 * kSecond;
+  config.base.cycles = 2;
+  config.base.background_mbps = 2.0;
+  config.ue_count = 8;
+  config.shards = 2;
+  config.threads = threads;
+  config.seed = 0x10553f1ee7;
+  config.rsa_bits = 512;
+  return config;
+}
+
+FleetConfig coded_fleet(unsigned threads) {
+  FleetConfig config = small_fleet(threads);
+  config.lossy_transport = true;
+  config.transport.seed = 0xbad11;
+  config.transport.coding = transport::Coding::Rlnc;
+  config.transport.coded.generation_size = 16;
+  config.transport.coded.chunk_bytes = 48;
+  config.transport.to_edge.drop = 0.15;
+  config.transport.to_edge.duplicate = 0.1;
+  config.transport.to_edge.reorder = 0.1;
+  config.transport.to_operator.drop = 0.15;
+  config.transport.to_operator.corrupt = 0.05;
+  config.transport.retry.base_timeout_ticks = 8;
+  config.transport.retry.max_retransmits = 6;
+  return config;
+}
+
+void expect_same_results(const FleetResult& a, const FleetResult& b) {
+  EXPECT_EQ(a.measurement_digest, b.measurement_digest);
+  EXPECT_EQ(a.cdf_digest, b.cdf_digest);
+  EXPECT_EQ(a.poc_digest, b.poc_digest);
+  EXPECT_EQ(a.settlement_totals, b.settlement_totals);
+  EXPECT_EQ(a.coded_totals, b.coded_totals);
+  ASSERT_EQ(a.receipts.size(), b.receipts.size());
+  for (std::size_t i = 0; i < a.receipts.size(); ++i) {
+    EXPECT_EQ(a.receipts[i].outcome, b.receipts[i].outcome) << i;
+    EXPECT_EQ(a.receipts[i].charged, b.receipts[i].charged) << i;
+    EXPECT_EQ(a.receipts[i].retransmits, b.receipts[i].retransmits) << i;
+    EXPECT_EQ(a.receipts[i].poc_wire, b.receipts[i].poc_wire) << i;
+    EXPECT_EQ(a.receipts[i].failure_reason, b.receipts[i].failure_reason) << i;
+  }
+}
+
+TEST(CodedFleetTest, FaultyCodedRunIsBitIdenticalAcrossThreadCounts) {
+  const FleetResult r1 = run_fleet(coded_fleet(1));
+  const FleetResult r2 = run_fleet(coded_fleet(2));
+  const FleetResult r4 = run_fleet(coded_fleet(4));
+  expect_same_results(r1, r2);
+  expect_same_results(r1, r4);
+  // The coded path must actually have carried receipts and met real
+  // loss, or this proves nothing about coded determinism.
+  EXPECT_GT(r1.coded_totals.cycles_coded, 0u);
+  EXPECT_GT(r1.coded_totals.packets_sent, r1.coded_totals.packets_delivered);
+  EXPECT_LE(r1.coded_totals.generations_decoded, r1.coded_totals.generations);
+}
+
+TEST(CodedFleetTest, ZeroRatesMatchTheLosslessPathExactly) {
+  // Coding on, every fault rate zero: the systematic burst is a
+  // perfect pipe and all byte-level artifacts must equal the
+  // in-process settler's output.
+  FleetConfig zero = small_fleet(2);
+  zero.lossy_transport = true;
+  zero.transport.seed = 0x77;  // must not matter with zero rates
+  zero.transport.coding = transport::Coding::Rlnc;
+
+  const FleetResult lossless = run_fleet(small_fleet(2));
+  const FleetResult coded = run_fleet(zero);
+  EXPECT_EQ(coded.measurement_digest, lossless.measurement_digest);
+  EXPECT_EQ(coded.cdf_digest, lossless.cdf_digest);
+  EXPECT_EQ(coded.poc_digest, lossless.poc_digest);
+  ASSERT_EQ(coded.receipts.size(), lossless.receipts.size());
+  for (std::size_t i = 0; i < coded.receipts.size(); ++i) {
+    EXPECT_EQ(coded.receipts[i].poc_wire, lossless.receipts[i].poc_wire) << i;
+    EXPECT_EQ(coded.receipts[i].charged, lossless.receipts[i].charged) << i;
+  }
+  EXPECT_EQ(coded.settlement_totals.converged, coded.receipts.size());
+  EXPECT_EQ(coded.coded_totals.cycles_coded, coded.receipts.size());
+  EXPECT_EQ(coded.coded_totals.fallbacks, 0u);
+  EXPECT_EQ(coded.coded_totals.packets_dependent, 0u);
+  EXPECT_EQ(coded.coded_totals.packets_corrupt, 0u);
+}
+
+TEST(CodedFleetTest, CodingOffIsByteIdenticalToTheStopAndWaitPath) {
+  // The off switch: a lossy fleet with coding Off must reproduce the
+  // plain stop-and-wait fleet bit for bit — including an all-zero
+  // coded census — even though the CodedConfig knobs are populated.
+  FleetConfig off = coded_fleet(2);
+  off.transport.coding = transport::Coding::Off;
+
+  FleetConfig plain = coded_fleet(2);
+  plain.transport.coding = transport::Coding::Off;
+  plain.transport.coded = transport::CodedConfig{};
+
+  const FleetResult off_result = run_fleet(off);
+  const FleetResult plain_result = run_fleet(plain);
+  expect_same_results(off_result, plain_result);
+  EXPECT_EQ(off_result.coded_totals, transport::CodedCounters{});
+  // With faults on, the stop-and-wait path pays retransmissions.
+  EXPECT_GT(off_result.settlement_totals.retried +
+                off_result.settlement_totals.degraded +
+                off_result.settlement_totals.rejected_tamper,
+            0u);
+}
+
+}  // namespace
+}  // namespace tlc::fleet

@@ -1,0 +1,194 @@
+// RLNC encoder/decoder suite (§17 satellite): systematic and coded
+// round-trips, seeded determinism, and a rank-deficiency soak — random
+// symbol streams confined to proper subspaces must be reported as
+// linearly dependent and must never let the decoder emit plaintext
+// below full rank. A decoder that guesses is worse than one that
+// stalls: wrong receipts would be billed.
+#include "transport/rlnc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng_stream.hpp"
+#include "transport/gf256.hpp"
+#include "util/rng.hpp"
+
+namespace tlc::transport {
+namespace {
+
+std::vector<Bytes> random_chunks(Rng& rng, std::size_t count,
+                                 std::size_t chunk_bytes) {
+  std::vector<Bytes> chunks;
+  chunks.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) chunks.push_back(rng.bytes(chunk_bytes));
+  return chunks;
+}
+
+TEST(RlncTest, ChunkPayloadPadsAndNeverReturnsZeroChunks) {
+  const Bytes payload = {1, 2, 3, 4, 5};
+  const std::vector<Bytes> chunks = chunk_payload(payload, 4);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0], (Bytes{1, 2, 3, 4}));
+  EXPECT_EQ(chunks[1], (Bytes{5, 0, 0, 0}));  // zero-padded tail
+
+  const std::vector<Bytes> exact = chunk_payload(Bytes{9, 9}, 2);
+  ASSERT_EQ(exact.size(), 1u);
+  EXPECT_EQ(exact[0], (Bytes{9, 9}));
+
+  const std::vector<Bytes> empty = chunk_payload(Bytes{}, 8);
+  ASSERT_EQ(empty.size(), 1u);
+  EXPECT_EQ(empty[0], Bytes(8, 0));
+}
+
+TEST(RlncTest, SystematicSymbolsDecodeToTheOriginalChunks) {
+  Rng rng = sim::stream_rng(0x47110, 0);
+  const std::vector<Bytes> chunks = random_chunks(rng, 16, 32);
+  GenerationEncoder encoder(chunks);
+  GenerationDecoder decoder(16, 32);
+  for (std::uint16_t i = 0; i < 16; ++i) {
+    EXPECT_TRUE(decoder.add(encoder.systematic(i))) << i;
+    EXPECT_EQ(decoder.rank(), i + 1);
+  }
+  ASSERT_TRUE(decoder.complete());
+  EXPECT_EQ(decoder.chunks(), chunks);
+}
+
+TEST(RlncTest, CodedSymbolsAloneReachFullRankAndDecodeExactly) {
+  // Purely coded transfer: no systematic packets at all, just random
+  // combinations until the decoder saturates. With 8-bit coefficients
+  // a fresh draw is dependent with probability <= 256^-(g - rank), so
+  // a tiny overhead budget is plenty.
+  Rng rng = sim::stream_rng(0x47110, 1);
+  for (const std::uint16_t gen_size : {std::uint16_t{1}, std::uint16_t{2},
+                                       std::uint16_t{16}, std::uint16_t{48}}) {
+    const std::vector<Bytes> chunks = random_chunks(rng, gen_size, 24);
+    GenerationEncoder encoder(chunks);
+    Rng coeff_rng = sim::stream_rng(0x47110, 2 + gen_size);
+    GenerationDecoder decoder(gen_size, 24);
+    int fed = 0;
+    while (!decoder.complete() && fed < gen_size + 16) {
+      (void)decoder.add(encoder.coded(coeff_rng));
+      ++fed;
+    }
+    ASSERT_TRUE(decoder.complete()) << "gen_size=" << gen_size;
+    EXPECT_EQ(decoder.chunks(), chunks) << "gen_size=" << gen_size;
+  }
+}
+
+TEST(RlncTest, CodedSymbolBodyIsTheClaimedCombination) {
+  Rng rng = sim::stream_rng(0x47110, 3);
+  const std::vector<Bytes> chunks = random_chunks(rng, 8, 16);
+  GenerationEncoder encoder(chunks);
+  Rng coeff_rng = sim::stream_rng(0x47110, 4);
+  for (int draw = 0; draw < 32; ++draw) {
+    const CodedSymbol symbol = encoder.coded(coeff_rng);
+    ASSERT_EQ(symbol.coefficients.size(), 8u);
+    ASSERT_EQ(symbol.body.size(), 16u);
+    Bytes expect(16, 0);
+    for (std::size_t i = 0; i < 8; ++i) {
+      gf256::axpy(expect.data(), chunks[i].data(), 16, symbol.coefficients[i]);
+    }
+    EXPECT_EQ(symbol.body, expect) << "draw " << draw;
+  }
+}
+
+TEST(RlncTest, SameSeedDrawsIdenticalSymbols) {
+  Rng rng = sim::stream_rng(0x47110, 5);
+  const std::vector<Bytes> chunks = random_chunks(rng, 12, 20);
+  GenerationEncoder encoder(chunks);
+  Rng first_rng = sim::stream_rng(0xc0eff, 7);
+  Rng second_rng = sim::stream_rng(0xc0eff, 7);
+  for (int draw = 0; draw < 24; ++draw) {
+    const CodedSymbol first = encoder.coded(first_rng);
+    const CodedSymbol second = encoder.coded(second_rng);
+    EXPECT_EQ(first.coefficients, second.coefficients) << draw;
+    EXPECT_EQ(first.body, second.body) << draw;
+  }
+}
+
+TEST(RlncTest, DuplicateAndCombinedSymbolsAreReportedDependent) {
+  Rng rng = sim::stream_rng(0x47110, 6);
+  const std::vector<Bytes> chunks = random_chunks(rng, 8, 16);
+  GenerationEncoder encoder(chunks);
+  GenerationDecoder decoder(8, 16);
+  ASSERT_TRUE(decoder.add(encoder.systematic(0)));
+  ASSERT_TRUE(decoder.add(encoder.systematic(3)));
+  // Exact duplicate.
+  EXPECT_FALSE(decoder.add(encoder.systematic(0)));
+  // A combination of rows already held: c0*chunk0 + c3*chunk3.
+  CodedSymbol combo;
+  combo.coefficients = Bytes(8, 0);
+  combo.coefficients[0] = 0x53;
+  combo.coefficients[3] = 0xa7;
+  combo.body = Bytes(16, 0);
+  gf256::axpy(combo.body.data(), chunks[0].data(), 16, 0x53);
+  gf256::axpy(combo.body.data(), chunks[3].data(), 16, 0xa7);
+  EXPECT_FALSE(decoder.add(combo));
+  EXPECT_EQ(decoder.rank(), 2);
+}
+
+TEST(RlncTest, RankDeficientStreamsNeverYieldPlaintext) {
+  // The soak: symbol streams deliberately confined to a k-dimensional
+  // subspace (coefficients zero outside the first k columns). The
+  // decoder must cap at rank k, report every extra symbol dependent,
+  // and keep chunks() empty — dependence is reported, plaintext never
+  // invented.
+  for (int config = 0; config < 60; ++config) {
+    Rng rng = sim::stream_rng(0xdef1c, static_cast<std::uint64_t>(config));
+    const std::uint16_t gen_size =
+        static_cast<std::uint16_t>(4 + rng.uniform_u64(28));
+    const std::uint16_t chunk_bytes =
+        static_cast<std::uint16_t>(8 + rng.uniform_u64(56));
+    const std::uint16_t k =
+        static_cast<std::uint16_t>(1 + rng.uniform_u64(gen_size - 1u));
+    const std::vector<Bytes> chunks = random_chunks(rng, gen_size, chunk_bytes);
+    SCOPED_TRACE("config " + std::to_string(config) + " g=" +
+                 std::to_string(gen_size) + " k=" + std::to_string(k));
+
+    GenerationDecoder decoder(gen_size, chunk_bytes);
+    int dependent = 0;
+    for (int fed = 0; fed < 4 * k + 8; ++fed) {
+      // Random symbol inside the span of the first k chunks.
+      CodedSymbol symbol;
+      symbol.coefficients = Bytes(gen_size, 0);
+      symbol.body = Bytes(chunk_bytes, 0);
+      for (std::uint16_t i = 0; i < k; ++i) {
+        const auto c = static_cast<std::uint8_t>(rng.uniform_u64(256));
+        symbol.coefficients[i] = c;
+        gf256::axpy(symbol.body.data(), chunks[i].data(), chunk_bytes, c);
+      }
+      if (!decoder.add(symbol)) ++dependent;
+      ASSERT_LE(decoder.rank(), k);
+      ASSERT_FALSE(decoder.complete());
+      ASSERT_TRUE(decoder.chunks().empty());
+    }
+    EXPECT_GT(dependent, 0);
+
+    // Supply the missing dimensions and the decode completes exactly.
+    GenerationEncoder encoder(chunks);
+    for (std::uint16_t i = 0; i < gen_size && !decoder.complete(); ++i) {
+      (void)decoder.add(encoder.systematic(i));
+    }
+    ASSERT_TRUE(decoder.complete());
+    EXPECT_EQ(decoder.chunks(), chunks);
+  }
+}
+
+TEST(RlncTest, MismatchedWidthsAreRejectedNotAbsorbed) {
+  GenerationDecoder decoder(4, 8);
+  CodedSymbol short_coeffs;
+  short_coeffs.coefficients = Bytes(3, 1);
+  short_coeffs.body = Bytes(8, 1);
+  EXPECT_FALSE(decoder.add(short_coeffs));
+  CodedSymbol short_body;
+  short_body.coefficients = Bytes(4, 1);
+  short_body.body = Bytes(5, 1);
+  EXPECT_FALSE(decoder.add(short_body));
+  EXPECT_EQ(decoder.rank(), 0);
+}
+
+}  // namespace
+}  // namespace tlc::transport

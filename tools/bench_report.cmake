@@ -16,7 +16,8 @@
 #   cmake -DBENCH_CRYPTO=<exe> -DBENCH_FLEET=<exe> -DREPO_ROOT=<dir> \
 #         -P tools/bench_report.cmake
 
-foreach(required BENCH_CRYPTO BENCH_FLEET BENCH_SIM BENCH_INGEST REPO_ROOT)
+foreach(required BENCH_CRYPTO BENCH_FLEET BENCH_SIM BENCH_INGEST
+        BENCH_TRANSPORT REPO_ROOT)
   if(NOT DEFINED ${required})
     message(FATAL_ERROR "bench_report: -D${required}=... is required")
   endif()
@@ -106,6 +107,22 @@ if(NOT ingest_status EQUAL 0)
 endif()
 file(READ "${ingest_sidecar}" ingest_current)
 write_report("${REPO_ROOT}/BENCH_ingest.json" "${ingest_current}")
+
+# --- Coded transport bench (self-reported JSON sidecar) ----------------
+# Exit status doubles as the §17 acceptance gate: non-zero means RLNC
+# failed to beat stop-and-wait past 10% drop or blew the 1.5x clean-link
+# budget.
+set(transport_sidecar "${REPO_ROOT}/build/bench_transport_sidecar.json")
+execute_process(
+  COMMAND "${BENCH_TRANSPORT}" "--json=${transport_sidecar}"
+  OUTPUT_QUIET
+  RESULT_VARIABLE transport_status)
+if(NOT transport_status EQUAL 0)
+  message(FATAL_ERROR
+    "bench_report: bench_transport_coded failed (acceptance bar?)")
+endif()
+file(READ "${transport_sidecar}" transport_current)
+write_report("${REPO_ROOT}/BENCH_transport.json" "${transport_current}")
 
 # --- Fleet scaling bench (self-reported JSON sidecar) ------------------
 set(fleet_sidecar "${REPO_ROOT}/build/bench_fleet_sidecar.json")
